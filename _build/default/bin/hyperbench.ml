@@ -1,0 +1,328 @@
+(* hyperbench — command-line driver for the HyperModel benchmark.
+
+   Subcommands: generate, verify, run, query, multiuser, info.
+   `hyperbench SUBCOMMAND --help` documents each. *)
+
+open Hyper_core
+open Cmdliner
+
+type backend_kind = Mem | Disk | Rel
+
+let backend_conv =
+  let parse = function
+    | "memdb" -> Ok Mem
+    | "diskdb" -> Ok Disk
+    | "reldb" -> Ok Rel
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  let print fmt k =
+    Format.pp_print_string fmt
+      (match k with Mem -> "memdb" | Disk -> "diskdb" | Rel -> "reldb")
+  in
+  Arg.conv (parse, print)
+
+(* Polymorphic action over any backend instance. *)
+type action = {
+  act : 'a. (module Backend.S with type t = 'a) -> 'a -> unit;
+}
+
+let with_backend kind ~path ~pool_pages ~remote action =
+  match kind with
+  | Mem ->
+    let b = Hyper_memdb.Memdb.create () in
+    action.act (module Hyper_memdb.Memdb) b
+  | Disk ->
+    let module D = Hyper_diskdb.Diskdb in
+    let config =
+      { (D.default_config ~path) with
+        D.pool_pages;
+        remote = (if remote then Some D.remote_1988 else None) }
+    in
+    let b = D.open_db config in
+    Fun.protect ~finally:(fun () -> D.close b) (fun () -> action.act (module D) b)
+  | Rel ->
+    let module R = Hyper_reldb.Reldb in
+    let config =
+      { (R.default_config ~path) with
+        R.pool_pages;
+        remote =
+          (if remote then Some Hyper_net.Channel.profile_1988 else None) }
+    in
+    let b = R.open_db config in
+    Fun.protect ~finally:(fun () -> R.close b) (fun () -> action.act (module R) b)
+
+(* Common argument definitions. *)
+
+let backend_arg =
+  Arg.(value & opt backend_conv Mem & info [ "b"; "backend" ] ~docv:"BACKEND"
+         ~doc:"Backend: memdb, diskdb or reldb.")
+
+let level_arg =
+  Arg.(value & opt int 4 & info [ "l"; "level" ] ~docv:"LEVEL"
+         ~doc:"Leaf level of the test database (paper sizes: 4, 5, 6).")
+
+let path_arg =
+  Arg.(value & opt string "/tmp/hypermodel.db" & info [ "p"; "path" ]
+         ~docv:"PATH" ~doc:"Database file (diskdb/reldb only).")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Generator seed; equal seeds give identical databases.")
+
+let pool_arg =
+  Arg.(value & opt int 2048 & info [ "pool" ] ~docv:"PAGES"
+         ~doc:"Buffer pool capacity in 4 KiB pages.")
+
+let remote_arg =
+  Arg.(value & flag & info [ "remote" ]
+         ~doc:"Simulate a 1988 workstation/server channel (diskdb/reldb).")
+
+let cluster_arg =
+  Arg.(value & opt bool true & info [ "cluster" ] ~docv:"BOOL"
+         ~doc:"Cluster node placement along the 1-N hierarchy.")
+
+let reps_arg =
+  Arg.(value & opt int 50 & info [ "reps" ] ~docv:"N"
+         ~doc:"Repetitions per operation sequence (the paper uses 50).")
+
+let fanout_arg =
+  Arg.(value & opt int 5 & info [ "fanout" ] ~docv:"N"
+         ~doc:"Children per internal node (the paper uses 5; §5.2 N.B.                requires it to be variable).")
+
+let layout_of ?fanout level =
+  Layout.make ?fanout ~doc:1 ~oid_base:0 ~leaf_level:level ()
+
+let generate_into (type a) (module B : Backend.S with type t = a) (b : a)
+    ~level ~seed ~cluster ~fanout =
+  let module G = Generator.Make (B) in
+  G.generate ~cluster ~fanout b ~doc:1 ~leaf_level:level ~seed
+
+(* --- generate --- *)
+
+let cmd_generate =
+  let run backend level path seed pool_pages cluster remote fanout =
+    with_backend backend ~path ~pool_pages ~remote
+      { act =
+          (fun (type a) (module B : Backend.S with type t = a) (b : a) ->
+            let _, timings =
+              generate_into (module B) b ~level ~seed ~cluster ~fanout
+            in
+            print_string
+              (Report.creation_table
+                 ~title:
+                   (Printf.sprintf
+                      "Database creation (%s, level %d, seed %Ld, cluster %b)"
+                      B.name level seed cluster)
+                 [ (B.name, level, timings) ]);
+            Printf.printf "nodes: %d\nio: %s\n"
+              (B.node_count b ~doc:1) (B.io_description b)) }
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Create a test database (paper §5.2/§5.3).")
+    Term.(
+      const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
+      $ cluster_arg $ remote_arg $ fanout_arg)
+
+(* --- verify --- *)
+
+let cmd_verify =
+  let run backend level path seed pool_pages fresh fanout =
+    with_backend backend ~path ~pool_pages ~remote:false
+      { act =
+          (fun (type a) (module B : Backend.S with type t = a) (b : a) ->
+            let layout = layout_of ~fanout level in
+            if fresh || backend = Mem then
+              ignore
+                (generate_into (module B) b ~level ~seed ~cluster:true ~fanout);
+            let module V = Verify.Make (B) in
+            let checks = V.run b layout in
+            List.iter
+              (fun c ->
+                Printf.printf "[%s] %s%s\n"
+                  (if c.Verify.ok then "ok" else "FAIL")
+                  c.Verify.name
+                  (if c.Verify.ok then "" else ": " ^ c.Verify.detail))
+              checks;
+            if Verify.all_ok checks then print_endline "all checks passed"
+            else exit 1) }
+  in
+  let fresh_arg =
+    Arg.(value & flag & info [ "fresh" ]
+           ~doc:"Generate before verifying (implied for memdb).")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify the structural invariants of a database.")
+    Term.(
+      const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
+      $ fresh_arg $ fanout_arg)
+
+(* --- run --- *)
+
+let cmd_run =
+  let run backend level path seed pool_pages remote cluster reps ops fanout =
+    with_backend backend ~path ~pool_pages ~remote
+      { act =
+          (fun (type a) (module B : Backend.S with type t = a) (b : a) ->
+            let layout, _ =
+              generate_into (module B) b ~level ~seed ~cluster ~fanout
+            in
+            let module P = Protocol.Make (B) in
+            let config = { Protocol.default_config with reps } in
+            let ids = if ops = [] then Protocol.op_ids else ops in
+            let ms = List.map (P.run_op ~config b layout) ids in
+            print_string
+              (Report.operation_table
+                 ~title:
+                   (Printf.sprintf
+                      "HyperModel operations (%s, level %d, %d reps, ms/node)"
+                      B.name level reps)
+                 ~levels:[ level ] [ (level, ms) ]);
+            Printf.printf "io: %s\n" (B.io_description b)) }
+  in
+  let ops_arg =
+    Arg.(value & opt (list string) [] & info [ "ops" ] ~docv:"IDS"
+           ~doc:"Comma-separated op ids (e.g. 01,05A,10); default: all 20.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Generate a database and run benchmark operations (paper §6).")
+    Term.(
+      const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
+      $ remote_arg $ cluster_arg $ reps_arg $ ops_arg $ fanout_arg)
+
+(* --- query --- *)
+
+let cmd_query =
+  let run backend level path seed pool_pages explain q =
+    with_backend backend ~path ~pool_pages ~remote:false
+      { act =
+          (fun (type a) (module B : Backend.S with type t = a) (b : a) ->
+            ignore
+              (generate_into (module B) b ~level ~seed ~cluster:true ~fanout:5);
+            if explain then
+              print_endline (Query_bridge.explain (module B) b ~doc:1 q)
+            else
+              print_endline
+                (Hyper_query.Engine.result_to_string
+                   (Query_bridge.query (module B) b ~doc:1 q))) }
+  in
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"e.g. \"select where hundred between 10 and 19 limit 5\".")
+  in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan instead.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run an ad-hoc query (R12) against a fresh database.")
+    Term.(
+      const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
+      $ explain_arg $ query_arg)
+
+(* --- multiuser --- *)
+
+let cmd_multiuser =
+  let run level seed users txns hot mode_s =
+    let mode =
+      match mode_s with
+      | "occ" -> Multiuser.Optimistic
+      | "2pl" -> Multiuser.Two_phase_locking
+      | s -> failwith (Printf.sprintf "unknown mode %S (use occ or 2pl)" s)
+    in
+    let module B = Hyper_memdb.Memdb in
+    let b = B.create () in
+    let module G = Generator.Make (B) in
+    let layout, _ = G.generate b ~doc:1 ~leaf_level:level ~seed in
+    let module M = Multiuser.Make (B) in
+    let r =
+      M.run b layout ~mode ~users ~txns_per_user:txns ~hot_fraction:hot ~seed
+    in
+    Printf.printf
+      "%s  users=%d  attempted=%d  committed=%d  aborted=%d  retried-ok=%d\n\
+       wall=%.1f ms  throughput=%.0f txn/s\n"
+      (Multiuser.mode_to_string r.Multiuser.mode)
+      r.Multiuser.users r.Multiuser.txns_attempted r.Multiuser.committed
+      r.Multiuser.aborted r.Multiuser.retried_ok r.Multiuser.wall_ms
+      r.Multiuser.throughput_tps
+  in
+  let users_arg =
+    Arg.(value & opt int 4 & info [ "users" ] ~docv:"N" ~doc:"User threads.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 100 & info [ "txns" ] ~docv:"N"
+           ~doc:"Transactions per user.")
+  in
+  let hot_arg =
+    Arg.(value & opt float 0.3 & info [ "hot" ] ~docv:"F"
+           ~doc:"Fraction of transactions on the shared hot subtree.")
+  in
+  let mode_arg =
+    Arg.(value & opt string "occ" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Concurrency control: occ or 2pl.")
+  in
+  Cmd.v
+    (Cmd.info "multiuser"
+       ~doc:"Multi-user update experiment (paper §7) on the memory backend.")
+    Term.(
+      const run $ level_arg $ seed_arg $ users_arg $ txns_arg $ hot_arg
+      $ mode_arg)
+
+(* --- gc --- *)
+
+let cmd_gc =
+  let run backend path pool_pages =
+    match backend with
+    | Mem ->
+      print_endline
+        "memdb objects are reclaimed by the OCaml runtime; nothing to do"
+    | Disk ->
+      let module D = Hyper_diskdb.Diskdb in
+      let b = D.open_db { (D.default_config ~path) with D.pool_pages } in
+      let freed = D.collect_garbage b in
+      Printf.printf "reclaimed %d orphaned page(s); file %d KB\n" freed
+        (D.file_bytes b / 1024);
+      D.close b
+    | Rel ->
+      let module R = Hyper_reldb.Reldb in
+      let b = R.open_db { (R.default_config ~path) with R.pool_pages } in
+      let freed = R.collect_garbage b in
+      Printf.printf "reclaimed %d orphaned page(s); file %d KB\n" freed
+        (R.file_bytes b / 1024);
+      R.close b
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Collect unreachable pages (R10: garbage collection of \
+          non-referenced objects).")
+    Term.(const run $ backend_arg $ path_arg $ pool_arg)
+
+(* --- info --- *)
+
+let cmd_info =
+  let run level =
+    Printf.printf "HyperModel test database arithmetic (paper §5.2)\n\n";
+    List.iter
+      (fun l ->
+        Printf.printf
+          "level %d: %6d nodes (%d forms, %d texts at the leaves), \
+           model size %.1f MB, level-3 closure %d nodes\n"
+          l
+          (Schema.total_nodes ~leaf_level:l)
+          (Layout.form_count (layout_of l))
+          (Layout.text_count (layout_of l))
+          (float_of_int (Schema.model_db_bytes ~leaf_level:l) /. 1e6)
+          (Schema.closure_size ~leaf_level:l))
+      [ 4; 5; 6; level ]
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print the paper's database-size arithmetic.")
+    Term.(const run $ level_arg)
+
+let () =
+  let doc = "The HyperModel benchmark (Berre, Anderson, Mallison 1990)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "hyperbench" ~doc)
+          [ cmd_generate; cmd_verify; cmd_run; cmd_query; cmd_multiuser;
+            cmd_gc; cmd_info ]))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Filename Hyper_core Hyper_diskdb Hyper_storage List Printf Schema String Sys

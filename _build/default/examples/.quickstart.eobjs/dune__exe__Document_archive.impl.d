@@ -1,0 +1,1 @@
+examples/document_archive.ml: Extensions Filename Hyper_core Hyper_diskdb List Ops Printf Schema String Sys

@@ -1,0 +1,1 @@
+examples/hypertext_graph.ml: Array Filename Generator Hyper_core Hyper_diskdb Hyper_query Hyper_reldb Layout List Ops Printf Query_bridge Sys

@@ -1,0 +1,1 @@
+examples/multiuser_collab.ml: Generator Hyper_core Hyper_memdb Hyper_txn List Multiuser Printf String

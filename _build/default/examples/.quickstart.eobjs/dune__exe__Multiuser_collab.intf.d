@@ -1,0 +1,1 @@
+examples/multiuser_collab.mli:

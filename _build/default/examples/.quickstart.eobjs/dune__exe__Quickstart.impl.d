@@ -1,0 +1,1 @@
+examples/quickstart.ml: Generator Hyper_core Hyper_memdb Hyper_query Hyper_util Layout List Ops Printf Query_bridge String

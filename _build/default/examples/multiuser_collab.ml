@@ -1,0 +1,71 @@
+(* Cooperative multi-user editing (R8/R9 and paper §7): private/shared
+   workspaces for two users editing different nodes of one structure, a
+   conflicting edit detected at publish, and a throughput comparison of
+   optimistic vs locking concurrency control under growing contention.
+
+   Run with: dune exec examples/multiuser_collab.exe *)
+
+open Hyper_core
+module B = Hyper_memdb.Memdb
+module Gen = Generator.Make (B)
+module M = Multiuser.Make (B)
+
+let () =
+  (* --- Workspaces (R9) --- *)
+  let shared = Hyper_txn.Workspace.create_shared () in
+  let alice = Hyper_txn.Workspace.checkout shared in
+  let bob = Hyper_txn.Workspace.checkout shared in
+  (* Two users update different nodes of the same structure. *)
+  Hyper_txn.Workspace.put alice 101 "alice's section draft";
+  Hyper_txn.Workspace.put bob 102 "bob's figure caption";
+  (match Hyper_txn.Workspace.publish alice with
+  | Hyper_txn.Workspace.Published n -> Printf.printf "alice published %d object(s)\n" n
+  | Hyper_txn.Workspace.Conflicts _ -> assert false);
+  (match Hyper_txn.Workspace.publish bob with
+  | Hyper_txn.Workspace.Published n -> Printf.printf "bob published %d object(s)\n" n
+  | Hyper_txn.Workspace.Conflicts _ -> assert false);
+  Printf.printf "shared store now holds nodes: %s\n"
+    (String.concat ", "
+       (List.map string_of_int (Hyper_txn.Workspace.shared_keys shared)));
+  (* A genuine conflict: both edit node 101. *)
+  Hyper_txn.Workspace.put alice 101 "alice rev 2";
+  Hyper_txn.Workspace.put bob 101 "bob rev 2";
+  (match Hyper_txn.Workspace.publish alice with
+  | Hyper_txn.Workspace.Published _ -> print_endline "alice's rev 2 published"
+  | Hyper_txn.Workspace.Conflicts _ -> assert false);
+  (match Hyper_txn.Workspace.publish bob with
+  | Hyper_txn.Workspace.Conflicts keys ->
+    Printf.printf "bob's publish conflicts on node(s): %s\n"
+      (String.concat ", " (List.map string_of_int keys));
+    Hyper_txn.Workspace.refresh bob;
+    (match Hyper_txn.Workspace.publish bob with
+    | Hyper_txn.Workspace.Published _ ->
+      print_endline "bob refreshed and re-published"
+    | Hyper_txn.Workspace.Conflicts _ -> assert false)
+  | Hyper_txn.Workspace.Published _ ->
+    print_endline "unexpected: conflict not detected");
+
+  (* --- Concurrency-control comparison (paper §7) --- *)
+  print_endline "\nmulti-user update experiment (level-4 database):";
+  Printf.printf "%-5s %-6s %-5s %10s %10s %10s %12s\n" "cc" "users" "hot"
+    "attempted" "committed" "aborted" "txn/s";
+  List.iter
+    (fun (mode, users, hot) ->
+      let db = B.create () in
+      let layout, _ = Gen.generate db ~doc:1 ~leaf_level:4 ~seed:7L in
+      let r =
+        M.run db layout ~mode ~users ~txns_per_user:100 ~hot_fraction:hot
+          ~seed:7L
+      in
+      Printf.printf "%-5s %-6d %-5.2f %10d %10d %10d %12.0f\n"
+        (Multiuser.mode_to_string mode)
+        users hot r.Multiuser.txns_attempted r.Multiuser.committed
+        r.Multiuser.aborted r.Multiuser.throughput_tps)
+    [ (Multiuser.Optimistic, 2, 0.0); (Multiuser.Optimistic, 2, 0.5);
+      (Multiuser.Optimistic, 8, 0.5); (Multiuser.Two_phase_locking, 2, 0.0);
+      (Multiuser.Two_phase_locking, 2, 0.5);
+      (Multiuser.Two_phase_locking, 8, 0.5) ];
+  print_endline
+    "\nexpected shape: zero aborts without contention; optimistic control\n\
+     aborts under contention (the paper's observed problem), locking\n\
+     mostly serialises instead"

@@ -1,0 +1,1 @@
+lib/core/extensions.ml: Access Array Backend Hyper_txn Layout List Ops Schema

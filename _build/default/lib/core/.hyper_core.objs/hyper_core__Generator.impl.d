@@ -1,0 +1,1 @@
+lib/core/generator.ml: Array Backend Bitmap Hashtbl Hyper_util Layout List Prng Schema Text_gen Vclock

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Hyper_util Printf Prng Schema

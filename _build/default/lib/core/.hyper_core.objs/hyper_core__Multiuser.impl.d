@@ -1,0 +1,1 @@
+lib/core/multiuser.ml: Array Backend Fun Hashtbl Hyper_txn Hyper_util Int64 Layout List Mutex Prng Schema Thread Unix

@@ -1,0 +1,1 @@
+lib/core/multiuser.mli: Backend Layout

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Array Backend Hashtbl Hyper_util List Option Schema

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Backend Hashtbl Hyper_util Int64 Layout List Ops Printf Prng Vclock

@@ -1,0 +1,1 @@
+lib/core/query_bridge.ml: Backend Hyper_query List Schema

@@ -1,0 +1,1 @@
+lib/core/query_bridge.mli: Backend Hyper_query

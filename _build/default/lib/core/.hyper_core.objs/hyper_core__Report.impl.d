@@ -1,0 +1,1 @@
+lib/core/report.ml: Generator Hyper_util List Printf Protocol Schema Table

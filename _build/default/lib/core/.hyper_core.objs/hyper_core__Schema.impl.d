@@ -1,0 +1,1 @@
+lib/core/schema.ml: Hyper_util Oid

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Backend Hyper_util Layout List Printexc Printf Schema String

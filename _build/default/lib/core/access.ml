@@ -1,0 +1,50 @@
+type permission = Read | Write
+
+type policy = { owner : string; mutable public_read : bool; mutable public_write : bool }
+
+type t = { policies : (int, policy) Hashtbl.t }
+
+exception Denied of { user : string; doc : int; wanted : permission }
+
+let create () = { policies = Hashtbl.create 8 }
+
+let register t ~doc ~owner =
+  if Hashtbl.mem t.policies doc then
+    invalid_arg (Printf.sprintf "Access.register: document %d already registered" doc);
+  Hashtbl.add t.policies doc { owner; public_read = false; public_write = false }
+
+let policy_exn t doc =
+  match Hashtbl.find_opt t.policies doc with
+  | Some p -> p
+  | None ->
+    invalid_arg (Printf.sprintf "Access: document %d is not registered" doc)
+
+let set_public t ~doc ~read ~write =
+  let p = policy_exn t doc in
+  p.public_read <- read;
+  p.public_write <- write
+
+let allowed t ~user ~doc permission =
+  match Hashtbl.find_opt t.policies doc with
+  | None -> true (* unregistered structures are unrestricted *)
+  | Some p ->
+    if p.owner = user then true
+    else begin
+      match permission with
+      | Read -> p.public_read || p.public_write
+      | Write -> p.public_write
+    end
+
+let check t ~user ~doc permission =
+  if not (allowed t ~user ~doc permission) then
+    raise (Denied { user; doc; wanted = permission })
+
+let owner_of t ~doc =
+  Option.map (fun p -> p.owner) (Hashtbl.find_opt t.policies doc)
+
+let describe t ~doc =
+  match Hashtbl.find_opt t.policies doc with
+  | None -> "unregistered (open)"
+  | Some p ->
+    Printf.sprintf "owner=%s public-read=%b public-write=%b" p.owner
+      p.public_read p.public_write

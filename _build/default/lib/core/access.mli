@@ -1,0 +1,36 @@
+(** Access control (R11).
+
+    The paper's requirement: set public read-access on one
+    document-structure and public write-access on another, while links
+    between the structures keep working.  Access control is enforced at
+    the structure (document) granularity, above the storage backends —
+    the same place the paper-era systems put it.
+
+    Each document has an owner with full rights; public rights are
+    granted per permission.  Checks are pure; the {!check} variant
+    raises. *)
+
+type permission = Read | Write
+
+type t
+
+exception Denied of { user : string; doc : int; wanted : permission }
+
+val create : unit -> t
+
+val register : t -> doc:int -> owner:string -> unit
+(** @raise Invalid_argument when the document is already registered. *)
+
+val set_public : t -> doc:int -> read:bool -> write:bool -> unit
+(** @raise Invalid_argument for an unregistered document. *)
+
+val allowed : t -> user:string -> doc:int -> permission -> bool
+(** Owner: everything.  Others: the public grants.  Unregistered
+    documents are open (benchmark databases don't register). *)
+
+val check : t -> user:string -> doc:int -> permission -> unit
+(** @raise Denied when not {!allowed}. *)
+
+val owner_of : t -> doc:int -> string option
+
+val describe : t -> doc:int -> string

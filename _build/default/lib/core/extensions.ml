@@ -1,0 +1,95 @@
+module Make (B : Backend.S) = struct
+  module O = Ops.Make (B)
+
+  (* --- E1: schema modification --- *)
+
+  let add_draw_node b ~layout ~oid ~unique_id =
+    B.create_node b
+      { Schema.oid; doc = layout.Layout.doc; unique_id;
+        ten = 1; hundred = 1; million = 1; payload = Schema.P_draw };
+    B.add_child b ~parent:(Layout.root layout) ~child:oid
+
+  let add_attribute_everywhere b ~layout ~name ~value =
+    let touched = ref 0 in
+    Layout.iter_oids layout (fun oid ->
+        B.set_dyn_attr b oid name (value oid);
+        incr touched);
+    !touched
+
+  (* --- E2: versions --- *)
+
+  type versions = string Hyper_txn.Version_store.t
+
+  let create_versions () = Hyper_txn.Version_store.create ()
+
+  (* The chain records the node's content *as of* each timestamp: the
+     original text is captured once (on the first versioned edit), and
+     every edit appends the post-edit content.  [as_of] then means
+     literally "the text at time T". *)
+  let edit_with_version vs b oid =
+    if Hyper_txn.Version_store.version_count vs ~key:oid = 0 then
+      ignore (Hyper_txn.Version_store.put vs ~key:oid (B.text b oid) : int);
+    O.text_node_edit b ~oid;
+    Hyper_txn.Version_store.put vs ~key:oid (B.text b oid)
+
+  let current_text _vs b oid = B.text b oid
+
+  let previous_version vs oid = Hyper_txn.Version_store.previous vs ~key:oid
+
+  let version_as_of vs oid ~time =
+    Hyper_txn.Version_store.as_of vs ~key:oid ~time
+
+  let version_count vs oid = Hyper_txn.Version_store.version_count vs ~key:oid
+
+  let structure_as_of vs b ~start ~time =
+    let acc = ref [] in
+    let rec visit oid =
+      (if B.kind b oid = Schema.Text then
+         let content =
+           match Hyper_txn.Version_store.as_of vs ~key:oid ~time with
+           | Some s -> s
+           | None -> (
+             (* Before the first recorded state: the original (oldest)
+                version when one exists, else the never-edited current. *)
+             match
+               List.rev (Hyper_txn.Version_store.history vs ~key:oid)
+             with
+             | (_, oldest) :: _ -> oldest
+             | [] -> B.text b oid)
+         in
+         acc := (oid, content) :: !acc);
+      Array.iter visit (B.children b oid)
+    in
+    visit start;
+    List.rev !acc
+
+  let create_variant vs b oid ~variant =
+    Hyper_txn.Version_store.put_variant vs ~key:oid ~variant (B.text b oid)
+
+  let variant_text vs oid ~variant =
+    Hyper_txn.Version_store.latest_variant vs ~key:oid ~variant
+
+  (* --- E3: access control --- *)
+
+  let demo_two_documents b ~acl ~doc_a ~doc_b ~user =
+    Access.set_public acl ~doc:doc_a.Layout.doc ~read:true ~write:false;
+    Access.set_public acl ~doc:doc_b.Layout.doc ~read:true ~write:true;
+    let can acl_doc perm = Access.allowed acl ~user ~doc:acl_doc perm in
+    let read_a = can doc_a.Layout.doc Access.Read in
+    let write_a = can doc_a.Layout.doc Access.Write in
+    let write_b = can doc_b.Layout.doc Access.Write in
+    (* Links across differently protected structures must still work:
+       reference A's root from B's root (B is writable by [user]) and
+       traverse it back into A (readable). *)
+    let root_a = Layout.root doc_a and root_b = Layout.root doc_b in
+    Access.check acl ~user ~doc:doc_b.Layout.doc Access.Write;
+    B.add_ref b ~src:root_b ~dst:root_a ~offset_from:0 ~offset_to:0;
+    let link_works =
+      Array.exists
+        (fun l -> l.Schema.target = root_a)
+        (B.refs_to b root_b)
+      && can doc_a.Layout.doc Access.Read
+      && B.hundred b root_a >= 0
+    in
+    (read_a, write_a, write_b, link_works)
+end

@@ -1,0 +1,61 @@
+(** The paper's §6.8 extension operations, probing requirements the core
+    20 operations do not: schema modification (R4), versions (R5) and
+    access control (R11).  Each returns enough information for the T6
+    experiment to report a capability line and a timing. *)
+
+module Make (B : Backend.S) : sig
+  (** {2 E1 — schema modification (R4)} *)
+
+  val add_draw_node :
+    B.t -> layout:Layout.t -> oid:Oid.t -> unique_id:int -> unit
+  (** Add a node of the dynamically added [DrawNode] type to the
+      structure (as a child of the root).  Must be called inside a
+      transaction. *)
+
+  val add_attribute_everywhere :
+    B.t -> layout:Layout.t -> name:string -> value:(Oid.t -> int) -> int
+  (** Specialise the schema by adding attribute [name] to every node of
+      the structure; returns the number of nodes touched. *)
+
+  (** {2 E2 — versions and variants (R5)} *)
+
+  type versions
+  (** Version store for text-node contents, on a logical clock. *)
+
+  val create_versions : unit -> versions
+
+  val edit_with_version : versions -> B.t -> Oid.t -> int
+  (** Snapshot the node's current text, then apply the textNodeEdit
+      mutation; returns the snapshot timestamp.  In-transaction only. *)
+
+  val current_text : versions -> B.t -> Oid.t -> string
+  val previous_version : versions -> Oid.t -> string option
+  val version_as_of : versions -> Oid.t -> time:int -> string option
+  val version_count : versions -> Oid.t -> int
+
+  val create_variant : versions -> B.t -> Oid.t -> variant:string -> int
+  (** Record the node's current text as the head of a named variant
+      branch. *)
+
+  val variant_text : versions -> Oid.t -> variant:string -> string option
+
+  val structure_as_of :
+    versions -> B.t -> start:Oid.t -> time:int -> (Oid.t * string) list
+  (** R5's second requirement: "retrieve … a node-structure as it was at
+      a specific time-point".  Walks the 1-N closure from [start] in
+      pre-order and reconstructs each text node's content at [time] —
+      the snapshot value when one exists, otherwise the current content
+      (a node never edited has only its current state).  Non-text nodes
+      are omitted. *)
+
+  (** {2 E3 — access control (R11)} *)
+
+  val demo_two_documents :
+    B.t -> acl:Access.t -> doc_a:Layout.t -> doc_b:Layout.t -> user:string ->
+    (bool * bool * bool * bool)
+  (** Set doc A public-read-only and doc B public-writable (as the
+      paper's example), create a reference from A's root to B's root, and
+      return, for [user]: (can read A, can write A, can write B, link
+      from A to B traversable).  Expected: (true, false, true, true).
+      In-transaction only. *)
+end

@@ -1,0 +1,174 @@
+open Hyper_util
+
+type phase = { label : string; items : int; ms_total : float }
+
+type timings = { phases : phase list }
+
+let ms_per_item p =
+  if p.items = 0 then 0.0 else p.ms_total /. float_of_int p.items
+
+module Make (B : Backend.S) = struct
+  (* Sample [k] distinct elements of [pool] (all of them when the pool is
+     not larger than k). *)
+  let sample_distinct rng pool k =
+    let n = Array.length pool in
+    if n <= k then Array.copy pool
+    else begin
+      let chosen = Hashtbl.create k in
+      let out = Array.make k pool.(0) in
+      let filled = ref 0 in
+      while !filled < k do
+        let i = Prng.int rng n in
+        if not (Hashtbl.mem chosen i) then begin
+          Hashtbl.add chosen i ();
+          out.(!filled) <- pool.(i);
+          incr filled
+        end
+      done;
+      out
+    end
+
+  let spec_for rng layout oid =
+    let doc = layout.Layout.doc in
+    let unique_id = Layout.uid_of_oid layout oid in
+    let ten = Prng.int_in rng 1 10 in
+    let hundred = Prng.int_in rng 1 100 in
+    let million = Prng.int_in rng 1 1_000_000 in
+    let payload =
+      if not (Layout.is_leaf layout oid) then Schema.P_internal
+      else if Layout.is_form layout oid then begin
+        let width = Prng.int_in rng 100 400 in
+        let height = Prng.int_in rng 100 400 in
+        Schema.P_form (Bitmap.create ~width ~height)
+      end
+      else Schema.P_text (Text_gen.generate rng)
+    in
+    { Schema.oid; doc; unique_id; ten; hundred; million; payload }
+
+  let timed_phase b label f =
+    let items = ref 0 in
+    let (), span =
+      Vclock.time (fun () ->
+          B.begin_txn b;
+          f items;
+          B.commit b)
+    in
+    { label; items = !items; ms_total = Vclock.total_ms span }
+
+  (* Depth-first enumeration of internal (non-leaf) oids as
+     (node, parent) pairs, parents before children. *)
+  let dfs_internal layout =
+    let acc = ref [] in
+    let rec visit oid parent =
+      if not (Layout.is_leaf layout oid) then begin
+        acc := (oid, parent) :: !acc;
+        Array.iter (fun c -> visit c (Some oid)) (Layout.children_of layout oid)
+      end
+    in
+    visit (Layout.root layout) None;
+    List.rev !acc
+
+  let generate ?(cluster = true) ?(oid_base = 0) ?fanout b ~doc ~leaf_level
+      ~seed =
+    let layout = Layout.make ?fanout ~doc ~oid_base ~leaf_level () in
+    let fanout = layout.Layout.fanout in
+    (* Independent streams per concern so that e.g. attribute values do
+       not depend on the creation order chosen by [cluster]. *)
+    let master = Prng.create seed in
+    let rng_attr = Prng.split master in
+    let rng_order = Prng.split master in
+    let rng_parts = Prng.split master in
+    let rng_refs = Prng.split master in
+
+    (* Attribute specs are drawn in canonical (BFS/oid) order regardless
+       of creation order, keeping databases identical across modes. *)
+    let specs = Hashtbl.create layout.Layout.node_count in
+    Layout.iter_oids layout (fun oid ->
+        Hashtbl.add specs oid (spec_for rng_attr layout oid));
+    let spec oid = Hashtbl.find specs oid in
+
+    (* Phase 1: internal nodes. *)
+    let internal_pairs = dfs_internal layout in
+    let internal_order =
+      if cluster then internal_pairs
+      else begin
+        let arr = Array.of_list internal_pairs in
+        Prng.shuffle rng_order arr;
+        Array.to_list arr
+      end
+    in
+    let phase_internal =
+      timed_phase b "create internal nodes" (fun items ->
+          List.iter
+            (fun (oid, parent) ->
+              let near = if cluster then parent else None in
+              B.create_node ?near b (spec oid);
+              incr items)
+            internal_order)
+    in
+
+    (* Phase 2: leaf nodes (text and form). *)
+    let leaf_first = Layout.level_first_oid layout leaf_level in
+    let leaf_count = Layout.level_node_count layout leaf_level in
+    let leaf_order = Array.init leaf_count (fun i -> leaf_first + i) in
+    if not cluster then Prng.shuffle rng_order leaf_order;
+    let phase_leaves =
+      timed_phase b "create leaf nodes" (fun items ->
+          Array.iter
+            (fun oid ->
+              let near = if cluster then Layout.parent_of layout oid else None in
+              B.create_node ?near b (spec oid);
+              incr items)
+            leaf_order)
+    in
+
+    (* Phase 3: 1-N relationships, in order (the children sequence). *)
+    let phase_one_n =
+      timed_phase b "create 1-N relationships" (fun items ->
+          Layout.iter_oids layout (fun oid ->
+              if not (Layout.is_leaf layout oid) then
+                Array.iter
+                  (fun child ->
+                    B.add_child b ~parent:oid ~child;
+                    incr items)
+                  (Layout.children_of layout oid)))
+    in
+
+    (* Phase 4: M-N parts — 5 random distinct nodes from the next level
+       down, for every non-leaf node. *)
+    let level_oids level =
+      Array.init (Layout.level_node_count layout level) (fun i ->
+          Layout.level_first_oid layout level + i)
+    in
+    let phase_m_n =
+      timed_phase b "create M-N relationships" (fun items ->
+          for level = 0 to leaf_level - 1 do
+            let pool = level_oids (level + 1) in
+            Array.iter
+              (fun whole ->
+                let chosen = sample_distinct rng_parts pool fanout in
+                Array.iter
+                  (fun part ->
+                    B.add_part b ~whole ~part;
+                    incr items)
+                  chosen)
+              (level_oids level)
+          done)
+    in
+
+    (* Phase 5: M-N attribute references — visit each node once, refer to
+       a random node, offsets uniform in 0..9. *)
+    let phase_refs =
+      timed_phase b "create M-N attribute references" (fun items ->
+          Layout.iter_oids layout (fun src ->
+              let dst = Layout.random_node layout rng_refs in
+              let offset_from = Prng.int_in rng_refs 0 9 in
+              let offset_to = Prng.int_in rng_refs 0 9 in
+              B.add_ref b ~src ~dst ~offset_from ~offset_to;
+              incr items))
+    in
+    ( layout,
+      { phases =
+          [ phase_internal; phase_leaves; phase_one_n; phase_m_n; phase_refs ]
+      } )
+end

@@ -1,0 +1,40 @@
+(** Test-database generation (paper §5.2) with creation timing (§5.3).
+
+    Builds one HyperModel structure of the requested size into any
+    backend, in five timed phases, each ending in a commit:
+
+    + internal nodes (levels 0 .. leaf−1),
+    + leaf nodes (text and form),
+    + 1-N parent/children relationships (ordered),
+    + M-N parts relationships (5 random next-level nodes per non-leaf),
+    + M-N attribute references (one per node, random target, offsets
+      0..9).
+
+    All randomness derives from [seed]; the same seed produces the same
+    database on every backend. *)
+
+type phase = {
+  label : string;
+  items : int;           (** nodes or relationships created *)
+  ms_total : float;      (** wall + simulated, commit included *)
+}
+
+type timings = { phases : phase list }
+
+val ms_per_item : phase -> float
+
+module Make (B : Backend.S) : sig
+  val generate :
+    ?cluster:bool ->
+    ?oid_base:int ->
+    ?fanout:int ->
+    B.t ->
+    doc:int ->
+    leaf_level:int ->
+    seed:int64 ->
+    Layout.t * timings
+  (** [cluster] (default true): create nodes in depth-first order with
+      the 1-N parent as placement hint, enabling physical clustering
+      along the aggregation hierarchy.  With [cluster:false] nodes are
+      created in shuffled order with no hint — the ablation of §5.2. *)
+end

@@ -1,0 +1,136 @@
+open Hyper_util
+
+type t = {
+  doc : int;
+  oid_base : int;
+  leaf_level : int;
+  fanout : int;
+  node_count : int;
+}
+
+(* fanout^level *)
+let pow fanout level =
+  let rec go acc i = if i = 0 then acc else go (acc * fanout) (i - 1) in
+  go 1 level
+
+(* Σ fanout^i for i <= level *)
+let cumulative fanout level =
+  let rec go acc i =
+    if i > level then acc else go (acc + pow fanout i) (i + 1)
+  in
+  go 0 0
+
+let make ?(fanout = Schema.fanout) ~doc ~oid_base ~leaf_level () =
+  if leaf_level < 1 then invalid_arg "Layout.make: leaf_level < 1";
+  if fanout < 2 then invalid_arg "Layout.make: fanout < 2";
+  { doc; oid_base; leaf_level; fanout; node_count = cumulative fanout leaf_level }
+
+(* Index of a node within the structure: 0 .. node_count-1, BFS order. *)
+let index_of t oid =
+  let i = oid - t.oid_base - 1 in
+  if i < 0 || i >= t.node_count then
+    invalid_arg (Printf.sprintf "Layout: oid %d outside structure" oid);
+  i
+
+let level_first_index t level = cumulative t.fanout level - pow t.fanout level
+
+let level_of_index t idx =
+  let rec search level =
+    if level > t.leaf_level then invalid_arg "Layout.level_of_index"
+    else if idx < cumulative t.fanout level then level
+    else search (level + 1)
+  in
+  search 0
+
+let level_of_oid t oid = level_of_index t (index_of t oid)
+
+let level_first_oid t level = t.oid_base + 1 + level_first_index t level
+
+let level_node_count t level = pow t.fanout level
+
+let closure_size t ~from_level =
+  let rec sum acc i =
+    if i > t.leaf_level then acc
+    else sum (acc + pow t.fanout (i - from_level)) (i + 1)
+  in
+  sum 0 from_level
+
+let root t = t.oid_base + 1
+
+let uid_of_oid t oid = index_of t oid + 1
+
+let oid_of_uid t uid =
+  if uid < 1 || uid > t.node_count then
+    invalid_arg (Printf.sprintf "Layout: uid %d out of range" uid);
+  t.oid_base + uid
+
+(* position of the node within its level *)
+let rank t oid =
+  let idx = index_of t oid in
+  let level = level_of_index t idx in
+  (level, idx - level_first_index t level)
+
+let parent_of t oid =
+  let level, r = rank t oid in
+  if level = 0 then None
+  else Some (level_first_oid t (level - 1) + (r / t.fanout))
+
+let children_of t oid =
+  let level, r = rank t oid in
+  if level >= t.leaf_level then [||]
+  else
+    let first = level_first_oid t (level + 1) + (r * t.fanout) in
+    Array.init t.fanout (fun i -> first + i)
+
+let is_leaf t oid = fst (rank t oid) = t.leaf_level
+
+(* Leaf l (0-based within the leaf level) is a form node when
+   l mod 125 = 0: one form per 125 leaves. *)
+let is_form t oid =
+  let level, r = rank t oid in
+  level = t.leaf_level && r mod Schema.form_node_ratio = 0
+
+let form_count t =
+  let leaves = pow t.fanout t.leaf_level in
+  (leaves + Schema.form_node_ratio - 1) / Schema.form_node_ratio
+
+let text_count t = pow t.fanout t.leaf_level - form_count t
+
+let random_node t rng = t.oid_base + 1 + Prng.int rng t.node_count
+
+let random_non_root t rng = t.oid_base + 2 + Prng.int rng (t.node_count - 1)
+
+let random_internal t rng =
+  let internal = cumulative t.fanout (t.leaf_level - 1) in
+  t.oid_base + 1 + Prng.int rng internal
+
+let random_level t rng level =
+  level_first_oid t level + Prng.int rng (pow t.fanout level)
+
+let random_leaf_rank t rng ~form =
+  let leaves = pow t.fanout t.leaf_level in
+  if form then begin
+    let n = form_count t in
+    Prng.int rng n * Schema.form_node_ratio
+  end
+  else begin
+    (* Rejection sampling: texts are all leaves except every 125th. *)
+    let rec draw () =
+      let r = Prng.int rng leaves in
+      if r mod Schema.form_node_ratio = 0 then draw () else r
+    in
+    draw ()
+  end
+
+let random_text t rng =
+  level_first_oid t t.leaf_level + random_leaf_rank t rng ~form:false
+
+let random_form t rng =
+  level_first_oid t t.leaf_level + random_leaf_rank t rng ~form:true
+
+let random_uid t rng = 1 + Prng.int rng t.node_count
+
+let iter_oids t f =
+  for oid = t.oid_base + 1 to t.oid_base + t.node_count do
+    f oid
+  done

@@ -1,0 +1,63 @@
+(** Shape of a generated test database.
+
+    The generator assigns OIDs in breadth-first order, so the layout is a
+    pure function of [doc], [oid_base] and [leaf_level]; it is what the
+    benchmark driver uses to draw random operation inputs (random node,
+    random internal node, random level-3 node, …) without touching the
+    database — input selection must not count towards operation time.
+
+    Note the layout encodes only the 1-N tree arithmetic; the random M-N
+    and reference wiring lives solely in the database. *)
+
+type t = {
+  doc : int;
+  oid_base : int; (** OIDs are [oid_base + 1 .. oid_base + node_count] *)
+  leaf_level : int;
+  fanout : int; (** children per internal node (paper default: 5) *)
+  node_count : int;
+}
+
+val make : ?fanout:int -> doc:int -> oid_base:int -> leaf_level:int -> unit -> t
+(** The paper's §5.2 N.B. requires that levels and fanouts be variable;
+    [fanout] defaults to the benchmark's 5.
+    @raise Invalid_argument when [leaf_level < 1] or [fanout < 2]. *)
+
+val level_of_oid : t -> Oid.t -> int
+(** @raise Invalid_argument for an OID outside the structure. *)
+
+val level_first_oid : t -> int -> Oid.t
+val level_node_count : t -> int -> int
+
+val root : t -> Oid.t
+val uid_of_oid : t -> Oid.t -> int
+val oid_of_uid : t -> int -> Oid.t
+
+val parent_of : t -> Oid.t -> Oid.t option
+(** Structural parent in the 1-N tree (root has none). *)
+
+val children_of : t -> Oid.t -> Oid.t array
+(** Structural children ([||] at the leaf level). *)
+
+val is_leaf : t -> Oid.t -> bool
+
+val closure_size : t -> from_level:int -> int
+(** Nodes in a full 1-N closure from a node at [from_level] (paper §6.5:
+    6 / 31 / 156 from level 3 at fanout 5). *)
+
+val is_form : t -> Oid.t -> bool
+(** Every {!Schema.form_node_ratio}-th leaf is a form node. *)
+
+val text_count : t -> int
+val form_count : t -> int
+
+(** {2 Random input selection (uniform, from a caller-supplied PRNG)} *)
+
+val random_node : t -> Hyper_util.Prng.t -> Oid.t
+val random_non_root : t -> Hyper_util.Prng.t -> Oid.t
+val random_internal : t -> Hyper_util.Prng.t -> Oid.t
+val random_level : t -> Hyper_util.Prng.t -> int -> Oid.t
+val random_text : t -> Hyper_util.Prng.t -> Oid.t
+val random_form : t -> Hyper_util.Prng.t -> Oid.t
+val random_uid : t -> Hyper_util.Prng.t -> int
+
+val iter_oids : t -> (Oid.t -> unit) -> unit

@@ -1,0 +1,144 @@
+open Hyper_util
+
+type mode = Two_phase_locking | Optimistic
+
+let mode_to_string = function
+  | Two_phase_locking -> "2PL"
+  | Optimistic -> "OCC"
+
+type result = {
+  mode : mode;
+  users : int;
+  txns_attempted : int;
+  committed : int;
+  aborted : int;
+  retried_ok : int;
+  wall_ms : float;
+  throughput_tps : float;
+}
+
+module Make (B : Backend.S) = struct
+  (* The level-3 subtree (start plus descendants to the leaves) whose
+     hundred attributes one transaction rewrites. *)
+  let subtree b start =
+    let acc = ref [] in
+    let rec visit oid =
+      acc := oid :: !acc;
+      Array.iter visit (B.children b oid)
+    in
+    visit start;
+    List.rev !acc
+
+  let run b layout ~mode ~users ~txns_per_user ~hot_fraction ~seed =
+    if users < 1 then invalid_arg "Multiuser.run: users < 1";
+    if txns_per_user < 1 then invalid_arg "Multiuser.run: txns_per_user < 1";
+    if hot_fraction < 0.0 || hot_fraction > 1.0 then
+      invalid_arg "Multiuser.run: hot_fraction outside [0, 1]";
+    let db_mutex = Mutex.create () in
+    let with_db f =
+      Mutex.lock db_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock db_mutex) f
+    in
+    let level3 = Schema.nodes_at_level 3 in
+    let master = Prng.create seed in
+    let hot_start = Layout.random_level layout (Prng.split master) 3 in
+    (* Each user owns a private level-3 start node, distinct from the
+       others and from the hot one, so non-hot transactions never
+       conflict. *)
+    let private_start u =
+      let first = Layout.level_first_oid layout 3 in
+      let idx = (Hashtbl.hash (u * 7919) + u) mod level3 in
+      let oid = first + idx in
+      if oid = hot_start then first + ((idx + 1) mod level3) else oid
+    in
+    let occ = Hyper_txn.Occ.create () in
+    let locks = Hyper_txn.Lock_manager.create ~timeout_ms:50.0 () in
+    let committed = ref 0
+    and aborted = ref 0
+    and retried_ok = ref 0
+    and attempted = ref 0 in
+    let counter_mutex = Mutex.create () in
+    let bump r n =
+      Mutex.lock counter_mutex;
+      r := !r + n;
+      Mutex.unlock counter_mutex
+    in
+
+    (* One transaction body: read the subtree's hundred values, write the
+       complemented values back.  Returns true on commit. *)
+    let apply_writes oids =
+      with_db (fun () ->
+          B.begin_txn b;
+          List.iter (fun oid -> B.set_hundred b oid (99 - B.hundred b oid)) oids;
+          B.commit b)
+    in
+    let attempt_occ start =
+      let txn = Hyper_txn.Occ.begin_txn occ in
+      let oids = with_db (fun () -> subtree b start) in
+      List.iter
+        (fun oid ->
+          Hyper_txn.Occ.note_read txn oid;
+          Hyper_txn.Occ.note_write txn oid)
+        oids;
+      (* Simulated think time widens the validation window. *)
+      Thread.yield ();
+      if Hyper_txn.Occ.commit txn then begin
+        apply_writes oids;
+        true
+      end
+      else false
+    in
+    let attempt_2pl ~user start =
+      let oids = with_db (fun () -> subtree b start) in
+      match
+        List.iter
+          (fun oid ->
+            Hyper_txn.Lock_manager.acquire locks ~txn:user ~resource:oid
+              Hyper_txn.Lock_manager.Exclusive)
+          oids
+      with
+      | () ->
+        apply_writes oids;
+        Hyper_txn.Lock_manager.release_all locks ~txn:user;
+        true
+      | exception Hyper_txn.Lock_manager.Timeout _ ->
+        Hyper_txn.Lock_manager.release_all locks ~txn:user;
+        false
+    in
+    let worker user =
+      Thread.create
+        (fun () ->
+          let rng = Prng.create (Int64.add seed (Int64.of_int (user * 1000))) in
+          for _ = 1 to txns_per_user do
+            let hot = Prng.float rng 1.0 < hot_fraction in
+            let start = if hot then hot_start else private_start user in
+            bump attempted 1;
+            let run_once () =
+              match mode with
+              | Optimistic -> attempt_occ start
+              | Two_phase_locking -> attempt_2pl ~user start
+            in
+            if run_once () then bump committed 1
+            else begin
+              bump aborted 1;
+              (* One retry, as an interactive application would. *)
+              bump attempted 1;
+              if run_once () then begin
+                bump committed 1;
+                bump retried_ok 1
+              end
+              else bump aborted 1
+            end
+          done)
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init users (fun i -> worker (i + 1)) in
+    List.iter Thread.join threads;
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    { mode; users; txns_attempted = !attempted; committed = !committed;
+      aborted = !aborted; retried_ok = !retried_ok; wall_ms;
+      throughput_tps =
+        (if wall_ms <= 0.0 then 0.0
+         else float_of_int !committed /. (wall_ms /. 1000.0)) }
+end

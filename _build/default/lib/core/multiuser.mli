@@ -1,0 +1,50 @@
+(** Multi-user experiments (paper §7, "future work": the impact of a
+    multi-user environment on the benchmark).
+
+    Several user threads run update transactions against one shared
+    database — each transaction reads a level-3 subtree and rewrites its
+    [hundred] attributes (the closure1NAttSet pattern).  Contention is
+    controlled by [hot_fraction]: that share of transactions targets a
+    single hot subtree, the rest use a per-user private subtree (the
+    cooperative, conflict-free case R9 asks for).
+
+    Two concurrency-control modes mirror the era's designs:
+    - [Optimistic]: read/write sets are validated at commit
+      ({!Hyper_txn.Occ}); losers abort and are counted — the behaviour
+      the paper observed ("it is a problem to define update operations
+      that do not conflict");
+    - [Two_phase_locking]: exclusive locks on every node, timeout counts
+      as an abort.
+
+    Backend calls are serialised by an internal mutex (the backends are
+    single-writer); what is measured is the concurrency-control
+    behaviour, not parallel I/O. *)
+
+type mode = Two_phase_locking | Optimistic
+
+val mode_to_string : mode -> string
+
+type result = {
+  mode : mode;
+  users : int;
+  txns_attempted : int;
+  committed : int;
+  aborted : int;
+  retried_ok : int; (** aborted transactions that succeeded on retry *)
+  wall_ms : float;
+  throughput_tps : float; (** committed transactions per wall second *)
+}
+
+module Make (B : Backend.S) : sig
+  val run :
+    B.t ->
+    Layout.t ->
+    mode:mode ->
+    users:int ->
+    txns_per_user:int ->
+    hot_fraction:float ->
+    seed:int64 ->
+    result
+  (** @raise Invalid_argument when [users < 1], [txns_per_user < 1] or
+      [hot_fraction] outside [0, 1]. *)
+end

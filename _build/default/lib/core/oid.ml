@@ -1,0 +1,13 @@
+type t = int
+
+let none = 0
+let is_valid t = t > 0
+let to_int t = t
+
+let of_int i =
+  if i <= 0 then invalid_arg (Printf.sprintf "Oid.of_int: %d" i);
+  i
+
+let to_string = string_of_int
+let compare = Int.compare
+let equal = Int.equal

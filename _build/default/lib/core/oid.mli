@@ -1,0 +1,21 @@
+(** Object identifiers.
+
+    OIDs are dense positive integers assigned by the generator in
+    breadth-first order (the root of a structure gets the first id).  In
+    the disk backend they index the object table; in the relational
+    backend they are the primary key — the two representations the paper
+    anticipates (§6.1). *)
+
+type t = int
+
+val none : t
+(** Sentinel (0) — never a valid object. *)
+
+val is_valid : t -> bool
+val to_int : t -> int
+val of_int : int -> t
+(** @raise Invalid_argument on non-positive input. *)
+
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,174 @@
+module Make (B : Backend.S) = struct
+  (* --- 6.1 Name lookup --- *)
+
+  let name_lookup b ~doc ~uid =
+    Option.map (fun oid -> B.hundred b oid) (B.lookup_unique b ~doc uid)
+
+  let name_oid_lookup b ~oid = B.hundred b oid
+
+  (* --- 6.2 Range lookup --- *)
+
+  let range_lookup_hundred b ~doc ~x = B.range_hundred b ~doc ~lo:x ~hi:(x + 9)
+
+  let range_lookup_million b ~doc ~x =
+    B.range_million b ~doc ~lo:x ~hi:(x + 9999)
+
+  (* --- 6.3 Group lookup --- *)
+
+  let group_lookup_1n b ~oid = B.children b oid
+
+  let group_lookup_mn b ~oid = B.parts b oid
+
+  let group_lookup_mnatt b ~oid =
+    Array.map (fun l -> l.Schema.target) (B.refs_to b oid)
+
+  (* --- 6.4 Reference lookup --- *)
+
+  let ref_lookup_1n b ~oid = B.parent b oid
+
+  let ref_lookup_mn b ~oid = B.part_of b oid
+
+  let ref_lookup_mnatt b ~oid =
+    Array.map (fun l -> l.Schema.target) (B.refs_from b oid)
+
+  (* --- 6.4.1 Sequential scan --- *)
+
+  let seq_scan b ~doc =
+    let visited = ref 0 in
+    B.iter_doc b ~doc (fun oid ->
+        (* The ten attribute is retrieved to force node access, but no
+           result is returned (paper: "no result was actually returned"). *)
+        ignore (B.ten b oid : int);
+        incr visited);
+    !visited
+
+  (* --- 6.5 Closure traversals --- *)
+
+  let closure_1n b ~start =
+    let acc = ref [] in
+    let rec visit oid =
+      acc := oid :: !acc;
+      Array.iter visit (B.children b oid)
+    in
+    visit start;
+    let result = List.rev !acc in
+    B.store_result_list b result;
+    result
+
+  let closure_mn b ~start =
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    let rec visit oid =
+      if not (Hashtbl.mem seen oid) then begin
+        Hashtbl.add seen oid ();
+        acc := oid :: !acc;
+        Array.iter visit (B.parts b oid)
+      end
+    in
+    visit start;
+    let result = List.rev !acc in
+    B.store_result_list b result;
+    result
+
+  (* Depth-bounded breadth-first walk over refsTo.  In generated
+     databases every node has exactly one outgoing reference, so this is
+     a single path that may run into a cycle; the general graph walk
+     below also handles hand-built databases with fan-out. *)
+  let refs_walk b ~start ~depth f =
+    let seen = Hashtbl.create 64 in
+    let frontier = ref [ (start, 0) ] in
+    let level = ref 0 in
+    Hashtbl.add seen start ();
+    f start 0;
+    while !frontier <> [] && !level < depth do
+      incr level;
+      let next = ref [] in
+      List.iter
+        (fun (oid, dist) ->
+          Array.iter
+            (fun link ->
+              let target = link.Schema.target in
+              if not (Hashtbl.mem seen target) then begin
+                Hashtbl.add seen target ();
+                let d = dist + link.Schema.offset_to in
+                f target d;
+                next := (target, d) :: !next
+              end)
+            (B.refs_to b oid))
+        !frontier;
+      frontier := List.rev !next
+    done
+
+  let closure_mnatt b ~start ~depth =
+    let acc = ref [] in
+    refs_walk b ~start ~depth (fun oid _ -> acc := oid :: !acc);
+    let result = List.rev !acc in
+    B.store_result_list b result;
+    result
+
+  (* --- 6.6 Other closure operations --- *)
+
+  let closure_1n_att_sum b ~start =
+    let sum = ref 0 in
+    let rec visit oid =
+      sum := !sum + B.hundred b oid;
+      Array.iter visit (B.children b oid)
+    in
+    visit start;
+    !sum
+
+  let closure_1n_att_set b ~start =
+    let updated = ref 0 in
+    let rec visit oid =
+      B.set_hundred b oid (99 - B.hundred b oid);
+      incr updated;
+      Array.iter visit (B.children b oid)
+    in
+    visit start;
+    !updated
+
+  let closure_1n_pred b ~start ~x =
+    let hi = x + 9999 in
+    let acc = ref [] in
+    let rec visit oid =
+      let m = B.million b oid in
+      (* In-range nodes are excluded and terminate the recursion. *)
+      if m < x || m > hi then begin
+        acc := oid :: !acc;
+        Array.iter visit (B.children b oid)
+      end
+    in
+    visit start;
+    List.rev !acc
+
+  let closure_mnatt_link_sum b ~start ~depth =
+    let acc = ref [] in
+    refs_walk b ~start ~depth (fun oid dist -> acc := (oid, dist) :: !acc);
+    List.rev !acc
+
+  (* --- 6.7 Editing --- *)
+
+  let text_node_edit b ~oid =
+    let s = B.text b oid in
+    (* After a forward edit the text contains both markers, so probe for
+       "version-2" first: its presence means this is the second run and
+       we substitute back (paper §6.7). *)
+    let replaced =
+      match
+        Hyper_util.Text_gen.replace_first s ~old_sub:"version-2"
+          ~new_sub:"version1"
+      with
+      | Some s' -> Some s'
+      | None ->
+        Hyper_util.Text_gen.replace_first s ~old_sub:"version1"
+          ~new_sub:"version-2"
+    in
+    match replaced with
+    | Some s' -> B.set_text b oid s'
+    | None -> invalid_arg "textNodeEdit: node contains no version marker"
+
+  let form_node_edit b ~oid ~x ~y ~w ~h =
+    let bitmap = B.form b oid in
+    Hyper_util.Bitmap.invert_rect bitmap ~x ~y ~w ~h;
+    B.set_form b oid bitmap
+end

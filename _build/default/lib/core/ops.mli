@@ -1,0 +1,99 @@
+(** The HyperModel benchmark operations (paper §6), written once as a
+    functor over {!Backend.S}.
+
+    Operation numbering follows the paper: 01 nameLookup … 18
+    closureMNATTLINKSUM.  Inputs are chosen by the caller (see
+    {!Protocol}) so that input selection never pollutes the timing.
+    Operations that the paper specifies as updates perform real updates;
+    running them twice restores the database (ops 12, 16, 17 are
+    self-inverse). *)
+
+module Make (B : Backend.S) : sig
+  (* --- 6.1 Name lookup --- *)
+
+  val name_lookup : B.t -> doc:int -> uid:int -> int option
+  (** /*01*/ Value of [hundred] for the node with the given [uniqueId]. *)
+
+  val name_oid_lookup : B.t -> oid:Oid.t -> int
+  (** /*02*/ Value of [hundred] for the node with the given object id. *)
+
+  (* --- 6.2 Range lookup --- *)
+
+  val range_lookup_hundred : B.t -> doc:int -> x:int -> Oid.t list
+  (** /*03*/ Nodes with [hundred] in [x, x+9] (10% selectivity). *)
+
+  val range_lookup_million : B.t -> doc:int -> x:int -> Oid.t list
+  (** /*04*/ Nodes with [million] in [x, x+9999] (1% selectivity). *)
+
+  (* --- 6.3 Group lookup --- *)
+
+  val group_lookup_1n : B.t -> oid:Oid.t -> Oid.t array
+  (** /*05A*/ Ordered children of an internal node. *)
+
+  val group_lookup_mn : B.t -> oid:Oid.t -> Oid.t array
+  (** /*05B*/ Parts of an internal node. *)
+
+  val group_lookup_mnatt : B.t -> oid:Oid.t -> Oid.t array
+  (** /*06*/ The node(s) referenced by the given node (refsTo). *)
+
+  (* --- 6.4 Reference lookup --- *)
+
+  val ref_lookup_1n : B.t -> oid:Oid.t -> Oid.t option
+  (** /*07A*/ Parent of a non-root node. *)
+
+  val ref_lookup_mn : B.t -> oid:Oid.t -> Oid.t array
+  (** /*07B*/ The node(s) this node is part of. *)
+
+  val ref_lookup_mnatt : B.t -> oid:Oid.t -> Oid.t array
+  (** /*08*/ The nodes referencing the given node (refsFrom). *)
+
+  (* --- 6.4.1 Sequential scan --- *)
+
+  val seq_scan : B.t -> doc:int -> int
+  (** /*09*/ Access the [ten] attribute of every node of the structure;
+      returns the number of nodes visited. *)
+
+  (* --- 6.5 Closure traversals --- *)
+
+  val closure_1n : B.t -> start:Oid.t -> Oid.t list
+  (** /*10*/ Pre-order list of nodes reachable through the 1-N
+      relationship, stored back into the database. *)
+
+  val closure_mn : B.t -> start:Oid.t -> Oid.t list
+  (** /*14*/ Nodes reachable through the M-N parts relationship, in order
+      of first visit (shared sub-parts appear once), stored back. *)
+
+  val closure_mnatt : B.t -> start:Oid.t -> depth:int -> Oid.t list
+  (** /*15*/ Nodes reachable through refsTo, to the given depth (25 at
+      benchmark time), stored back. *)
+
+  (* --- 6.6 Other closure operations --- *)
+
+  val closure_1n_att_sum : B.t -> start:Oid.t -> int
+  (** /*11*/ Sum of [hundred] over the 1-N closure. *)
+
+  val closure_1n_att_set : B.t -> start:Oid.t -> int
+  (** /*12*/ Set [hundred := 99 - hundred] over the 1-N closure (running
+      twice restores the values); returns nodes updated. *)
+
+  val closure_1n_pred : B.t -> start:Oid.t -> x:int -> Oid.t list
+  (** /*13*/ 1-N closure that excludes — and stops recursing at — nodes
+      with [million] in [x, x+9999]. *)
+
+  val closure_mnatt_link_sum :
+    B.t -> start:Oid.t -> depth:int -> (Oid.t * int) list
+  (** /*18*/ Nodes reachable through refsTo to [depth], paired with their
+      distance from [start] (sum of [offsetTo] along the first-visit
+      path). *)
+
+  (* --- 6.7 Editing --- *)
+
+  val text_node_edit : B.t -> oid:Oid.t -> unit
+  (** /*16*/ Substitute ["version1"] → ["version-2"] (or back, when the
+      text already holds ["version-2"]). *)
+
+  val form_node_edit :
+    B.t -> oid:Oid.t -> x:int -> y:int -> w:int -> h:int -> unit
+  (** /*17*/ Invert the given sub-rectangle of a form node's bitmap
+      (self-inverse). *)
+end

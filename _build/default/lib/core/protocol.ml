@@ -1,0 +1,183 @@
+open Hyper_util
+
+type measurement = {
+  op : string;
+  reps : int;
+  nodes_cold : int;
+  nodes_warm : int;
+  cold_ms : float;
+  warm_ms : float;
+}
+
+let per_node ms nodes = if nodes = 0 then 0.0 else ms /. float_of_int nodes
+
+let cold_ms_per_node m = per_node m.cold_ms m.nodes_cold
+let warm_ms_per_node m = per_node m.warm_ms m.nodes_warm
+
+let nodes_per_op m =
+  if m.reps = 0 then 0.0 else float_of_int m.nodes_cold /. float_of_int m.reps
+
+type config = { reps : int; seed : int64; depth : int }
+
+let default_config = { reps = 50; seed = 0x5EEDL; depth = 25 }
+
+let op_ids =
+  [ "01"; "02"; "03"; "04"; "05A"; "05B"; "06"; "07A"; "07B"; "08"; "09";
+    "10"; "11"; "12"; "13"; "14"; "15"; "16"; "17"; "18" ]
+
+module Make (B : Backend.S) = struct
+  module O = Ops.Make (B)
+
+  (* One benchmark sequence: cold batch (caches dropped first), commit
+     inside the window, then the warm batch over the same inputs. *)
+  let sequence b ~op ~reps thunks =
+    let batch () =
+      Vclock.time (fun () ->
+          B.begin_txn b;
+          let n = Array.fold_left (fun acc f -> acc + f ()) 0 thunks in
+          B.commit b;
+          n)
+    in
+    B.clear_caches b;
+    let nodes_cold, cold_span = batch () in
+    let nodes_warm, warm_span = batch () in
+    B.clear_caches b;
+    { op; reps; nodes_cold; nodes_warm;
+      cold_ms = Vclock.total_ms cold_span;
+      warm_ms = Vclock.total_ms warm_span }
+
+  (* Input thunks per operation.  Inputs are drawn before timing starts. *)
+  let thunks_for config layout rng b id =
+    let doc = layout.Layout.doc in
+    let reps = config.reps in
+    let mk f = Array.init reps (fun _ -> f ()) in
+    match id with
+    | "01" ->
+      mk (fun () ->
+          let uid = Layout.random_uid layout rng in
+          fun () ->
+            match O.name_lookup b ~doc ~uid with Some _ -> 1 | None -> 0)
+    | "02" ->
+      mk (fun () ->
+          let oid = Layout.random_node layout rng in
+          fun () ->
+            ignore (O.name_oid_lookup b ~oid : int);
+            1)
+    | "03" ->
+      mk (fun () ->
+          let x = Prng.int_in rng 1 91 in
+          fun () -> List.length (O.range_lookup_hundred b ~doc ~x))
+    | "04" ->
+      mk (fun () ->
+          let x = Prng.int_in rng 1 990_001 in
+          fun () -> List.length (O.range_lookup_million b ~doc ~x))
+    | "05A" ->
+      mk (fun () ->
+          let oid = Layout.random_internal layout rng in
+          fun () -> Array.length (O.group_lookup_1n b ~oid))
+    | "05B" ->
+      mk (fun () ->
+          let oid = Layout.random_internal layout rng in
+          fun () -> Array.length (O.group_lookup_mn b ~oid))
+    | "06" ->
+      mk (fun () ->
+          let oid = Layout.random_node layout rng in
+          fun () -> Array.length (O.group_lookup_mnatt b ~oid))
+    | "07A" ->
+      mk (fun () ->
+          let oid = Layout.random_non_root layout rng in
+          fun () ->
+            match O.ref_lookup_1n b ~oid with Some _ -> 1 | None -> 0)
+    | "07B" ->
+      mk (fun () ->
+          let oid = Layout.random_non_root layout rng in
+          fun () -> Array.length (O.ref_lookup_mn b ~oid))
+    | "08" ->
+      mk (fun () ->
+          let oid = Layout.random_node layout rng in
+          fun () -> Array.length (O.ref_lookup_mnatt b ~oid))
+    | "09" ->
+      (* The paper does not repeat the full scan 50 times; one scan per
+         temperature is the established practice. *)
+      [| (fun () -> O.seq_scan b ~doc) |]
+    | "10" ->
+      mk (fun () ->
+          let start = Layout.random_level layout rng 3 in
+          fun () -> List.length (O.closure_1n b ~start))
+    | "11" ->
+      mk (fun () ->
+          let start = Layout.random_level layout rng 3 in
+          fun () ->
+            ignore (O.closure_1n_att_sum b ~start : int);
+            Layout.closure_size layout ~from_level:3)
+    | "12" ->
+      mk (fun () ->
+          let start = Layout.random_level layout rng 3 in
+          fun () -> O.closure_1n_att_set b ~start)
+    | "13" ->
+      mk (fun () ->
+          let start = Layout.random_level layout rng 3 in
+          let x = Prng.int_in rng 1 990_001 in
+          fun () -> List.length (O.closure_1n_pred b ~start ~x))
+    | "14" ->
+      mk (fun () ->
+          let start = Layout.random_level layout rng 3 in
+          fun () -> List.length (O.closure_mn b ~start))
+    | "15" ->
+      mk (fun () ->
+          let start = Layout.random_level layout rng 3 in
+          fun () -> List.length (O.closure_mnatt b ~start ~depth:config.depth))
+    | "16" ->
+      mk (fun () ->
+          let oid = Layout.random_text layout rng in
+          fun () ->
+            O.text_node_edit b ~oid;
+            1)
+    | "17" ->
+      (* Paper: the same form node is used for all fifty repetitions. *)
+      let oid = Layout.random_form layout rng in
+      mk (fun () ->
+          let w = Prng.int_in rng 25 50 and h = Prng.int_in rng 25 50 in
+          let x = Prng.int_in rng 0 (100 - 51) in
+          let y = Prng.int_in rng 0 (100 - 51) in
+          fun () ->
+            O.form_node_edit b ~oid ~x ~y ~w ~h;
+            1)
+    | "18" ->
+      mk (fun () ->
+          let start = Layout.random_level layout rng 3 in
+          fun () ->
+            List.length (O.closure_mnatt_link_sum b ~start ~depth:config.depth))
+    | other -> invalid_arg (Printf.sprintf "Protocol: unknown op id %S" other)
+
+  let op_label = function
+    | "01" -> "01 nameLookup"
+    | "02" -> "02 nameOIDLookup"
+    | "03" -> "03 rangeLookupHundred"
+    | "04" -> "04 rangeLookupMillion"
+    | "05A" -> "05A groupLookup1N"
+    | "05B" -> "05B groupLookupMN"
+    | "06" -> "06 groupLookupMNATT"
+    | "07A" -> "07A refLookup1N"
+    | "07B" -> "07B refLookupMN"
+    | "08" -> "08 refLookupMNATT"
+    | "09" -> "09 seqScan"
+    | "10" -> "10 closure1N"
+    | "11" -> "11 closure1NAttSum"
+    | "12" -> "12 closure1NAttSet"
+    | "13" -> "13 closure1NPred"
+    | "14" -> "14 closureMN"
+    | "15" -> "15 closureMNATT"
+    | "16" -> "16 textNodeEdit"
+    | "17" -> "17 formNodeEdit"
+    | "18" -> "18 closureMNATTLINKSUM"
+    | other -> other
+
+  let run_op ?(config = default_config) b layout id =
+    let rng = Prng.create (Int64.add config.seed (Int64.of_int (Hashtbl.hash id))) in
+    let thunks = thunks_for config layout rng b id in
+    sequence b ~op:(op_label id) ~reps:(Array.length thunks) thunks
+
+  let run_all ?(config = default_config) b layout =
+    List.map (run_op ~config b layout) op_ids
+end

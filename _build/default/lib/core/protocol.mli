@@ -1,0 +1,44 @@
+(** The benchmark timing protocol (paper §6).
+
+    For every operation: (a) draw 50 random inputs from the layout,
+    (b) run the 50 operations *cold* (caches dropped, as after a database
+    open), (c) commit, (d) run the same 50 inputs *warm*, (e) drop caches
+    so this sequence cannot warm the next one.  Commit time is included
+    in the measured window; reported numbers are milliseconds per node
+    returned, cold and warm.
+
+    Time is read from {!Hyper_util.Vclock}, so simulated I/O latency
+    (remote/disk models) is included. *)
+
+type measurement = {
+  op : string;          (** paper id + name, e.g. ["10 closure1N"] *)
+  reps : int;
+  nodes_cold : int;     (** nodes returned over all cold reps *)
+  nodes_warm : int;
+  cold_ms : float;      (** total cold window, commit included *)
+  warm_ms : float;
+}
+
+val cold_ms_per_node : measurement -> float
+val warm_ms_per_node : measurement -> float
+val nodes_per_op : measurement -> float
+
+type config = {
+  reps : int;        (** 50 in the paper *)
+  seed : int64;      (** input-selection stream *)
+  depth : int;       (** M-N-attribute closure depth; 25 in the paper *)
+}
+
+val default_config : config
+
+(** Operations selectable by id (used by the CLI). *)
+val op_ids : string list
+
+module Make (B : Backend.S) : sig
+  val run_op : ?config:config -> B.t -> Layout.t -> string -> measurement
+  (** Run one operation sequence by op id (e.g. ["05A"], ["16"]).
+      @raise Invalid_argument for an unknown id. *)
+
+  val run_all : ?config:config -> B.t -> Layout.t -> measurement list
+  (** All 20 operations, in paper order. *)
+end

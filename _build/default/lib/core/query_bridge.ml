@@ -1,0 +1,34 @@
+module Ast = Hyper_query.Ast
+module Engine = Hyper_query.Engine
+
+let ast_kind_of = function
+  | Schema.Internal -> Ast.Internal
+  | Schema.Text -> Ast.Text
+  | Schema.Form -> Ast.Form
+  | Schema.Draw -> Ast.Draw
+
+let source (type b) (module B : Backend.S with type t = b) (b : b) ~doc =
+  let row oid =
+    { Ast.oid; unique_id = B.unique_id b oid; ten = B.ten b oid;
+      hundred = B.hundred b oid; million = B.million b oid;
+      kind = ast_kind_of (B.kind b oid) }
+  in
+  let scan f = B.iter_doc b ~doc (fun oid -> f (row oid)) in
+  let index_range attr ~lo ~hi f =
+    let feed oids =
+      List.iter (fun oid -> f (row oid)) oids;
+      true
+    in
+    match attr with
+    | Ast.Unique_id -> feed (B.range_unique b ~doc ~lo ~hi)
+    | Ast.Hundred -> feed (B.range_hundred b ~doc ~lo ~hi)
+    | Ast.Million -> feed (B.range_million b ~doc ~lo ~hi)
+    | Ast.Ten -> false
+  in
+  { Engine.scan; index_range }
+
+let query (type b) (module B : Backend.S with type t = b) (b : b) ~doc q =
+  Engine.run_string (source (module B) b ~doc) q
+
+let explain (type b) (module B : Backend.S with type t = b) (b : b) ~doc q =
+  Engine.explain (source (module B) b ~doc) q

@@ -1,0 +1,19 @@
+(** Bridge from any backend to the ad-hoc query engine (R12).
+
+    Exposes one document structure as a {!Hyper_query.Engine.source}:
+    sequential scans go through [iter_doc]; the uniqueId, hundred and
+    million indexes are offered to the planner.  The [ten] attribute has
+    no index anywhere (as in the paper), so predicates on it filter after
+    the chosen access path. *)
+
+val source :
+  (module Backend.S with type t = 'b) -> 'b -> doc:int ->
+  Hyper_query.Engine.source
+
+val query :
+  (module Backend.S with type t = 'b) -> 'b -> doc:int -> string ->
+  Hyper_query.Engine.result
+(** Parse, plan and run a query string against one structure. *)
+
+val explain :
+  (module Backend.S with type t = 'b) -> 'b -> doc:int -> string -> string

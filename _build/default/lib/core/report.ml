@@ -1,0 +1,100 @@
+open Hyper_util
+
+let creation_table ~title rows =
+  let t =
+    Table.create ~title
+      [ ("backend", Table.Left); ("level", Table.Right); ("phase", Table.Left);
+        ("items", Table.Right); ("ms/item", Table.Right);
+        ("total ms", Table.Right) ]
+  in
+  List.iter
+    (fun (backend, level, timings) ->
+      List.iter
+        (fun p ->
+          Table.add_row t
+            [ backend; string_of_int level; p.Generator.label;
+              string_of_int p.Generator.items;
+              Table.fms (Generator.ms_per_item p);
+              Table.fms p.Generator.ms_total ])
+        timings.Generator.phases;
+      Table.add_separator t)
+    rows;
+  Table.render t
+
+let operation_table ~title ~levels per_level =
+  let columns =
+    ("operation", Table.Left)
+    :: List.concat_map
+         (fun level ->
+           [ (Printf.sprintf "L%d cold" level, Table.Right);
+             (Printf.sprintf "L%d warm" level, Table.Right) ])
+         levels
+  in
+  let t = Table.create ~title columns in
+  let ops =
+    match per_level with
+    | (_, ms) :: _ -> List.map (fun m -> m.Protocol.op) ms
+    | [] -> []
+  in
+  List.iter
+    (fun op ->
+      let cells =
+        List.concat_map
+          (fun level ->
+            match List.assoc_opt level per_level with
+            | None -> [ "-"; "-" ]
+            | Some ms -> (
+              match List.find_opt (fun m -> m.Protocol.op = op) ms with
+              | None -> [ "-"; "-" ]
+              | Some m ->
+                [ Table.fms (Protocol.cold_ms_per_node m);
+                  Table.fms (Protocol.warm_ms_per_node m) ]))
+          levels
+      in
+      Table.add_row t (op :: cells))
+    ops;
+  Table.render t
+
+let comparison_table ~title ~backends rows =
+  let columns =
+    ("operation", Table.Left)
+    :: List.concat_map
+         (fun b ->
+           [ (b ^ " cold", Table.Right); (b ^ " warm", Table.Right) ])
+         backends
+  in
+  let t = Table.create ~title columns in
+  List.iter
+    (fun (op, per_backend) ->
+      let cells =
+        List.concat_map
+          (fun b ->
+            match List.assoc_opt b per_backend with
+            | None -> [ "-"; "-" ]
+            | Some m ->
+              [ Table.fms (Protocol.cold_ms_per_node m);
+                Table.fms (Protocol.warm_ms_per_node m) ])
+          backends
+      in
+      Table.add_row t (op :: cells))
+    rows;
+  Table.render t
+
+let size_table ~title rows =
+  let t =
+    Table.create ~title
+      [ ("leaf level", Table.Right); ("nodes", Table.Right);
+        ("paper model MB", Table.Right); ("measured MB", Table.Right);
+        ("ratio", Table.Right) ]
+  in
+  List.iter
+    (fun (level, modelled, measured) ->
+      let mb b = float_of_int b /. 1e6 in
+      Table.add_row t
+        [ string_of_int level;
+          string_of_int (Schema.total_nodes ~leaf_level:level);
+          Printf.sprintf "%.2f" (mb modelled);
+          Printf.sprintf "%.2f" (mb measured);
+          Printf.sprintf "%.2f" (mb measured /. mb modelled) ])
+    rows;
+  Table.render t

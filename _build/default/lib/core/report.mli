@@ -1,0 +1,24 @@
+(** Rendering benchmark results in the paper's reporting format:
+    milliseconds per node returned, cold and warm, per database level. *)
+
+val creation_table :
+  title:string -> (string * int * Generator.timings) list -> string
+(** One row per generation phase per (backend, level): ms/item and total.
+    The int is the leaf level. *)
+
+val operation_table :
+  title:string -> levels:int list -> (int * Protocol.measurement list) list ->
+  string
+(** The paper's §6 matrix: rows are operations, column pairs are
+    cold/warm ms-per-node for each level.  Input: per-level measurement
+    lists (all levels must share the operation set). *)
+
+val comparison_table :
+  title:string -> backends:string list ->
+  (string * (string * Protocol.measurement) list) list -> string
+(** Cross-backend table: rows are operations, columns cold/warm per
+    backend.  Input: (op label, per-backend measurement) rows. *)
+
+val size_table :
+  title:string -> (int * int * int) list -> string
+(** (leaf level, modelled bytes, measured bytes) rows — experiment T1. *)

@@ -1,0 +1,73 @@
+type kind = Internal | Text | Form | Draw
+
+type payload =
+  | P_internal
+  | P_text of string
+  | P_form of Hyper_util.Bitmap.t
+  | P_draw
+
+type node_spec = {
+  oid : Oid.t;
+  doc : int;
+  unique_id : int;
+  ten : int;
+  hundred : int;
+  million : int;
+  payload : payload;
+}
+
+type link = { target : Oid.t; offset_from : int; offset_to : int }
+
+let kind_of_payload = function
+  | P_internal -> Internal
+  | P_text _ -> Text
+  | P_form _ -> Form
+  | P_draw -> Draw
+
+let kind_to_string = function
+  | Internal -> "internal"
+  | Text -> "text"
+  | Form -> "form"
+  | Draw -> "draw"
+
+let fanout = 5
+
+let nodes_at_level level =
+  if level < 0 then invalid_arg "Schema.nodes_at_level: negative level";
+  let rec pow acc i = if i = 0 then acc else pow (acc * fanout) (i - 1) in
+  pow 1 level
+
+let total_nodes ~leaf_level =
+  let rec sum acc i =
+    if i > leaf_level then acc else sum (acc + nodes_at_level i) (i + 1)
+  in
+  sum 0 0
+
+let form_node_ratio = 125
+
+(* A level-3 node's 1-N subtree: itself plus full subtrees down to the
+   leaf level. 6 at level 4, 31 at level 5, 156 at level 6 (paper §6.5). *)
+let closure_size ~leaf_level =
+  let rec sum acc i =
+    if i > leaf_level then acc else sum (acc + nodes_at_level (i - 3)) (i + 1)
+  in
+  sum 0 3
+
+let closure_depth_mnatt = 25
+
+let model_bytes_per_node = 80
+let model_bytes_per_text = 380
+let model_bytes_per_form = 7800
+let model_bytes_per_link = 25
+
+let model_db_bytes ~leaf_level =
+  let n = total_nodes ~leaf_level in
+  let leaves = nodes_at_level leaf_level in
+  let forms = leaves / form_node_ratio in
+  let texts = leaves - forms in
+  (* Every node pays the base cost; text/form payloads come on top.
+     Links: (n-1) 1-N + (n-1) M-N + n M-N-attribute ≈ 3n references. *)
+  (n * model_bytes_per_node)
+  + (texts * model_bytes_per_text)
+  + (forms * model_bytes_per_form)
+  + (((2 * (n - 1)) + n) * model_bytes_per_link)

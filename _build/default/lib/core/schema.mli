@@ -1,0 +1,71 @@
+(** The HyperModel conceptual schema (paper §5.1, Figure 1) and the
+    generator arithmetic (§5.2).
+
+    Nodes carry four integer attributes — [uniqueId] (dense, 1..N within
+    a structure), [ten], [hundred], [million] (uniform in [1,10],
+    [1,100], [1,1000000]) — and specialise into TextNode (10–100 random
+    words) or FormNode (a white bitmap, 100–400 pixels a side).  DrawNode
+    exists for the R4 schema-modification extension.
+
+    Three relationship types connect nodes:
+    - [parent/children]: 1-N aggregation, *ordered* (a sequence of
+      sections);
+    - [partOf/parts]: M-N aggregation with shared sub-parts;
+    - [refFrom/refTo]: M-N association with [offsetFrom]/[offsetTo]
+      attributes in 0..9 (a directed weighted graph). *)
+
+type kind = Internal | Text | Form | Draw
+
+(** Typed payload of a node at creation time. *)
+type payload =
+  | P_internal
+  | P_text of string
+  | P_form of Hyper_util.Bitmap.t
+  | P_draw
+
+(** Everything needed to create one node. *)
+type node_spec = {
+  oid : Oid.t;
+  doc : int; (** owning structure (test-database) id *)
+  unique_id : int;
+  ten : int;
+  hundred : int;
+  million : int;
+  payload : payload;
+}
+
+(** One association link with its attributes. *)
+type link = { target : Oid.t; offset_from : int; offset_to : int }
+
+val kind_of_payload : payload -> kind
+val kind_to_string : kind -> string
+
+(** {2 Generator arithmetic} *)
+
+val fanout : int
+(** 5 — children per internal node, parts per non-leaf node. *)
+
+val nodes_at_level : int -> int
+(** [5^level]. *)
+
+val total_nodes : leaf_level:int -> int
+(** Σ 5^i for i ≤ leaf_level: 781 (4), 3 906 (5), 19 531 (6). *)
+
+val form_node_ratio : int
+(** One form node per 125 text nodes at the leaf level. *)
+
+val closure_size : leaf_level:int -> int
+(** Nodes in a full 1-N closure from a level-3 node: 6 / 31 / 156. *)
+
+val closure_depth_mnatt : int
+(** Run-time depth for M-N-attribute closures (25, §6.5). *)
+
+(** {2 The paper's §5.2 size model (for experiment T1)} *)
+
+val model_bytes_per_node : int (* 80 *)
+val model_bytes_per_text : int (* 380 *)
+val model_bytes_per_form : int (* 7800 *)
+val model_bytes_per_link : int (* 25 *)
+
+val model_db_bytes : leaf_level:int -> int
+(** Estimated database size per the paper's arithmetic (≈8 MB at level 6). *)

@@ -1,0 +1,211 @@
+type check = { name : string; ok : bool; detail : string }
+
+let all_ok checks = List.for_all (fun c -> c.ok) checks
+
+let failures checks = List.filter (fun c -> not c.ok) checks
+
+module Make (B : Backend.S) = struct
+  let check name f =
+    match f () with
+    | None -> { name; ok = true; detail = "ok" }
+    | Some detail -> { name; ok = false; detail }
+    | exception e -> { name; ok = false; detail = Printexc.to_string e }
+
+  (* Fold over oids, returning the first failure description. *)
+  let first_failure layout f =
+    let result = ref None in
+    (try
+       Layout.iter_oids layout (fun oid ->
+           match f oid with
+           | None -> ()
+           | Some d ->
+             result := Some d;
+             raise Exit)
+     with Exit -> ());
+    !result
+
+  let run b layout =
+    let doc = layout.Layout.doc in
+    let n = layout.Layout.node_count in
+    [
+      check "node count matches Σ 5^i" (fun () ->
+          let got = B.node_count b ~doc in
+          if got = n then None
+          else Some (Printf.sprintf "expected %d nodes, found %d" n got));
+      check "kinds: internal above leaves, text/form at leaf level" (fun () ->
+          first_failure layout (fun oid ->
+              let expected =
+                if not (Layout.is_leaf layout oid) then Schema.Internal
+                else if Layout.is_form layout oid then Schema.Form
+                else Schema.Text
+              in
+              let got = B.kind b oid in
+              if got = expected then None
+              else
+                Some
+                  (Printf.sprintf "oid %d: expected %s, got %s" oid
+                     (Schema.kind_to_string expected)
+                     (Schema.kind_to_string got))));
+      check "uniqueId dense and indexed" (fun () ->
+          first_failure layout (fun oid ->
+              let uid = Layout.uid_of_oid layout oid in
+              if B.unique_id b oid <> uid then
+                Some (Printf.sprintf "oid %d: wrong uniqueId" oid)
+              else
+                match B.lookup_unique b ~doc uid with
+                | Some o when o = oid -> None
+                | Some o ->
+                  Some (Printf.sprintf "uid %d resolves to %d, not %d" uid o oid)
+                | None -> Some (Printf.sprintf "uid %d not found" uid)));
+      check "attribute ranges (ten, hundred, million)" (fun () ->
+          first_failure layout (fun oid ->
+              let bad name v lo hi =
+                if v < lo || v > hi then
+                  Some (Printf.sprintf "oid %d: %s = %d outside [%d, %d]" oid name v lo hi)
+                else None
+              in
+              match bad "ten" (B.ten b oid) 1 10 with
+              | Some d -> Some d
+              | None -> (
+                match bad "hundred" (B.hundred b oid) 1 100 with
+                | Some d -> Some d
+                | None -> bad "million" (B.million b oid) 1 1_000_000)));
+      check "1-N: ordered children match the BFS tree" (fun () ->
+          first_failure layout (fun oid ->
+              let expected = Layout.children_of layout oid in
+              let got = B.children b oid in
+              if got = expected then None
+              else Some (Printf.sprintf "oid %d: children sequence differs" oid)));
+      check "1-N: parent is the inverse of children" (fun () ->
+          first_failure layout (fun oid ->
+              let expected = Layout.parent_of layout oid in
+              if B.parent b oid = expected then None
+              else Some (Printf.sprintf "oid %d: wrong parent" oid)));
+      check "M-N: fanout distinct next-level parts per non-leaf node" (fun () ->
+          first_failure layout (fun oid ->
+              if Layout.is_leaf layout oid then
+                if B.parts b oid = [||] then None
+                else Some (Printf.sprintf "leaf %d has parts" oid)
+              else begin
+                let parts = B.parts b oid in
+                if Array.length parts <> layout.Layout.fanout then
+                  Some
+                    (Printf.sprintf "oid %d: %d parts" oid (Array.length parts))
+                else begin
+                  let level = Layout.level_of_oid layout oid in
+                  let distinct =
+                    List.length (List.sort_uniq compare (Array.to_list parts))
+                    = Array.length parts
+                  in
+                  if not distinct then
+                    Some (Printf.sprintf "oid %d: duplicate parts" oid)
+                  else
+                    Array.fold_left
+                      (fun acc p ->
+                        match acc with
+                        | Some _ -> acc
+                        | None ->
+                          if Layout.level_of_oid layout p = level + 1 then None
+                          else
+                            Some
+                              (Printf.sprintf
+                                 "oid %d: part %d not on next level" oid p))
+                      None parts
+                end
+              end));
+      check "M-N: partOf is the inverse of parts" (fun () ->
+          first_failure layout (fun oid ->
+              let wholes = B.part_of b oid in
+              Array.fold_left
+                (fun acc w ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                    if Array.exists (fun p -> p = oid) (B.parts b w) then None
+                    else
+                      Some
+                        (Printf.sprintf "oid %d: partOf %d lacks inverse" oid w))
+                None wholes));
+      check "M-N relationship count = N - 1" (fun () ->
+          let total = ref 0 in
+          Layout.iter_oids layout (fun oid ->
+              total := !total + Array.length (B.parts b oid));
+          if !total = n - 1 then None
+          else Some (Printf.sprintf "expected %d M-N edges, found %d" (n - 1) !total));
+      check "refs: one outgoing reference per node, offsets in 0..9" (fun () ->
+          first_failure layout (fun oid ->
+              match B.refs_to b oid with
+              | [| link |] ->
+                if
+                  link.Schema.offset_from >= 0 && link.Schema.offset_from <= 9
+                  && link.Schema.offset_to >= 0 && link.Schema.offset_to <= 9
+                then None
+                else Some (Printf.sprintf "oid %d: offsets out of range" oid)
+              | refs ->
+                Some
+                  (Printf.sprintf "oid %d: %d outgoing refs" oid
+                     (Array.length refs))));
+      check "refs: refsFrom is the inverse of refsTo" (fun () ->
+          first_failure layout (fun oid ->
+              let incoming = B.refs_from b oid in
+              Array.fold_left
+                (fun acc link ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                    let src = link.Schema.target in
+                    if
+                      Array.exists
+                        (fun l -> l.Schema.target = oid)
+                        (B.refs_to b src)
+                    then None
+                    else
+                      Some
+                        (Printf.sprintf "oid %d: refFrom %d lacks inverse" oid
+                           src))
+                None incoming));
+      check "text nodes: version1 markers and 10..100 words" (fun () ->
+          first_failure layout (fun oid ->
+              if
+                Layout.is_leaf layout oid && not (Layout.is_form layout oid)
+              then begin
+                let s = B.text b oid in
+                let words = String.split_on_char ' ' s in
+                let count = List.length words in
+                let marker = Hyper_util.Text_gen.marker in
+                if count < 10 || count > 100 then
+                  Some (Printf.sprintf "oid %d: %d words" oid count)
+                else if
+                  List.nth words 0 <> marker
+                  || List.nth words ((count - 1) / 2) <> marker
+                  || List.nth words (count - 1) <> marker
+                then Some (Printf.sprintf "oid %d: markers missing" oid)
+                else None
+              end
+              else None));
+      check "form nodes: white bitmaps, 100..400 pixels a side" (fun () ->
+          first_failure layout (fun oid ->
+              if Layout.is_form layout oid then begin
+                let bm = B.form b oid in
+                let w = Hyper_util.Bitmap.width bm in
+                let h = Hyper_util.Bitmap.height bm in
+                if w < 100 || w > 400 || h < 100 || h > 400 then
+                  Some (Printf.sprintf "oid %d: %dx%d" oid w h)
+                else if Hyper_util.Bitmap.count_set bm <> 0 then
+                  Some (Printf.sprintf "oid %d: not white" oid)
+                else None
+              end
+              else None));
+      check "range lookup agrees with a full scan" (fun () ->
+          let expected = ref [] in
+          Layout.iter_oids layout (fun oid ->
+              let h = B.hundred b oid in
+              if h >= 40 && h <= 49 then expected := oid :: !expected);
+          let got = List.sort compare (B.range_hundred b ~doc ~lo:40 ~hi:49) in
+          if got = List.sort compare !expected then None
+          else
+            Some
+              (Printf.sprintf "index returned %d nodes, scan %d"
+                 (List.length got) (List.length !expected)));
+    ]
+end

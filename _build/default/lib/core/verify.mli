@@ -1,0 +1,20 @@
+(** Structural verification of a generated test database.
+
+    Proves that a backend's contents satisfy every constraint the paper's
+    §5 places on the test database: level population, fanout, ordered
+    children, relationship inverses, M-N cardinalities (|1-N| = |M-N| =
+    N−1, |refs| = N), attribute ranges, text-node markers and white
+    form-node bitmaps.  This is what makes cross-backend benchmark
+    numbers comparable — every backend provably holds the same database.
+    Also the engine of experiment F1. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+val all_ok : check list -> bool
+
+val failures : check list -> check list
+
+module Make (B : Backend.S) : sig
+  val run : B.t -> Layout.t -> check list
+  (** Full verification (visits every node; linear in database size). *)
+end

@@ -1,0 +1,1 @@
+lib/diskdb/codec.ml: Array Buffer Bytes Char Hyper_core Hyper_util List Printf String

@@ -1,0 +1,1 @@
+lib/diskdb/codec.mli: Hyper_core

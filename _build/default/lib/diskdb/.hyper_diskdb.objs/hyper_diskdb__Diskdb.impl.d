@@ -1,0 +1,1 @@
+lib/diskdb/diskdb.ml: Array Buffer_pool Codec Engine Freelist Hashtbl Heap Hyper_core Hyper_index Hyper_net Hyper_storage Hyper_util Int64 List Meta Object_table Option Page Pager Printf String

@@ -1,0 +1,1 @@
+lib/diskdb/diskdb.mli: Hyper_core Hyper_net Hyper_storage

@@ -1,0 +1,196 @@
+module Schema = Hyper_core.Schema
+
+type node = {
+  doc : int;
+  unique_id : int;
+  kind : Schema.kind;
+  mutable ten : int;
+  mutable hundred : int;
+  mutable million : int;
+  mutable parent : int;
+  mutable children : int array;
+  mutable parts : int array;
+  mutable part_of : int array;
+  mutable refs_to : Schema.link array;
+  mutable refs_from : Schema.link array;
+  mutable dyn : (string * int) list;
+  mutable text : string;
+  mutable form : bytes;
+}
+
+let of_spec spec =
+  let text, form =
+    match spec.Schema.payload with
+    | Schema.P_text s -> (s, Bytes.empty)
+    | Schema.P_form b -> ("", Hyper_util.Bitmap.to_bytes b)
+    | Schema.P_internal | Schema.P_draw -> ("", Bytes.empty)
+  in
+  { doc = spec.Schema.doc; unique_id = spec.Schema.unique_id;
+    kind = Schema.kind_of_payload spec.Schema.payload; ten = spec.Schema.ten;
+    hundred = spec.Schema.hundred; million = spec.Schema.million; parent = 0;
+    children = [||]; parts = [||]; part_of = [||]; refs_to = [||];
+    refs_from = [||]; dyn = []; text; form }
+
+let kind_tag = function
+  | Schema.Internal -> 0
+  | Schema.Text -> 1
+  | Schema.Form -> 2
+  | Schema.Draw -> 3
+
+let kind_of_tag = function
+  | 0 -> Schema.Internal
+  | 1 -> Schema.Text
+  | 2 -> Schema.Form
+  | 3 -> Schema.Draw
+  | n -> invalid_arg (Printf.sprintf "Codec: bad kind tag %d" n)
+
+(* --- little-endian emit helpers over Buffer --- *)
+
+let emit_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let emit_u16 buf v =
+  emit_u8 buf v;
+  emit_u8 buf (v lsr 8)
+
+let emit_u32 buf v =
+  emit_u16 buf v;
+  emit_u16 buf (v lsr 16)
+
+let emit_i32 buf v = emit_u32 buf (v land 0xFFFFFFFF)
+
+let emit_oids buf a =
+  emit_u16 buf (Array.length a);
+  Array.iter (emit_u32 buf) a
+
+let emit_links buf a =
+  emit_u16 buf (Array.length a);
+  Array.iter
+    (fun l ->
+      emit_u32 buf l.Schema.target;
+      emit_u8 buf l.Schema.offset_from;
+      emit_u8 buf l.Schema.offset_to)
+    a
+
+let encode n =
+  let buf = Buffer.create 128 in
+  emit_u32 buf n.doc;
+  emit_u32 buf n.unique_id;
+  emit_u8 buf (kind_tag n.kind);
+  emit_u8 buf n.ten;
+  (* hundred is signed in principle (op 12 maps 1..100 to -1..98) *)
+  emit_i32 buf n.hundred;
+  emit_u32 buf n.million;
+  emit_u32 buf n.parent;
+  emit_oids buf n.children;
+  emit_oids buf n.parts;
+  emit_oids buf n.part_of;
+  emit_links buf n.refs_to;
+  emit_links buf n.refs_from;
+  emit_u8 buf (List.length n.dyn);
+  List.iter
+    (fun (k, v) ->
+      emit_u8 buf (String.length k);
+      Buffer.add_string buf k;
+      emit_u32 buf (v land 0xFFFFFFFF))
+    n.dyn;
+  emit_u32 buf (String.length n.text);
+  Buffer.add_string buf n.text;
+  emit_u32 buf (Bytes.length n.form);
+  Buffer.add_bytes buf n.form;
+  Buffer.to_bytes buf
+
+(* --- decode with a cursor --- *)
+
+type cursor = { data : bytes; mutable pos : int }
+
+let need c n =
+  if c.pos + n > Bytes.length c.data then
+    invalid_arg "Codec.decode: truncated record"
+
+let read_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let read_u16 c =
+  let lo = read_u8 c in
+  let hi = read_u8 c in
+  lo lor (hi lsl 8)
+
+let read_u32 c =
+  let lo = read_u16 c in
+  let hi = read_u16 c in
+  lo lor (hi lsl 16)
+
+let read_i32 c =
+  let v = read_u32 c in
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let read_oids c =
+  let n = read_u16 c in
+  Array.init n (fun _ -> read_u32 c)
+
+let read_links c =
+  let n = read_u16 c in
+  Array.init n (fun _ ->
+      let target = read_u32 c in
+      let offset_from = read_u8 c in
+      let offset_to = read_u8 c in
+      { Schema.target; offset_from; offset_to })
+
+let read_string c =
+  let n = read_u32 c in
+  need c n;
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let read_bytes c =
+  let n = read_u32 c in
+  need c n;
+  let b = Bytes.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  b
+
+let decode data =
+  let c = { data; pos = 0 } in
+  let doc = read_u32 c in
+  let unique_id = read_u32 c in
+  let kind = kind_of_tag (read_u8 c) in
+  let ten = read_u8 c in
+  let hundred = read_i32 c in
+  let million = read_u32 c in
+  let parent = read_u32 c in
+  let children = read_oids c in
+  let parts = read_oids c in
+  let part_of = read_oids c in
+  let refs_to = read_links c in
+  let refs_from = read_links c in
+  let dyn_count = read_u8 c in
+  let dyn =
+    List.init dyn_count (fun _ ->
+        let klen = read_u8 c in
+        need c klen;
+        let k = Bytes.sub_string c.data c.pos klen in
+        c.pos <- c.pos + klen;
+        let v = read_u32 c in
+        (k, v))
+  in
+  let text = read_string c in
+  let form = read_bytes c in
+  { doc; unique_id; kind; ten; hundred; million; parent; children; parts;
+    part_of; refs_to; refs_from; dyn; text; form }
+
+let encoded_size n = Bytes.length (encode n)
+
+let encode_oid_list oids =
+  let buf = Buffer.create (4 + (4 * List.length oids)) in
+  emit_u32 buf (List.length oids);
+  List.iter (emit_u32 buf) oids;
+  Buffer.to_bytes buf
+
+let decode_oid_list data =
+  let c = { data; pos = 0 } in
+  let n = read_u32 c in
+  List.init n (fun _ -> read_u32 c)

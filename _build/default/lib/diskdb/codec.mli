@@ -1,0 +1,43 @@
+(** Binary codec for node records in the disk backend.
+
+    A node is stored as one heap record holding its scalar attributes,
+    all relationship lists (children in sequence order, parts, partOf,
+    refsTo, refsFrom), dynamically added attributes (R4) and the typed
+    payload (text string or serialised bitmap).  Storing relationships
+    inline with the node is the classic OODB layout the paper's systems
+    used; it is what makes clustering along the 1-N hierarchy effective.
+
+    The decoded record is mutable: read → mutate → encode → update is the
+    backend's write path. *)
+
+type node = {
+  doc : int;
+  unique_id : int;
+  kind : Hyper_core.Schema.kind;
+  mutable ten : int;
+  mutable hundred : int; (** may briefly leave 1..100 via op 12 *)
+  mutable million : int;
+  mutable parent : int; (** 0 = none *)
+  mutable children : int array;
+  mutable parts : int array;
+  mutable part_of : int array;
+  mutable refs_to : Hyper_core.Schema.link array;
+  mutable refs_from : Hyper_core.Schema.link array;
+  mutable dyn : (string * int) list;
+  mutable text : string; (** meaningful for Text nodes *)
+  mutable form : bytes; (** serialised {!Hyper_util.Bitmap}, or empty *)
+}
+
+val of_spec : Hyper_core.Schema.node_spec -> node
+
+val encode : node -> bytes
+
+val decode : bytes -> node
+(** @raise Invalid_argument on a corrupt record. *)
+
+val encoded_size : node -> int
+
+val encode_oid_list : int list -> bytes
+(** Closure result lists (the paper requires them to be storable). *)
+
+val decode_oid_list : bytes -> int list

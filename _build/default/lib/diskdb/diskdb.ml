@@ -1,0 +1,625 @@
+open Hyper_storage
+module Btree = Hyper_index.Btree
+module Hash_index = Hyper_index.Hash_index
+module Schema = Hyper_core.Schema
+module Oid = Hyper_core.Oid
+module Bitmap = Hyper_util.Bitmap
+
+type remote = Hyper_net.Channel.profile = {
+  network : Hyper_net.Latency_model.t;
+  server_disk : Hyper_net.Latency_model.t;
+  server_cache_pages : int;
+}
+
+type config = {
+  path : string;
+  pool_pages : int;
+  durable_sync : bool;
+  checkpoint_wal_bytes : int;
+  remote : remote option;
+  object_cache : int;
+      (* decoded-object cache capacity; 0 disables (ECKL87 check-out
+         caching — see mli) *)
+  uid_hash_index : bool;
+      (* maintain a linear-hash access path on (doc, uniqueId) in
+         addition to the B+tree; nameLookup then probes the hash *)
+}
+
+let default_config ~path =
+  { path; pool_pages = 2048; durable_sync = false;
+    checkpoint_wal_bytes = 64 * 1024 * 1024; remote = None;
+    object_cache = 0; uid_hash_index = false }
+
+let remote_1988 = Hyper_net.Channel.profile_1988
+
+type t = {
+  engine : Engine.t;
+  pool : Buffer_pool.t;
+  channel : Hyper_net.Channel.t option;
+  object_cache_capacity : int;
+  object_cache : (int, Codec.node * int ref) Hashtbl.t; (* oid -> node, tick *)
+  mutable cache_clock : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable freelist : Freelist.t;
+  mutable heap : Heap.t;
+  mutable results_heap : Heap.t;
+  mutable objtab : Object_table.t;
+  mutable idx_uid : Btree.t;
+  mutable idx_uid_hash : Hash_index.t option;
+  mutable idx_hundred : Btree.t;
+  mutable idx_million : Btree.t;
+  doc_counts : (int, int) Hashtbl.t;
+  mutable result_seq : int;
+}
+
+let name = "diskdb"
+
+let description = "page-server OODB: buffer pool, object table, WAL, B+trees"
+
+(* --- index key packing: doc-scoped attribute values ---
+   key = doc * 2^44 + (value + 2^21); monotonic in value for a fixed doc,
+   tolerant of the small negative hundred values op 12 can produce. *)
+
+let key_shift = 1 lsl 44
+let value_bias = 1 lsl 21
+let pack_key ~doc v = (doc * key_shift) + v + value_bias
+
+(* --- meta root bookkeeping --- *)
+
+let doc_key doc = Printf.sprintf "doc_%d" doc
+
+let save_roots t =
+  let kvs =
+    [ ("freelist", Int64.of_int (Freelist.head t.freelist));
+      ("heap", Int64.of_int (Heap.first_page t.heap));
+      ("results", Int64.of_int (Heap.first_page t.results_heap));
+      ("objtab", Int64.of_int (Object_table.head t.objtab));
+      ("idx_uid", Int64.of_int (Btree.root t.idx_uid));
+      ( "idx_uid_hash",
+        Int64.of_int
+          (match t.idx_uid_hash with
+          | Some h -> Hash_index.header h
+          | None -> 0) );
+      ("idx_hundred", Int64.of_int (Btree.root t.idx_hundred));
+      ("idx_million", Int64.of_int (Btree.root t.idx_million));
+      ("result_seq", Int64.of_int t.result_seq) ]
+    @ Hashtbl.fold
+        (fun doc count acc -> (doc_key doc, Int64.of_int count) :: acc)
+        t.doc_counts []
+  in
+  Meta.store t.pool kvs
+
+type attached = {
+  a_freelist : Freelist.t;
+  a_heap : Heap.t;
+  a_results : Heap.t;
+  a_objtab : Object_table.t;
+  a_uid : Btree.t;
+  a_uid_hash : Hash_index.t option;
+  a_hundred : Btree.t;
+  a_million : Btree.t;
+  a_result_seq : int;
+  a_docs : (int * int) list;
+}
+
+let attach_all pool =
+  let kvs = Meta.load pool in
+  let geti key = Int64.to_int (List.assoc key kvs) in
+  let freelist = Freelist.attach pool ~head:(geti "freelist") in
+  { a_freelist = freelist;
+    a_heap = Heap.attach pool freelist ~head:(geti "heap");
+    a_results = Heap.attach pool freelist ~head:(geti "results");
+    a_objtab = Object_table.attach pool freelist ~head:(geti "objtab");
+    a_uid = Btree.attach pool freelist ~root:(geti "idx_uid");
+    a_uid_hash =
+      (match List.assoc_opt "idx_uid_hash" kvs with
+      | Some h when Int64.to_int h <> 0 ->
+        Some (Hash_index.attach pool freelist ~header:(Int64.to_int h))
+      | Some _ | None -> None);
+    a_hundred = Btree.attach pool freelist ~root:(geti "idx_hundred");
+    a_million = Btree.attach pool freelist ~root:(geti "idx_million");
+    a_result_seq = geti "result_seq";
+    a_docs =
+      List.filter_map
+        (fun (k, v) ->
+          if String.length k > 4 && String.sub k 0 4 = "doc_" then
+            Option.map
+              (fun doc -> (doc, Int64.to_int v))
+              (int_of_string_opt (String.sub k 4 (String.length k - 4)))
+          else None)
+        kvs }
+
+let load_roots t =
+  let a = attach_all t.pool in
+  t.freelist <- a.a_freelist;
+  t.heap <- a.a_heap;
+  t.results_heap <- a.a_results;
+  t.objtab <- a.a_objtab;
+  t.idx_uid <- a.a_uid;
+  t.idx_uid_hash <- a.a_uid_hash;
+  t.idx_hundred <- a.a_hundred;
+  t.idx_million <- a.a_million;
+  t.result_seq <- a.a_result_seq;
+  Hashtbl.reset t.doc_counts;
+  List.iter (fun (doc, n) -> Hashtbl.replace t.doc_counts doc n) a.a_docs
+
+(* --- transactions --- *)
+
+let begin_txn t = Engine.begin_txn t.engine
+let commit t = Engine.commit t.engine
+let abort t = Engine.abort t.engine
+let require_txn t = Engine.require_txn t.engine
+
+(* --- open / close --- *)
+
+let open_db config =
+  let engine =
+    Engine.open_ ~path:config.path ~pool_pages:config.pool_pages
+      ~durable_sync:config.durable_sync
+      ~checkpoint_wal_bytes:config.checkpoint_wal_bytes ()
+  in
+  let pool = Engine.pool engine in
+  let channel =
+    Option.map
+      (fun profile ->
+        Hyper_net.Channel.attach_profile profile (Engine.pager engine))
+      config.remote
+  in
+  let t =
+    if Engine.fresh engine then begin
+      let page0 = Buffer_pool.allocate pool in
+      assert (page0 = 0);
+      Meta.format pool;
+      let freelist = Freelist.attach pool ~head:0 in
+      let heap = Heap.fresh pool freelist in
+      let results_heap = Heap.fresh pool freelist in
+      let t =
+        { engine; pool; channel;
+          object_cache_capacity = config.object_cache;
+          object_cache = Hashtbl.create 256; cache_clock = 0; cache_hits = 0;
+          cache_misses = 0; freelist; heap; results_heap;
+          objtab = Object_table.fresh pool freelist;
+          idx_uid = Btree.create pool freelist;
+          idx_uid_hash =
+            (if config.uid_hash_index then
+               Some (Hash_index.create pool freelist)
+             else None);
+          idx_hundred = Btree.create pool freelist;
+          idx_million = Btree.create pool freelist;
+          doc_counts = Hashtbl.create 4; result_seq = 0 }
+      in
+      save_roots t;
+      Buffer_pool.flush_all pool;
+      Pager.sync (Engine.pager engine);
+      t
+    end
+    else begin
+      let a = attach_all pool in
+      let t =
+        { engine; pool; channel;
+          object_cache_capacity = config.object_cache;
+          object_cache = Hashtbl.create 256; cache_clock = 0; cache_hits = 0;
+          cache_misses = 0; freelist = a.a_freelist; heap = a.a_heap;
+          results_heap = a.a_results; objtab = a.a_objtab; idx_uid = a.a_uid;
+          idx_uid_hash = a.a_uid_hash; idx_hundred = a.a_hundred;
+          idx_million = a.a_million; doc_counts = Hashtbl.create 4;
+          result_seq = a.a_result_seq }
+      in
+      List.iter (fun (doc, n) -> Hashtbl.replace t.doc_counts doc n) a.a_docs;
+      t
+    end
+  in
+  Engine.set_hooks engine
+    ~on_save:(fun () -> save_roots t)
+    ~on_reload:(fun () ->
+      Hashtbl.reset t.object_cache;
+      load_roots t);
+  t
+
+let clear_caches t =
+  Engine.clear_caches t.engine;
+  Hashtbl.reset t.object_cache
+
+let checkpoint t = Engine.checkpoint t.engine
+
+let close t =
+  (match t.channel with Some c -> Hyper_net.Channel.detach c | None -> ());
+  Engine.close t.engine
+
+let last_recovery t = Engine.recovery t.engine
+
+(* --- node access --- *)
+
+let rid_of t oid =
+  match Object_table.get t.objtab ~oid with
+  | Some rid -> rid
+  | None -> invalid_arg (Printf.sprintf "Diskdb: unknown oid %d" oid)
+
+(* Decoded-object cache (check-out caching, ECKL87).  Entries share the
+   mutable Codec.node with callers; every mutation path goes through
+   [update_node], which refreshes the entry, and abort/cold-reset clear
+   the whole cache, so it can never serve stale state. *)
+
+let cache_evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun oid (_, tick) best ->
+        match best with
+        | Some (_, bt) when bt <= !tick -> best
+        | _ -> Some (oid, !tick))
+      t.object_cache None
+  in
+  match victim with
+  | Some (oid, _) -> Hashtbl.remove t.object_cache oid
+  | None -> ()
+
+let cache_put t oid node =
+  if t.object_cache_capacity > 0 then begin
+    if
+      (not (Hashtbl.mem t.object_cache oid))
+      && Hashtbl.length t.object_cache >= t.object_cache_capacity
+    then cache_evict_one t;
+    t.cache_clock <- t.cache_clock + 1;
+    Hashtbl.replace t.object_cache oid (node, ref t.cache_clock)
+  end
+
+let read_node t oid =
+  match Hashtbl.find_opt t.object_cache oid with
+  | Some (node, tick) ->
+    t.cache_hits <- t.cache_hits + 1;
+    t.cache_clock <- t.cache_clock + 1;
+    tick := t.cache_clock;
+    node
+  | None ->
+    if t.object_cache_capacity > 0 then t.cache_misses <- t.cache_misses + 1;
+    let node = Codec.decode (Heap.read t.heap (rid_of t oid)) in
+    cache_put t oid node;
+    node
+
+let update_node t oid node =
+  let rid = rid_of t oid in
+  let rid' = Heap.update t.heap rid (Codec.encode node) in
+  if rid' <> rid then Object_table.set t.objtab ~oid ~rid:rid';
+  cache_put t oid node
+
+let create_node ?near t spec =
+  require_txn t;
+  let oid = spec.Schema.oid in
+  if Object_table.get t.objtab ~oid <> None then
+    invalid_arg (Printf.sprintf "Diskdb: oid %d already exists" oid);
+  let node = Codec.of_spec spec in
+  let near_rid = Option.bind near (fun o -> Object_table.get t.objtab ~oid:o) in
+  let rid = Heap.insert ?near:near_rid t.heap (Codec.encode node) in
+  Object_table.set t.objtab ~oid ~rid;
+  let doc = spec.Schema.doc in
+  Btree.insert t.idx_uid ~key:(pack_key ~doc spec.Schema.unique_id) ~value:oid;
+  (match t.idx_uid_hash with
+  | Some h ->
+    Hash_index.insert h ~key:(pack_key ~doc spec.Schema.unique_id) ~value:oid
+  | None -> ());
+  Btree.insert t.idx_hundred ~key:(pack_key ~doc spec.Schema.hundred) ~value:oid;
+  Btree.insert t.idx_million ~key:(pack_key ~doc spec.Schema.million) ~value:oid;
+  Hashtbl.replace t.doc_counts doc
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.doc_counts doc))
+
+let add_child t ~parent ~child =
+  require_txn t;
+  let p = read_node t parent in
+  let c = read_node t child in
+  if c.Codec.parent <> 0 then
+    invalid_arg (Printf.sprintf "Diskdb: node %d already has a parent" child);
+  p.Codec.children <- Array.append p.Codec.children [| child |];
+  update_node t parent p;
+  c.Codec.parent <- parent;
+  update_node t child c
+
+let add_part t ~whole ~part =
+  require_txn t;
+  let w = read_node t whole in
+  w.Codec.parts <- Array.append w.Codec.parts [| part |];
+  update_node t whole w;
+  let p = read_node t part in
+  p.Codec.part_of <- Array.append p.Codec.part_of [| whole |];
+  update_node t part p
+
+let add_ref t ~src ~dst ~offset_from ~offset_to =
+  require_txn t;
+  let s = read_node t src in
+  s.Codec.refs_to <-
+    Array.append s.Codec.refs_to
+      [| { Schema.target = dst; offset_from; offset_to } |];
+  update_node t src s;
+  let d = read_node t dst in
+  d.Codec.refs_from <-
+    Array.append d.Codec.refs_from
+      [| { Schema.target = src; offset_from; offset_to } |];
+  update_node t dst d
+
+(* --- structural modification --- *)
+
+let array_remove_first ~what x a =
+  match Array.find_index (fun y -> y = x) a with
+  | None -> invalid_arg (Printf.sprintf "Diskdb: %s does not exist" what)
+  | Some i ->
+    Array.append (Array.sub a 0 i) (Array.sub a (i + 1) (Array.length a - i - 1))
+
+let remove_child t ~parent ~child =
+  require_txn t;
+  let p = read_node t parent in
+  p.Codec.children <- array_remove_first ~what:"child edge" child p.Codec.children;
+  update_node t parent p;
+  let c = read_node t child in
+  c.Codec.parent <- 0;
+  update_node t child c
+
+let remove_part t ~whole ~part =
+  require_txn t;
+  let w = read_node t whole in
+  w.Codec.parts <- array_remove_first ~what:"part edge" part w.Codec.parts;
+  update_node t whole w;
+  let p = read_node t part in
+  p.Codec.part_of <-
+    array_remove_first ~what:"part edge inverse" whole p.Codec.part_of;
+  update_node t part p
+
+let remove_ref t ~src ~dst =
+  require_txn t;
+  let s = read_node t src in
+  let link =
+    match
+      Array.find_opt (fun l -> l.Schema.target = dst) s.Codec.refs_to
+    with
+    | Some l -> l
+    | None ->
+      invalid_arg (Printf.sprintf "Diskdb: no reference %d -> %d" src dst)
+  in
+  s.Codec.refs_to <- array_remove_first ~what:"reference" link s.Codec.refs_to;
+  update_node t src s;
+  let d = read_node t dst in
+  let inverse =
+    { Schema.target = src; offset_from = link.Schema.offset_from;
+      offset_to = link.Schema.offset_to }
+  in
+  d.Codec.refs_from <-
+    array_remove_first ~what:"reference inverse" inverse d.Codec.refs_from;
+  update_node t dst d
+
+let delete_node t oid =
+  require_txn t;
+  let n = read_node t oid in
+  if n.Codec.children <> [||] then
+    invalid_arg (Printf.sprintf "Diskdb: node %d still has children" oid);
+  if n.Codec.parent <> 0 then remove_child t ~parent:n.Codec.parent ~child:oid;
+  Array.iter (fun whole -> remove_part t ~whole ~part:oid) n.Codec.part_of;
+  Array.iter (fun part -> remove_part t ~whole:oid ~part) n.Codec.parts;
+  Array.iter
+    (fun l -> remove_ref t ~src:oid ~dst:l.Schema.target)
+    n.Codec.refs_to;
+  (* Re-read: removing a self-reference above also removed its inverse. *)
+  Array.iter
+    (fun l -> remove_ref t ~src:l.Schema.target ~dst:oid)
+    (read_node t oid).Codec.refs_from;
+  let doc = n.Codec.doc in
+  ignore
+    (Btree.delete t.idx_uid ~key:(pack_key ~doc n.Codec.unique_id) ~value:oid
+      : bool);
+  (match t.idx_uid_hash with
+  | Some h ->
+    ignore
+      (Hash_index.delete h ~key:(pack_key ~doc n.Codec.unique_id) ~value:oid
+        : bool)
+  | None -> ());
+  let n = read_node t oid in
+  ignore
+    (Btree.delete t.idx_hundred ~key:(pack_key ~doc n.Codec.hundred) ~value:oid
+      : bool);
+  ignore
+    (Btree.delete t.idx_million ~key:(pack_key ~doc n.Codec.million) ~value:oid
+      : bool);
+  Heap.delete t.heap (rid_of t oid);
+  Object_table.remove t.objtab ~oid;
+  Hashtbl.remove t.object_cache oid;
+  Hashtbl.replace t.doc_counts doc
+    (Option.value ~default:1 (Hashtbl.find_opt t.doc_counts doc) - 1)
+
+(* --- attributes --- *)
+
+let kind t oid = (read_node t oid).Codec.kind
+let unique_id t oid = (read_node t oid).Codec.unique_id
+let ten t oid = (read_node t oid).Codec.ten
+let hundred t oid = (read_node t oid).Codec.hundred
+let million t oid = (read_node t oid).Codec.million
+
+let set_hundred t oid v =
+  require_txn t;
+  let n = read_node t oid in
+  if n.Codec.hundred <> v then begin
+    let doc = n.Codec.doc in
+    ignore
+      (Btree.delete t.idx_hundred ~key:(pack_key ~doc n.Codec.hundred)
+         ~value:oid
+        : bool);
+    Btree.insert t.idx_hundred ~key:(pack_key ~doc v) ~value:oid;
+    n.Codec.hundred <- v;
+    update_node t oid n
+  end
+
+let set_dyn_attr t oid key v =
+  require_txn t;
+  let n = read_node t oid in
+  n.Codec.dyn <- (key, v) :: List.remove_assoc key n.Codec.dyn;
+  update_node t oid n
+
+let dyn_attr t oid key = List.assoc_opt key (read_node t oid).Codec.dyn
+
+(* --- associative lookup --- *)
+
+let lookup_unique t ~doc uid =
+  match t.idx_uid_hash with
+  | Some h -> Hash_index.find_first h ~key:(pack_key ~doc uid)
+  | None -> Btree.find_first t.idx_uid ~key:(pack_key ~doc uid)
+
+let collect_range tree ~doc ~lo ~hi =
+  List.rev
+    (Btree.fold_range tree ~lo:(pack_key ~doc lo) ~hi:(pack_key ~doc hi)
+       ~init:[] ~f:(fun acc ~key:_ ~value -> value :: acc))
+
+let range_unique t ~doc ~lo ~hi = collect_range t.idx_uid ~doc ~lo ~hi
+let range_hundred t ~doc ~lo ~hi = collect_range t.idx_hundred ~doc ~lo ~hi
+let range_million t ~doc ~lo ~hi = collect_range t.idx_million ~doc ~lo ~hi
+
+(* --- relationships --- *)
+
+let children t oid = (read_node t oid).Codec.children
+
+let parent t oid =
+  let p = (read_node t oid).Codec.parent in
+  if p = 0 then None else Some p
+
+let parts t oid = (read_node t oid).Codec.parts
+let part_of t oid = (read_node t oid).Codec.part_of
+let refs_to t oid = (read_node t oid).Codec.refs_to
+let refs_from t oid = (read_node t oid).Codec.refs_from
+
+(* --- content --- *)
+
+let text t oid =
+  let n = read_node t oid in
+  if n.Codec.kind <> Schema.Text then
+    invalid_arg (Printf.sprintf "Diskdb: node %d is not a text node" oid);
+  n.Codec.text
+
+let set_text t oid s =
+  require_txn t;
+  let n = read_node t oid in
+  if n.Codec.kind <> Schema.Text then
+    invalid_arg (Printf.sprintf "Diskdb: node %d is not a text node" oid);
+  n.Codec.text <- s;
+  update_node t oid n
+
+let form t oid =
+  let n = read_node t oid in
+  if n.Codec.kind <> Schema.Form then
+    invalid_arg (Printf.sprintf "Diskdb: node %d is not a form node" oid);
+  Bitmap.of_bytes n.Codec.form
+
+let set_form t oid b =
+  require_txn t;
+  let n = read_node t oid in
+  if n.Codec.kind <> Schema.Form then
+    invalid_arg (Printf.sprintf "Diskdb: node %d is not a form node" oid);
+  n.Codec.form <- Bitmap.to_bytes b;
+  update_node t oid n
+
+(* --- scans --- *)
+
+let iter_doc t ~doc f =
+  (* The whole key band of this doc: an index scan is the structure's
+     extent (the class extent cannot be used, paper §6.4.1). *)
+  Btree.iter_range t.idx_uid ~lo:(doc * key_shift)
+    ~hi:(((doc + 1) * key_shift) - 1)
+    (fun ~key:_ ~value -> f value)
+
+let node_count t ~doc =
+  Option.value ~default:0 (Hashtbl.find_opt t.doc_counts doc)
+
+let store_result_list t oids =
+  require_txn t;
+  ignore (Heap.insert t.results_heap (Codec.encode_oid_list oids) : Heap.rid);
+  t.result_seq <- t.result_seq + 1
+
+let stored_result_count t = t.result_seq
+
+let stored_result t i =
+  if i < 0 || i >= t.result_seq then invalid_arg "Diskdb.stored_result";
+  let results = ref [] in
+  Heap.iter t.results_heap (fun _ data ->
+      results := Codec.decode_oid_list data :: !results);
+  List.nth (List.rev !results) i
+
+(* --- introspection --- *)
+
+type io_counters = {
+  pager_reads : int;
+  pager_writes : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_evictions : int;
+  round_trips : int;
+  server_hits : int;
+  server_misses : int;
+  wal_bytes : int;
+  object_hits : int;
+  object_misses : int;
+}
+
+let io_counters t =
+  let ps = Pager.stats (Engine.pager t.engine) in
+  let bs = Buffer_pool.stats t.pool in
+  let rt, sh, sm =
+    match t.channel with
+    | None -> (0, 0, 0)
+    | Some c ->
+      let k = Hyper_net.Channel.counters c in
+      Hyper_net.Channel.(k.round_trips, k.server_hits, k.server_misses)
+  in
+  { pager_reads = ps.Pager.reads; pager_writes = ps.Pager.writes;
+    pool_hits = bs.Buffer_pool.hits; pool_misses = bs.Buffer_pool.misses;
+    pool_evictions = bs.Buffer_pool.evictions; round_trips = rt;
+    server_hits = sh; server_misses = sm;
+    wal_bytes = Engine.wal_bytes t.engine; object_hits = t.cache_hits;
+    object_misses = t.cache_misses }
+
+let io_description t =
+  let c = io_counters t in
+  Printf.sprintf
+    "pager r/w %d/%d; pool hit/miss/evict %d/%d/%d; net trips %d (server %d/%d)"
+    c.pager_reads c.pager_writes c.pool_hits c.pool_misses c.pool_evictions
+    c.round_trips c.server_hits c.server_misses
+
+let reset_io t =
+  Pager.reset_stats (Engine.pager t.engine);
+  Buffer_pool.reset_stats t.pool;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  match t.channel with
+  | Some c -> Hyper_net.Channel.reset_counters c
+  | None -> ()
+
+let file_bytes t = Pager.page_count (Engine.pager t.engine) * Page.size
+
+(* Mark-and-sweep garbage collection (R10): pages can leak when a
+   transaction that extended the file aborts — the undo restores page
+   contents and root pointers, but the file keeps its new length.  Mark
+   every page reachable from the meta roots (heaps with their overflow
+   chains, object table, B+trees, free list), sweep the rest into the
+   free list.  Returns the number of pages reclaimed. *)
+let collect_garbage t =
+  Engine.begin_txn t.engine;
+  let total = Pager.page_count (Engine.pager t.engine) in
+  let marked = Array.make total false in
+  marked.(0) <- true;
+  let mark id = if id > 0 && id < total then marked.(id) <- true in
+  Heap.iter_pages t.heap mark;
+  Heap.iter_pages t.results_heap mark;
+  Object_table.iter_pages t.objtab mark;
+  Btree.iter_pages t.idx_uid mark;
+  (match t.idx_uid_hash with
+  | Some h ->
+    (* Mark the hash index's header and every directory/bucket page. *)
+    mark (Hash_index.header h);
+    List.iter mark (Hash_index.all_pages h)
+  | None -> ());
+  Btree.iter_pages t.idx_hundred mark;
+  Btree.iter_pages t.idx_million mark;
+  Freelist.iter t.freelist mark;
+  let freed = ref 0 in
+  for id = 1 to total - 1 do
+    if not marked.(id) then begin
+      Freelist.push t.freelist id;
+      incr freed
+    end
+  done;
+  Engine.commit t.engine;
+  !freed

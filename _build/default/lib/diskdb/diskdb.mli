@@ -1,0 +1,92 @@
+(** Disk-based object database — the GemStone/Vbase analogue.
+
+    Architecture: a page file accessed through an LRU buffer pool; node
+    records in a slotted-page heap with overflow chains; a persistent
+    object table mapping OIDs to relocatable records; B+tree indexes on
+    uniqueId, hundred and million; a write-ahead log with before/after
+    page images giving atomic commit, abort and crash recovery (R10);
+    optional physical clustering along the 1-N hierarchy (§5.2); and an
+    optional simulated workstation/server channel (R6) that charges
+    network and server-disk latency to the virtual clock on every page
+    transfer.
+
+    Cold runs (after [clear_caches]) fault pages in from the file or the
+    simulated server; warm runs hit the buffer pool — exactly the
+    cold/warm structure of the paper's protocol. *)
+
+type remote = Hyper_net.Channel.profile = {
+  network : Hyper_net.Latency_model.t;
+  server_disk : Hyper_net.Latency_model.t;
+  server_cache_pages : int;
+}
+
+type config = {
+  path : string; (** data file; the WAL lives at [path ^ ".wal"] *)
+  pool_pages : int; (** client buffer-pool capacity *)
+  durable_sync : bool; (** fsync the WAL at commit *)
+  checkpoint_wal_bytes : int; (** checkpoint threshold *)
+  remote : remote option; (** workstation/server simulation *)
+  object_cache : int;
+      (** capacity of the decoded-object (check-out) cache; 0 disables.
+          The paper's R7 cites ECKL87: interactive applications need
+          100–10 000 objects/second, so "parts of the database have to
+          be cached/checked-out to main memory in the workstations".
+          With the cache on, warm-run attribute access skips the object
+          table, the buffer pool and record decoding entirely. *)
+  uid_hash_index : bool;
+      (** maintain a linear-hash access path on (doc, uniqueId) alongside
+          the B+tree; [lookup_unique] (op 01) then probes the hash — the
+          access-method ablation of bench §T5 *)
+}
+
+val default_config : path:string -> config
+(** 2048-page pool (8 MiB), no fsync (simulated durability cost instead),
+    64 MiB checkpoint threshold, local disk, object cache off. *)
+
+val remote_1988 : remote
+(** 10 Mbit/s LAN + late-80s server disk, 1024-page server cache. *)
+
+include Hyper_core.Backend.S
+
+val open_db : config -> t
+(** Open or create; runs crash recovery from the WAL when needed. *)
+
+val close : t -> unit
+(** Checkpoint and close.  @raise Invalid_argument inside a transaction. *)
+
+val checkpoint : t -> unit
+(** Force all committed state into the data file and truncate the WAL. *)
+
+val last_recovery : t -> Hyper_storage.Recovery.report option
+(** The report of the recovery pass performed by [open_db], if any. *)
+
+type io_counters = {
+  pager_reads : int;
+  pager_writes : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_evictions : int;
+  round_trips : int; (** 0 when local *)
+  server_hits : int;
+  server_misses : int;
+  wal_bytes : int;
+  object_hits : int; (** decoded-object cache hits (0 when disabled) *)
+  object_misses : int;
+}
+
+val io_counters : t -> io_counters
+
+val file_bytes : t -> int
+(** Current size of the data file (experiment T1). *)
+
+val stored_result_count : t -> int
+
+val stored_result : t -> int -> Hyper_core.Oid.t list
+(** [stored_result t i]: the i-th stored closure list (0-based). *)
+
+val collect_garbage : t -> int
+(** Mark-and-sweep collection of unreachable pages (R10: "garbage
+    collection of non-referenced objects").  Aborted transactions that
+    extended the file leave orphan pages; this returns them to the free
+    list and reports how many were reclaimed.  Runs in its own
+    transaction.  @raise Invalid_argument inside a transaction. *)

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Buffer_pool Bytes Freelist Hyper_storage Int64 List Page Printf

@@ -1,0 +1,1 @@
+lib/index/hash_index.ml: Buffer_pool Bytes Freelist Hyper_storage Int64 List Object_table Page Printf

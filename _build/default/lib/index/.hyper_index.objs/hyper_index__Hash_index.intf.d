@@ -1,0 +1,1 @@
+lib/index/hash_index.mli: Buffer_pool Freelist Hyper_storage

@@ -1,0 +1,433 @@
+open Hyper_storage
+
+(* Page layouts.
+
+   Leaf:      0 type | 2 n u16 | 4 next_leaf u32 | 16 entries (key i64, value i64)
+   Internal:  0 type | 2 n u16 | 16 child0 u32 | 20 n * (key i64, value i64, child u32)
+
+   Internal separators are full (key, value) pairs so duplicate keys split
+   unambiguously: child i holds entries < sep i; child i+1 holds entries
+   >= sep i (in (key, value) order). *)
+
+type t = {
+  pool : Buffer_pool.t;
+  freelist : Freelist.t;
+  mutable root : int;
+}
+
+let header = 16
+
+let leaf_entry = 16
+let leaf_capacity = (Page.size - header) / leaf_entry (* 255 *)
+
+let int_entry = 20
+let int_capacity = (Page.size - header - 4) / int_entry (* 203 *)
+
+let get_n page = Page.get_u16 page 2
+let set_n page n = Page.set_u16 page 2 n
+
+(* --- leaf accessors --- *)
+
+let leaf_next page = Page.get_u32 page 4
+let set_leaf_next page v = Page.set_u32 page 4 v
+
+let leaf_key page i = Int64.to_int (Page.get_i64 page (header + (i * leaf_entry)))
+let leaf_value page i =
+  Int64.to_int (Page.get_i64 page (header + (i * leaf_entry) + 8))
+
+let set_leaf_entry page i ~key ~value =
+  Page.set_i64 page (header + (i * leaf_entry)) (Int64.of_int key);
+  Page.set_i64 page (header + (i * leaf_entry) + 8) (Int64.of_int value)
+
+let leaf_shift_right page ~from ~n =
+  let src = header + (from * leaf_entry) in
+  Bytes.blit page src page (src + leaf_entry) ((n - from) * leaf_entry)
+
+let leaf_shift_left page ~from ~n =
+  let src = header + (from * leaf_entry) in
+  Bytes.blit page src page (src - leaf_entry) ((n - from) * leaf_entry)
+
+(* --- internal accessors --- *)
+
+let int_child0 page = Page.get_u32 page header
+let set_int_child0 page v = Page.set_u32 page header v
+
+let int_entry_pos i = header + 4 + (i * int_entry)
+let int_key page i = Int64.to_int (Page.get_i64 page (int_entry_pos i))
+let int_value page i = Int64.to_int (Page.get_i64 page (int_entry_pos i + 8))
+let int_child page i = Page.get_u32 page (int_entry_pos i + 16)
+
+let set_int_entry page i ~key ~value ~child =
+  Page.set_i64 page (int_entry_pos i) (Int64.of_int key);
+  Page.set_i64 page (int_entry_pos i + 8) (Int64.of_int value);
+  Page.set_u32 page (int_entry_pos i + 16) child
+
+let int_shift_right page ~from ~n =
+  let src = int_entry_pos from in
+  Bytes.blit page src page (src + int_entry) ((n - from) * int_entry)
+
+(* child of internal node at logical position i in 0..n:
+   position 0 is child0, position i>0 is the child of separator i-1 *)
+let child_at page i = if i = 0 then int_child0 page else int_child page (i - 1)
+
+(* --- comparisons: entries ordered by (key, value) --- *)
+
+let pair_lt (k1, v1) (k2, v2) = k1 < k2 || (k1 = k2 && v1 < v2)
+
+(* first index i in [0, n) with entries.(i) >= (key, value) *)
+let leaf_lower_bound page n ~key ~value =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if pair_lt (leaf_key page mid, leaf_value page mid) (key, value) then
+      lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* number of separators strictly <= (key,value): the child position to
+   descend into for (key, value) *)
+let int_descend_pos page n ~key ~value =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    (* descend right of separator mid when (key,value) >= sep mid *)
+    if pair_lt (key, value) (int_key page mid, int_value page mid) then
+      hi := mid
+    else lo := mid + 1
+  done;
+  !lo
+
+(* --- construction --- *)
+
+let init_leaf page =
+  Bytes.fill page 0 Page.size '\000';
+  Page.set_type page Page.Btree_leaf;
+  set_n page 0;
+  set_leaf_next page 0
+
+let init_internal page =
+  Bytes.fill page 0 Page.size '\000';
+  Page.set_type page Page.Btree_internal;
+  set_n page 0
+
+let create pool freelist =
+  let id = Freelist.alloc freelist in
+  Buffer_pool.with_page_w pool id init_leaf;
+  { pool; freelist; root = id }
+
+let attach pool freelist ~root = { pool; freelist; root }
+
+let root t = t.root
+
+let is_leaf page = Page.get_type page = Page.Btree_leaf
+
+(* --- insert --- *)
+
+type split = No_split | Split of int * int * int (* sep key, sep value, right page *)
+
+let rec insert_rec t page_id ~key ~value =
+  let node_kind =
+    Buffer_pool.with_page t.pool page_id (fun page -> is_leaf page)
+  in
+  if node_kind then insert_leaf t page_id ~key ~value
+  else insert_internal t page_id ~key ~value
+
+and insert_leaf t page_id ~key ~value =
+  let dup, full =
+    Buffer_pool.with_page t.pool page_id (fun page ->
+        let n = get_n page in
+        let i = leaf_lower_bound page n ~key ~value in
+        let dup = i < n && leaf_key page i = key && leaf_value page i = value in
+        (dup, n >= leaf_capacity))
+  in
+  if dup then No_split
+  else if not full then begin
+    Buffer_pool.with_page_w t.pool page_id (fun page ->
+        let n = get_n page in
+        let i = leaf_lower_bound page n ~key ~value in
+        leaf_shift_right page ~from:i ~n;
+        set_leaf_entry page i ~key ~value;
+        set_n page (n + 1));
+    No_split
+  end
+  else begin
+    (* Split: left keeps the lower half, right gets the upper half; the
+       separator is the right page's first entry. *)
+    let right_id = Freelist.alloc t.freelist in
+    let sep_key = ref 0 and sep_value = ref 0 in
+    Buffer_pool.with_page_w t.pool page_id (fun left ->
+        Buffer_pool.with_page_w t.pool right_id (fun right ->
+            init_leaf right;
+            let n = get_n left in
+            let mid = n / 2 in
+            let moved = n - mid in
+            Bytes.blit left (header + (mid * leaf_entry)) right header
+              (moved * leaf_entry);
+            set_n right moved;
+            set_n left mid;
+            set_leaf_next right (leaf_next left);
+            set_leaf_next left right_id;
+            sep_key := leaf_key right 0;
+            sep_value := leaf_value right 0));
+    (* Insert the new entry into the correct half. *)
+    let target =
+      if pair_lt (key, value) (!sep_key, !sep_value) then page_id else right_id
+    in
+    (match insert_leaf t target ~key ~value with
+    | No_split -> ()
+    | Split _ -> failwith "Btree: double split of a freshly split leaf");
+    Split (!sep_key, !sep_value, right_id)
+  end
+
+and insert_internal t page_id ~key ~value =
+  let pos =
+    Buffer_pool.with_page t.pool page_id (fun page ->
+        int_descend_pos page (get_n page) ~key ~value)
+  in
+  let child =
+    Buffer_pool.with_page t.pool page_id (fun page -> child_at page pos)
+  in
+  match insert_rec t child ~key ~value with
+  | No_split -> No_split
+  | Split (sk, sv, right) ->
+    let full =
+      Buffer_pool.with_page t.pool page_id (fun page ->
+          get_n page >= int_capacity)
+    in
+    if not full then begin
+      Buffer_pool.with_page_w t.pool page_id (fun page ->
+          let n = get_n page in
+          let i = int_descend_pos page n ~key:sk ~value:sv in
+          int_shift_right page ~from:i ~n;
+          set_int_entry page i ~key:sk ~value:sv ~child:right;
+          set_n page (n + 1));
+      No_split
+    end
+    else begin
+      (* Split the internal node: middle separator moves up. *)
+      let right_id = Freelist.alloc t.freelist in
+      let up_key = ref 0 and up_value = ref 0 in
+      Buffer_pool.with_page_w t.pool page_id (fun left ->
+          Buffer_pool.with_page_w t.pool right_id (fun right_page ->
+              init_internal right_page;
+              let n = get_n left in
+              let mid = n / 2 in
+              up_key := int_key left mid;
+              up_value := int_value left mid;
+              (* right gets separators mid+1..n-1; its child0 is sep mid's child *)
+              set_int_child0 right_page (int_child left mid);
+              let moved = n - mid - 1 in
+              Bytes.blit left (int_entry_pos (mid + 1)) right_page
+                (int_entry_pos 0) (moved * int_entry);
+              set_n right_page moved;
+              set_n left mid));
+      (* Now insert (sk, sv, right) into the proper half. *)
+      let target =
+        if pair_lt (sk, sv) (!up_key, !up_value) then page_id else right_id
+      in
+      Buffer_pool.with_page_w t.pool target (fun page ->
+          let n = get_n page in
+          let i = int_descend_pos page n ~key:sk ~value:sv in
+          int_shift_right page ~from:i ~n;
+          set_int_entry page i ~key:sk ~value:sv ~child:right;
+          set_n page (n + 1));
+      Split (!up_key, !up_value, right_id)
+    end
+
+let insert t ~key ~value =
+  match insert_rec t t.root ~key ~value with
+  | No_split -> ()
+  | Split (sk, sv, right) ->
+    let new_root = Freelist.alloc t.freelist in
+    let old_root = t.root in
+    Buffer_pool.with_page_w t.pool new_root (fun page ->
+        init_internal page;
+        set_int_child0 page old_root;
+        set_int_entry page 0 ~key:sk ~value:sv ~child:right;
+        set_n page 1);
+    t.root <- new_root
+
+(* --- search helpers --- *)
+
+let rec find_leaf t page_id ~key ~value =
+  let leaf, next =
+    Buffer_pool.with_page t.pool page_id (fun page ->
+        if is_leaf page then (true, 0)
+        else (false, child_at page (int_descend_pos page (get_n page) ~key ~value)))
+  in
+  if leaf then page_id else find_leaf t next ~key ~value
+
+let delete t ~key ~value =
+  let leaf = find_leaf t t.root ~key ~value in
+  Buffer_pool.with_page_w t.pool leaf (fun page ->
+      let n = get_n page in
+      let i = leaf_lower_bound page n ~key ~value in
+      if i < n && leaf_key page i = key && leaf_value page i = value then begin
+        leaf_shift_left page ~from:(i + 1) ~n;
+        set_n page (n - 1);
+        true
+      end
+      else false)
+
+let mem t ~key ~value =
+  let leaf = find_leaf t t.root ~key ~value in
+  Buffer_pool.with_page t.pool leaf (fun page ->
+      let n = get_n page in
+      let i = leaf_lower_bound page n ~key ~value in
+      i < n && leaf_key page i = key && leaf_value page i = value)
+
+(* Fold entries in [lo, hi] by walking the leaf chain from the first
+   candidate leaf. *)
+let fold_range t ~lo ~hi ~init ~f =
+  if lo > hi then init
+  else begin
+    let leaf = find_leaf t t.root ~key:lo ~value:min_int in
+    let rec walk page_id acc =
+      if page_id = 0 then acc
+      else begin
+        let acc, continue, next =
+          Buffer_pool.with_page t.pool page_id (fun page ->
+              let n = get_n page in
+              let acc = ref acc in
+              let continue = ref true in
+              let i = ref (leaf_lower_bound page n ~key:lo ~value:min_int) in
+              while !continue && !i < n do
+                let k = leaf_key page !i in
+                if k > hi then continue := false
+                else begin
+                  acc := f !acc ~key:k ~value:(leaf_value page !i);
+                  incr i
+                end
+              done;
+              (!acc, !continue, leaf_next page))
+        in
+        if continue then walk next acc else acc
+      end
+    in
+    walk leaf init
+  end
+
+let iter_range t ~lo ~hi f =
+  fold_range t ~lo ~hi ~init:() ~f:(fun () ~key ~value -> f ~key ~value)
+
+let iter t f = iter_range t ~lo:min_int ~hi:max_int f
+
+let find_all t ~key =
+  List.rev
+    (fold_range t ~lo:key ~hi:key ~init:[] ~f:(fun acc ~key:_ ~value ->
+         value :: acc))
+
+let find_first t ~key =
+  (* Cheap: look only at the first matching leaf position. *)
+  let leaf = find_leaf t t.root ~key ~value:min_int in
+  let rec probe page_id =
+    if page_id = 0 then None
+    else
+      let result, next =
+        Buffer_pool.with_page t.pool page_id (fun page ->
+            let n = get_n page in
+            let i = leaf_lower_bound page n ~key ~value:min_int in
+            if i < n then
+              if leaf_key page i = key then (Some (Some (leaf_value page i)), 0)
+              else (Some None, 0)
+            else (None, leaf_next page))
+      in
+      match result with Some r -> r | None -> probe next
+  in
+  probe leaf
+
+let length t =
+  fold_range t ~lo:min_int ~hi:max_int ~init:0 ~f:(fun acc ~key:_ ~value:_ ->
+      acc + 1)
+
+let height t =
+  let rec depth page_id acc =
+    let leaf, next =
+      Buffer_pool.with_page t.pool page_id (fun page ->
+          if is_leaf page then (true, 0) else (false, child_at page 0))
+    in
+    if leaf then acc else depth next (acc + 1)
+  in
+  depth t.root 1
+
+let iter_pages t f =
+  let rec visit page_id =
+    f page_id;
+    let children =
+      Buffer_pool.with_page t.pool page_id (fun page ->
+          if is_leaf page then []
+          else List.init (get_n page + 1) (fun i -> child_at page i))
+    in
+    List.iter visit children
+  in
+  visit t.root
+
+(* --- invariant checking (tests) --- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Recursively verify each node's entries lie within (lo, hi) bounds in
+     (key,value) order, and collect leaves left-to-right. *)
+  let leaves = ref [] in
+  let rec check page_id lo hi depth =
+    Buffer_pool.with_page t.pool page_id (fun page ->
+        let n = get_n page in
+        let in_bounds pair =
+          (match lo with Some l -> not (pair_lt pair l) | None -> true)
+          && match hi with Some h -> pair_lt pair h | None -> true
+        in
+        if is_leaf page then begin
+          for i = 0 to n - 1 do
+            let pair = (leaf_key page i, leaf_value page i) in
+            if not (in_bounds pair) then
+              fail "btree: leaf %d entry %d out of separator bounds" page_id i;
+            if i > 0 then begin
+              let prev = (leaf_key page (i - 1), leaf_value page (i - 1)) in
+              if not (pair_lt prev pair) then
+                fail "btree: leaf %d entries %d,%d out of order" page_id (i - 1) i
+            end
+          done;
+          leaves := (page_id, depth) :: !leaves
+        end
+        else begin
+          if n = 0 then fail "btree: internal node %d has no separators" page_id;
+          for i = 0 to n - 1 do
+            let pair = (int_key page i, int_value page i) in
+            if not (in_bounds pair) then
+              fail "btree: internal %d separator %d out of bounds" page_id i;
+            if i > 0 then begin
+              let prev = (int_key page (i - 1), int_value page (i - 1)) in
+              if not (pair_lt prev pair) then
+                fail "btree: internal %d separators %d,%d out of order" page_id
+                  (i - 1) i
+            end
+          done;
+          for i = 0 to n do
+            let child = child_at page i in
+            let lo' = if i = 0 then lo else Some (int_key page (i - 1), int_value page (i - 1)) in
+            let hi' = if i = n then hi else Some (int_key page i, int_value page i) in
+            check child lo' hi' (depth + 1)
+          done
+        end)
+  in
+  check t.root None None 0;
+  (* All leaves at the same depth, chained left-to-right. *)
+  let ordered = List.rev !leaves in
+  (match ordered with
+  | [] -> fail "btree: no leaves"
+  | (_, d0) :: rest ->
+    List.iter
+      (fun (_, d) -> if d <> d0 then fail "btree: leaves at unequal depth")
+      rest);
+  let rec check_chain = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      let next = Buffer_pool.with_page t.pool a (fun page -> leaf_next page) in
+      if next <> b then fail "btree: leaf chain broken at page %d" a;
+      check_chain rest
+    | [ (last, _) ] ->
+      let next = Buffer_pool.with_page t.pool last (fun page -> leaf_next page) in
+      if next <> 0 then fail "btree: last leaf %d has a next pointer" last
+    | [] -> ()
+  in
+  check_chain ordered

@@ -1,0 +1,61 @@
+(** Disk-resident B+tree: ordered multimap from [int] keys to [int]
+    values.
+
+    Backs every index in the repository: the HyperModel's uniqueId,
+    hundred and million attribute indexes (ops 01, 03, 04), the
+    relational backend's primary and secondary indexes, and the query
+    planner's access paths.
+
+    Entries are ordered by the pair [(key, value)], so duplicate keys are
+    supported and [(key, value)] pairs are unique.  Leaves are chained
+    for range scans.  Deletion is lazy (no page merging): freed entries
+    leave slack that later inserts reuse — adequate for the benchmark's
+    update patterns and common in production systems.
+
+    All nodes live in buffer-pool pages; the root page id changes when
+    the root splits, so owners must persist [root t] after updates. *)
+
+open Hyper_storage
+
+type t
+
+val create : Buffer_pool.t -> Freelist.t -> t
+(** A fresh empty tree (allocates one leaf page). *)
+
+val attach : Buffer_pool.t -> Freelist.t -> root:int -> t
+
+val root : t -> int
+
+val insert : t -> key:int -> value:int -> unit
+(** Duplicate [(key, value)] pairs are ignored (set semantics). *)
+
+val delete : t -> key:int -> value:int -> bool
+(** [true] when the pair was present. *)
+
+val mem : t -> key:int -> value:int -> bool
+
+val find_first : t -> key:int -> int option
+(** Smallest value bound to [key]. *)
+
+val find_all : t -> key:int -> int list
+(** All values bound to [key], ascending. *)
+
+val fold_range :
+  t -> lo:int -> hi:int -> init:'a -> f:('a -> key:int -> value:int -> 'a) -> 'a
+(** Fold over all entries with [lo <= key <= hi] in ascending order. *)
+
+val iter_range : t -> lo:int -> hi:int -> (key:int -> value:int -> unit) -> unit
+
+val iter : t -> (key:int -> value:int -> unit) -> unit
+
+val length : t -> int
+(** Number of entries (walks the leaves). *)
+
+val height : t -> int
+
+val iter_pages : t -> (int -> unit) -> unit
+(** Visit every page of the tree (garbage-collection marking). *)
+
+val check_invariants : t -> unit
+(** Verify ordering, separator bounds and leaf-chain consistency.
+    @raise Failure describing the first violation.  Test support. *)

@@ -1,0 +1,304 @@
+open Hyper_storage
+
+(* Header page layout:
+     0   page type (Obj_table is reused for directory pages; the header
+         itself uses the Meta tag with a magic by position — it is only
+         ever reached through the stored header id)
+     8   initial bucket count u32
+     12  level u32
+     16  split pointer u32
+     20  entry count u32
+     24  directory (object-table) head page u32
+
+   Bucket page layout:
+     0   page type (Btree_leaf reused: same (key, value) entry array)
+     2   n u16
+     4   next page in this bucket's overflow chain u32
+     16  entries: key i64, value i64                      (255 max) *)
+
+type t = {
+  pool : Buffer_pool.t;
+  freelist : Freelist.t;
+  header : int;
+  directory : Object_table.t;
+  mutable initial : int;
+  mutable level : int;
+  mutable split : int;
+  mutable entries : int;
+}
+
+let entry_size = 16
+let bucket_header = 16
+let bucket_capacity = (Page.size - bucket_header) / entry_size (* 255 *)
+
+(* Split when the average chain holds more than ~2/3 of a page. *)
+let load_threshold = 170
+
+let initial_buckets = 4
+
+(* --- header persistence --- *)
+
+let save_header t =
+  Buffer_pool.with_page_w t.pool t.header (fun page ->
+      Page.set_type page Page.Meta;
+      Page.set_u32 page 8 t.initial;
+      Page.set_u32 page 12 t.level;
+      Page.set_u32 page 16 t.split;
+      Page.set_u32 page 20 t.entries;
+      Page.set_u32 page 24 (Object_table.head t.directory))
+
+(* --- bucket pages --- *)
+
+let init_bucket page =
+  Bytes.fill page 0 Page.size '\000';
+  Page.set_type page Page.Btree_leaf;
+  Page.set_u16 page 2 0;
+  Page.set_u32 page 4 0
+
+let new_bucket_page t =
+  let id = Freelist.alloc t.freelist in
+  Buffer_pool.with_page_w t.pool id init_bucket;
+  id
+
+let entry_pos i = bucket_header + (i * entry_size)
+
+(* --- hashing --- *)
+
+let hash key =
+  (* SplitMix64 finaliser over the key. *)
+  let open Int64 in
+  let z = add (of_int key) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (logand (logxor z (shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+
+let bucket_count t = (t.initial lsl t.level) + t.split
+
+let address t key =
+  let h = hash key in
+  let m = t.initial lsl t.level in
+  let a = h mod m in
+  if a < t.split then h mod (2 * m) else a
+
+let bucket_page t idx = Object_table.get_exn t.directory ~oid:(idx + 1)
+
+let set_bucket_page t idx page = Object_table.set t.directory ~oid:(idx + 1) ~rid:page
+
+(* --- construction --- *)
+
+let create pool freelist =
+  let header = Freelist.alloc freelist in
+  let directory = Object_table.fresh pool freelist in
+  let t =
+    { pool; freelist; header; directory; initial = initial_buckets; level = 0;
+      split = 0; entries = 0 }
+  in
+  for i = 0 to initial_buckets - 1 do
+    set_bucket_page t i (new_bucket_page t)
+  done;
+  save_header t;
+  t
+
+let attach pool freelist ~header =
+  Buffer_pool.with_page pool header (fun page ->
+      let initial = Page.get_u32 page 8 in
+      let level = Page.get_u32 page 12 in
+      let split = Page.get_u32 page 16 in
+      let entries = Page.get_u32 page 20 in
+      let dir_head = Page.get_u32 page 24 in
+      { pool; freelist; header; level; split; entries; initial;
+        directory = Object_table.attach pool freelist ~head:dir_head })
+
+let header t = t.header
+
+(* --- chain operations --- *)
+
+let fold_chain t first ~init ~f =
+  let rec walk page_id acc =
+    if page_id = 0 then acc
+    else begin
+      let acc, next =
+        Buffer_pool.with_page t.pool page_id (fun page ->
+            let n = Page.get_u16 page 2 in
+            let acc = ref acc in
+            for i = 0 to n - 1 do
+              let k = Int64.to_int (Page.get_i64 page (entry_pos i)) in
+              let v = Int64.to_int (Page.get_i64 page (entry_pos i + 8)) in
+              acc := f !acc ~key:k ~value:v
+            done;
+            (!acc, Page.get_u32 page 4))
+      in
+      walk next acc
+    end
+  in
+  walk first init
+
+let chain_mem t first ~key ~value =
+  fold_chain t first ~init:false ~f:(fun acc ~key:k ~value:v ->
+      acc || (k = key && v = value))
+
+(* Append into the first page of the chain with room, extending the chain
+   when every page is full. *)
+let chain_append t first ~key ~value =
+  let rec place page_id =
+    let inserted, next =
+      Buffer_pool.with_page_w t.pool page_id (fun page ->
+          let n = Page.get_u16 page 2 in
+          if n < bucket_capacity then begin
+            Page.set_i64 page (entry_pos n) (Int64.of_int key);
+            Page.set_i64 page (entry_pos n + 8) (Int64.of_int value);
+            Page.set_u16 page 2 (n + 1);
+            (true, 0)
+          end
+          else (false, Page.get_u32 page 4))
+    in
+    if not inserted then
+      if next <> 0 then place next
+      else begin
+        let fresh = new_bucket_page t in
+        Buffer_pool.with_page_w t.pool page_id (fun page ->
+            Page.set_u32 page 4 fresh);
+        place fresh
+      end
+  in
+  place first
+
+(* Collect and free a whole chain, returning its entries. *)
+let chain_drain t first =
+  let entries =
+    fold_chain t first ~init:[] ~f:(fun acc ~key ~value -> (key, value) :: acc)
+  in
+  let rec free page_id =
+    if page_id <> 0 then begin
+      let next =
+        Buffer_pool.with_page t.pool page_id (fun page -> Page.get_u32 page 4)
+      in
+      Freelist.push t.freelist page_id;
+      free next
+    end
+  in
+  free first;
+  entries
+
+(* --- growth --- *)
+
+let maybe_split t =
+  if t.entries > bucket_count t * load_threshold then begin
+    let m = t.initial lsl t.level in
+    let victim = t.split in
+    let buddy = m + t.split in
+    let old_chain = bucket_page t victim in
+    let entries = chain_drain t old_chain in
+    set_bucket_page t victim (new_bucket_page t);
+    set_bucket_page t buddy (new_bucket_page t);
+    (* Advance the split pointer before re-addressing, so [address] sends
+       the drained entries to victim or buddy as appropriate. *)
+    t.split <- t.split + 1;
+    if t.split = m then begin
+      t.split <- 0;
+      t.level <- t.level + 1
+    end;
+    List.iter
+      (fun (key, value) ->
+        chain_append t (bucket_page t (address t key)) ~key ~value)
+      entries;
+    save_header t
+  end
+
+(* --- public operations --- *)
+
+let insert t ~key ~value =
+  let first = bucket_page t (address t key) in
+  if not (chain_mem t first ~key ~value) then begin
+    chain_append t first ~key ~value;
+    t.entries <- t.entries + 1;
+    save_header t;
+    maybe_split t
+  end
+
+let find_all t ~key =
+  let first = bucket_page t (address t key) in
+  List.sort compare
+    (fold_chain t first ~init:[] ~f:(fun acc ~key:k ~value ->
+         if k = key then value :: acc else acc))
+
+let find_first t ~key =
+  match find_all t ~key with [] -> None | v :: _ -> Some v
+
+let mem t ~key ~value =
+  chain_mem t (bucket_page t (address t key)) ~key ~value
+
+let delete t ~key ~value =
+  let first = bucket_page t (address t key) in
+  let rec remove page_id =
+    if page_id = 0 then false
+    else begin
+      let removed, next =
+        Buffer_pool.with_page_w t.pool page_id (fun page ->
+            let n = Page.get_u16 page 2 in
+            let found = ref (-1) in
+            for i = 0 to n - 1 do
+              if
+                !found < 0
+                && Int64.to_int (Page.get_i64 page (entry_pos i)) = key
+                && Int64.to_int (Page.get_i64 page (entry_pos i + 8)) = value
+              then found := i
+            done;
+            if !found >= 0 then begin
+              (* Swap the last entry into the hole. *)
+              let last = n - 1 in
+              Page.set_i64 page (entry_pos !found)
+                (Page.get_i64 page (entry_pos last));
+              Page.set_i64 page
+                (entry_pos !found + 8)
+                (Page.get_i64 page (entry_pos last + 8));
+              Page.set_u16 page 2 last;
+              (true, 0)
+            end
+            else (false, Page.get_u32 page 4))
+      in
+      if removed then true else remove next
+    end
+  in
+  let removed = remove first in
+  if removed then begin
+    t.entries <- t.entries - 1;
+    save_header t
+  end;
+  removed
+
+let length t = t.entries
+
+let bucket_count = bucket_count
+
+let all_pages t =
+  let acc = ref [] in
+  Object_table.iter_pages t.directory (fun id -> acc := id :: !acc);
+  for idx = 0 to bucket_count t - 1 do
+    let rec walk page_id =
+      if page_id <> 0 then begin
+        acc := page_id :: !acc;
+        walk
+          (Buffer_pool.with_page t.pool page_id (fun page ->
+               Page.get_u32 page 4))
+      end
+    in
+    walk (bucket_page t idx)
+  done;
+  !acc
+
+let check_invariants t =
+  let seen = ref 0 in
+  for idx = 0 to bucket_count t - 1 do
+    fold_chain t (bucket_page t idx) ~init:() ~f:(fun () ~key ~value:_ ->
+        incr seen;
+        let a = address t key in
+        if a <> idx then
+          failwith
+            (Printf.sprintf "hash_index: key %d in bucket %d, addressed to %d"
+               key idx a))
+  done;
+  if !seen <> t.entries then
+    failwith
+      (Printf.sprintf "hash_index: %d entries found, %d recorded" !seen
+         t.entries)

@@ -1,0 +1,51 @@
+(** Disk-resident linear-hash index: unordered multimap from [int] keys
+    to [int] values.
+
+    The alternative access method to the {!Btree}: O(1) point lookups
+    with no ordering (so no range scans) — the classic trade-off for the
+    HyperModel's [nameLookup] operation, where a key-to-OID probe is all
+    that is needed.  Litwin's linear hashing grows one bucket at a time:
+    when the load factor passes a threshold, the bucket at the split
+    pointer is rehashed into itself and a new buddy bucket, so growth
+    never pauses for a full rebuild.
+
+    Buckets are chains of pages; the directory reuses the
+    {!Hyper_storage.Object_table} page-array machinery.  All state
+    reattaches from a single header page id. *)
+
+open Hyper_storage
+
+type t
+
+val create : Buffer_pool.t -> Freelist.t -> t
+(** A fresh index with a small initial bucket array. *)
+
+val attach : Buffer_pool.t -> Freelist.t -> header:int -> t
+
+val header : t -> int
+(** Page id to persist; stable across the index's lifetime. *)
+
+val insert : t -> key:int -> value:int -> unit
+(** Duplicate [(key, value)] pairs are ignored (set semantics, matching
+    the B+tree). *)
+
+val delete : t -> key:int -> value:int -> bool
+
+val mem : t -> key:int -> value:int -> bool
+
+val find_first : t -> key:int -> int option
+(** Some value bound to [key] (no ordering guarantee among duplicates). *)
+
+val find_all : t -> key:int -> int list
+(** All values bound to [key], ascending. *)
+
+val length : t -> int
+val bucket_count : t -> int
+
+val all_pages : t -> int list
+(** Every page the index owns — directory pages and bucket/overflow
+    chains — excluding the header (garbage-collection marking). *)
+
+val check_invariants : t -> unit
+(** Every entry is findable and lives in the bucket its hash addresses.
+    @raise Failure on violation.  Test support. *)

@@ -1,0 +1,1 @@
+lib/memdb/backend_intf.ml: Hyper_core

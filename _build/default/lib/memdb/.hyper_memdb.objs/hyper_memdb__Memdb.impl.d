@@ -1,0 +1,1 @@
+lib/memdb/memdb.ml: Array Backend_intf Hashtbl Hyper_util Int List Map Oid Option Printf Schema Seq

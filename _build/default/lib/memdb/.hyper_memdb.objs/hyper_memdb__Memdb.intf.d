@@ -1,0 +1,1 @@
+lib/memdb/memdb.mli: Backend_intf Oid

@@ -1,0 +1,7 @@
+(* Re-export the backend signature and core types under short names so
+   that backend .mli files can say [include Backend_intf.S]. *)
+
+module Oid = Hyper_core.Oid
+module Schema = Hyper_core.Schema
+
+module type S = Hyper_core.Backend.S

@@ -1,0 +1,403 @@
+open Backend_intf
+module Bitmap = Hyper_util.Bitmap
+module IMap = Map.Make (Int)
+
+type node = {
+  doc : int;
+  unique_id : int;
+  kind : Schema.kind;
+  mutable ten : int;
+  mutable hundred : int;
+  mutable million : int;
+  mutable text : string;
+  mutable form : Bitmap.t option;
+  mutable parent : Oid.t; (* Oid.none = root *)
+  mutable children : Oid.t list; (* insertion (sequence) order *)
+  mutable parts : Oid.t list;
+  mutable part_of : Oid.t list;
+  mutable refs_to : Schema.link list;
+  mutable refs_from : Schema.link list;
+  dyn : (string, int) Hashtbl.t;
+}
+
+type doc_state = {
+  uid_to_oid : (int, Oid.t) Hashtbl.t;
+  mutable member_order : Oid.t list; (* reverse creation order *)
+  mutable member_count : int;
+  hundred_index : (int, Oid.t list ref) Hashtbl.t;
+  mutable million_index : Oid.t list IMap.t;
+}
+
+type t = {
+  nodes : (Oid.t, node) Hashtbl.t;
+  docs : (int, doc_state) Hashtbl.t;
+  mutable results : Oid.t list list; (* newest first *)
+  mutable result_count : int;
+  mutable in_txn : bool;
+  mutable undo : (unit -> unit) list;
+  mutable op_count : int;
+}
+
+let name = "memdb"
+
+let description = "in-memory object graph (Smalltalk-80 analogue)"
+
+let create () =
+  { nodes = Hashtbl.create 4096; docs = Hashtbl.create 4; results = [];
+    result_count = 0; in_txn = false; undo = []; op_count = 0 }
+
+(* --- transactions --- *)
+
+let begin_txn t =
+  if t.in_txn then invalid_arg "Memdb: nested transaction";
+  t.in_txn <- true;
+  t.undo <- []
+
+let commit t =
+  if not t.in_txn then invalid_arg "Memdb: commit outside a transaction";
+  t.in_txn <- false;
+  t.undo <- []
+
+let abort t =
+  if not t.in_txn then invalid_arg "Memdb: abort outside a transaction";
+  List.iter (fun restore -> restore ()) t.undo;
+  t.in_txn <- false;
+  t.undo <- []
+
+let log_undo t restore = if t.in_txn then t.undo <- restore :: t.undo
+
+let clear_caches _t = () (* the heap is the database; nothing to drop *)
+
+(* --- internals --- *)
+
+let node_of t oid =
+  match Hashtbl.find_opt t.nodes oid with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Memdb: unknown oid %d" oid)
+
+let doc_state t doc =
+  match Hashtbl.find_opt t.docs doc with
+  | Some d -> d
+  | None ->
+    let d =
+      { uid_to_oid = Hashtbl.create 1024; member_order = []; member_count = 0;
+        hundred_index = Hashtbl.create 128; million_index = IMap.empty }
+    in
+    Hashtbl.add t.docs doc d;
+    d
+
+let hundred_bucket d v =
+  match Hashtbl.find_opt d.hundred_index v with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add d.hundred_index v r;
+    r
+
+let hundred_index_add d v oid =
+  let r = hundred_bucket d v in
+  r := oid :: !r
+
+let hundred_index_remove d v oid =
+  let r = hundred_bucket d v in
+  r := List.filter (fun o -> o <> oid) !r
+
+let million_index_add d v oid =
+  let existing = Option.value ~default:[] (IMap.find_opt v d.million_index) in
+  d.million_index <- IMap.add v (oid :: existing) d.million_index
+
+(* --- creation --- *)
+
+let create_node ?near:_ t spec =
+  let oid = spec.Schema.oid in
+  if Hashtbl.mem t.nodes oid then
+    invalid_arg (Printf.sprintf "Memdb: oid %d already exists" oid);
+  let text, form =
+    match spec.Schema.payload with
+    | Schema.P_text s -> (s, None)
+    | Schema.P_form b -> ("", Some b)
+    | Schema.P_internal | Schema.P_draw -> ("", None)
+  in
+  let n =
+    { doc = spec.Schema.doc; unique_id = spec.Schema.unique_id;
+      kind = Schema.kind_of_payload spec.Schema.payload;
+      ten = spec.Schema.ten; hundred = spec.Schema.hundred;
+      million = spec.Schema.million; text; form; parent = Oid.none;
+      children = []; parts = []; part_of = []; refs_to = []; refs_from = [];
+      dyn = Hashtbl.create 1 }
+  in
+  Hashtbl.add t.nodes oid n;
+  let d = doc_state t spec.Schema.doc in
+  Hashtbl.replace d.uid_to_oid spec.Schema.unique_id oid;
+  d.member_order <- oid :: d.member_order;
+  d.member_count <- d.member_count + 1;
+  hundred_index_add d n.hundred oid;
+  million_index_add d n.million oid;
+  log_undo t (fun () ->
+      Hashtbl.remove t.nodes oid;
+      Hashtbl.remove d.uid_to_oid spec.Schema.unique_id;
+      d.member_order <- List.filter (fun o -> o <> oid) d.member_order;
+      d.member_count <- d.member_count - 1;
+      hundred_index_remove d n.hundred oid;
+      d.million_index <-
+        IMap.update n.million
+          (function
+            | None -> None
+            | Some oids -> (
+              match List.filter (fun o -> o <> oid) oids with
+              | [] -> None
+              | rest -> Some rest))
+          d.million_index)
+
+let add_child t ~parent ~child =
+  let p = node_of t parent and c = node_of t child in
+  if Oid.is_valid c.parent then
+    invalid_arg (Printf.sprintf "Memdb: node %d already has a parent" child);
+  let old_children = p.children in
+  p.children <- p.children @ [ child ];
+  c.parent <- parent;
+  log_undo t (fun () ->
+      p.children <- old_children;
+      c.parent <- Oid.none)
+
+let add_part t ~whole ~part =
+  let w = node_of t whole and p = node_of t part in
+  let old_parts = w.parts and old_part_of = p.part_of in
+  w.parts <- w.parts @ [ part ];
+  p.part_of <- p.part_of @ [ whole ];
+  log_undo t (fun () ->
+      w.parts <- old_parts;
+      p.part_of <- old_part_of)
+
+let add_ref t ~src ~dst ~offset_from ~offset_to =
+  let s = node_of t src and d = node_of t dst in
+  let out = { Schema.target = dst; offset_from; offset_to } in
+  let inc = { Schema.target = src; offset_from; offset_to } in
+  let old_out = s.refs_to and old_inc = d.refs_from in
+  s.refs_to <- s.refs_to @ [ out ];
+  d.refs_from <- d.refs_from @ [ inc ];
+  log_undo t (fun () ->
+      s.refs_to <- old_out;
+      d.refs_from <- old_inc)
+
+(* --- structural modification --- *)
+
+let remove_first_exn ~what x xs =
+  let rec go acc = function
+    | [] -> invalid_arg (Printf.sprintf "Memdb: %s does not exist" what)
+    | y :: rest -> if y = x then List.rev_append acc rest else go (y :: acc) rest
+  in
+  go [] xs
+
+let remove_child t ~parent ~child =
+  let p = node_of t parent and c = node_of t child in
+  let old_children = p.children and old_parent = c.parent in
+  p.children <- remove_first_exn ~what:"child edge" child p.children;
+  c.parent <- Oid.none;
+  log_undo t (fun () ->
+      p.children <- old_children;
+      c.parent <- old_parent)
+
+let remove_part t ~whole ~part =
+  let w = node_of t whole and p = node_of t part in
+  let old_parts = w.parts and old_part_of = p.part_of in
+  w.parts <- remove_first_exn ~what:"part edge" part w.parts;
+  p.part_of <- remove_first_exn ~what:"part edge inverse" whole p.part_of;
+  log_undo t (fun () ->
+      w.parts <- old_parts;
+      p.part_of <- old_part_of)
+
+let remove_ref t ~src ~dst =
+  let s = node_of t src and d = node_of t dst in
+  let link =
+    match List.find_opt (fun l -> l.Schema.target = dst) s.refs_to with
+    | Some l -> l
+    | None ->
+      invalid_arg (Printf.sprintf "Memdb: no reference %d -> %d" src dst)
+  in
+  let inverse =
+    { Schema.target = src; offset_from = link.Schema.offset_from;
+      offset_to = link.Schema.offset_to }
+  in
+  let old_out = s.refs_to and old_inc = d.refs_from in
+  s.refs_to <- remove_first_exn ~what:"reference" link s.refs_to;
+  d.refs_from <- remove_first_exn ~what:"reference inverse" inverse d.refs_from;
+  log_undo t (fun () ->
+      s.refs_to <- old_out;
+      d.refs_from <- old_inc)
+
+let delete_node t oid =
+  let n = node_of t oid in
+  if n.children <> [] then
+    invalid_arg (Printf.sprintf "Memdb: node %d still has children" oid);
+  if Oid.is_valid n.parent then remove_child t ~parent:n.parent ~child:oid;
+  List.iter (fun whole -> remove_part t ~whole ~part:oid) n.part_of;
+  List.iter (fun part -> remove_part t ~whole:oid ~part) n.parts;
+  List.iter (fun l -> remove_ref t ~src:oid ~dst:l.Schema.target) n.refs_to;
+  List.iter (fun l -> remove_ref t ~src:l.Schema.target ~dst:oid) n.refs_from;
+  let d = doc_state t n.doc in
+  let old_order = d.member_order in
+  Hashtbl.remove t.nodes oid;
+  Hashtbl.remove d.uid_to_oid n.unique_id;
+  d.member_order <- List.filter (fun o -> o <> oid) d.member_order;
+  d.member_count <- d.member_count - 1;
+  hundred_index_remove d n.hundred oid;
+  d.million_index <-
+    IMap.update n.million
+      (function
+        | None -> None
+        | Some oids -> (
+          match List.filter (fun o -> o <> oid) oids with
+          | [] -> None
+          | rest -> Some rest))
+      d.million_index;
+  log_undo t (fun () ->
+      Hashtbl.replace t.nodes oid n;
+      Hashtbl.replace d.uid_to_oid n.unique_id oid;
+      d.member_order <- old_order;
+      d.member_count <- d.member_count + 1;
+      hundred_index_add d n.hundred oid;
+      million_index_add d n.million oid)
+
+(* --- attributes --- *)
+
+let kind t oid = (node_of t oid).kind
+let unique_id t oid = (node_of t oid).unique_id
+let ten t oid = (node_of t oid).ten
+let hundred t oid = (node_of t oid).hundred
+let million t oid = (node_of t oid).million
+
+let set_hundred t oid v =
+  let n = node_of t oid in
+  let d = doc_state t n.doc in
+  let old = n.hundred in
+  hundred_index_remove d old oid;
+  hundred_index_add d v oid;
+  n.hundred <- v;
+  log_undo t (fun () ->
+      hundred_index_remove d v oid;
+      hundred_index_add d old oid;
+      n.hundred <- old)
+
+let set_dyn_attr t oid key v =
+  let n = node_of t oid in
+  let old = Hashtbl.find_opt n.dyn key in
+  Hashtbl.replace n.dyn key v;
+  log_undo t (fun () ->
+      match old with
+      | Some o -> Hashtbl.replace n.dyn key o
+      | None -> Hashtbl.remove n.dyn key)
+
+let dyn_attr t oid key = Hashtbl.find_opt (node_of t oid).dyn key
+
+(* --- associative lookup --- *)
+
+let lookup_unique t ~doc uid = Hashtbl.find_opt (doc_state t doc).uid_to_oid uid
+
+let range_unique t ~doc ~lo ~hi =
+  let d = doc_state t doc in
+  let acc = ref [] in
+  for uid = hi downto lo do
+    match Hashtbl.find_opt d.uid_to_oid uid with
+    | Some oid -> acc := oid :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let range_hundred t ~doc ~lo ~hi =
+  let d = doc_state t doc in
+  let acc = ref [] in
+  for v = lo to hi do
+    match Hashtbl.find_opt d.hundred_index v with
+    | Some r -> acc := List.rev_append !r !acc
+    | None -> ()
+  done;
+  !acc
+
+let range_million t ~doc ~lo ~hi =
+  let d = doc_state t doc in
+  let acc = ref [] in
+  let rec take s =
+    match s () with
+    | Seq.Nil -> ()
+    | Seq.Cons ((k, oids), rest) ->
+      if k <= hi then begin
+        acc := List.rev_append oids !acc;
+        take rest
+      end
+  in
+  take (IMap.to_seq_from lo d.million_index);
+  !acc
+
+(* --- relationships --- *)
+
+let children t oid = Array.of_list (node_of t oid).children
+
+let parent t oid =
+  let p = (node_of t oid).parent in
+  if Oid.is_valid p then Some p else None
+
+let parts t oid = Array.of_list (node_of t oid).parts
+let part_of t oid = Array.of_list (node_of t oid).part_of
+let refs_to t oid = Array.of_list (node_of t oid).refs_to
+let refs_from t oid = Array.of_list (node_of t oid).refs_from
+
+(* --- content --- *)
+
+let text t oid =
+  let n = node_of t oid in
+  if n.kind <> Schema.Text then
+    invalid_arg (Printf.sprintf "Memdb: node %d is not a text node" oid);
+  n.text
+
+let set_text t oid s =
+  let n = node_of t oid in
+  if n.kind <> Schema.Text then
+    invalid_arg (Printf.sprintf "Memdb: node %d is not a text node" oid);
+  let old = n.text in
+  n.text <- s;
+  log_undo t (fun () -> n.text <- old)
+
+let form t oid =
+  let n = node_of t oid in
+  match n.form with
+  | Some b -> Bitmap.copy b (* hand out a copy: mutations go through set_form *)
+  | None -> invalid_arg (Printf.sprintf "Memdb: node %d is not a form node" oid)
+
+let set_form t oid b =
+  let n = node_of t oid in
+  match n.form with
+  | None -> invalid_arg (Printf.sprintf "Memdb: node %d is not a form node" oid)
+  | Some old ->
+    n.form <- Some (Bitmap.copy b);
+    log_undo t (fun () -> n.form <- Some old)
+
+(* --- scans --- *)
+
+let iter_doc t ~doc f =
+  (* Creation order, which for this backend is also "physical" order. *)
+  List.iter f (List.rev (doc_state t doc).member_order)
+
+let node_count t ~doc = (doc_state t doc).member_count
+
+let store_result_list t oids =
+  let old_results = t.results and old_count = t.result_count in
+  t.results <- oids :: t.results;
+  t.result_count <- t.result_count + 1;
+  log_undo t (fun () ->
+      t.results <- old_results;
+      t.result_count <- old_count)
+
+let stored_result_count t = t.result_count
+
+let stored_result t i =
+  if i < 0 || i >= t.result_count then invalid_arg "Memdb.stored_result";
+  List.nth t.results (t.result_count - 1 - i)
+
+(* --- introspection --- *)
+
+let io_description t =
+  Printf.sprintf "heap-resident; %d nodes, no physical I/O"
+    (Hashtbl.length t.nodes)
+
+let reset_io t = t.op_count <- 0

@@ -1,0 +1,23 @@
+(** In-memory object database — the Smalltalk-80 analogue.
+
+    The whole object graph lives in the process heap; relationships are
+    direct references (hash-table indirection on OID), so there is no
+    meaningful cold/warm distinction — which is precisely the behaviour
+    the paper observed for the in-memory system it measured.
+
+    Transactions are provided by an undo log: every mutation inside
+    [begin_txn] records an inverse thunk, [abort] replays them.  The
+    uniqueId, hundred and million attributes are indexed (hash table,
+    bucket array and balanced map respectively). *)
+
+open Backend_intf
+
+include Backend_intf.S
+
+val create : unit -> t
+
+val stored_result_count : t -> int
+(** Number of closure result lists persisted via [store_result_list]. *)
+
+val stored_result : t -> int -> Oid.t list
+(** [stored_result t i] is the [i]-th stored list (0-based). *)

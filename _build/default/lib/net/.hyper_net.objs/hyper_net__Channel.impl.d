@@ -1,0 +1,1 @@
+lib/net/channel.ml: Hashtbl Hyper_storage Latency_model Page Pager

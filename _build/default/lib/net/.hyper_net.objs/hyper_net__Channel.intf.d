@@ -1,0 +1,1 @@
+lib/net/channel.mli: Hyper_storage Latency_model

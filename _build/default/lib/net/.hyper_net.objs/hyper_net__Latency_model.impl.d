@@ -1,0 +1,1 @@
+lib/net/latency_model.ml: Hyper_util Printf Vclock

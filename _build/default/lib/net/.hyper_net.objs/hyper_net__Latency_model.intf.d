@@ -1,0 +1,1 @@
+lib/net/latency_model.mli:

@@ -1,0 +1,101 @@
+open Hyper_storage
+
+type profile = {
+  network : Latency_model.t;
+  server_disk : Latency_model.t;
+  server_cache_pages : int;
+}
+
+type counters = {
+  mutable round_trips : int;
+  mutable bytes_sent : int;
+  mutable server_hits : int;
+  mutable server_misses : int;
+}
+
+type t = {
+  pager : Pager.t;
+  network : Latency_model.t;
+  server_disk : Latency_model.t;
+  cache_capacity : int;
+  cache : (int, int) Hashtbl.t; (* page -> last-use tick *)
+  mutable tick : int;
+  mutable all_resident : bool;
+  counters : counters;
+}
+
+let cache_touch t page =
+  t.tick <- t.tick + 1;
+  if not (Hashtbl.mem t.cache page) then begin
+    if Hashtbl.length t.cache >= t.cache_capacity then begin
+      (* Evict the least recently used entry. *)
+      let victim =
+        Hashtbl.fold
+          (fun p tick best ->
+            match best with
+            | Some (_, bt) when bt <= tick -> best
+            | _ -> Some (p, tick))
+          t.cache None
+      in
+      match victim with
+      | Some (p, _) -> Hashtbl.remove t.cache p
+      | None -> ()
+    end;
+    Hashtbl.add t.cache page t.tick
+  end
+  else Hashtbl.replace t.cache page t.tick
+
+let server_lookup t page =
+  let hit = t.all_resident || Hashtbl.mem t.cache page in
+  cache_touch t page;
+  hit
+
+let on_read t page =
+  t.counters.round_trips <- t.counters.round_trips + 1;
+  t.counters.bytes_sent <- t.counters.bytes_sent + Page.size;
+  Latency_model.charge t.network ~bytes:Page.size;
+  if server_lookup t page then
+    t.counters.server_hits <- t.counters.server_hits + 1
+  else begin
+    t.counters.server_misses <- t.counters.server_misses + 1;
+    Latency_model.charge t.server_disk ~bytes:Page.size
+  end
+
+let on_write t page =
+  t.counters.round_trips <- t.counters.round_trips + 1;
+  t.counters.bytes_sent <- t.counters.bytes_sent + Page.size;
+  Latency_model.charge t.network ~bytes:Page.size;
+  (* The written page is now resident in the server cache. *)
+  cache_touch t page
+
+let attach ~network ?(server_disk = Latency_model.disk_1988)
+    ?(server_cache_pages = 1024) pager =
+  let t =
+    { pager; network; server_disk; cache_capacity = server_cache_pages;
+      cache = Hashtbl.create (2 * server_cache_pages); tick = 0;
+      all_resident = false;
+      counters =
+        { round_trips = 0; bytes_sent = 0; server_hits = 0; server_misses = 0 } }
+  in
+  Pager.set_hooks pager ~on_read:(on_read t) ~on_write:(on_write t);
+  t
+
+let profile_1988 =
+  { network = Latency_model.lan_1988; server_disk = Latency_model.disk_1988;
+    server_cache_pages = 1024 }
+
+let attach_profile (p : profile) pager =
+  attach ~network:p.network ~server_disk:p.server_disk
+    ~server_cache_pages:p.server_cache_pages pager
+
+let detach t = Pager.clear_hooks t.pager
+
+let counters t = t.counters
+
+let reset_counters t =
+  t.counters.round_trips <- 0;
+  t.counters.bytes_sent <- 0;
+  t.counters.server_hits <- 0;
+  t.counters.server_misses <- 0
+
+let warm_server t = t.all_resident <- true

@@ -1,0 +1,57 @@
+(** Simulated workstation/server page channel.
+
+    Attaching a channel to a {!Hyper_storage.Pager} turns it into a
+    "remote" store: every physical page read becomes a round trip over
+    the [network] model.  The server keeps its own page cache of
+    [server_cache_pages]; a server-cache miss additionally pays the
+    [server_disk] model.  Page writes pay the network cost (shipping the
+    page) — the server's disk write happens asynchronously and is not
+    charged, matching the group-commit behaviour of the paper-era
+    servers.
+
+    This is the mechanism behind the cold/warm distinction in a
+    workstation/server architecture (paper §6): a cold run fetches nodes
+    from the server; the warm run hits the workstation's buffer pool and
+    never touches the channel. *)
+
+type t
+
+(** A complete workstation/server configuration: how slow the wire is,
+    how slow the server's disk is, and how much the server caches. *)
+type profile = {
+  network : Latency_model.t;
+  server_disk : Latency_model.t;
+  server_cache_pages : int;
+}
+
+val profile_1988 : profile
+(** 10 Mbit/s LAN, late-80s server disk, 1024-page server cache — the
+    environment the paper's measurements assumed. *)
+
+type counters = {
+  mutable round_trips : int;
+  mutable bytes_sent : int;
+  mutable server_hits : int;
+  mutable server_misses : int;
+}
+
+val attach :
+  network:Latency_model.t ->
+  ?server_disk:Latency_model.t ->
+  ?server_cache_pages:int ->
+  Hyper_storage.Pager.t ->
+  t
+(** Install hooks on the pager.  Default server cache: 1024 pages;
+    default server disk: {!Latency_model.disk_1988}. *)
+
+val attach_profile : profile -> Hyper_storage.Pager.t -> t
+
+val detach : t -> unit
+(** Remove the hooks; the pager becomes local again. *)
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val warm_server : t -> unit
+(** Preload the server cache notionally (marks everything resident), for
+    experiments that isolate network cost from server disk cost. *)

@@ -1,0 +1,25 @@
+open Hyper_util
+
+type t = { per_request_ns : float; per_byte_ns : float }
+
+let create ~per_request_ns ~per_byte_ns =
+  if per_request_ns < 0.0 || per_byte_ns < 0.0 then
+    invalid_arg "Latency_model.create: negative cost";
+  { per_request_ns; per_byte_ns }
+
+let zero = { per_request_ns = 0.0; per_byte_ns = 0.0 }
+
+let lan_1988 = { per_request_ns = 2_000_000.0; per_byte_ns = 800.0 }
+
+let disk_1988 = { per_request_ns = 25_000_000.0; per_byte_ns = 1_000.0 }
+
+let disk_modern = { per_request_ns = 80_000.0; per_byte_ns = 2.0 }
+
+let cost_ns t ~bytes =
+  t.per_request_ns +. (t.per_byte_ns *. float_of_int bytes)
+
+let charge t ~bytes = Vclock.advance_ns (cost_ns t ~bytes)
+
+let describe t =
+  Printf.sprintf "%.0f us/request + %.2f ns/byte"
+    (t.per_request_ns /. 1000.0) t.per_byte_ns

@@ -1,0 +1,34 @@
+(** Deterministic latency models for simulated I/O (R6/R7).
+
+    A model charges a fixed per-request cost plus a per-byte cost to the
+    virtual clock ({!Hyper_util.Vclock}) instead of sleeping, so
+    benchmarks remain fast and reproducible while cold/warm and
+    local/remote gaps stay visible in the reported times.
+
+    The presets approximate the paper's 1988 environment: workstations on
+    a 10 Mbit/s LAN against a shared server, and local SCSI-era disks. *)
+
+type t
+
+val create : per_request_ns:float -> per_byte_ns:float -> t
+
+val zero : t
+(** Free I/O (used for pure in-memory runs). *)
+
+val lan_1988 : t
+(** A remote procedure call on a 10 Mbit/s Ethernet: ≈2 ms fixed cost
+    plus 0.8 µs/byte. *)
+
+val disk_1988 : t
+(** One random access on a late-80s disk: ≈25 ms seek+rotate plus
+    transfer at ≈1 MB/s. *)
+
+val disk_modern : t
+(** A commodity SSD: 80 µs access, ≈0.5 GB/s. *)
+
+val cost_ns : t -> bytes:int -> float
+
+val charge : t -> bytes:int -> unit
+(** Advance the virtual clock by [cost_ns]. *)
+
+val describe : t -> string

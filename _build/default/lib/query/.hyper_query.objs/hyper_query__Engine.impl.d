@@ -1,0 +1,1 @@
+lib/query/engine.ml: Ast List Parser Planner Printf String

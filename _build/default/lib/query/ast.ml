@@ -1,0 +1,93 @@
+type attr = Unique_id | Ten | Hundred | Million
+
+type kind = Internal | Text | Form | Draw
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | Cmp of attr * cmp * int
+  | Between of attr * int * int
+  | Kind_is of kind
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | True
+
+type verb = Select | Count
+
+type stmt = { verb : verb; where : expr; limit : int option }
+
+type row = {
+  oid : int;
+  unique_id : int;
+  ten : int;
+  hundred : int;
+  million : int;
+  kind : kind;
+}
+
+let attr_of_row row = function
+  | Unique_id -> row.unique_id
+  | Ten -> row.ten
+  | Hundred -> row.hundred
+  | Million -> row.million
+
+let apply_cmp op a b =
+  match op with
+  | Eq -> a = b
+  | Neq -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let rec eval expr row =
+  match expr with
+  | Cmp (attr, op, v) -> apply_cmp op (attr_of_row row attr) v
+  | Between (attr, lo, hi) ->
+    let v = attr_of_row row attr in
+    v >= lo && v <= hi
+  | Kind_is k -> row.kind = k
+  | And (a, b) -> eval a row && eval b row
+  | Or (a, b) -> eval a row || eval b row
+  | Not e -> not (eval e row)
+  | True -> true
+
+let attr_to_string = function
+  | Unique_id -> "uniqueId"
+  | Ten -> "ten"
+  | Hundred -> "hundred"
+  | Million -> "million"
+
+let kind_to_string = function
+  | Internal -> "internal"
+  | Text -> "text"
+  | Form -> "form"
+  | Draw -> "draw"
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec expr_to_string = function
+  | Cmp (a, op, v) ->
+    Printf.sprintf "%s %s %d" (attr_to_string a) (cmp_to_string op) v
+  | Between (a, lo, hi) ->
+    Printf.sprintf "%s between %d and %d" (attr_to_string a) lo hi
+  | Kind_is k -> Printf.sprintf "kind = %s" (kind_to_string k)
+  | And (a, b) ->
+    Printf.sprintf "(%s and %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) ->
+    Printf.sprintf "(%s or %s)" (expr_to_string a) (expr_to_string b)
+  | Not e -> Printf.sprintf "(not %s)" (expr_to_string e)
+  | True -> "true"
+
+let stmt_to_string { verb; where; limit } =
+  Printf.sprintf "%s where %s%s"
+    (match verb with Select -> "select" | Count -> "count")
+    (expr_to_string where)
+    (match limit with None -> "" | Some n -> Printf.sprintf " limit %d" n)

@@ -1,0 +1,46 @@
+(** Abstract syntax for the HyperModel ad-hoc query language (R12).
+
+    The language selects nodes by predicates over the benchmark schema's
+    scalar attributes and node kind:
+
+    {v
+      select where hundred between 10 and 19
+      count  where million >= 500000 and kind = text
+      select where (ten = 3 or ten = 4) and not kind = form limit 20
+    v} *)
+
+type attr = Unique_id | Ten | Hundred | Million
+
+type kind = Internal | Text | Form | Draw
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | Cmp of attr * cmp * int
+  | Between of attr * int * int  (** inclusive bounds *)
+  | Kind_is of kind
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | True
+
+type verb = Select | Count
+
+type stmt = { verb : verb; where : expr; limit : int option }
+
+(** A row as seen by the query engine. *)
+type row = {
+  oid : int;
+  unique_id : int;
+  ten : int;
+  hundred : int;
+  million : int;
+  kind : kind;
+}
+
+val attr_of_row : row -> attr -> int
+val eval : expr -> row -> bool
+val attr_to_string : attr -> string
+val kind_to_string : kind -> string
+val expr_to_string : expr -> string
+val stmt_to_string : stmt -> string

@@ -1,0 +1,55 @@
+type source = {
+  scan : (Ast.row -> unit) -> unit;
+  index_range : Ast.attr -> lo:int -> hi:int -> (Ast.row -> unit) -> bool;
+}
+
+type result = Oids of int list | Count of int
+
+exception Limit_reached
+
+let collect source stmt =
+  let matched = ref [] in
+  let n = ref 0 in
+  let limit = stmt.Ast.limit in
+  let visit residual row =
+    if Ast.eval residual row then begin
+      matched := row.Ast.oid :: !matched;
+      incr n;
+      match limit with
+      | Some l when !n >= l -> raise Limit_reached
+      | Some _ | None -> ()
+    end
+  in
+  (* Probe which attributes the source can index by asking with an empty
+     visitor; sources answer statically so this is side-effect free. *)
+  let indexed attr = source.index_range attr ~lo:1 ~hi:0 (fun _ -> ()) in
+  let plan = Planner.plan ~indexed stmt.Ast.where in
+  (try
+     match plan with
+     | Planner.Full_scan e -> source.scan (visit e)
+     | Planner.Index_range (attr, lo, hi, residual) ->
+       if not (source.index_range attr ~lo ~hi (visit residual)) then
+         (* Source lied about the index; recover with a scan of the full
+            predicate. *)
+         source.scan (visit stmt.Ast.where)
+   with Limit_reached -> ());
+  List.sort compare !matched
+
+let run source stmt =
+  let oids = collect source stmt in
+  match stmt.Ast.verb with
+  | Ast.Select -> Oids oids
+  | Ast.Count -> Count (List.length oids)
+
+let run_string source input = run source (Parser.parse input)
+
+let explain source input =
+  let stmt = Parser.parse input in
+  let indexed attr = source.index_range attr ~lo:1 ~hi:0 (fun _ -> ()) in
+  Planner.plan_to_string (Planner.plan ~indexed stmt.Ast.where)
+
+let result_to_string = function
+  | Oids oids ->
+    Printf.sprintf "%d nodes: [%s]" (List.length oids)
+      (String.concat "; " (List.map string_of_int oids))
+  | Count n -> Printf.sprintf "count = %d" n

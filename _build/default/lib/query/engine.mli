@@ -1,0 +1,26 @@
+(** Query execution over an abstract row source.
+
+    Backends expose their data through a {!source}; the engine parses,
+    plans against the available indexes and executes.  Results are OIDs
+    in ascending order (selects) or a count. *)
+
+type source = {
+  scan : (Ast.row -> unit) -> unit;
+      (** visit every row in the queried structure *)
+  index_range : Ast.attr -> lo:int -> hi:int -> (Ast.row -> unit) -> bool;
+      (** visit rows with [attr] in [lo, hi] via an index; [false] when no
+          index exists on [attr] (the engine then falls back to a scan) *)
+}
+
+type result = Oids of int list | Count of int
+
+val run : source -> Ast.stmt -> result
+
+val run_string : source -> string -> result
+(** Parse then [run].
+    @raise Parser.Parse_error / Lexer.Lex_error on bad input. *)
+
+val explain : source -> string -> string
+(** The plan that [run_string] would execute, rendered. *)
+
+val result_to_string : result -> string

@@ -1,0 +1,62 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec lex i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> lex (i + 1) acc
+      | '(' -> lex (i + 1) (LPAREN :: acc)
+      | ')' -> lex (i + 1) (RPAREN :: acc)
+      | '=' -> lex (i + 1) (EQ :: acc)
+      | '!' when i + 1 < n && input.[i + 1] = '=' -> lex (i + 2) (NEQ :: acc)
+      | '<' when i + 1 < n && input.[i + 1] = '=' -> lex (i + 2) (LE :: acc)
+      | '<' when i + 1 < n && input.[i + 1] = '>' -> lex (i + 2) (NEQ :: acc)
+      | '<' -> lex (i + 1) (LT :: acc)
+      | '>' when i + 1 < n && input.[i + 1] = '=' -> lex (i + 2) (GE :: acc)
+      | '>' -> lex (i + 1) (GT :: acc)
+      | c when is_digit c ->
+        let j = ref i in
+        while !j < n && is_digit input.[!j] do
+          incr j
+        done;
+        lex !j (INT (int_of_string (String.sub input i (!j - i))) :: acc)
+      | c when is_alpha c ->
+        let j = ref i in
+        while !j < n && (is_alpha input.[!j] || is_digit input.[!j]) do
+          incr j
+        done;
+        lex !j (IDENT (String.lowercase_ascii (String.sub input i (!j - i))) :: acc)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C at %d" c i))
+  in
+  lex 0 []
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

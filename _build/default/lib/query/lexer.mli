@@ -1,0 +1,21 @@
+(** Tokeniser for the query language. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** @raise Lex_error on an unrecognisable character. *)
+
+val token_to_string : token -> string

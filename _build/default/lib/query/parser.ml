@@ -1,0 +1,156 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect_ident st name =
+  match peek st with
+  | Lexer.IDENT s when s = name -> advance st
+  | t -> fail "expected %S, got %s" name (Lexer.token_to_string t)
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | t -> fail "expected an integer, got %s" (Lexer.token_to_string t)
+
+let attr_of_ident = function
+  | "uniqueid" -> Some Unique_id
+  | "ten" -> Some Ten
+  | "hundred" -> Some Hundred
+  | "million" -> Some Million
+  | _ -> None
+
+let kind_of_ident = function
+  | "internal" -> Some Internal
+  | "text" -> Some Text
+  | "form" -> Some Form
+  | "draw" -> Some Draw
+  | _ -> None
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Eq
+  | Lexer.NEQ -> Some Neq
+  | Lexer.LT -> Some Lt
+  | Lexer.LE -> Some Le
+  | Lexer.GT -> Some Gt
+  | Lexer.GE -> Some Ge
+  | _ -> None
+
+let rec parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Lexer.IDENT "or" ->
+    advance st;
+    Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_unary st in
+  match peek st with
+  | Lexer.IDENT "and" ->
+    advance st;
+    And (left, parse_and st)
+  | _ -> left
+
+and parse_unary st =
+  match peek st with
+  | Lexer.IDENT "not" ->
+    advance st;
+    Not (parse_unary st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    (match peek st with
+    | Lexer.RPAREN ->
+      advance st;
+      e
+    | t -> fail "expected ), got %s" (Lexer.token_to_string t))
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.IDENT "true" ->
+    advance st;
+    True
+  | Lexer.IDENT "kind" ->
+    advance st;
+    (match peek st with
+    | Lexer.EQ -> advance st
+    | t -> fail "expected = after kind, got %s" (Lexer.token_to_string t));
+    (match peek st with
+    | Lexer.IDENT s -> (
+      match kind_of_ident s with
+      | Some k ->
+        advance st;
+        Kind_is k
+      | None -> fail "unknown kind %S" s)
+    | t -> fail "expected a kind name, got %s" (Lexer.token_to_string t))
+  | Lexer.IDENT name -> (
+    match attr_of_ident name with
+    | None -> fail "unknown attribute %S" name
+    | Some attr -> (
+      advance st;
+      match peek st with
+      | Lexer.IDENT "between" ->
+        advance st;
+        let lo = expect_int st in
+        expect_ident st "and";
+        let hi = expect_int st in
+        if hi < lo then fail "between: upper bound %d < lower bound %d" hi lo;
+        Between (attr, lo, hi)
+      | t -> (
+        match cmp_of_token t with
+        | Some op ->
+          advance st;
+          Cmp (attr, op, expect_int st)
+        | None ->
+          fail "expected a comparison after %s, got %s"
+            (Ast.attr_to_string attr) (Lexer.token_to_string t))))
+  | t -> fail "expected a predicate, got %s" (Lexer.token_to_string t)
+
+let parse_stmt st =
+  let verb =
+    match peek st with
+    | Lexer.IDENT "select" ->
+      advance st;
+      Select
+    | Lexer.IDENT "count" ->
+      advance st;
+      Count
+    | t -> fail "expected select or count, got %s" (Lexer.token_to_string t)
+  in
+  expect_ident st "where";
+  let where = parse_or st in
+  let limit =
+    match peek st with
+    | Lexer.IDENT "limit" ->
+      advance st;
+      let n = expect_int st in
+      if n < 0 then fail "negative limit";
+      Some n
+    | _ -> None
+  in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> fail "trailing input: %s" (Lexer.token_to_string t));
+  { verb; where; limit }
+
+let parse input = parse_stmt { tokens = Lexer.tokenize input }
+
+let parse_expr input =
+  let st = { tokens = Lexer.tokenize input } in
+  let e = parse_or st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> fail "trailing input: %s" (Lexer.token_to_string t));
+  e

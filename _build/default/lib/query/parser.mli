@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the query language.
+
+    Grammar (keywords case-insensitive):
+
+    {v
+      stmt    := ("select" | "count") "where" expr ("limit" INT)?
+      expr    := conj ("or" conj)*
+      conj    := unary ("and" unary)*
+      unary   := "not" unary | "(" expr ")" | atom
+      atom    := attr cmp INT
+               | attr "between" INT "and" INT
+               | "kind" "=" ("internal"|"text"|"form"|"draw")
+               | "true"
+      attr    := "uniqueid" | "ten" | "hundred" | "million"
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt
+(** @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a bare predicate (no verb / limit). *)

@@ -1,0 +1,68 @@
+open Ast
+
+type plan =
+  | Full_scan of Ast.expr
+  | Index_range of Ast.attr * int * int * Ast.expr
+
+(* Extract the top-level conjuncts of an expression. *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec conjoin = function
+  | [] -> True
+  | [ e ] -> e
+  | e :: rest -> And (e, conjoin rest)
+
+(* An indexable bound for a conjunct, as (attr, lo, hi). *)
+let bound_of ~indexed = function
+  | Between (a, lo, hi) when indexed a -> Some (a, lo, hi)
+  | Cmp (a, Eq, v) when indexed a -> Some (a, v, v)
+  | Cmp (a, Le, v) when indexed a -> Some (a, min_int, v)
+  | Cmp (a, Lt, v) when indexed a -> Some (a, min_int, v - 1)
+  | Cmp (a, Ge, v) when indexed a -> Some (a, v, max_int)
+  | Cmp (a, Gt, v) when indexed a -> Some (a, v + 1, max_int)
+  | Cmp (_, (Neq | Eq | Lt | Le | Gt | Ge), _)
+  | Between _ | Kind_is _ | And _ | Or _ | Not _ | True -> None
+
+(* Width of a bound, used to pick the most selective index. *)
+let width (_, lo, hi) =
+  if lo = min_int || hi = max_int then max_int else hi - lo + 1
+
+let plan ~indexed expr =
+  let cs = conjuncts expr in
+  let candidates =
+    List.filter_map
+      (fun c ->
+        match bound_of ~indexed c with
+        | Some b -> Some (c, b)
+        | None -> None)
+      cs
+  in
+  match candidates with
+  | [] -> Full_scan expr
+  | _ ->
+    let best =
+      List.fold_left
+        (fun acc cand ->
+          match acc with
+          | None -> Some cand
+          | Some (_, bb) ->
+            let _, cb = cand in
+            if width cb < width bb then Some cand else acc)
+        None candidates
+    in
+    (match best with
+    | Some (chosen, (attr, lo, hi)) ->
+      let residual = conjoin (List.filter (fun c -> c != chosen) cs) in
+      Index_range (attr, lo, hi, residual)
+    | None -> Full_scan expr)
+
+let plan_to_string = function
+  | Full_scan e -> Printf.sprintf "full-scan filter(%s)" (expr_to_string e)
+  | Index_range (a, lo, hi, residual) ->
+    Printf.sprintf "index-range %s in [%s, %s] filter(%s)"
+      (attr_to_string a)
+      (if lo = min_int then "-inf" else string_of_int lo)
+      (if hi = max_int then "+inf" else string_of_int hi)
+      (expr_to_string residual)

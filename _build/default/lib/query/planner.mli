@@ -1,0 +1,18 @@
+(** Rule-based access-path selection.
+
+    The planner looks for an indexable range on an indexed attribute in
+    the top-level conjunction of the predicate; when found, execution
+    probes that index and filters the residual predicate.  Otherwise it
+    falls back to a sequential scan — the trade-off the HyperModel's
+    range-lookup operations (03, 04) are designed to expose. *)
+
+type plan =
+  | Full_scan of Ast.expr
+      (** scan every row, filter by the predicate *)
+  | Index_range of Ast.attr * int * int * Ast.expr
+      (** probe index on attr for keys in [lo, hi], filter the residual *)
+
+val plan : indexed:(Ast.attr -> bool) -> Ast.expr -> plan
+(** [indexed] reports which attributes have an index available. *)
+
+val plan_to_string : plan -> string

@@ -1,0 +1,1 @@
+lib/reldb/reldb.ml: Array Buffer_pool Engine Freelist Hashtbl Heap Hyper_core Hyper_index Hyper_net Hyper_storage Hyper_util Int64 List Meta Option Page Pager Printf Rows Stdlib String

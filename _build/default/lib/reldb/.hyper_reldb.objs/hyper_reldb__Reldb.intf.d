@@ -1,0 +1,1 @@
+lib/reldb/reldb.mli: Hyper_core Hyper_net Hyper_storage

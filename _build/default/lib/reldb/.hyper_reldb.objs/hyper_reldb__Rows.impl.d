@@ -1,0 +1,1 @@
+lib/reldb/rows.ml: Buffer Bytes Char Hyper_core List Printf String

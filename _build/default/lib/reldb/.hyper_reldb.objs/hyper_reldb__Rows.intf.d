@@ -1,0 +1,1 @@
+lib/reldb/rows.mli: Hyper_core

@@ -1,0 +1,634 @@
+open Hyper_storage
+module Btree = Hyper_index.Btree
+module Schema = Hyper_core.Schema
+module Oid = Hyper_core.Oid
+module Bitmap = Hyper_util.Bitmap
+
+type config = {
+  path : string;
+  pool_pages : int;
+  durable_sync : bool;
+  checkpoint_wal_bytes : int;
+  remote : Hyper_net.Channel.profile option;
+}
+
+let default_config ~path =
+  { path; pool_pages = 2048; durable_sync = false;
+    checkpoint_wal_bytes = 64 * 1024 * 1024; remote = None }
+
+let remote_1988 = Hyper_net.Channel.profile_1988
+
+(* One heap + primary index per table, plus secondary indexes for every
+   access path the operations need.  They live in a swappable sub-record
+   so that abort/reload can re-attach them atomically. *)
+type structures = {
+  freelist : Freelist.t;
+  node_heap : Heap.t;
+  text_heap : Heap.t;
+  form_heap : Heap.t;
+  child_heap : Heap.t;
+  part_heap : Heap.t;
+  ref_heap : Heap.t;
+  results_heap : Heap.t;
+  node_pk : Btree.t; (* oid -> rid *)
+  idx_uid : Btree.t; (* pack(doc, uid) -> oid *)
+  idx_hundred : Btree.t; (* pack(doc, hundred) -> oid *)
+  idx_million : Btree.t; (* pack(doc, million) -> oid *)
+  text_pk : Btree.t; (* oid -> rid *)
+  form_pk : Btree.t; (* oid -> rid *)
+  child_by_parent : Btree.t; (* parent * 2^16 + pos -> rid *)
+  child_by_child : Btree.t; (* child -> rid *)
+  part_by_whole : Btree.t; (* whole -> rid *)
+  part_by_part : Btree.t; (* part -> rid *)
+  ref_by_src : Btree.t; (* src -> rid *)
+  ref_by_dst : Btree.t; (* dst -> rid *)
+}
+
+type t = {
+  engine : Engine.t;
+  pool : Buffer_pool.t;
+  channel : Hyper_net.Channel.t option;
+  mutable s : structures;
+  doc_counts : (int, int) Hashtbl.t;
+  mutable result_seq : int;
+}
+
+let name = "reldb"
+
+let description = "relational mapping: entity/relationship tables + index joins"
+
+let key_shift = 1 lsl 44
+let value_bias = 1 lsl 21
+let pack_key ~doc v = (doc * key_shift) + v + value_bias
+
+let doc_key doc = Printf.sprintf "doc_%d" doc
+
+(* Ordered lists of (meta key, getter/setter) pairs keep save/load in
+   lock-step; heaps and trees are threaded through records below. *)
+
+let save_roots t =
+  let s = t.s in
+  let kvs =
+    [ ("freelist", Freelist.head s.freelist);
+      ("node_heap", Heap.first_page s.node_heap);
+      ("text_heap", Heap.first_page s.text_heap);
+      ("form_heap", Heap.first_page s.form_heap);
+      ("child_heap", Heap.first_page s.child_heap);
+      ("part_heap", Heap.first_page s.part_heap);
+      ("ref_heap", Heap.first_page s.ref_heap);
+      ("results_heap", Heap.first_page s.results_heap);
+      ("node_pk", Btree.root s.node_pk);
+      ("idx_uid", Btree.root s.idx_uid);
+      ("idx_hundred", Btree.root s.idx_hundred);
+      ("idx_million", Btree.root s.idx_million);
+      ("text_pk", Btree.root s.text_pk);
+      ("form_pk", Btree.root s.form_pk);
+      ("child_by_parent", Btree.root s.child_by_parent);
+      ("child_by_child", Btree.root s.child_by_child);
+      ("part_by_whole", Btree.root s.part_by_whole);
+      ("part_by_part", Btree.root s.part_by_part);
+      ("ref_by_src", Btree.root s.ref_by_src);
+      ("ref_by_dst", Btree.root s.ref_by_dst);
+      ("result_seq", t.result_seq) ]
+    |> List.map (fun (k, v) -> (k, Int64.of_int v))
+  in
+  let kvs =
+    kvs
+    @ Hashtbl.fold
+        (fun doc count acc -> (doc_key doc, Int64.of_int count) :: acc)
+        t.doc_counts []
+  in
+  Meta.store t.pool kvs
+
+let attach_structures pool kvs =
+  let geti key = Int64.to_int (List.assoc key kvs) in
+  let freelist = Freelist.attach pool ~head:(geti "freelist") in
+  let heap key = Heap.attach pool freelist ~head:(geti key) in
+  let tree key = Btree.attach pool freelist ~root:(geti key) in
+  { freelist;
+    node_heap = heap "node_heap";
+    text_heap = heap "text_heap";
+    form_heap = heap "form_heap";
+    child_heap = heap "child_heap";
+    part_heap = heap "part_heap";
+    ref_heap = heap "ref_heap";
+    results_heap = heap "results_heap";
+    node_pk = tree "node_pk";
+    idx_uid = tree "idx_uid";
+    idx_hundred = tree "idx_hundred";
+    idx_million = tree "idx_million";
+    text_pk = tree "text_pk";
+    form_pk = tree "form_pk";
+    child_by_parent = tree "child_by_parent";
+    child_by_child = tree "child_by_child";
+    part_by_whole = tree "part_by_whole";
+    part_by_part = tree "part_by_part";
+    ref_by_src = tree "ref_by_src";
+    ref_by_dst = tree "ref_by_dst" }
+
+let load_doc_counts t kvs =
+  Hashtbl.reset t.doc_counts;
+  List.iter
+    (fun (k, v) ->
+      if String.length k > 4 && String.sub k 0 4 = "doc_" then
+        match int_of_string_opt (String.sub k 4 (String.length k - 4)) with
+        | Some doc -> Hashtbl.replace t.doc_counts doc (Int64.to_int v)
+        | None -> ())
+    kvs
+
+let load_roots t =
+  let kvs = Meta.load t.pool in
+  t.s <- attach_structures t.pool kvs;
+  t.result_seq <- Int64.to_int (List.assoc "result_seq" kvs);
+  load_doc_counts t kvs
+
+let begin_txn t = Engine.begin_txn t.engine
+let commit t = Engine.commit t.engine
+let abort t = Engine.abort t.engine
+let clear_caches t = Engine.clear_caches t.engine
+let require_txn t = Engine.require_txn t.engine
+
+let open_db config =
+  let engine =
+    Engine.open_ ~path:config.path ~pool_pages:config.pool_pages
+      ~durable_sync:config.durable_sync
+      ~checkpoint_wal_bytes:config.checkpoint_wal_bytes ()
+  in
+  let pool = Engine.pool engine in
+  let channel =
+    Option.map
+      (fun profile ->
+        Hyper_net.Channel.attach_profile profile (Engine.pager engine))
+      config.remote
+  in
+  let t =
+    if Engine.fresh engine then begin
+      let page0 = Buffer_pool.allocate pool in
+      assert (page0 = 0);
+      Meta.format pool;
+      let fl = Freelist.attach pool ~head:0 in
+      let s =
+        { freelist = fl;
+          node_heap = Heap.fresh pool fl;
+          text_heap = Heap.fresh pool fl;
+          form_heap = Heap.fresh pool fl;
+          child_heap = Heap.fresh pool fl;
+          part_heap = Heap.fresh pool fl;
+          ref_heap = Heap.fresh pool fl;
+          results_heap = Heap.fresh pool fl;
+          node_pk = Btree.create pool fl;
+          idx_uid = Btree.create pool fl;
+          idx_hundred = Btree.create pool fl;
+          idx_million = Btree.create pool fl;
+          text_pk = Btree.create pool fl;
+          form_pk = Btree.create pool fl;
+          child_by_parent = Btree.create pool fl;
+          child_by_child = Btree.create pool fl;
+          part_by_whole = Btree.create pool fl;
+          part_by_part = Btree.create pool fl;
+          ref_by_src = Btree.create pool fl;
+          ref_by_dst = Btree.create pool fl }
+      in
+      let t =
+        { engine; pool; channel; s; doc_counts = Hashtbl.create 4;
+          result_seq = 0 }
+      in
+      save_roots t;
+      Buffer_pool.flush_all pool;
+      Pager.sync (Engine.pager engine);
+      t
+    end
+    else begin
+      let kvs = Meta.load pool in
+      let t =
+        { engine; pool; channel; s = attach_structures pool kvs;
+          doc_counts = Hashtbl.create 4;
+          result_seq = Int64.to_int (List.assoc "result_seq" kvs) }
+      in
+      load_doc_counts t kvs;
+      t
+    end
+  in
+  Engine.set_hooks engine
+    ~on_save:(fun () -> save_roots t)
+    ~on_reload:(fun () -> load_roots t);
+  t
+
+let checkpoint t = Engine.checkpoint t.engine
+
+let close t =
+  (match t.channel with Some c -> Hyper_net.Channel.detach c | None -> ());
+  Engine.close t.engine
+let last_recovery t = Engine.recovery t.engine
+
+(* --- row access helpers --- *)
+
+let node_rid t oid =
+  match Btree.find_first t.s.node_pk ~key:oid with
+  | Some rid -> rid
+  | None -> invalid_arg (Printf.sprintf "Reldb: unknown oid %d" oid)
+
+let read_node t oid = Rows.decode_node (Heap.read t.s.node_heap (node_rid t oid))
+
+let update_node t row =
+  let rid = node_rid t row.Rows.oid in
+  let rid' = Heap.update t.s.node_heap rid (Rows.encode_node row) in
+  if rid' <> rid then begin
+    ignore (Btree.delete t.s.node_pk ~key:row.Rows.oid ~value:rid : bool);
+    Btree.insert t.s.node_pk ~key:row.Rows.oid ~value:rid'
+  end
+
+(* --- creation --- *)
+
+let create_node ?near:_ t spec =
+  require_txn t;
+  let oid = spec.Schema.oid in
+  if Btree.find_first t.s.node_pk ~key:oid <> None then
+    invalid_arg (Printf.sprintf "Reldb: oid %d already exists" oid);
+  let row =
+    { Rows.doc = spec.Schema.doc; oid; unique_id = spec.Schema.unique_id;
+      ten = spec.Schema.ten; hundred = spec.Schema.hundred;
+      million = spec.Schema.million;
+      kind = Schema.kind_of_payload spec.Schema.payload; dyn = [] }
+  in
+  let rid = Heap.insert t.s.node_heap (Rows.encode_node row) in
+  Btree.insert t.s.node_pk ~key:oid ~value:rid;
+  let doc = spec.Schema.doc in
+  Btree.insert t.s.idx_uid ~key:(pack_key ~doc spec.Schema.unique_id) ~value:oid;
+  Btree.insert t.s.idx_hundred ~key:(pack_key ~doc spec.Schema.hundred) ~value:oid;
+  Btree.insert t.s.idx_million ~key:(pack_key ~doc spec.Schema.million) ~value:oid;
+  (match spec.Schema.payload with
+  | Schema.P_text body ->
+    let trid = Heap.insert t.s.text_heap (Rows.encode_text ~oid body) in
+    Btree.insert t.s.text_pk ~key:oid ~value:trid
+  | Schema.P_form bitmap ->
+    let frid =
+      Heap.insert t.s.form_heap (Rows.encode_form ~oid (Bitmap.to_bytes bitmap))
+    in
+    Btree.insert t.s.form_pk ~key:oid ~value:frid
+  | Schema.P_internal | Schema.P_draw -> ());
+  Hashtbl.replace t.doc_counts doc
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.doc_counts doc))
+
+let child_key ~parent ~pos = (parent lsl 16) lor pos
+
+(* Next free position: one past the highest occupied, so removals never
+   cause position collisions while the remaining sequence keeps its
+   order. *)
+let next_child_pos t parent =
+  Btree.fold_range t.s.child_by_parent ~lo:(child_key ~parent ~pos:0)
+    ~hi:(child_key ~parent ~pos:0xFFFF) ~init:0
+    ~f:(fun acc ~key ~value:_ -> Stdlib.max acc ((key land 0xFFFF) + 1))
+
+let add_child t ~parent ~child =
+  require_txn t;
+  if Btree.find_first t.s.child_by_child ~key:child <> None then
+    invalid_arg (Printf.sprintf "Reldb: node %d already has a parent" child);
+  let pos = next_child_pos t parent in
+  let row = { Rows.parent; pos; child } in
+  let rid = Heap.insert t.s.child_heap (Rows.encode_child row) in
+  Btree.insert t.s.child_by_parent ~key:(child_key ~parent ~pos) ~value:rid;
+  Btree.insert t.s.child_by_child ~key:child ~value:rid
+
+let add_part t ~whole ~part =
+  require_txn t;
+  let rid = Heap.insert t.s.part_heap (Rows.encode_part { Rows.whole; part }) in
+  Btree.insert t.s.part_by_whole ~key:whole ~value:rid;
+  Btree.insert t.s.part_by_part ~key:part ~value:rid
+
+let add_ref t ~src ~dst ~offset_from ~offset_to =
+  require_txn t;
+  let rid =
+    Heap.insert t.s.ref_heap
+      (Rows.encode_ref { Rows.src; dst; offset_from; offset_to })
+  in
+  Btree.insert t.s.ref_by_src ~key:src ~value:rid;
+  Btree.insert t.s.ref_by_dst ~key:dst ~value:rid
+
+(* --- structural modification --- *)
+
+let remove_child t ~parent ~child =
+  require_txn t;
+  let rid =
+    match Btree.find_first t.s.child_by_child ~key:child with
+    | Some rid -> rid
+    | None -> invalid_arg (Printf.sprintf "Reldb: child edge %d does not exist" child)
+  in
+  let row = Rows.decode_child (Heap.read t.s.child_heap rid) in
+  if row.Rows.parent <> parent then
+    invalid_arg
+      (Printf.sprintf "Reldb: %d is a child of %d, not %d" child
+         row.Rows.parent parent);
+  Heap.delete t.s.child_heap rid;
+  ignore
+    (Btree.delete t.s.child_by_parent
+       ~key:(child_key ~parent ~pos:row.Rows.pos) ~value:rid
+      : bool);
+  ignore (Btree.delete t.s.child_by_child ~key:child ~value:rid : bool)
+
+let remove_part t ~whole ~part =
+  require_txn t;
+  let rid =
+    List.find_opt
+      (fun rid ->
+        (Rows.decode_part (Heap.read t.s.part_heap rid)).Rows.part = part)
+      (Btree.find_all t.s.part_by_whole ~key:whole)
+  in
+  match rid with
+  | None ->
+    invalid_arg (Printf.sprintf "Reldb: part edge %d/%d does not exist" whole part)
+  | Some rid ->
+    Heap.delete t.s.part_heap rid;
+    ignore (Btree.delete t.s.part_by_whole ~key:whole ~value:rid : bool);
+    ignore (Btree.delete t.s.part_by_part ~key:part ~value:rid : bool)
+
+let remove_ref t ~src ~dst =
+  require_txn t;
+  let rid =
+    List.find_opt
+      (fun rid -> (Rows.decode_ref (Heap.read t.s.ref_heap rid)).Rows.dst = dst)
+      (Btree.find_all t.s.ref_by_src ~key:src)
+  in
+  match rid with
+  | None -> invalid_arg (Printf.sprintf "Reldb: no reference %d -> %d" src dst)
+  | Some rid ->
+    Heap.delete t.s.ref_heap rid;
+    ignore (Btree.delete t.s.ref_by_src ~key:src ~value:rid : bool);
+    ignore (Btree.delete t.s.ref_by_dst ~key:dst ~value:rid : bool)
+
+let delete_node t oid =
+  require_txn t;
+  let row = read_node t oid in
+  let has_children =
+    Btree.fold_range t.s.child_by_parent ~lo:(child_key ~parent:oid ~pos:0)
+      ~hi:(child_key ~parent:oid ~pos:0xFFFF) ~init:false
+      ~f:(fun _ ~key:_ ~value:_ -> true)
+  in
+  if has_children then
+    invalid_arg (Printf.sprintf "Reldb: node %d still has children" oid);
+  (match Btree.find_first t.s.child_by_child ~key:oid with
+  | Some rid ->
+    let edge = Rows.decode_child (Heap.read t.s.child_heap rid) in
+    remove_child t ~parent:edge.Rows.parent ~child:oid
+  | None -> ());
+  let wholes =
+    List.map
+      (fun rid -> (Rows.decode_part (Heap.read t.s.part_heap rid)).Rows.whole)
+      (Btree.find_all t.s.part_by_part ~key:oid)
+  in
+  List.iter (fun whole -> remove_part t ~whole ~part:oid) wholes;
+  let parts =
+    List.map
+      (fun rid -> (Rows.decode_part (Heap.read t.s.part_heap rid)).Rows.part)
+      (Btree.find_all t.s.part_by_whole ~key:oid)
+  in
+  List.iter (fun part -> remove_part t ~whole:oid ~part) parts;
+  let dsts =
+    List.map
+      (fun rid -> (Rows.decode_ref (Heap.read t.s.ref_heap rid)).Rows.dst)
+      (Btree.find_all t.s.ref_by_src ~key:oid)
+  in
+  List.iter (fun dst -> remove_ref t ~src:oid ~dst) dsts;
+  let srcs =
+    List.map
+      (fun rid -> (Rows.decode_ref (Heap.read t.s.ref_heap rid)).Rows.src)
+      (Btree.find_all t.s.ref_by_dst ~key:oid)
+  in
+  List.iter (fun src -> remove_ref t ~src ~dst:oid) srcs;
+  (match Btree.find_first t.s.text_pk ~key:oid with
+  | Some rid ->
+    Heap.delete t.s.text_heap rid;
+    ignore (Btree.delete t.s.text_pk ~key:oid ~value:rid : bool)
+  | None -> ());
+  (match Btree.find_first t.s.form_pk ~key:oid with
+  | Some rid ->
+    Heap.delete t.s.form_heap rid;
+    ignore (Btree.delete t.s.form_pk ~key:oid ~value:rid : bool)
+  | None -> ());
+  let doc = row.Rows.doc in
+  ignore
+    (Btree.delete t.s.idx_uid ~key:(pack_key ~doc row.Rows.unique_id)
+       ~value:oid
+      : bool);
+  ignore
+    (Btree.delete t.s.idx_hundred ~key:(pack_key ~doc row.Rows.hundred)
+       ~value:oid
+      : bool);
+  ignore
+    (Btree.delete t.s.idx_million ~key:(pack_key ~doc row.Rows.million)
+       ~value:oid
+      : bool);
+  let rid = node_rid t oid in
+  Heap.delete t.s.node_heap rid;
+  ignore (Btree.delete t.s.node_pk ~key:oid ~value:rid : bool);
+  Hashtbl.replace t.doc_counts doc
+    (Option.value ~default:1 (Hashtbl.find_opt t.doc_counts doc) - 1)
+
+(* --- attributes --- *)
+
+let kind t oid = (read_node t oid).Rows.kind
+let unique_id t oid = (read_node t oid).Rows.unique_id
+let ten t oid = (read_node t oid).Rows.ten
+let hundred t oid = (read_node t oid).Rows.hundred
+let million t oid = (read_node t oid).Rows.million
+
+let set_hundred t oid v =
+  require_txn t;
+  let row = read_node t oid in
+  if row.Rows.hundred <> v then begin
+    let doc = row.Rows.doc in
+    ignore
+      (Btree.delete t.s.idx_hundred ~key:(pack_key ~doc row.Rows.hundred)
+         ~value:oid
+        : bool);
+    Btree.insert t.s.idx_hundred ~key:(pack_key ~doc v) ~value:oid;
+    row.Rows.hundred <- v;
+    update_node t row
+  end
+
+let set_dyn_attr t oid key v =
+  require_txn t;
+  let row = read_node t oid in
+  row.Rows.dyn <- (key, v) :: List.remove_assoc key row.Rows.dyn;
+  update_node t row
+
+let dyn_attr t oid key = List.assoc_opt key (read_node t oid).Rows.dyn
+
+(* --- associative lookup --- *)
+
+let lookup_unique t ~doc uid = Btree.find_first t.s.idx_uid ~key:(pack_key ~doc uid)
+
+let collect_range tree ~doc ~lo ~hi =
+  List.rev
+    (Btree.fold_range tree ~lo:(pack_key ~doc lo) ~hi:(pack_key ~doc hi)
+       ~init:[] ~f:(fun acc ~key:_ ~value -> value :: acc))
+
+let range_unique t ~doc ~lo ~hi = collect_range t.s.idx_uid ~doc ~lo ~hi
+let range_hundred t ~doc ~lo ~hi = collect_range t.s.idx_hundred ~doc ~lo ~hi
+let range_million t ~doc ~lo ~hi = collect_range t.s.idx_million ~doc ~lo ~hi
+
+(* --- relationships: every traversal is index probe + row fetches --- *)
+
+let rids_for tree key = Btree.find_all tree ~key
+
+let children t oid =
+  let rids =
+    List.rev
+      (Btree.fold_range t.s.child_by_parent ~lo:(child_key ~parent:oid ~pos:0)
+         ~hi:(child_key ~parent:oid ~pos:0xFFFF) ~init:[]
+         ~f:(fun acc ~key:_ ~value -> value :: acc))
+  in
+  (* Key order is (parent, pos): the sequence order. *)
+  Array.of_list
+    (List.map
+       (fun rid -> (Rows.decode_child (Heap.read t.s.child_heap rid)).Rows.child)
+       rids)
+
+let parent t oid =
+  Option.map
+    (fun rid -> (Rows.decode_child (Heap.read t.s.child_heap rid)).Rows.parent)
+    (Btree.find_first t.s.child_by_child ~key:oid)
+
+let parts t oid =
+  Array.of_list
+    (List.map
+       (fun rid -> (Rows.decode_part (Heap.read t.s.part_heap rid)).Rows.part)
+       (rids_for t.s.part_by_whole oid))
+
+let part_of t oid =
+  Array.of_list
+    (List.map
+       (fun rid -> (Rows.decode_part (Heap.read t.s.part_heap rid)).Rows.whole)
+       (rids_for t.s.part_by_part oid))
+
+let link_of_ref ~incoming r =
+  { Schema.target = (if incoming then r.Rows.src else r.Rows.dst);
+    offset_from = r.Rows.offset_from;
+    offset_to = r.Rows.offset_to }
+
+let refs_to t oid =
+  Array.of_list
+    (List.map
+       (fun rid ->
+         link_of_ref ~incoming:false (Rows.decode_ref (Heap.read t.s.ref_heap rid)))
+       (rids_for t.s.ref_by_src oid))
+
+let refs_from t oid =
+  Array.of_list
+    (List.map
+       (fun rid ->
+         link_of_ref ~incoming:true (Rows.decode_ref (Heap.read t.s.ref_heap rid)))
+       (rids_for t.s.ref_by_dst oid))
+
+(* --- content --- *)
+
+let text_rid t oid =
+  match Btree.find_first t.s.text_pk ~key:oid with
+  | Some rid -> rid
+  | None -> invalid_arg (Printf.sprintf "Reldb: node %d is not a text node" oid)
+
+let text t oid = snd (Rows.decode_text (Heap.read t.s.text_heap (text_rid t oid)))
+
+let set_text t oid body =
+  require_txn t;
+  let rid = text_rid t oid in
+  let rid' = Heap.update t.s.text_heap rid (Rows.encode_text ~oid body) in
+  if rid' <> rid then begin
+    ignore (Btree.delete t.s.text_pk ~key:oid ~value:rid : bool);
+    Btree.insert t.s.text_pk ~key:oid ~value:rid'
+  end
+
+let form_rid t oid =
+  match Btree.find_first t.s.form_pk ~key:oid with
+  | Some rid -> rid
+  | None -> invalid_arg (Printf.sprintf "Reldb: node %d is not a form node" oid)
+
+let form t oid =
+  Bitmap.of_bytes (snd (Rows.decode_form (Heap.read t.s.form_heap (form_rid t oid))))
+
+let set_form t oid bitmap =
+  require_txn t;
+  let rid = form_rid t oid in
+  let rid' =
+    Heap.update t.s.form_heap rid (Rows.encode_form ~oid (Bitmap.to_bytes bitmap))
+  in
+  if rid' <> rid then begin
+    ignore (Btree.delete t.s.form_pk ~key:oid ~value:rid : bool);
+    Btree.insert t.s.form_pk ~key:oid ~value:rid'
+  end
+
+(* --- scans --- *)
+
+let iter_doc t ~doc f =
+  Btree.iter_range t.s.idx_uid ~lo:(doc * key_shift)
+    ~hi:(((doc + 1) * key_shift) - 1)
+    (fun ~key:_ ~value -> f value)
+
+let node_count t ~doc =
+  Option.value ~default:0 (Hashtbl.find_opt t.doc_counts doc)
+
+let store_result_list t oids =
+  require_txn t;
+  ignore (Heap.insert t.s.results_heap (Rows.encode_oid_list oids) : Heap.rid);
+  t.result_seq <- t.result_seq + 1
+
+let stored_result_count t = t.result_seq
+
+(* --- introspection --- *)
+
+type io_counters = {
+  pager_reads : int;
+  pager_writes : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_evictions : int;
+  wal_bytes : int;
+}
+
+let io_counters t =
+  let ps = Pager.stats (Engine.pager t.engine) in
+  let bs = Buffer_pool.stats t.pool in
+  { pager_reads = ps.Pager.reads; pager_writes = ps.Pager.writes;
+    pool_hits = bs.Buffer_pool.hits; pool_misses = bs.Buffer_pool.misses;
+    pool_evictions = bs.Buffer_pool.evictions;
+    wal_bytes = Engine.wal_bytes t.engine }
+
+let io_description t =
+  let c = io_counters t in
+  Printf.sprintf "pager r/w %d/%d; pool hit/miss/evict %d/%d/%d" c.pager_reads
+    c.pager_writes c.pool_hits c.pool_misses c.pool_evictions
+
+let reset_io t =
+  Pager.reset_stats (Engine.pager t.engine);
+  Buffer_pool.reset_stats t.pool
+
+let file_bytes t = Pager.page_count (Engine.pager t.engine) * Page.size
+
+(* Mark-and-sweep page collection (R10) — same scheme as the object
+   backend, over this backend's seven heaps and fourteen B+trees. *)
+let collect_garbage t =
+  Engine.begin_txn t.engine;
+  let total = Pager.page_count (Engine.pager t.engine) in
+  let marked = Array.make total false in
+  marked.(0) <- true;
+  let mark id = if id > 0 && id < total then marked.(id) <- true in
+  let s = t.s in
+  List.iter
+    (fun h -> Heap.iter_pages h mark)
+    [ s.node_heap; s.text_heap; s.form_heap; s.child_heap; s.part_heap;
+      s.ref_heap; s.results_heap ];
+  List.iter
+    (fun b -> Btree.iter_pages b mark)
+    [ s.node_pk; s.idx_uid; s.idx_hundred; s.idx_million; s.text_pk;
+      s.form_pk; s.child_by_parent; s.child_by_child; s.part_by_whole;
+      s.part_by_part; s.ref_by_src; s.ref_by_dst ];
+  Freelist.iter s.freelist mark;
+  let freed = ref 0 in
+  for id = 1 to total - 1 do
+    if not marked.(id) then begin
+      Freelist.push s.freelist id;
+      incr freed
+    end
+  done;
+  Engine.commit t.engine;
+  !freed

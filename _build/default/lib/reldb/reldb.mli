@@ -1,0 +1,52 @@
+(** Relational backend — the paper's "currently being implemented on a
+    relational system following the methodology outlined in /BLAH88/".
+
+    Entities and relationships become tables ({!Rows}); every traversal
+    hop is a secondary-index probe followed by row fetches — a join — so
+    closure operations pay per-hop index costs that the object backends
+    avoid with direct references.  There is no inter-object clustering:
+    the [near] hint is ignored, as a relational system clusters by table,
+    not by aggregate.  OIDs are the NODE table's primary key, which is
+    exactly how the paper expects a relational system to represent node
+    references (§6).
+
+    Shares the transactional storage engine (WAL, buffer pool, recovery)
+    with the object backend, so performance differences are purely about
+    data layout and access paths. *)
+
+type config = {
+  path : string;
+  pool_pages : int;
+  durable_sync : bool;
+  checkpoint_wal_bytes : int;
+  remote : Hyper_net.Channel.profile option;
+      (** workstation/server simulation, as in the object backend *)
+}
+
+val default_config : path:string -> config
+
+val remote_1988 : Hyper_net.Channel.profile
+
+include Hyper_core.Backend.S
+
+val open_db : config -> t
+val close : t -> unit
+val checkpoint : t -> unit
+val last_recovery : t -> Hyper_storage.Recovery.report option
+
+type io_counters = {
+  pager_reads : int;
+  pager_writes : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_evictions : int;
+  wal_bytes : int;
+}
+
+val io_counters : t -> io_counters
+val file_bytes : t -> int
+val stored_result_count : t -> int
+
+val collect_garbage : t -> int
+(** Mark-and-sweep collection of unreachable pages (R10); see
+    {!Hyper_diskdb.Diskdb.collect_garbage}. *)

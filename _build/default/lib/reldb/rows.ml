@@ -1,0 +1,184 @@
+module Schema = Hyper_core.Schema
+
+type node_row = {
+  doc : int;
+  oid : int;
+  unique_id : int;
+  mutable ten : int;
+  mutable hundred : int;
+  mutable million : int;
+  kind : Schema.kind;
+  mutable dyn : (string * int) list;
+}
+
+type child_row = { parent : int; pos : int; child : int }
+
+type part_row = { whole : int; part : int }
+
+type ref_row = { src : int; dst : int; offset_from : int; offset_to : int }
+
+(* --- emit / read primitives (little-endian over Buffer / cursor) --- *)
+
+let emit_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let emit_u16 buf v =
+  emit_u8 buf v;
+  emit_u8 buf (v lsr 8)
+
+let emit_u32 buf v =
+  emit_u16 buf v;
+  emit_u16 buf (v lsr 16)
+
+type cursor = { data : bytes; mutable pos : int }
+
+let read_u8 c =
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let read_u16 c =
+  let lo = read_u8 c in
+  lo lor (read_u8 c lsl 8)
+
+let read_u32 c =
+  let lo = read_u16 c in
+  lo lor (read_u16 c lsl 16)
+
+let read_i32 c =
+  let v = read_u32 c in
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let kind_tag = function
+  | Schema.Internal -> 0
+  | Schema.Text -> 1
+  | Schema.Form -> 2
+  | Schema.Draw -> 3
+
+let kind_of_tag = function
+  | 0 -> Schema.Internal
+  | 1 -> Schema.Text
+  | 2 -> Schema.Form
+  | 3 -> Schema.Draw
+  | n -> invalid_arg (Printf.sprintf "Rows: bad kind tag %d" n)
+
+(* --- NODE --- *)
+
+let encode_node r =
+  let buf = Buffer.create 32 in
+  emit_u32 buf r.doc;
+  emit_u32 buf r.oid;
+  emit_u32 buf r.unique_id;
+  emit_u8 buf r.ten;
+  emit_u8 buf (kind_tag r.kind);
+  emit_u32 buf (r.hundred land 0xFFFFFFFF);
+  emit_u32 buf r.million;
+  emit_u8 buf (List.length r.dyn);
+  List.iter
+    (fun (k, v) ->
+      emit_u8 buf (String.length k);
+      Buffer.add_string buf k;
+      emit_u32 buf (v land 0xFFFFFFFF))
+    r.dyn;
+  Buffer.to_bytes buf
+
+let decode_node data =
+  let c = { data; pos = 0 } in
+  let doc = read_u32 c in
+  let oid = read_u32 c in
+  let unique_id = read_u32 c in
+  let ten = read_u8 c in
+  let kind = kind_of_tag (read_u8 c) in
+  let hundred = read_i32 c in
+  let million = read_u32 c in
+  let n_dyn = read_u8 c in
+  let dyn =
+    List.init n_dyn (fun _ ->
+        let klen = read_u8 c in
+        let k = Bytes.sub_string c.data c.pos klen in
+        c.pos <- c.pos + klen;
+        (k, read_u32 c))
+  in
+  { doc; oid; unique_id; ten; hundred; million; kind; dyn }
+
+(* --- TEXT / FORM --- *)
+
+let encode_text ~oid body =
+  let buf = Buffer.create (8 + String.length body) in
+  emit_u32 buf oid;
+  emit_u32 buf (String.length body);
+  Buffer.add_string buf body;
+  Buffer.to_bytes buf
+
+let decode_text data =
+  let c = { data; pos = 0 } in
+  let oid = read_u32 c in
+  let len = read_u32 c in
+  (oid, Bytes.sub_string c.data c.pos len)
+
+let encode_form ~oid bitmap =
+  let buf = Buffer.create (8 + Bytes.length bitmap) in
+  emit_u32 buf oid;
+  emit_u32 buf (Bytes.length bitmap);
+  Buffer.add_bytes buf bitmap;
+  Buffer.to_bytes buf
+
+let decode_form data =
+  let c = { data; pos = 0 } in
+  let oid = read_u32 c in
+  let len = read_u32 c in
+  (oid, Bytes.sub c.data c.pos len)
+
+(* --- CHILD / PART / REF --- *)
+
+let encode_child r =
+  let buf = Buffer.create 10 in
+  emit_u32 buf r.parent;
+  emit_u16 buf r.pos;
+  emit_u32 buf r.child;
+  Buffer.to_bytes buf
+
+let decode_child data =
+  let c = { data; pos = 0 } in
+  let parent = read_u32 c in
+  let pos = read_u16 c in
+  let child = read_u32 c in
+  { parent; pos; child }
+
+let encode_part r =
+  let buf = Buffer.create 8 in
+  emit_u32 buf r.whole;
+  emit_u32 buf r.part;
+  Buffer.to_bytes buf
+
+let decode_part data =
+  let c = { data; pos = 0 } in
+  let whole = read_u32 c in
+  let part = read_u32 c in
+  { whole; part }
+
+let encode_ref r =
+  let buf = Buffer.create 10 in
+  emit_u32 buf r.src;
+  emit_u32 buf r.dst;
+  emit_u8 buf r.offset_from;
+  emit_u8 buf r.offset_to;
+  Buffer.to_bytes buf
+
+let decode_ref data =
+  let c = { data; pos = 0 } in
+  let src = read_u32 c in
+  let dst = read_u32 c in
+  let offset_from = read_u8 c in
+  let offset_to = read_u8 c in
+  { src; dst; offset_from; offset_to }
+
+let encode_oid_list oids =
+  let buf = Buffer.create (4 + (4 * List.length oids)) in
+  emit_u32 buf (List.length oids);
+  List.iter (emit_u32 buf) oids;
+  Buffer.to_bytes buf
+
+let decode_oid_list data =
+  let c = { data; pos = 0 } in
+  let n = read_u32 c in
+  List.init n (fun _ -> read_u32 c)

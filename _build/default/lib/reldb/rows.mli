@@ -1,0 +1,52 @@
+(** Row codecs for the relational backend's six tables.
+
+    The HyperModel schema mapped to relations following the methodology
+    the paper cites (/BLAH88/): one table per entity class fragment and
+    one table per relationship:
+
+    {v
+      NODE (doc, oid, uniqueId, ten, hundred, million, kind, dyn…)
+      TEXT (oid, body)
+      FORM (oid, bitmap)
+      CHILD(parent, pos, child)       -- 1-N, pos preserves the sequence
+      PART (whole, part)              -- M-N
+      REF  (src, dst, offFrom, offTo) -- M-N with attributes
+    v} *)
+
+type node_row = {
+  doc : int;
+  oid : int;
+  unique_id : int;
+  mutable ten : int;
+  mutable hundred : int;
+  mutable million : int;
+  kind : Hyper_core.Schema.kind;
+  mutable dyn : (string * int) list;
+}
+
+type child_row = { parent : int; pos : int; child : int }
+
+type part_row = { whole : int; part : int }
+
+type ref_row = { src : int; dst : int; offset_from : int; offset_to : int }
+
+val encode_node : node_row -> bytes
+val decode_node : bytes -> node_row
+
+val encode_text : oid:int -> string -> bytes
+val decode_text : bytes -> int * string
+
+val encode_form : oid:int -> bytes -> bytes
+val decode_form : bytes -> int * bytes
+
+val encode_child : child_row -> bytes
+val decode_child : bytes -> child_row
+
+val encode_part : part_row -> bytes
+val decode_part : bytes -> part_row
+
+val encode_ref : ref_row -> bytes
+val decode_ref : bytes -> ref_row
+
+val encode_oid_list : int list -> bytes
+val decode_oid_list : bytes -> int list

@@ -1,0 +1,1 @@
+lib/storage/engine.ml: Buffer_pool Hashtbl List Pager Recovery Wal

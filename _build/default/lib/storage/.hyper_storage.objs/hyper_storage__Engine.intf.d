@@ -1,0 +1,1 @@
+lib/storage/engine.mli: Buffer_pool Pager Recovery

@@ -1,0 +1,1 @@
+lib/storage/freelist.ml: Buffer_pool Bytes Page

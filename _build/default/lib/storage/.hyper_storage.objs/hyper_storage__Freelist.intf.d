@@ -1,0 +1,1 @@
+lib/storage/freelist.mli: Buffer_pool

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Buffer_pool Bytes Char Freelist List Option Page Printf Slotted Stdlib

@@ -1,0 +1,1 @@
+lib/storage/meta.ml: Buffer_pool Bytes List Page Pager Printf String

@@ -1,0 +1,1 @@
+lib/storage/meta.mli: Buffer_pool

@@ -1,0 +1,1 @@
+lib/storage/object_table.ml: Array Buffer_pool Bytes Freelist Int64 List Page Printf

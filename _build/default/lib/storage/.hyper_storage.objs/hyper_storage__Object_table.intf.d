@@ -1,0 +1,1 @@
+lib/storage/object_table.mli: Buffer_pool Freelist Heap

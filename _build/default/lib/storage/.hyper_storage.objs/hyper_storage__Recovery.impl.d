@@ -1,0 +1,1 @@
+lib/storage/recovery.ml: Hashtbl List Pager Wal

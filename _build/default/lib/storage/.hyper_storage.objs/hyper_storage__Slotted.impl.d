@@ -1,0 +1,1 @@
+lib/storage/slotted.ml: Bytes List Page Printf Stdlib

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Bytes Char List Page Printf Stdlib Sys Unix

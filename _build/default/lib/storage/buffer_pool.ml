@@ -1,0 +1,166 @@
+type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+
+type frame = {
+  page_id : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable tick : int; (* last-use stamp for LRU *)
+}
+
+type t = {
+  pager : Pager.t;
+  cap : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable on_first_dirty : int -> bytes -> unit;
+  mutable on_evict_dirty : int -> bytes -> unit;
+  (* pages already reported to [on_first_dirty] since the last
+     [take_dirty_set] *)
+  first_dirty_seen : (int, unit) Hashtbl.t;
+  stats : stats;
+}
+
+let no_hook (_ : int) (_ : bytes) = ()
+
+let create pager ~capacity =
+  if capacity < 4 then invalid_arg "Buffer_pool.create: capacity < 4";
+  { pager; cap = capacity; frames = Hashtbl.create (2 * capacity); clock = 0;
+    on_first_dirty = no_hook; on_evict_dirty = no_hook;
+    first_dirty_seen = Hashtbl.create 64;
+    stats = { hits = 0; misses = 0; evictions = 0 } }
+
+let capacity t = t.cap
+let pager t = t.pager
+
+let touch t f =
+  t.clock <- t.clock + 1;
+  f.tick <- t.clock
+
+let write_back t f =
+  if f.dirty then begin
+    Pager.write t.pager f.page_id f.data;
+    f.dirty <- false
+  end
+
+(* Evict the least-recently-used unpinned frame.  Dirty victims are
+   announced through [on_evict_dirty] (WAL rule) and then written back. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ f best ->
+        if f.pins > 0 then best
+        else
+          match best with
+          | Some b when b.tick <= f.tick -> best
+          | _ -> Some f)
+      t.frames None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned, cannot evict"
+  | Some f ->
+    if f.dirty then t.on_evict_dirty f.page_id f.data;
+    write_back t f;
+    Hashtbl.remove t.frames f.page_id;
+    t.stats.evictions <- t.stats.evictions + 1
+
+let ensure_room t =
+  while Hashtbl.length t.frames >= t.cap do
+    evict_one t
+  done
+
+let load t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some f ->
+    t.stats.hits <- t.stats.hits + 1;
+    touch t f;
+    f
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    ensure_room t;
+    let f =
+      { page_id; data = Pager.read t.pager page_id; dirty = false; pins = 0;
+        tick = 0 }
+    in
+    touch t f;
+    Hashtbl.add t.frames page_id f;
+    f
+
+let with_pinned t page_id k =
+  let f = load t page_id in
+  f.pins <- f.pins + 1;
+  Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> k f)
+
+let with_page t page_id k = with_pinned t page_id (fun f -> k f.data)
+
+(* The before-image is the frame content prior to the first write in the
+   current txn window — snapshot it before the caller mutates the page. *)
+let mark_dirty t f =
+  if not (Hashtbl.mem t.first_dirty_seen f.page_id) then begin
+    Hashtbl.add t.first_dirty_seen f.page_id ();
+    t.on_first_dirty f.page_id (Bytes.copy f.data)
+  end;
+  f.dirty <- true
+
+let with_page_w t page_id k =
+  with_pinned t page_id (fun f ->
+      mark_dirty t f;
+      k f.data)
+
+let allocate t =
+  let page_id = Pager.allocate t.pager in
+  ensure_room t;
+  let f =
+    { page_id; data = Page.alloc (); dirty = true; pins = 0; tick = 0 }
+  in
+  touch t f;
+  Hashtbl.add t.frames page_id f;
+  if not (Hashtbl.mem t.first_dirty_seen page_id) then begin
+    Hashtbl.add t.first_dirty_seen page_id ();
+    t.on_first_dirty page_id (Page.alloc ())
+  end;
+  page_id
+
+let flush_all t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+
+let drop_all t =
+  Hashtbl.iter
+    (fun _ f ->
+      if f.pins > 0 then invalid_arg "Buffer_pool.drop_all: page still pinned")
+    t.frames;
+  flush_all t;
+  Hashtbl.reset t.frames;
+  Hashtbl.reset t.first_dirty_seen
+
+let discard_dirty t =
+  let dirty_ids =
+    Hashtbl.fold (fun id f acc -> if f.dirty then id :: acc else acc) t.frames []
+  in
+  List.iter (fun id -> Hashtbl.remove t.frames id) dirty_ids;
+  Hashtbl.reset t.first_dirty_seen
+
+let invalidate t page_id = Hashtbl.remove t.frames page_id
+
+let set_txn_hooks t ~on_first_dirty ~on_evict_dirty =
+  t.on_first_dirty <- on_first_dirty;
+  t.on_evict_dirty <- on_evict_dirty
+
+let clear_txn_hooks t =
+  t.on_first_dirty <- no_hook;
+  t.on_evict_dirty <- no_hook
+
+let take_dirty_set t =
+  let dirty =
+    Hashtbl.fold
+      (fun id f acc -> if f.dirty then (id, Bytes.copy f.data) :: acc else acc)
+      t.frames []
+  in
+  Hashtbl.reset t.first_dirty_seen;
+  List.sort (fun (a, _) (b, _) -> compare a b) dirty
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.evictions <- 0

@@ -1,0 +1,65 @@
+(** LRU buffer pool between the access methods and the {!Pager}.
+
+    The pool holds a bounded number of page frames.  Access is scoped —
+    [with_page] pins the frame for the duration of the callback so nested
+    accesses cannot evict it.  Dirty frames are written back on eviction
+    (a "steal" policy) and on [flush_all].
+
+    Transactional hooks: [on_first_dirty] fires with the page's clean
+    before-image the first time a page is dirtied after the last
+    [take_dirty_set]; the disk backend uses it to capture undo images for
+    its write-ahead log.  [on_evict_dirty] fires just before a dirty page
+    is stolen so its after-image can be logged first (write-ahead rule).
+
+    The buffer pool is the lever behind the benchmark's cold/warm
+    distinction: [drop_all] empties the cache, which is what "close the
+    database" means for an operation sequence (paper §6(e)). *)
+
+type t
+
+val create : Pager.t -> capacity:int -> t
+(** @raise Invalid_argument if [capacity < 4]. *)
+
+val capacity : t -> int
+val pager : t -> Pager.t
+
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+(** Read access to a page.  The callback must not retain the buffer. *)
+
+val with_page_w : t -> int -> (bytes -> 'a) -> 'a
+(** Write access; marks the frame dirty. *)
+
+val allocate : t -> int
+(** Allocate a fresh page through the pager and cache it (dirty). *)
+
+val flush_all : t -> unit
+(** Write every dirty frame back; frames stay cached. *)
+
+val drop_all : t -> unit
+(** Flush, then empty the cache entirely (cold-run reset).
+    @raise Invalid_argument if any page is still pinned. *)
+
+val discard_dirty : t -> unit
+(** Drop dirty frames *without* writing them back (transaction abort in
+    a no-steal window).  Clean frames stay cached. *)
+
+val invalidate : t -> int -> unit
+(** Forget any cached copy of one page (without writing it back). *)
+
+val set_txn_hooks :
+  t ->
+  on_first_dirty:(int -> bytes -> unit) ->
+  on_evict_dirty:(int -> bytes -> unit) ->
+  unit
+
+val clear_txn_hooks : t -> unit
+
+val take_dirty_set : t -> (int * bytes) list
+(** Current dirty pages and contents (after-images for commit), and reset
+    the first-dirty tracking so subsequent writes fire [on_first_dirty]
+    again. Frames remain cached and dirty until flushed. *)
+
+type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

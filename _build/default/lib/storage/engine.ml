@@ -1,0 +1,128 @@
+type txn = { id : int; undo : (int, bytes) Hashtbl.t }
+
+type t = {
+  pager : Pager.t;
+  wal : Wal.t;
+  pool : Buffer_pool.t;
+  durable_sync : bool;
+  checkpoint_wal_bytes : int;
+  is_fresh : bool;
+  recovery_report : Recovery.report option;
+  mutable on_save : unit -> unit;
+  mutable on_reload : unit -> unit;
+  mutable txn : txn option;
+  mutable txn_counter : int;
+  mutable closed : bool;
+}
+
+let open_ ~path ~pool_pages ?(durable_sync = false)
+    ?(checkpoint_wal_bytes = 64 * 1024 * 1024) () =
+  let wal_path = path ^ ".wal" in
+  let pager = Pager.create ~path in
+  let recovery_report =
+    if Recovery.needs_recovery ~wal_path then begin
+      let report = Recovery.recover ~wal_path pager in
+      Pager.sync pager;
+      Some report
+    end
+    else None
+  in
+  let wal = Wal.open_ ~path:wal_path in
+  Wal.truncate wal;
+  let pool = Buffer_pool.create pager ~capacity:pool_pages in
+  { pager; wal; pool; durable_sync; checkpoint_wal_bytes;
+    is_fresh = Pager.page_count pager = 0; recovery_report;
+    on_save = (fun () -> ()); on_reload = (fun () -> ()); txn = None;
+    txn_counter = 0; closed = false }
+
+let fresh t = t.is_fresh
+let recovery t = t.recovery_report
+
+let set_hooks t ~on_save ~on_reload =
+  t.on_save <- on_save;
+  t.on_reload <- on_reload
+
+let pool t = t.pool
+let pager t = t.pager
+
+let in_txn t = t.txn <> None
+
+let require_txn t =
+  if t.txn = None then invalid_arg "Engine: mutation outside a transaction"
+
+let current_txn t =
+  match t.txn with
+  | Some txn -> txn
+  | None -> invalid_arg "Engine: no active transaction"
+
+let begin_txn t =
+  if t.txn <> None then invalid_arg "Engine: nested transaction";
+  t.txn_counter <- t.txn_counter + 1;
+  let txn = { id = t.txn_counter; undo = Hashtbl.create 64 } in
+  t.txn <- Some txn;
+  Wal.append t.wal (Wal.Begin txn.id);
+  Buffer_pool.set_txn_hooks t.pool
+    ~on_first_dirty:(fun page img ->
+      if not (Hashtbl.mem txn.undo page) then begin
+        Hashtbl.add txn.undo page img;
+        Wal.append t.wal (Wal.Before (txn.id, page, img))
+      end)
+    ~on_evict_dirty:(fun page img ->
+      (* Write-ahead rule: log the redo image before the steal hits disk. *)
+      Wal.append t.wal (Wal.After (txn.id, page, img));
+      Wal.flush t.wal)
+
+let maybe_checkpoint t =
+  if Wal.size_bytes t.wal > t.checkpoint_wal_bytes then begin
+    Buffer_pool.flush_all t.pool;
+    Pager.sync t.pager;
+    Wal.truncate t.wal
+  end
+
+let commit t =
+  let txn = current_txn t in
+  t.on_save ();
+  let dirty = Buffer_pool.take_dirty_set t.pool in
+  List.iter
+    (fun (page, img) -> Wal.append t.wal (Wal.After (txn.id, page, img)))
+    dirty;
+  Wal.append t.wal (Wal.Commit txn.id);
+  if t.durable_sync then Wal.sync t.wal else Wal.flush t.wal;
+  (* Force policy: committed pages reach the data file eagerly. *)
+  Buffer_pool.flush_all t.pool;
+  Buffer_pool.clear_txn_hooks t.pool;
+  t.txn <- None;
+  maybe_checkpoint t
+
+let abort t =
+  let txn = current_txn t in
+  Buffer_pool.clear_txn_hooks t.pool;
+  Buffer_pool.discard_dirty t.pool;
+  Hashtbl.iter
+    (fun page img ->
+      Buffer_pool.invalidate t.pool page;
+      Pager.write t.pager page img)
+    txn.undo;
+  t.txn <- None;
+  t.on_reload ()
+
+let clear_caches t =
+  if t.txn <> None then invalid_arg "Engine: clear_caches inside a transaction";
+  Buffer_pool.drop_all t.pool
+
+let checkpoint t =
+  if t.txn <> None then invalid_arg "Engine: checkpoint inside a transaction";
+  Buffer_pool.flush_all t.pool;
+  Pager.sync t.pager;
+  Wal.truncate t.wal
+
+let close t =
+  if not t.closed then begin
+    if t.txn <> None then invalid_arg "Engine: close inside a transaction";
+    checkpoint t;
+    Wal.close t.wal;
+    Pager.close t.pager;
+    t.closed <- true
+  end
+
+let wal_bytes t = Wal.size_bytes t.wal

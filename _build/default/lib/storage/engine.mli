@@ -1,0 +1,59 @@
+(** Transactional storage session shared by the disk backends.
+
+    Bundles one pager, its buffer pool and its write-ahead log into a
+    unit with ACID bracketing:
+
+    - [begin_txn] installs buffer-pool hooks that log before-images on
+      first-dirty and after-images on dirty steals (write-ahead rule);
+    - [commit] calls the owner's [on_save] hook (persist roots into the
+      meta page), logs after-images of all dirty pages, seals the log,
+      and force-flushes the pool;
+    - [abort] discards in-pool writes, restores stolen pages from the
+      undo set, and calls the owner's [on_reload] hook so in-memory roots
+      (B+tree roots, heap tails, counters) are re-attached from the meta
+      page;
+    - [open_] runs crash recovery from the log when needed.
+
+    Owners (the object backend, the relational backend) provide the data
+    structures; this module provides the transaction discipline, so the
+    recovery semantics are identical across backends. *)
+
+type t
+
+val open_ :
+  path:string ->
+  pool_pages:int ->
+  ?durable_sync:bool ->
+  ?checkpoint_wal_bytes:int ->
+  unit ->
+  t
+(** Defaults: no fsync, 64 MiB checkpoint threshold.  The WAL lives at
+    [path ^ ".wal"]. *)
+
+val fresh : t -> bool
+(** Whether the store was empty at [open_] (owner must format it). *)
+
+val recovery : t -> Recovery.report option
+
+val set_hooks : t -> on_save:(unit -> unit) -> on_reload:(unit -> unit) -> unit
+(** Must be called once right after [open_] (and before any
+    transaction). *)
+
+val pool : t -> Buffer_pool.t
+val pager : t -> Pager.t
+
+val begin_txn : t -> unit
+val commit : t -> unit
+val abort : t -> unit
+val in_txn : t -> bool
+
+val require_txn : t -> unit
+(** @raise Invalid_argument outside a transaction. *)
+
+val clear_caches : t -> unit
+(** Drop the buffer pool (cold-run reset).
+    @raise Invalid_argument inside a transaction. *)
+
+val checkpoint : t -> unit
+val close : t -> unit
+val wal_bytes : t -> int

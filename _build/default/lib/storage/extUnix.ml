@@ -1,0 +1,7 @@
+let pread fd buf file_off buf_off len =
+  ignore (Unix.lseek fd file_off Unix.SEEK_SET);
+  Unix.read fd buf buf_off len
+
+let pwrite fd buf file_off buf_off len =
+  ignore (Unix.lseek fd file_off Unix.SEEK_SET);
+  Unix.write fd buf buf_off len

@@ -1,0 +1,12 @@
+(** Positioned I/O helpers (pread/pwrite built from [lseek] + [read]).
+
+    Isolated here so the pager stays readable; single-threaded use only
+    (the seek/read pair is not atomic). *)
+
+val pread : Unix.file_descr -> bytes -> int -> int -> int -> int
+(** [pread fd buf file_off buf_off len] reads at an absolute file offset;
+    returns the number of bytes read (0 at end of file). *)
+
+val pwrite : Unix.file_descr -> bytes -> int -> int -> int -> int
+(** [pwrite fd buf file_off buf_off len] writes at an absolute file
+    offset; returns the number of bytes written. *)

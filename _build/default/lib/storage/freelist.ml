@@ -1,0 +1,49 @@
+type t = { pool : Buffer_pool.t; mutable head : int }
+
+let next_offset = 4
+
+let attach pool ~head = { pool; head }
+
+let head t = t.head
+
+let push t page_id =
+  let old_head = t.head in
+  Buffer_pool.with_page_w t.pool page_id (fun page ->
+      Bytes.fill page 0 Page.size '\000';
+      Page.set_type page Page.Free;
+      Page.set_u32 page next_offset old_head);
+  t.head <- page_id
+
+let pop t =
+  if t.head = 0 then None
+  else begin
+    let page_id = t.head in
+    let next =
+      Buffer_pool.with_page t.pool page_id (fun page ->
+          Page.get_u32 page next_offset)
+    in
+    t.head <- next;
+    Some page_id
+  end
+
+let alloc t =
+  match pop t with
+  | Some id -> id
+  | None -> Buffer_pool.allocate t.pool
+
+let iter t f =
+  let rec walk id =
+    if id <> 0 then begin
+      f id;
+      let next =
+        Buffer_pool.with_page t.pool id (fun page -> Page.get_u32 page next_offset)
+      in
+      walk next
+    end
+  in
+  walk t.head
+
+let length t =
+  let n = ref 0 in
+  iter t (fun _ -> incr n);
+  !n

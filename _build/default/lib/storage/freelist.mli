@@ -1,0 +1,28 @@
+(** Persistent free-page list.
+
+    Freed pages (e.g. overflow chains released by a record update) are
+    linked through their bytes 4..7 and tagged {!Page.Free}; the head page
+    id lives with the owner's metadata.  Popping reuses pages instead of
+    growing the file. *)
+
+type t
+
+val attach : Buffer_pool.t -> head:int -> t
+(** [head = 0] means the list is empty (page 0 is always the meta page, so
+    0 is a safe sentinel). *)
+
+val head : t -> int
+(** Current head for persisting; call at checkpoint/close. *)
+
+val push : t -> int -> unit
+val pop : t -> int option
+
+val alloc : t -> int
+(** Pop a recycled page or allocate a fresh one from the pool. *)
+
+val length : t -> int
+(** Number of pages currently in the list (walks the chain). *)
+
+val iter : t -> (int -> unit) -> unit
+(** Visit every free page id (garbage-collection marking: free pages are
+    accounted for, not garbage). *)

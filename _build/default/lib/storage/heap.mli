@@ -1,0 +1,52 @@
+(** Heap files: unordered record storage with stable record ids.
+
+    A heap file is a chain of slotted pages.  Records larger than a page
+    spill into a chain of overflow pages; the slot then holds a small
+    stub.  Record ids ([rid]) encode (page, slot) and remain valid until
+    the record is deleted; an update that no longer fits in place returns
+    a fresh rid (the object table provides the stable indirection above
+    this).
+
+    Clustering: [insert ~near] tries to place the record in the same page
+    as an existing record.  The HyperModel generator uses this to cluster
+    children next to parents along the 1-N aggregation hierarchy — the
+    ablation the paper explicitly calls for (§5.2). *)
+
+type t
+
+type rid = int
+
+val rid_page : rid -> int
+val rid_slot : rid -> int
+val rid_make : page:int -> slot:int -> rid
+
+val fresh : Buffer_pool.t -> Freelist.t -> t
+(** Create a new heap with one empty page. *)
+
+val attach : Buffer_pool.t -> Freelist.t -> head:int -> t
+(** Re-open an existing heap given its first page id. *)
+
+val first_page : t -> int
+
+val insert : ?near:rid -> t -> bytes -> rid
+
+val read : t -> rid -> bytes
+(** @raise Invalid_argument on a dangling rid. *)
+
+val update : t -> rid -> bytes -> rid
+(** Update in place when possible; otherwise relocate and return the new
+    rid (the old rid becomes invalid). *)
+
+val delete : t -> rid -> unit
+
+val iter : t -> (rid -> bytes -> unit) -> unit
+(** Visit every record in page-chain order (physical order — relevant to
+    sequential-scan behaviour). *)
+
+val record_count : t -> int
+val page_count : t -> int
+
+val iter_pages : t -> (int -> unit) -> unit
+(** Visit every page this heap owns: its chain pages and the overflow
+    pages of large records.  Used by the garbage collector to mark
+    reachable pages. *)

@@ -1,0 +1,25 @@
+(** The master page (page 0): a tiny persistent string → int64 map.
+
+    Backends keep their root pointers here — heap heads, B+tree roots, the
+    object-table directory, the free-list head, and scalar counters.  The
+    map must fit in one page. *)
+
+val magic : string
+
+val format : Buffer_pool.t -> unit
+(** Initialise page 0 of a brand-new store (page 0 must already be
+    allocated). *)
+
+val is_formatted : Buffer_pool.t -> bool
+
+val load : Buffer_pool.t -> (string * int64) list
+(** @raise Invalid_argument when page 0 has no valid meta signature. *)
+
+val store : Buffer_pool.t -> (string * int64) list -> unit
+(** Replace the whole map.  @raise Invalid_argument when it does not fit
+    in one page or a key is longer than 255 bytes. *)
+
+val get : Buffer_pool.t -> string -> int64 option
+val get_exn : Buffer_pool.t -> string -> int64
+val set : Buffer_pool.t -> string -> int64 -> unit
+(** Read-modify-write of a single key. *)

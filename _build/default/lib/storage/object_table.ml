@@ -1,0 +1,77 @@
+type t = {
+  pool : Buffer_pool.t;
+  freelist : Freelist.t;
+  mutable pages : int array; (* chain in order; pages.(0) is the head *)
+}
+
+let header = 16
+let entries_per_page = (Page.size - header) / 8 (* 510 *)
+
+let init_page pool id =
+  Buffer_pool.with_page_w pool id (fun page ->
+      Bytes.fill page 0 Page.size '\000';
+      Page.set_type page Page.Obj_table)
+
+let fresh pool freelist =
+  let id = Freelist.alloc freelist in
+  init_page pool id;
+  { pool; freelist; pages = [| id |] }
+
+let attach pool freelist ~head =
+  let rec walk id acc =
+    if id = 0 then List.rev acc
+    else
+      let next =
+        Buffer_pool.with_page pool id (fun page -> Page.get_u32 page 4)
+      in
+      walk next (id :: acc)
+  in
+  { pool; freelist; pages = Array.of_list (walk head []) }
+
+let head t = t.pages.(0)
+
+let capacity t = Array.length t.pages * entries_per_page
+
+let grow t =
+  let id = Freelist.alloc t.freelist in
+  init_page t.pool id;
+  let last = t.pages.(Array.length t.pages - 1) in
+  Buffer_pool.with_page_w t.pool last (fun page -> Page.set_u32 page 4 id);
+  t.pages <- Array.append t.pages [| id |]
+
+let locate _t oid =
+  if oid < 1 then invalid_arg "Object_table: oid must be >= 1";
+  let idx = oid - 1 in
+  (idx / entries_per_page, header + (idx mod entries_per_page * 8))
+
+(* Entries store rid + 1 so that an all-zero page reads as "absent". *)
+let set t ~oid ~rid =
+  let chunk, offset = locate t oid in
+  while chunk >= Array.length t.pages do
+    grow t
+  done;
+  Buffer_pool.with_page_w t.pool t.pages.(chunk) (fun page ->
+      Page.set_i64 page offset (Int64.of_int (rid + 1)))
+
+let get t ~oid =
+  let chunk, offset = locate t oid in
+  if chunk >= Array.length t.pages then None
+  else
+    let v =
+      Buffer_pool.with_page t.pool t.pages.(chunk) (fun page ->
+          Page.get_i64 page offset)
+    in
+    if v = 0L then None else Some (Int64.to_int v - 1)
+
+let get_exn t ~oid =
+  match get t ~oid with
+  | Some rid -> rid
+  | None -> invalid_arg (Printf.sprintf "Object_table: unknown oid %d" oid)
+
+let remove t ~oid =
+  let chunk, offset = locate t oid in
+  if chunk < Array.length t.pages then
+    Buffer_pool.with_page_w t.pool t.pages.(chunk) (fun page ->
+        Page.set_i64 page offset 0L)
+
+let iter_pages t f = Array.iter f t.pages

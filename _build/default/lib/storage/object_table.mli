@@ -1,0 +1,29 @@
+(** Object table: stable object identifiers over relocatable records.
+
+    Maps dense OIDs (1, 2, 3, …) to heap {!Heap.rid}s through a chain of
+    directory pages.  This is the indirection that lets an object-oriented
+    database hand out immutable object ids while records move between
+    pages as they grow — exactly the structure the paper assumes for
+    [nameOIDLookup] (op 02).
+
+    Directory pages hold 510 entries each; the chain grows on demand.  An
+    in-memory copy of the chain's page ids gives O(1) access; it is
+    rebuilt on [attach]. *)
+
+type t
+
+val fresh : Buffer_pool.t -> Freelist.t -> t
+val attach : Buffer_pool.t -> Freelist.t -> head:int -> t
+val head : t -> int
+
+val set : t -> oid:int -> rid:Heap.rid -> unit
+(** @raise Invalid_argument when [oid < 1]. *)
+
+val get : t -> oid:int -> Heap.rid option
+val get_exn : t -> oid:int -> Heap.rid
+val remove : t -> oid:int -> unit
+val capacity : t -> int
+(** Highest OID currently addressable without growing. *)
+
+val iter_pages : t -> (int -> unit) -> unit
+(** Visit every directory page (garbage-collection marking). *)

@@ -1,0 +1,35 @@
+(** Fixed-size database pages and primitive field accessors.
+
+    Every on-disk structure (slotted heap pages, B+tree nodes, the object
+    table, overflow chains) is laid out inside a {!size}-byte page.  This
+    module provides the little-endian field accessors those layouts are
+    built from; bounds errors raise [Invalid_argument] via the underlying
+    [Bytes] primitives. *)
+
+val size : int
+(** Page size in bytes (4096). *)
+
+val alloc : unit -> bytes
+(** A zeroed page buffer. *)
+
+val get_u8 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int
+(** 32-bit unsigned read (as a non-negative [int]). *)
+
+val set_u32 : bytes -> int -> int -> unit
+val get_i64 : bytes -> int -> int64
+val set_i64 : bytes -> int -> int64 -> unit
+
+val get_sub : bytes -> pos:int -> len:int -> bytes
+val set_sub : bytes -> pos:int -> bytes -> unit
+
+(** Page-type tags stored in byte 0 of structured pages.  A freshly
+    allocated (zeroed) page reads as [Free]. *)
+type ptype = Free | Meta | Heap | Overflow | Btree_leaf | Btree_internal | Obj_table
+
+val get_type : bytes -> ptype
+val set_type : bytes -> ptype -> unit
+val type_to_string : ptype -> string

@@ -1,0 +1,125 @@
+type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+type backing =
+  | File of Unix.file_descr
+  | Memory of bytes array ref
+
+type t = {
+  backing : backing;
+  mutable count : int;
+  mutable on_read : int -> unit;
+  mutable on_write : int -> unit;
+  stats : stats;
+  mutable closed : bool;
+}
+
+let no_hook (_ : int) = ()
+
+let fresh_stats () = { reads = 0; writes = 0; allocs = 0 }
+
+let create ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len mod Page.size <> 0 then begin
+    Unix.close fd;
+    invalid_arg (Printf.sprintf "Pager.create: %s is not page-aligned" path)
+  end;
+  { backing = File fd; count = len / Page.size; on_read = no_hook;
+    on_write = no_hook; stats = fresh_stats (); closed = false }
+
+let in_memory () =
+  { backing = Memory (ref [||]); count = 0; on_read = no_hook;
+    on_write = no_hook; stats = fresh_stats (); closed = false }
+
+let check_open t = if t.closed then invalid_arg "Pager: store is closed"
+
+let check_id t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Pager: page %d out of range (count %d)" id t.count)
+
+let page_count t = t.count
+
+let pread fd buf off =
+  let rec loop pos =
+    if pos < Page.size then begin
+      let n =
+        ExtUnix.pread fd buf (off + pos) pos (Page.size - pos)
+      in
+      if n = 0 then
+        (* Hole past EOF within an allocated region: treat as zeroes. *)
+        Bytes.fill buf pos (Page.size - pos) '\000'
+      else loop (pos + n)
+    end
+  in
+  loop 0
+
+and pwrite fd buf off =
+  let rec loop pos =
+    if pos < Page.size then begin
+      let n = ExtUnix.pwrite fd buf (off + pos) pos (Page.size - pos) in
+      loop (pos + n)
+    end
+  in
+  loop 0
+
+let allocate t =
+  check_open t;
+  let id = t.count in
+  t.count <- t.count + 1;
+  t.stats.allocs <- t.stats.allocs + 1;
+  (match t.backing with
+  | File fd -> pwrite fd (Page.alloc ()) (id * Page.size)
+  | Memory arr ->
+    let grown = Array.make (id + 1) Bytes.empty in
+    Array.blit !arr 0 grown 0 id;
+    grown.(id) <- Page.alloc ();
+    arr := grown);
+  id
+
+let read t id =
+  check_open t;
+  check_id t id;
+  t.stats.reads <- t.stats.reads + 1;
+  t.on_read id;
+  match t.backing with
+  | File fd ->
+    let buf = Bytes.create Page.size in
+    pread fd buf (id * Page.size);
+    buf
+  | Memory arr -> Bytes.copy !arr.(id)
+
+let write t id data =
+  check_open t;
+  check_id t id;
+  if Bytes.length data <> Page.size then
+    invalid_arg "Pager.write: buffer is not one page";
+  t.stats.writes <- t.stats.writes + 1;
+  t.on_write id;
+  match t.backing with
+  | File fd -> pwrite fd data (id * Page.size)
+  | Memory arr -> !arr.(id) <- Bytes.copy data
+
+let sync t =
+  check_open t;
+  match t.backing with File fd -> Unix.fsync fd | Memory _ -> ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backing with File fd -> Unix.close fd | Memory _ -> ()
+  end
+
+let set_hooks t ~on_read ~on_write =
+  t.on_read <- on_read;
+  t.on_write <- on_write
+
+let clear_hooks t =
+  t.on_read <- no_hook;
+  t.on_write <- no_hook
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.reads <- 0;
+  t.stats.writes <- 0;
+  t.stats.allocs <- 0

@@ -1,0 +1,47 @@
+(** File-backed page store.
+
+    One pager owns one database file addressed as an array of
+    {!Page.size}-byte pages.  All physical I/O in a backend flows through
+    here, which gives a single point for
+
+    - counting reads and writes (the benchmark's I/O statistics), and
+    - simulating slower media or a remote page server: the [on_read] /
+      [on_write] hooks fire once per physical page transfer, and typically
+      advance {!Hyper_util.Vclock} by a modelled latency. *)
+
+type t
+
+type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+val create : path:string -> t
+(** Open (or create) the file at [path]. *)
+
+val in_memory : unit -> t
+(** A pager backed by an expandable in-RAM array instead of a file —
+    used in tests and by backends running in "diskless" mode.  Hooks and
+    statistics behave identically. *)
+
+val page_count : t -> int
+
+val allocate : t -> int
+(** Extend the store by one zeroed page and return its id. *)
+
+val read : t -> int -> bytes
+(** A fresh copy of the page contents.
+    @raise Invalid_argument for an id that was never allocated. *)
+
+val write : t -> int -> bytes -> unit
+(** @raise Invalid_argument on an unallocated id or wrong buffer size. *)
+
+val sync : t -> unit
+(** Flush to stable storage (no-op for in-memory pagers). *)
+
+val close : t -> unit
+
+val set_hooks :
+  t -> on_read:(int -> unit) -> on_write:(int -> unit) -> unit
+(** Install I/O hooks.  Each receives the page id. *)
+
+val clear_hooks : t -> unit
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,69 @@
+type report = {
+  committed : int list;
+  rolled_back : int list;
+  pages_redone : int;
+  pages_undone : int;
+}
+
+let after_last_checkpoint entries =
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | Wal.Checkpoint :: rest -> strip [] rest
+    | e :: rest -> strip (e :: acc) rest
+  in
+  strip [] entries
+
+let recover ~wal_path pager =
+  let entries = after_last_checkpoint (Wal.read_all ~path:wal_path) in
+  let committed = Hashtbl.create 8 in
+  let started = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Wal.Begin t -> Hashtbl.replace started t ()
+      | Wal.Commit t -> Hashtbl.replace committed t ()
+      | Wal.Before _ | Wal.After _ | Wal.Checkpoint -> ())
+    entries;
+  let ensure_page id =
+    while Pager.page_count pager <= id do
+      ignore (Pager.allocate pager)
+    done
+  in
+  let redone = ref 0 in
+  List.iter
+    (function
+      | Wal.After (t, p, img) when Hashtbl.mem committed t ->
+        ensure_page p;
+        Pager.write pager p img;
+        incr redone
+      | Wal.Begin _ | Wal.Commit _ | Wal.Checkpoint | Wal.Before _
+      | Wal.After _ -> ())
+    entries;
+  (* Undo: first before-image per (txn, page) wins. *)
+  let first_before = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Wal.Before (t, p, img)
+        when (not (Hashtbl.mem committed t))
+             && not (Hashtbl.mem first_before (t, p)) ->
+        Hashtbl.add first_before (t, p) img
+      | Wal.Begin _ | Wal.Commit _ | Wal.Checkpoint | Wal.Before _
+      | Wal.After _ -> ())
+    entries;
+  let undone = ref 0 in
+  Hashtbl.iter
+    (fun (_, p) img ->
+      ensure_page p;
+      Pager.write pager p img;
+      incr undone)
+    first_before;
+  let ids tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  let rolled_back =
+    List.filter (fun t -> not (Hashtbl.mem committed t)) (ids started)
+  in
+  { committed = List.sort compare (ids committed);
+    rolled_back = List.sort compare rolled_back;
+    pages_redone = !redone;
+    pages_undone = !undone }
+
+let needs_recovery ~wal_path =
+  after_last_checkpoint (Wal.read_all ~path:wal_path) <> []

@@ -1,0 +1,21 @@
+(** Crash recovery from the write-ahead log.
+
+    Redo pass: after-images of committed transactions are applied in log
+    order.  Undo pass: the *first* before-image of every page touched by
+    an uncommitted transaction is applied, restoring its pre-transaction
+    state.  The engine runs one write transaction at a time, so at most
+    one transaction is ever in the uncommitted set. *)
+
+type report = {
+  committed : int list;   (** transactions redone *)
+  rolled_back : int list; (** transactions undone *)
+  pages_redone : int;
+  pages_undone : int;
+}
+
+val recover : wal_path:string -> Pager.t -> report
+(** Replay [wal_path] into the pager.  Pages referenced by the log but
+    beyond the current end of file are allocated first. *)
+
+val needs_recovery : wal_path:string -> bool
+(** True when the log contains entries after the last checkpoint. *)

@@ -1,0 +1,166 @@
+let header_size = 16
+let slot_bytes = 4
+
+let off_slot_count = 2
+let off_free_end = 4
+let off_next_page = 6
+
+let max_record = Page.size - header_size - slot_bytes
+
+let init page =
+  Bytes.fill page 0 Page.size '\000';
+  Page.set_type page Page.Heap;
+  Page.set_u16 page off_slot_count 0;
+  Page.set_u16 page off_free_end (Page.size land 0xFFFF)
+
+(* free_end is stored mod 2^16; 4096 fits, but Page.size = 4096 exactly is
+   representable, so no masking subtleties: values range 16..4096. *)
+let get_free_end page =
+  let v = Page.get_u16 page off_free_end in
+  if v = 0 then 65536 else v
+
+let set_free_end page v = Page.set_u16 page off_free_end (v land 0xFFFF)
+
+let slot_count page = Page.get_u16 page off_slot_count
+let next_page page = Page.get_u32 page off_next_page
+let set_next_page page v = Page.set_u32 page off_next_page v
+
+let slot_pos i = header_size + (i * slot_bytes)
+
+let slot_offset page i = Page.get_u16 page (slot_pos i)
+let slot_length page i = Page.get_u16 page (slot_pos i + 2)
+
+let set_slot page i ~offset ~length =
+  Page.set_u16 page (slot_pos i) offset;
+  Page.set_u16 page (slot_pos i + 2) length
+
+let is_free page i = slot_offset page i = 0
+
+let check_slot page i =
+  if i < 0 || i >= slot_count page then
+    invalid_arg (Printf.sprintf "Slotted: slot %d out of range" i);
+  if is_free page i then
+    invalid_arg (Printf.sprintf "Slotted: slot %d is free" i)
+
+let directory_end page = slot_pos (slot_count page)
+
+let free_space page =
+  let gap = get_free_end page - directory_end page in
+  Stdlib.max 0 (gap - slot_bytes)
+
+(* Reclaim holes left by deletes/updates: slide live records to the end of
+   the page, preserving slot indices. *)
+let compact page =
+  let n = slot_count page in
+  let live = ref [] in
+  for i = 0 to n - 1 do
+    if not (is_free page i) then
+      live := (i, slot_offset page i, slot_length page i) :: !live
+  done;
+  (* Place records from the page end downward, highest old offset first to
+     allow safe in-buffer moves via a scratch copy. *)
+  let scratch = Bytes.copy page in
+  let free_end = ref Page.size in
+  List.iter
+    (fun (i, off, len) ->
+      free_end := !free_end - len;
+      Bytes.blit scratch off page !free_end len;
+      set_slot page i ~offset:!free_end ~length:len)
+    (List.sort (fun (_, a, _) (_, b, _) -> compare a b) !live);
+  set_free_end page !free_end
+
+let find_free_slot page =
+  let n = slot_count page in
+  let rec scan i = if i >= n then None else if is_free page i then Some i else scan (i + 1) in
+  scan 0
+
+let insert page record =
+  let len = Bytes.length record in
+  if len > max_record then invalid_arg "Slotted.insert: record too large";
+  let reuse = find_free_slot page in
+  let need_slot = match reuse with Some _ -> 0 | None -> slot_bytes in
+  let attempt () =
+    let free_end = get_free_end page in
+    let avail = free_end - directory_end page - need_slot in
+    if avail < len then None
+    else begin
+      let offset = free_end - len in
+      Bytes.blit record 0 page offset len;
+      set_free_end page offset;
+      let i =
+        match reuse with
+        | Some i -> i
+        | None ->
+          let i = slot_count page in
+          Page.set_u16 page off_slot_count (i + 1);
+          i
+      in
+      set_slot page i ~offset ~length:len;
+      Some i
+    end
+  in
+  match attempt () with
+  | Some i -> Some i
+  | None ->
+    compact page;
+    attempt ()
+
+let read page i =
+  check_slot page i;
+  Bytes.sub page (slot_offset page i) (slot_length page i)
+
+let delete page i =
+  check_slot page i;
+  set_slot page i ~offset:0 ~length:0
+
+let update page i record =
+  check_slot page i;
+  let len = Bytes.length record in
+  let old_len = slot_length page i in
+  if len <= old_len then begin
+    let off = slot_offset page i in
+    Bytes.blit record 0 page off len;
+    set_slot page i ~offset:off ~length:len;
+    true
+  end
+  else begin
+    (* Tombstone slot i (record bytes stay in place), compact to gather the
+       freed space, and try to place the longer record.  On failure restore
+       the slot directly — compaction preserved nothing of the tombstoned
+       record, so the restore must happen before compacting. *)
+    let old_off = slot_offset page i in
+    set_slot page i ~offset:0 ~length:0;
+    let live =
+      let sum = ref 0 in
+      for j = 0 to slot_count page - 1 do
+        if not (is_free page j) then sum := !sum + slot_length page j
+      done;
+      !sum
+    in
+    let avail = Page.size - header_size - (slot_count page * slot_bytes) - live in
+    if avail < len then begin
+      set_slot page i ~offset:old_off ~length:old_len;
+      false
+    end
+    else begin
+      compact page;
+      let free_end = get_free_end page in
+      let offset = free_end - len in
+      Bytes.blit record 0 page offset len;
+      set_free_end page offset;
+      set_slot page i ~offset ~length:len;
+      true
+    end
+  end
+
+let iter page f =
+  for i = 0 to slot_count page - 1 do
+    if not (is_free page i) then f i (read page i)
+  done
+
+let live_records page =
+  let n = ref 0 in
+  for i = 0 to slot_count page - 1 do
+    if not (is_free page i) then incr n
+  done;
+  !n

@@ -1,0 +1,53 @@
+(** Slotted-page record layout.
+
+    Layout of a heap page (all offsets little-endian):
+
+    {v
+      0       page type (Page.Heap)
+      1       unused
+      2..3    slot count
+      4..5    free_end   -- lowest byte offset used by record data
+      6..9    next page id in the owning heap's chain (0 = none)
+      10..15  reserved
+      16..    slot directory, 4 bytes per slot: offset u16, length u16
+      ...     free space
+      ...4095 record data, allocated from the page end downward
+    v}
+
+    A slot with offset 0 is a tombstone (page offsets below the header are
+    impossible for live records).  Record length 0 is legal.  All
+    functions operate on a raw page buffer obtained from the buffer
+    pool. *)
+
+val header_size : int
+val max_record : int
+(** Largest record storable in a fresh page. *)
+
+val init : bytes -> unit
+(** Format a blank page as an empty heap page. *)
+
+val slot_count : bytes -> int
+val next_page : bytes -> int
+val set_next_page : bytes -> int -> unit
+
+val free_space : bytes -> int
+(** Bytes available for a *new* record including its slot entry. *)
+
+val insert : bytes -> bytes -> int option
+(** [insert page record] returns the slot index, or [None] when the page
+    is full (after attempting compaction). *)
+
+val read : bytes -> int -> bytes
+(** @raise Invalid_argument on a free or out-of-range slot. *)
+
+val delete : bytes -> int -> unit
+(** Tombstone the slot.  @raise Invalid_argument on a free slot. *)
+
+val update : bytes -> int -> bytes -> bool
+(** In-place update; returns [false] when the new record does not fit
+    (caller must then delete + reinsert elsewhere). *)
+
+val iter : bytes -> (int -> bytes -> unit) -> unit
+(** Visit every live slot with its record. *)
+
+val live_records : bytes -> int

@@ -1,0 +1,123 @@
+type entry =
+  | Begin of int
+  | Before of int * int * bytes
+  | After of int * int * bytes
+  | Commit of int
+  | Checkpoint
+
+type t = { path : string; mutable oc : out_channel }
+
+let entry_magic = 0xA7
+
+let kind_of = function
+  | Begin _ -> 1
+  | Before _ -> 2
+  | After _ -> 3
+  | Commit _ -> 4
+  | Checkpoint -> 5
+
+(* Cheap rolling checksum — only needs to catch torn/garbled tails. *)
+let checksum b =
+  let h = ref 5381 in
+  Bytes.iter (fun c -> h := (((!h lsl 5) + !h) + Char.code c) land 0x3FFFFFFF) b;
+  !h
+
+let open_ ~path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; oc }
+
+let payload_of = function
+  | Begin _ | Commit _ | Checkpoint -> Bytes.empty
+  | Before (_, _, img) | After (_, _, img) -> img
+
+let ids_of = function
+  | Begin t -> (t, 0)
+  | Commit t -> (t, 0)
+  | Checkpoint -> (0, 0)
+  | Before (t, p, _) -> (t, p)
+  | After (t, p, _) -> (t, p)
+
+let append t e =
+  let payload = payload_of e in
+  let txn, page = ids_of e in
+  let header = Bytes.create 14 in
+  Page.set_u8 header 0 entry_magic;
+  Page.set_u8 header 1 (kind_of e);
+  Page.set_u32 header 2 txn;
+  Page.set_u32 header 6 page;
+  Page.set_u32 header 10 (Bytes.length payload);
+  output_bytes t.oc header;
+  output_bytes t.oc payload;
+  let crc = Bytes.create 4 in
+  Page.set_u32 crc 0 (checksum payload lxor checksum header);
+  output_bytes t.oc crc
+
+let flush t = Stdlib.flush t.oc
+
+let sync t =
+  flush t;
+  let fd = Unix.descr_of_out_channel t.oc in
+  Unix.fsync fd
+
+let truncate t =
+  close_out t.oc;
+  t.oc <- open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path
+
+let size_bytes t =
+  flush t;
+  (Unix.stat t.path).Unix.st_size
+
+let close t = close_out t.oc
+
+let read_all ~path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let entries = ref [] in
+    let ok = ref true in
+    (try
+       while !ok && pos_in ic + 18 <= len do
+         let header = Bytes.create 14 in
+         really_input ic header 0 14;
+         if Page.get_u8 header 0 <> entry_magic then ok := false
+         else begin
+           let kind = Page.get_u8 header 1 in
+           let txn = Page.get_u32 header 2 in
+           let page = Page.get_u32 header 6 in
+           let plen = Page.get_u32 header 10 in
+           if pos_in ic + plen + 4 > len then ok := false
+           else begin
+             let payload = Bytes.create plen in
+             really_input ic payload 0 plen;
+             let crc = Bytes.create 4 in
+             really_input ic crc 0 4;
+             if Page.get_u32 crc 0 <> (checksum payload lxor checksum header)
+             then ok := false
+             else
+               let entry =
+                 match kind with
+                 | 1 -> Some (Begin txn)
+                 | 2 -> Some (Before (txn, page, payload))
+                 | 3 -> Some (After (txn, page, payload))
+                 | 4 -> Some (Commit txn)
+                 | 5 -> Some Checkpoint
+                 | _ -> None
+               in
+               match entry with
+               | Some e -> entries := e :: !entries
+               | None -> ok := false
+           end
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let entry_to_string = function
+  | Begin t -> Printf.sprintf "begin(%d)" t
+  | Before (t, p, _) -> Printf.sprintf "before(%d, page %d)" t p
+  | After (t, p, _) -> Printf.sprintf "after(%d, page %d)" t p
+  | Commit t -> Printf.sprintf "commit(%d)" t
+  | Checkpoint -> "checkpoint"

@@ -1,0 +1,45 @@
+(** Write-ahead log (R10: logging, backup and recovery).
+
+    ARIES-lite, page-granular:
+
+    - [Begin t] opens transaction [t];
+    - [Before (t, p, img)] is logged when [p] is first dirtied inside [t]
+      (undo image);
+    - [After (t, p, img)] is logged at commit for every dirty page, and
+      earlier if a dirty page must be stolen by the buffer pool (redo
+      image, honouring the write-ahead rule);
+    - [Commit t] seals the transaction;
+    - [Checkpoint] states that all committed work has reached the main
+      file, allowing log truncation.
+
+    Entries carry a checksum; {!read_all} stops cleanly at a torn or
+    corrupt tail, which is what makes crash-recovery tests meaningful. *)
+
+type entry =
+  | Begin of int
+  | Before of int * int * bytes
+  | After of int * int * bytes
+  | Commit of int
+  | Checkpoint
+
+type t
+
+val open_ : path:string -> t
+(** Opens for appending (creates when absent). *)
+
+val append : t -> entry -> unit
+val flush : t -> unit
+val sync : t -> unit
+(** [flush] then fsync — the commit durability point. *)
+
+val truncate : t -> unit
+(** Discard the log contents (after a checkpoint). *)
+
+val size_bytes : t -> int
+val close : t -> unit
+
+val read_all : path:string -> entry list
+(** Entire readable prefix of the log, ignoring a torn tail.  Returns []
+    for a missing file. *)
+
+val entry_to_string : entry -> string

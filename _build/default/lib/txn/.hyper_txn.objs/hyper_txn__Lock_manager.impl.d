@@ -1,0 +1,1 @@
+lib/txn/lock_manager.ml: Condition Fun Hashtbl List Mutex Thread Unix

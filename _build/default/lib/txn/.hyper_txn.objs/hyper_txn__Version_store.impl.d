@@ -1,0 +1,1 @@
+lib/txn/version_store.ml: Hashtbl List Option

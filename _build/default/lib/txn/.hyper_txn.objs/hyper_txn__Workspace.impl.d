@@ -1,0 +1,1 @@
+lib/txn/workspace.ml: Fun Hashtbl List Mutex Option

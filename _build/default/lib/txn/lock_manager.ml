@@ -1,0 +1,111 @@
+type mode = Shared | Exclusive
+
+exception Timeout of { txn : int; resource : int }
+
+type entry = { mutable holders : (int * mode) list }
+
+type t = {
+  mutex : Mutex.t;
+  changed : Condition.t;
+  table : (int, entry) Hashtbl.t;
+  timeout_s : float;
+}
+
+let create ?(timeout_ms = 200.0) () =
+  { mutex = Mutex.create (); changed = Condition.create ();
+    table = Hashtbl.create 256; timeout_s = timeout_ms /. 1000.0 }
+
+let entry_for t resource =
+  match Hashtbl.find_opt t.table resource with
+  | Some e -> e
+  | None ->
+    let e = { holders = [] } in
+    Hashtbl.add t.table resource e;
+    e
+
+(* Whether [txn] may take [mode] given current holders. *)
+let compatible e ~txn mode =
+  match mode with
+  | Shared ->
+    List.for_all (fun (o, m) -> o = txn || m = Shared) e.holders
+  | Exclusive -> List.for_all (fun (o, _) -> o = txn) e.holders
+
+let grant e ~txn mode =
+  let others = List.remove_assoc txn e.holders in
+  let current = List.assoc_opt txn e.holders in
+  let mode =
+    match (current, mode) with
+    | Some Exclusive, _ -> Exclusive (* never downgrade *)
+    | _, m -> m
+  in
+  e.holders <- (txn, mode) :: others
+
+let locked f t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let try_acquire t ~txn ~resource mode =
+  locked
+    (fun () ->
+      let e = entry_for t resource in
+      if compatible e ~txn mode then begin
+        grant e ~txn mode;
+        true
+      end
+      else false)
+    t
+
+let acquire t ~txn ~resource mode =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. t.timeout_s in
+      (* The entry must be re-fetched on every iteration: [release_all]
+         drops empty entries from the table, so a cached record can be an
+         orphan that a fresh acquirer no longer shares. *)
+      let rec wait () =
+        let e = entry_for t resource in
+        if compatible e ~txn mode then grant e ~txn mode
+        else begin
+          if Unix.gettimeofday () >= deadline then
+            raise (Timeout { txn; resource });
+          (* Condition.wait has no timeout in the stdlib; poll with short
+             sleeps outside the mutex instead. *)
+          Mutex.unlock t.mutex;
+          Thread.delay 0.001;
+          Mutex.lock t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let release_all t ~txn =
+  locked
+    (fun () ->
+      let emptied = ref [] in
+      Hashtbl.iter
+        (fun resource e ->
+          e.holders <- List.remove_assoc txn e.holders;
+          if e.holders = [] then emptied := resource :: !emptied)
+        t.table;
+      List.iter (Hashtbl.remove t.table) !emptied;
+      Condition.broadcast t.changed)
+    t
+
+let holds t ~txn ~resource =
+  locked
+    (fun () ->
+      match Hashtbl.find_opt t.table resource with
+      | None -> None
+      | Some e -> List.assoc_opt txn e.holders)
+    t
+
+let locked_resources t ~txn =
+  locked
+    (fun () ->
+      Hashtbl.fold
+        (fun resource e acc ->
+          if List.mem_assoc txn e.holders then resource :: acc else acc)
+        t.table [])
+    t

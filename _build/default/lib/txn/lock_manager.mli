@@ -1,0 +1,35 @@
+(** Strict two-phase locking (R8: concurrency control).
+
+    Resources are identified by integers (OIDs in the backends).  Shared
+    locks are compatible with each other; exclusive locks conflict with
+    everything held by other transactions.  Lock upgrade (shared →
+    exclusive) is supported for the sole shared holder.
+
+    Deadlocks are broken by timeout: an acquisition that cannot be
+    granted within the configured window raises {!Timeout}, and the
+    caller is expected to abort and release.  This is the scheme several
+    of the paper-era systems used in practice. *)
+
+type t
+
+type mode = Shared | Exclusive
+
+exception Timeout of { txn : int; resource : int }
+
+val create : ?timeout_ms:float -> unit -> t
+(** Default timeout: 200 ms. *)
+
+val acquire : t -> txn:int -> resource:int -> mode -> unit
+(** Blocks until granted.  Re-acquiring an already-held lock is a no-op
+    (or an upgrade when going from shared to exclusive).
+    @raise Timeout when the wait exceeds the window. *)
+
+val try_acquire : t -> txn:int -> resource:int -> mode -> bool
+(** Non-blocking variant. *)
+
+val release_all : t -> txn:int -> unit
+(** End of transaction: drop every lock held by [txn] and wake waiters. *)
+
+val holds : t -> txn:int -> resource:int -> mode option
+
+val locked_resources : t -> txn:int -> int list

@@ -1,0 +1,69 @@
+type t = {
+  mutex : Mutex.t;
+  versions : (int, int) Hashtbl.t; (* resource -> commit counter value *)
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+type txn = {
+  owner : t;
+  reads : (int, int) Hashtbl.t; (* resource -> version observed *)
+  writes : (int, unit) Hashtbl.t;
+  mutable finished : bool;
+}
+
+let create () =
+  { mutex = Mutex.create (); versions = Hashtbl.create 256; committed = 0;
+    aborted = 0 }
+
+let begin_txn t =
+  { owner = t; reads = Hashtbl.create 16; writes = Hashtbl.create 16;
+    finished = false }
+
+let version_of t r = Option.value ~default:0 (Hashtbl.find_opt t.versions r)
+
+let note_read txn r =
+  if txn.finished then invalid_arg "Occ: transaction already finished";
+  if not (Hashtbl.mem txn.reads r) then begin
+    let t = txn.owner in
+    Mutex.lock t.mutex;
+    let v = version_of t r in
+    Mutex.unlock t.mutex;
+    Hashtbl.add txn.reads r v
+  end
+
+let note_write txn r =
+  note_read txn r;
+  Hashtbl.replace txn.writes r ()
+
+let commit txn =
+  if txn.finished then invalid_arg "Occ: transaction already finished";
+  txn.finished <- true;
+  let t = txn.owner in
+  Mutex.lock t.mutex;
+  let valid =
+    Hashtbl.fold
+      (fun r v ok -> ok && version_of t r = v)
+      txn.reads true
+  in
+  if valid then begin
+    Hashtbl.iter
+      (fun r () -> Hashtbl.replace t.versions r (version_of t r + 1))
+      txn.writes;
+    t.committed <- t.committed + 1
+  end
+  else t.aborted <- t.aborted + 1;
+  Mutex.unlock t.mutex;
+  valid
+
+let abort txn =
+  if not txn.finished then begin
+    txn.finished <- true;
+    let t = txn.owner in
+    Mutex.lock t.mutex;
+    t.aborted <- t.aborted + 1;
+    Mutex.unlock t.mutex
+  end
+
+let committed_count t = t.committed
+let aborted_count t = t.aborted

@@ -1,0 +1,35 @@
+(** Optimistic concurrency control (backward validation).
+
+    The paper (§7) notes that the systems it was run on used optimistic
+    concurrency control, making conflicting multi-user updates abort at
+    commit.  This module reproduces that behaviour: transactions record
+    read and write sets against versioned resources; commit validates
+    that nothing read has since been written by a committed peer.
+
+    Thread-safe; the multi-user benchmark (bench §T7) runs writers on OS
+    threads against one validator. *)
+
+type t
+(** Shared validator state. *)
+
+type txn
+
+val create : unit -> t
+
+val begin_txn : t -> txn
+
+val note_read : txn -> int -> unit
+(** Record that the transaction observed resource [r]. *)
+
+val note_write : txn -> int -> unit
+(** Record intent to write resource [r] (implies a read). *)
+
+val commit : txn -> bool
+(** Validate and commit atomically.  [false] means validation failed
+    (a resource in the read set was committed by another transaction
+    since it was read) — the caller must discard its work and retry. *)
+
+val abort : txn -> unit
+
+val committed_count : t -> int
+val aborted_count : t -> int

@@ -1,0 +1,65 @@
+type 'a t = {
+  mutable clock : int;
+  chains : (int, (int * 'a) list) Hashtbl.t; (* newest first *)
+  variant_chains : (int * string, (int * 'a) list) Hashtbl.t;
+}
+
+let create () =
+  { clock = 0; chains = Hashtbl.create 256; variant_chains = Hashtbl.create 16 }
+
+let now t = t.clock
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let put t ~key v =
+  let ts = tick t in
+  let chain = Option.value ~default:[] (Hashtbl.find_opt t.chains key) in
+  Hashtbl.replace t.chains key ((ts, v) :: chain);
+  ts
+
+let latest t ~key =
+  match Hashtbl.find_opt t.chains key with
+  | Some ((_, v) :: _) -> Some v
+  | Some [] | None -> None
+
+let previous t ~key =
+  match Hashtbl.find_opt t.chains key with
+  | Some (_ :: (_, v) :: _) -> Some v
+  | Some _ | None -> None
+
+let as_of t ~key ~time =
+  match Hashtbl.find_opt t.chains key with
+  | None -> None
+  | Some chain ->
+    let rec find = function
+      | [] -> None
+      | (ts, v) :: rest -> if ts <= time then Some v else find rest
+    in
+    find chain
+
+let version_count t ~key =
+  match Hashtbl.find_opt t.chains key with
+  | None -> 0
+  | Some chain -> List.length chain
+
+let history t ~key = Option.value ~default:[] (Hashtbl.find_opt t.chains key)
+
+let put_variant t ~key ~variant v =
+  let ts = tick t in
+  let k = (key, variant) in
+  let chain = Option.value ~default:[] (Hashtbl.find_opt t.variant_chains k) in
+  Hashtbl.replace t.variant_chains k ((ts, v) :: chain);
+  ts
+
+let latest_variant t ~key ~variant =
+  match Hashtbl.find_opt t.variant_chains (key, variant) with
+  | Some ((_, v) :: _) -> Some v
+  | Some [] | None -> None
+
+let variants t ~key =
+  Hashtbl.fold
+    (fun (k, name) _ acc -> if k = key then name :: acc else acc)
+    t.variant_chains []
+  |> List.sort_uniq compare

@@ -1,0 +1,40 @@
+(** Multi-version object store (R5: versions and variants).
+
+    Keeps a timestamped version chain per key on a process-wide logical
+    clock, supporting the paper's extension operations: retrieve the
+    previous version of a node, or reconstruct a node structure as it was
+    at a given time-point.  Named variants model parallel development
+    branches of the same object. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val now : 'a t -> int
+(** Current logical time (advances on every [put]). *)
+
+val put : 'a t -> key:int -> 'a -> int
+(** Append a new version; returns its timestamp. *)
+
+val latest : 'a t -> key:int -> 'a option
+
+val previous : 'a t -> key:int -> 'a option
+(** The version immediately before the latest one. *)
+
+val as_of : 'a t -> key:int -> time:int -> 'a option
+(** The newest version with timestamp <= [time]. *)
+
+val version_count : 'a t -> key:int -> int
+
+val history : 'a t -> key:int -> (int * 'a) list
+(** All versions, newest first, as (timestamp, value). *)
+
+(** {2 Variants} *)
+
+val put_variant : 'a t -> key:int -> variant:string -> 'a -> int
+(** Record a value on a named parallel branch of [key]. *)
+
+val latest_variant : 'a t -> key:int -> variant:string -> 'a option
+
+val variants : 'a t -> key:int -> string list
+(** Names of branches that exist for [key] (sorted). *)

@@ -1,0 +1,85 @@
+type 'a shared = {
+  mutex : Mutex.t;
+  store : (int, 'a * int) Hashtbl.t; (* value, version *)
+  mutable version : int;
+}
+
+type 'a t = {
+  parent : 'a shared;
+  overlay : (int, 'a) Hashtbl.t;
+  baseline : (int, int) Hashtbl.t; (* key -> shared version at checkout *)
+}
+
+type 'a publish_result = Published of int | Conflicts of int list
+
+let create_shared () =
+  { mutex = Mutex.create (); store = Hashtbl.create 256; version = 0 }
+
+let with_lock s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+let shared_get s key =
+  with_lock s (fun () -> Option.map fst (Hashtbl.find_opt s.store key))
+
+let shared_keys s =
+  with_lock s (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.store []))
+
+let shared_version_of s key =
+  match Hashtbl.find_opt s.store key with Some (_, v) -> v | None -> 0
+
+let snapshot_baseline t =
+  Hashtbl.reset t.baseline;
+  with_lock t.parent (fun () ->
+      Hashtbl.iter
+        (fun k (_, v) -> Hashtbl.replace t.baseline k v)
+        t.parent.store)
+
+let checkout parent =
+  let t =
+    { parent; overlay = Hashtbl.create 64; baseline = Hashtbl.create 64 }
+  in
+  snapshot_baseline t;
+  t
+
+let get t key =
+  match Hashtbl.find_opt t.overlay key with
+  | Some v -> Some v
+  | None -> shared_get t.parent key
+
+let put t key v = Hashtbl.replace t.overlay key v
+
+let dirty_keys t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.overlay [])
+
+let baseline_of t key =
+  Option.value ~default:0 (Hashtbl.find_opt t.baseline key)
+
+let publish t =
+  with_lock t.parent (fun () ->
+      let conflicts =
+        Hashtbl.fold
+          (fun k _ acc ->
+            if shared_version_of t.parent k <> baseline_of t k then k :: acc
+            else acc)
+          t.overlay []
+      in
+      if conflicts <> [] then Conflicts (List.sort compare conflicts)
+      else begin
+        let n = Hashtbl.length t.overlay in
+        Hashtbl.iter
+          (fun k v ->
+            t.parent.version <- t.parent.version + 1;
+            Hashtbl.replace t.parent.store k (v, t.parent.version))
+          t.overlay;
+        Hashtbl.reset t.overlay;
+        (* Re-baseline inline; we already hold the lock. *)
+        Hashtbl.reset t.baseline;
+        Hashtbl.iter
+          (fun k (_, v) -> Hashtbl.replace t.baseline k v)
+          t.parent.store;
+        Published n
+      end)
+
+let refresh t = snapshot_baseline t

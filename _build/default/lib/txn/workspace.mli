@@ -1,0 +1,44 @@
+(** Private and shared workspaces (R9: cooperation between users).
+
+    The paper asks that two users be able to update different nodes of
+    the same structure, with one user's changes becoming "easily
+    accessible" to others when published.  A [shared] store holds the
+    published state; each user [checkout]s a private workspace whose
+    writes overlay the shared state until [publish].
+
+    Publish performs first-writer-wins conflict detection at object
+    granularity: a write conflicts when the shared object changed after
+    the workspace was checked out (or last synchronised). *)
+
+type 'a shared
+
+type 'a t
+
+type 'a publish_result =
+  | Published of int (** number of objects made shareable *)
+  | Conflicts of int list (** keys that changed under us *)
+
+val create_shared : unit -> 'a shared
+
+val shared_get : 'a shared -> int -> 'a option
+val shared_keys : 'a shared -> int list
+
+val checkout : 'a shared -> 'a t
+(** A private workspace seeing the current shared state. *)
+
+val get : 'a t -> int -> 'a option
+(** Private copy when present, otherwise the shared state. *)
+
+val put : 'a t -> int -> 'a -> unit
+(** Private write; invisible to other workspaces until published. *)
+
+val dirty_keys : 'a t -> int list
+
+val publish : 'a t -> 'a publish_result
+(** Merge private writes into the shared store.  On success the
+    workspace is synchronised (further writes rebase on the new state).
+    On conflict nothing is merged; the caller may [refresh] and retry. *)
+
+val refresh : 'a t -> unit
+(** Re-synchronise with the shared store, dropping conflict markers but
+    keeping private writes (they win over refreshed state on [get]). *)

@@ -1,0 +1,1 @@
+lib/util/mtime_stub.ml: Int64 Unix

@@ -1,0 +1,1 @@
+lib/util/mtime_stub.mli:

@@ -1,0 +1,1 @@
+lib/util/vclock.ml: Int64 Mtime_stub

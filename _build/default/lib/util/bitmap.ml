@@ -1,0 +1,78 @@
+type t = { width : int; height : int; bits : Bytes.t }
+
+let payload_bytes w h = (w * h + 7) / 8
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Bitmap.create: dimensions";
+  { width; height; bits = Bytes.make (payload_bytes width height) '\000' }
+
+let width t = t.width
+let height t = t.height
+let byte_size t = Bytes.length t.bits
+
+let check_bounds t x y =
+  if x < 0 || y < 0 || x >= t.width || y >= t.height then
+    invalid_arg "Bitmap: coordinates out of bounds"
+
+let index t x y = (y * t.width) + x
+
+let get t ~x ~y =
+  check_bounds t x y;
+  let i = index t x y in
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  byte land (1 lsl (i land 7)) <> 0
+
+let set t ~x ~y v =
+  check_bounds t x y;
+  let i = index t x y in
+  let pos = i lsr 3 in
+  let mask = 1 lsl (i land 7) in
+  let byte = Char.code (Bytes.get t.bits pos) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.bits pos (Char.chr byte)
+
+let invert_rect t ~x ~y ~w ~h =
+  if w < 0 || h < 0 then invalid_arg "Bitmap.invert_rect: negative extent";
+  check_bounds t x y;
+  if x + w > t.width || y + h > t.height then
+    invalid_arg "Bitmap.invert_rect: rectangle exceeds bitmap";
+  for row = y to y + h - 1 do
+    for col = x to x + w - 1 do
+      let i = index t col row in
+      let pos = i lsr 3 in
+      let mask = 1 lsl (i land 7) in
+      let byte = Char.code (Bytes.get t.bits pos) in
+      Bytes.set t.bits pos (Char.chr (byte lxor mask))
+    done
+  done
+
+let count_set t =
+  let n = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    let b = Char.code (Bytes.get t.bits i) in
+    (* Kernighan popcount; payload bytes past w*h are always zero. *)
+    let rec pop b acc = if b = 0 then acc else pop (b land (b - 1)) (acc + 1) in
+    n := !n + pop b 0
+  done;
+  !n
+
+let equal a b =
+  a.width = b.width && a.height = b.height && Bytes.equal a.bits b.bits
+
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let to_bytes t =
+  let out = Bytes.create (8 + Bytes.length t.bits) in
+  Bytes.set_int32_le out 0 (Int32.of_int t.width);
+  Bytes.set_int32_le out 4 (Int32.of_int t.height);
+  Bytes.blit t.bits 0 out 8 (Bytes.length t.bits);
+  out
+
+let of_bytes b =
+  if Bytes.length b < 8 then invalid_arg "Bitmap.of_bytes: truncated header";
+  let width = Int32.to_int (Bytes.get_int32_le b 0) in
+  let height = Int32.to_int (Bytes.get_int32_le b 4) in
+  if width <= 0 || height <= 0 then invalid_arg "Bitmap.of_bytes: dimensions";
+  let n = payload_bytes width height in
+  if Bytes.length b <> 8 + n then invalid_arg "Bitmap.of_bytes: payload size";
+  { width; height; bits = Bytes.sub b 8 n }

@@ -1,0 +1,40 @@
+(** Packed two-dimensional bitmaps for HyperModel [FormNode] contents.
+
+    A form node is a white (all-zero) bitmap whose width and height are
+    drawn uniformly from 100..400 pixels (paper §5.1).  The benchmark's
+    [formNodeEdit] operation (op 17) inverts a sub-rectangle, which this
+    module supports directly. *)
+
+type t
+
+val create : width:int -> height:int -> t
+(** All-white (all bits zero) bitmap.
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val width : t -> int
+val height : t -> int
+
+val byte_size : t -> int
+(** Number of payload bytes ([ceil (w*h / 8)]). *)
+
+val get : t -> x:int -> y:int -> bool
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : t -> x:int -> y:int -> bool -> unit
+
+val invert_rect : t -> x:int -> y:int -> w:int -> h:int -> unit
+(** Flip every bit in the rectangle.  The rectangle must lie fully inside
+    the bitmap.  Applying the same inversion twice restores the bitmap. *)
+
+val count_set : t -> int
+(** Number of black (set) pixels. *)
+
+val equal : t -> t -> bool
+
+val copy : t -> t
+
+val to_bytes : t -> bytes
+(** Serialised form: 4-byte LE width, 4-byte LE height, packed rows. *)
+
+val of_bytes : bytes -> t
+(** Inverse of [to_bytes].  @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,6 @@
+(** Minimal monotonic clock (nanoseconds).
+
+    Uses [Unix.gettimeofday]; microsecond resolution is sufficient because
+    the benchmark protocol always times batches of 50 operations. *)
+
+val now_ns : unit -> int64

@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64, Steele et al., "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  Passes BigCrush; one 64-bit word of state. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t =
+  let s = next_int64 t in
+  (* Decorrelate the child stream from the parent's next values. *)
+  { state = Int64.logxor s 0xA5A5A5A5DEADBEEFL }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the conversion to OCaml's 63-bit int stays positive. *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let lowercase_letter t = Char.chr (Char.code 'a' + int t 26)

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    The HyperModel generator must be reproducible bit-for-bit so that the
+    three test databases (levels 4, 5, 6) can be rebuilt identically on
+    every backend.  All randomness in the repository flows through this
+    module; no global state is used. *)
+
+type t
+(** A generator state.  Mutable; not thread-safe — give each thread its
+    own [split]. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** A new generator whose stream is statistically independent of the
+    remainder of [t]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val lowercase_letter : t -> char
+(** Uniform in ['a'..'z']. *)

@@ -1,0 +1,56 @@
+type t = {
+  mutable values : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { values = Array.make 16 0.0; n = 0; sum = 0.0; sum_sq = 0.0;
+    lo = infinity; hi = neg_infinity }
+
+let add t x =
+  if t.n = Array.length t.values then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.values 0 bigger 0 t.n;
+    t.values <- bigger
+  end;
+  t.values.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let n = float_of_int t.n in
+    let var = (t.sum_sq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+    sqrt (Float.max var 0.0)
+
+let min t = t.lo
+let max t = t.hi
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty series";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.sub t.values 0 t.n in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median t = percentile t 50.0
+
+let samples t = Array.sub t.values 0 t.n

@@ -1,0 +1,33 @@
+(** Sample statistics for benchmark timings.
+
+    The HyperModel protocol runs each operation 50 times (cold) and 50
+    times (warm) and reports milliseconds per node returned; this module
+    accumulates the raw samples and derives the summary numbers. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    samples. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in \[0,100\], by linear interpolation over
+    the sorted samples.  @raise Invalid_argument on an empty series or a
+    [p] outside the range. *)
+
+val median : t -> float
+
+val samples : t -> float array
+(** Copy of the raw samples in insertion order. *)

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for benchmark reports.
+
+    Produces aligned, boxed ASCII tables in the style of the paper's
+    result listings.  Numeric cells are right-aligned, text cells
+    left-aligned. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] with column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from the header. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+(** The full table, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fms : float -> string
+(** Format a milliseconds quantity with sensible precision
+    (e.g. ["0.034"], ["12.5"], ["1510"]). *)

@@ -1,0 +1,44 @@
+let marker = "version1"
+
+let random_word rng =
+  let len = Prng.int_in rng 1 10 in
+  String.init len (fun _ -> Prng.lowercase_letter rng)
+
+let generate_words rng ~n_words =
+  if n_words < 1 then invalid_arg "Text_gen.generate_words: n_words < 1";
+  let middle = (n_words - 1) / 2 in
+  let word i =
+    if i = 0 || i = middle || i = n_words - 1 then marker else random_word rng
+  in
+  String.concat " " (List.init n_words word)
+
+let generate rng = generate_words rng ~n_words:(Prng.int_in rng 10 100)
+
+let word_count s =
+  if s = "" then 0 else List.length (String.split_on_char ' ' s)
+
+let find_sub s sub start =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then invalid_arg "Text_gen: empty substring";
+  let rec scan i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else scan (i + 1)
+  in
+  scan start
+
+let replace_first s ~old_sub ~new_sub =
+  match find_sub s old_sub 0 with
+  | None -> None
+  | Some i ->
+    let n = String.length s and m = String.length old_sub in
+    Some (String.sub s 0 i ^ new_sub ^ String.sub s (i + m) (n - i - m))
+
+let count_occurrences s ~sub =
+  let m = String.length sub in
+  let rec loop start acc =
+    match find_sub s sub start with
+    | None -> acc
+    | Some i -> loop (i + m) (acc + 1)
+  in
+  loop 0 0

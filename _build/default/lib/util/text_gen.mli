@@ -1,0 +1,26 @@
+(** Random text contents for HyperModel [TextNode]s.
+
+    Paper §5.1: each text node contains 10–100 words separated by single
+    spaces; a word is 1–10 random lowercase letters; the first, middle and
+    last words are the literal ["version1"]. *)
+
+val marker : string
+(** The marker word, ["version1"]. *)
+
+val generate : Prng.t -> string
+(** A fresh text body obeying the specification above. *)
+
+val generate_words : Prng.t -> n_words:int -> string
+(** Like {!generate} but with an explicit word count (>= 1).  The first,
+    middle and last words are still the marker. *)
+
+val word_count : string -> int
+(** Number of space-separated words. *)
+
+val replace_first : string -> old_sub:string -> new_sub:string -> string option
+(** [replace_first s ~old_sub ~new_sub] substitutes the first occurrence,
+    or returns [None] when [old_sub] does not occur.  Used by op 16
+    ([textNodeEdit]) to swap ["version1"] and ["version-2"]. *)
+
+val count_occurrences : string -> sub:string -> int
+(** Non-overlapping occurrence count of [sub] in the string. *)

@@ -1,0 +1,23 @@
+let offset = ref 0.0
+
+let wall_ns () = Int64.to_float (Mtime_stub.now_ns ())
+
+let now_ns () = wall_ns () +. !offset
+
+let advance_ns d =
+  if d < 0.0 then invalid_arg "Vclock.advance_ns: negative";
+  offset := !offset +. d
+
+let virtual_ns () = !offset
+let reset_virtual () = offset := 0.0
+
+type span = { wall_ns : float; virtual_ns : float }
+
+let time f =
+  let w0 = wall_ns () and v0 = !offset in
+  let r = f () in
+  let w1 = wall_ns () and v1 = !offset in
+  (r, { wall_ns = w1 -. w0; virtual_ns = v1 -. v0 })
+
+let total_ns s = s.wall_ns +. s.virtual_ns
+let total_ms s = total_ns s /. 1e6

@@ -1,0 +1,32 @@
+(** Virtual benchmark clock.
+
+    Timings combine real elapsed wall-clock time with *simulated* latency
+    contributed by the workstation/server network model ({!Hyper_net}) and
+    the pager's simulated disk.  Simulated components advance this clock
+    without sleeping, so benchmark runs are fast yet still show the
+    cold-vs-warm and local-vs-remote gaps the paper is about.
+
+    The simulated offset is global to the process; {!reset_virtual} is
+    called by the benchmark protocol between runs. *)
+
+val now_ns : unit -> float
+(** Monotonic wall-clock nanoseconds plus the accumulated virtual
+    offset. *)
+
+val advance_ns : float -> unit
+(** Add simulated latency.  @raise Invalid_argument on negative input. *)
+
+val virtual_ns : unit -> float
+(** Accumulated simulated component since the last reset. *)
+
+val reset_virtual : unit -> unit
+
+type span = { wall_ns : float; virtual_ns : float }
+(** Elapsed time split into its real and simulated components. *)
+
+val time : (unit -> 'a) -> 'a * span
+(** Run a thunk and measure it.  Total elapsed nanoseconds is
+    [span.wall_ns +. span.virtual_ns]. *)
+
+val total_ns : span -> float
+val total_ms : span -> float

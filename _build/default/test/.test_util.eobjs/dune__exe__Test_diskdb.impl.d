@@ -1,0 +1,1 @@
+test/test_diskdb.ml: Alcotest Filename Fun Generator Hyper_core Hyper_diskdb Hyper_memdb Hyper_storage Hyper_util Layout List Ops Printf Protocol Schema String Sys Unix Verify

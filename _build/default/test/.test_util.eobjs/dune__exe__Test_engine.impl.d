@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Buffer_pool Bytes Engine Filename Fun Hyper_core Hyper_diskdb Hyper_reldb Hyper_storage Hyper_util List Printf QCheck QCheck_alcotest Sys Unix Wal

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Access Alcotest Array Extensions Generator Hyper_core Hyper_memdb Hyper_util Layout List Printf Schema

@@ -1,0 +1,1 @@
+test/test_hash_index.ml: Alcotest Buffer_pool Freelist Fun Hashtbl Hyper_index Hyper_storage List Pager Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Buffer_pool Freelist Hashtbl Hyper_index Hyper_storage Hyper_util List Pager Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_memdb.ml: Alcotest Array Generator Hyper_core Hyper_memdb Hyper_util Layout List Ops Printf Protocol Schema String Verify

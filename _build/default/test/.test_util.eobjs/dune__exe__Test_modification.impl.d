@@ -1,0 +1,1 @@
+test/test_modification.ml: Alcotest Array Backend Filename Fun Generator Hyper_core Hyper_diskdb Hyper_memdb Hyper_reldb Layout List Option Printf Schema Sys Unix Verify

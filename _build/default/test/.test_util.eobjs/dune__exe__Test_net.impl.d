@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Channel Fun Hyper_net Hyper_storage Hyper_util Latency_model List Page Pager

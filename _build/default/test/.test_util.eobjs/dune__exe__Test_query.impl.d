@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Hyper_core Hyper_memdb Hyper_query Hyper_util Lazy List

@@ -1,0 +1,1 @@
+test/test_recovery_fuzz.ml: Alcotest Filename Hyper_core Hyper_diskdb Hyper_util List Printf Schema String Sys Unix

@@ -1,0 +1,1 @@
+test/test_reldb.ml: Alcotest Filename Fun Generator Hyper_core Hyper_diskdb Hyper_memdb Hyper_reldb Hyper_util Layout List Ops Printf Protocol Schema Sys Unix Verify

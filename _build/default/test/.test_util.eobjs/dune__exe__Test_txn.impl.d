@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Hyper_txn List Lock_manager Mutex Occ Option Thread Version_store Workspace

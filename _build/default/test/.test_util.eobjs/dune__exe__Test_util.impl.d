@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitmap Float Gen Hyper_util List Prng QCheck QCheck_alcotest Stats String Table Text_gen Vclock

@@ -1,0 +1,202 @@
+(* Extension-operation tests (paper §6.8): E1 schema modification (R4),
+   E2 versions and variants (R5), E3 access control (R11) — run against
+   the in-memory backend, plus the cross-structure link demo. *)
+
+open Hyper_core
+module B = Hyper_memdb.Memdb
+module Gen = Generator.Make (B)
+module E = Extensions.Make (B)
+
+let check = Alcotest.check
+
+let generate ?(doc = 1) ?(oid_base = 0) ?(seed = 42L) b =
+  Gen.generate ~oid_base b ~doc ~leaf_level:4 ~seed
+
+(* --- E1 --- *)
+
+let test_add_draw_node () =
+  let b = B.create () in
+  let layout, _ = generate b in
+  B.begin_txn b;
+  E.add_draw_node b ~layout ~oid:90_000 ~unique_id:90_000;
+  B.commit b;
+  check Alcotest.bool "kind is draw" true (B.kind b 90_000 = Schema.Draw);
+  (* It joined the root's children sequence. *)
+  let kids = B.children b (Layout.root layout) in
+  check Alcotest.int "root now has 6 children" 6 (Array.length kids);
+  check Alcotest.int "appended last" 90_000 (kids.(5))
+
+let test_add_attribute_everywhere () =
+  let b = B.create () in
+  let layout, _ = generate b in
+  B.begin_txn b;
+  let touched =
+    E.add_attribute_everywhere b ~layout ~name:"layer" ~value:(fun oid ->
+        oid mod 7)
+  in
+  B.commit b;
+  check Alcotest.int "all nodes touched" 781 touched;
+  Layout.iter_oids layout (fun oid ->
+      match B.dyn_attr b oid "layer" with
+      | Some v -> if v <> oid mod 7 then Alcotest.failf "bad value at %d" oid
+      | None -> Alcotest.failf "missing attribute at %d" oid)
+
+(* --- E2 --- *)
+
+let test_versioned_edits () =
+  let b = B.create () in
+  let layout, _ = generate b in
+  let vs = E.create_versions () in
+  let oid = Layout.random_text layout (Hyper_util.Prng.create 1L) in
+  let original = B.text b oid in
+  B.begin_txn b;
+  let t1 = E.edit_with_version vs b oid in
+  B.commit b;
+  let after_first = B.text b oid in
+  check Alcotest.bool "edit changed the text" true (original <> after_first);
+  check (Alcotest.option Alcotest.string) "previous version = original"
+    (Some original)
+    (E.previous_version vs oid);
+  B.begin_txn b;
+  let _t2 = E.edit_with_version vs b oid in
+  B.commit b;
+  check (Alcotest.option Alcotest.string) "previous = intermediate"
+    (Some after_first) (E.previous_version vs oid);
+  (* The chain records content as of each time: at t1 the first edit had
+     just been applied; just before it, the text was the original. *)
+  check (Alcotest.option Alcotest.string) "as_of t1 = first edit"
+    (Some after_first)
+    (E.version_as_of vs oid ~time:t1);
+  check (Alcotest.option Alcotest.string) "as_of t1-1 = original"
+    (Some original)
+    (E.version_as_of vs oid ~time:(t1 - 1));
+  check Alcotest.int "original + two edits recorded" 3
+    (E.version_count vs oid);
+  check Alcotest.string "current restored (self-inverse edits)" original
+    (E.current_text vs b oid)
+
+let test_structure_as_of () =
+  (* R5: reconstruct a node structure as it was at a time-point. *)
+  let b = B.create () in
+  let layout, _ = generate b in
+  let vs = E.create_versions () in
+  let start = Layout.level_first_oid layout 3 in
+  let texts_before =
+    List.filter_map
+      (fun oid -> if B.kind b oid = Schema.Text then Some (oid, B.text b oid) else None)
+      (start :: Array.to_list (Layout.children_of layout start))
+  in
+  check Alcotest.bool "subtree has text nodes" true (texts_before <> []);
+  (* Edit every text node in the subtree, remembering the time before. *)
+  let snapshot_time = ref 0 in
+  List.iteri
+    (fun i (oid, _) ->
+      B.begin_txn b;
+      let ts = E.edit_with_version vs b oid in
+      B.commit b;
+      if i = 0 then snapshot_time := ts - 2 (* before the first edit *))
+    texts_before;
+  (* Reconstruction at the pre-edit time yields the original contents. *)
+  let reconstructed =
+    E.structure_as_of vs b ~start ~time:!snapshot_time
+  in
+  check Alcotest.int "all text nodes reconstructed"
+    (List.length texts_before)
+    (List.length reconstructed);
+  List.iter2
+    (fun (oid, original) (oid', content) ->
+      check Alcotest.int "pre-order positions match" oid oid';
+      check Alcotest.string
+        (Printf.sprintf "node %d content at snapshot" oid)
+        original content)
+    texts_before reconstructed;
+  (* Reconstruction "now" equals the current (edited) contents. *)
+  let now = E.structure_as_of vs b ~start ~time:max_int in
+  List.iter
+    (fun (oid, content) ->
+      check Alcotest.string
+        (Printf.sprintf "node %d current" oid)
+        (B.text b oid) content)
+    now
+
+let test_variants () =
+  let b = B.create () in
+  let layout, _ = generate b in
+  let vs = E.create_versions () in
+  let oid = Layout.random_text layout (Hyper_util.Prng.create 2L) in
+  let original = B.text b oid in
+  ignore (E.create_variant vs b oid ~variant:"experiment" : int);
+  B.begin_txn b;
+  ignore (E.edit_with_version vs b oid : int);
+  B.commit b;
+  check (Alcotest.option Alcotest.string) "variant keeps checkout state"
+    (Some original)
+    (E.variant_text vs oid ~variant:"experiment");
+  check (Alcotest.option Alcotest.string) "unknown variant" None
+    (E.variant_text vs oid ~variant:"nope")
+
+(* --- E3 --- *)
+
+let test_access_policies () =
+  let acl = Access.create () in
+  Access.register acl ~doc:1 ~owner:"alice";
+  check Alcotest.bool "owner writes" true
+    (Access.allowed acl ~user:"alice" ~doc:1 Access.Write);
+  check Alcotest.bool "stranger blocked" false
+    (Access.allowed acl ~user:"bob" ~doc:1 Access.Read);
+  Access.set_public acl ~doc:1 ~read:true ~write:false;
+  check Alcotest.bool "public read" true
+    (Access.allowed acl ~user:"bob" ~doc:1 Access.Read);
+  check Alcotest.bool "write still blocked" false
+    (Access.allowed acl ~user:"bob" ~doc:1 Access.Write);
+  check Alcotest.bool "unregistered open" true
+    (Access.allowed acl ~user:"bob" ~doc:99 Access.Write);
+  (match Access.check acl ~user:"bob" ~doc:1 Access.Write with
+  | () -> Alcotest.fail "expected Denied"
+  | exception Access.Denied { user = "bob"; doc = 1; wanted = Access.Write } ->
+    ()
+  | exception e -> raise e);
+  Alcotest.check_raises "double registration"
+    (Invalid_argument "Access.register: document 1 already registered")
+    (fun () -> Access.register acl ~doc:1 ~owner:"carol")
+
+let test_two_documents_with_cross_link () =
+  let b = B.create () in
+  let layout_a, _ = generate ~doc:1 ~oid_base:0 b in
+  let layout_b, _ = generate ~doc:2 ~oid_base:1_000_000 ~seed:43L b in
+  let acl = Access.create () in
+  Access.register acl ~doc:1 ~owner:"alice";
+  Access.register acl ~doc:2 ~owner:"alice";
+  B.begin_txn b;
+  let read_a, write_a, write_b, link_works =
+    E.demo_two_documents b ~acl ~doc_a:layout_a ~doc_b:layout_b ~user:"bob"
+  in
+  B.commit b;
+  check Alcotest.bool "bob reads A" true read_a;
+  check Alcotest.bool "bob cannot write A" false write_a;
+  check Alcotest.bool "bob writes B" true write_b;
+  check Alcotest.bool "link across structures works" true link_works
+
+let () =
+  Alcotest.run "hyper_extensions"
+    [
+      ( "e1 schema modification",
+        [
+          Alcotest.test_case "add DrawNode" `Quick test_add_draw_node;
+          Alcotest.test_case "add attribute everywhere" `Quick
+            test_add_attribute_everywhere;
+        ] );
+      ( "e2 versions",
+        [
+          Alcotest.test_case "versioned edits" `Quick test_versioned_edits;
+          Alcotest.test_case "structure as of time (R5)" `Quick
+            test_structure_as_of;
+          Alcotest.test_case "variants" `Quick test_variants;
+        ] );
+      ( "e3 access control",
+        [
+          Alcotest.test_case "policies" `Quick test_access_policies;
+          Alcotest.test_case "two documents + cross link" `Quick
+            test_two_documents_with_cross_link;
+        ] );
+    ]

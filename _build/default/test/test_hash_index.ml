@@ -1,0 +1,174 @@
+(* Linear-hash index tests: model-based behaviour, growth through
+   splits, duplicates, deletion, persistence via attach, and invariant
+   checks after random workloads. *)
+
+open Hyper_storage
+module H = Hyper_index.Hash_index
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let with_index ?(capacity = 128) k =
+  let pager = Pager.in_memory () in
+  let pool = Buffer_pool.create pager ~capacity in
+  ignore (Buffer_pool.allocate pool);
+  let fl = Freelist.attach pool ~head:0 in
+  k pool fl (H.create pool fl)
+
+let test_empty () =
+  with_index (fun _ _ h ->
+      check Alcotest.int "empty" 0 (H.length h);
+      check (Alcotest.option Alcotest.int) "find in empty" None
+        (H.find_first h ~key:5);
+      check Alcotest.bool "mem in empty" false (H.mem h ~key:5 ~value:1);
+      check Alcotest.bool "delete in empty" false (H.delete h ~key:5 ~value:1);
+      H.check_invariants h)
+
+let test_insert_find () =
+  with_index (fun _ _ h ->
+      for i = 1 to 100 do
+        H.insert h ~key:i ~value:(i * 10)
+      done;
+      check Alcotest.int "length" 100 (H.length h);
+      for i = 1 to 100 do
+        check (Alcotest.option Alcotest.int)
+          (Printf.sprintf "find %d" i)
+          (Some (i * 10))
+          (H.find_first h ~key:i)
+      done;
+      check (Alcotest.option Alcotest.int) "missing" None
+        (H.find_first h ~key:500);
+      H.check_invariants h)
+
+let test_duplicates () =
+  with_index (fun _ _ h ->
+      List.iter (fun v -> H.insert h ~key:7 ~value:v) [ 3; 1; 2; 1 ];
+      check (Alcotest.list Alcotest.int) "values sorted" [ 1; 2; 3 ]
+        (H.find_all h ~key:7);
+      check Alcotest.int "set semantics" 3 (H.length h))
+
+let test_growth_through_splits () =
+  with_index ~capacity:512 (fun _ _ h ->
+      let n = 20_000 in
+      let buckets0 = H.bucket_count h in
+      for i = 1 to n do
+        H.insert h ~key:i ~value:i
+      done;
+      if H.bucket_count h <= buckets0 then
+        Alcotest.fail "expected the bucket array to grow";
+      check Alcotest.int "all entries" n (H.length h);
+      H.check_invariants h;
+      (* Spot lookups across the whole range after many splits. *)
+      for i = 1 to 200 do
+        let k = i * 97 mod n + 1 in
+        check (Alcotest.option Alcotest.int)
+          (Printf.sprintf "find %d after splits" k)
+          (Some k) (H.find_first h ~key:k)
+      done)
+
+let test_delete () =
+  with_index (fun _ _ h ->
+      for i = 1 to 500 do
+        H.insert h ~key:i ~value:i
+      done;
+      check Alcotest.bool "delete present" true (H.delete h ~key:250 ~value:250);
+      check Alcotest.bool "delete again" false (H.delete h ~key:250 ~value:250);
+      check (Alcotest.option Alcotest.int) "gone" None (H.find_first h ~key:250);
+      check Alcotest.int "length" 499 (H.length h);
+      H.check_invariants h)
+
+let test_attach_persistence () =
+  let pager = Pager.in_memory () in
+  let pool = Buffer_pool.create pager ~capacity:256 in
+  ignore (Buffer_pool.allocate pool);
+  let fl = Freelist.attach pool ~head:0 in
+  let h = H.create pool fl in
+  for i = 1 to 5000 do
+    H.insert h ~key:i ~value:(i * 3)
+  done;
+  Buffer_pool.flush_all pool;
+  let pool2 = Buffer_pool.create pager ~capacity:256 in
+  let fl2 = Freelist.attach pool2 ~head:0 in
+  let h2 = H.attach pool2 fl2 ~header:(H.header h) in
+  check Alcotest.int "length after attach" 5000 (H.length h2);
+  check (Alcotest.option Alcotest.int) "lookup after attach" (Some 9999)
+    (H.find_first h2 ~key:3333);
+  H.check_invariants h2
+
+let test_skewed_keys () =
+  (* Many duplicates of a few keys stress the overflow chains. *)
+  with_index ~capacity:256 (fun _ _ h ->
+      for v = 1 to 600 do
+        H.insert h ~key:(v mod 3) ~value:v
+      done;
+      check Alcotest.int "length" 600 (H.length h);
+      check Alcotest.int "key 0 chain" 200 (List.length (H.find_all h ~key:0));
+      H.check_invariants h)
+
+let prop_model =
+  QCheck.Test.make ~name:"hash index vs pair-set model" ~count:40
+    QCheck.(
+      small_list (triple (int_range 0 2) (int_range 0 50) (int_range 0 20)))
+    (fun ops ->
+      let pager = Pager.in_memory () in
+      let pool = Buffer_pool.create pager ~capacity:64 in
+      ignore (Buffer_pool.allocate pool);
+      let fl = Freelist.attach pool ~head:0 in
+      let h = H.create pool fl in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (op, k, v) ->
+          match op with
+          | 0 ->
+            H.insert h ~key:k ~value:v;
+            Hashtbl.replace model (k, v) ()
+          | 1 ->
+            let expected = Hashtbl.mem model (k, v) in
+            if H.delete h ~key:k ~value:v <> expected then
+              failwith "delete mismatch";
+            Hashtbl.remove model (k, v)
+          | _ ->
+            if H.mem h ~key:k ~value:v <> Hashtbl.mem model (k, v) then
+              failwith "mem mismatch")
+        ops;
+      H.check_invariants h;
+      H.length h = Hashtbl.length model)
+
+let prop_find_all_matches_model =
+  QCheck.Test.make ~name:"find_all equals model projection" ~count:40
+    QCheck.(small_list (pair (int_range 0 20) (int_range 0 100)))
+    (fun pairs ->
+      let pager = Pager.in_memory () in
+      let pool = Buffer_pool.create pager ~capacity:64 in
+      ignore (Buffer_pool.allocate pool);
+      let fl = Freelist.attach pool ~head:0 in
+      let h = H.create pool fl in
+      List.iter (fun (k, v) -> H.insert h ~key:k ~value:v) pairs;
+      let dedup = List.sort_uniq compare pairs in
+      List.for_all
+        (fun k ->
+          H.find_all h ~key:k
+          = List.sort compare
+              (List.filter_map
+                 (fun (k', v) -> if k' = k then Some v else None)
+                 dedup))
+        (List.init 21 Fun.id))
+
+let () =
+  Alcotest.run "hyper_hash_index"
+    [
+      ( "hash_index",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "growth through splits" `Quick
+            test_growth_through_splits;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "attach persistence" `Quick test_attach_persistence;
+          Alcotest.test_case "skewed keys (overflow chains)" `Quick
+            test_skewed_keys;
+          qtest prop_model;
+          qtest prop_find_all_matches_model;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* B+tree tests: ordered-multimap semantics against a reference model,
+   split behaviour at scale, duplicates, range scans, persistence via
+   attach, and structural invariants after random workloads. *)
+
+open Hyper_storage
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let with_tree ?(capacity = 256) k =
+  let pager = Pager.in_memory () in
+  let pool = Buffer_pool.create pager ~capacity in
+  ignore (Buffer_pool.allocate pool) (* page 0 reserved *);
+  let fl = Freelist.attach pool ~head:0 in
+  let tree = Hyper_index.Btree.create pool fl in
+  k pool fl tree
+
+module B = Hyper_index.Btree
+
+let test_empty () =
+  with_tree (fun _ _ t ->
+      check Alcotest.int "empty length" 0 (B.length t);
+      check (Alcotest.option Alcotest.int) "find in empty" None
+        (B.find_first t ~key:5);
+      check Alcotest.bool "mem in empty" false (B.mem t ~key:5 ~value:1);
+      check Alcotest.int "height 1" 1 (B.height t);
+      B.check_invariants t)
+
+let test_insert_lookup_small () =
+  with_tree (fun _ _ t ->
+      List.iter
+        (fun (k, v) -> B.insert t ~key:k ~value:v)
+        [ (5, 50); (3, 30); (8, 80); (1, 10); (9, 90) ];
+      check (Alcotest.option Alcotest.int) "find 3" (Some 30)
+        (B.find_first t ~key:3);
+      check (Alcotest.option Alcotest.int) "find missing" None
+        (B.find_first t ~key:4);
+      check Alcotest.int "length" 5 (B.length t);
+      B.check_invariants t)
+
+let test_duplicates () =
+  with_tree (fun _ _ t ->
+      List.iter (fun v -> B.insert t ~key:7 ~value:v) [ 3; 1; 2; 1 ];
+      check (Alcotest.list Alcotest.int) "all values sorted" [ 1; 2; 3 ]
+        (B.find_all t ~key:7);
+      check (Alcotest.option Alcotest.int) "first" (Some 1) (B.find_first t ~key:7);
+      check Alcotest.int "set semantics" 3 (B.length t))
+
+let test_large_sequential () =
+  with_tree (fun _ _ t ->
+      let n = 50_000 in
+      for i = 1 to n do
+        B.insert t ~key:i ~value:(i * 2)
+      done;
+      check Alcotest.int "length" n (B.length t);
+      if B.height t < 3 then Alcotest.failf "height %d too small" (B.height t);
+      for i = 1 to 1000 do
+        let k = i * 47 mod n + 1 in
+        check (Alcotest.option Alcotest.int)
+          (Printf.sprintf "find %d" k)
+          (Some (k * 2)) (B.find_first t ~key:k)
+      done;
+      B.check_invariants t)
+
+let test_large_random () =
+  with_tree (fun _ _ t ->
+      let rng = Hyper_util.Prng.create 77L in
+      let n = 20_000 in
+      let keys = Array.init n (fun i -> i) in
+      Hyper_util.Prng.shuffle rng keys;
+      Array.iter (fun k -> B.insert t ~key:k ~value:(k + 1)) keys;
+      check Alcotest.int "length" n (B.length t);
+      B.check_invariants t;
+      (* Full scan is sorted 0..n-1. *)
+      let prev = ref (-1) in
+      B.iter t (fun ~key ~value ->
+          if key <> !prev + 1 then Alcotest.failf "gap at %d" key;
+          if value <> key + 1 then Alcotest.failf "bad value at %d" key;
+          prev := key);
+      check Alcotest.int "scan covered all" (n - 1) !prev)
+
+let test_range_scan () =
+  with_tree (fun _ _ t ->
+      for i = 1 to 1000 do
+        B.insert t ~key:i ~value:i
+      done;
+      let collect lo hi =
+        List.rev
+          (B.fold_range t ~lo ~hi ~init:[] ~f:(fun acc ~key ~value:_ ->
+               key :: acc))
+      in
+      check (Alcotest.list Alcotest.int) "small range" [ 10; 11; 12 ]
+        (collect 10 12);
+      check Alcotest.int "10% selectivity" 100 (List.length (collect 1 100));
+      check (Alcotest.list Alcotest.int) "empty range" [] (collect 2000 3000);
+      check (Alcotest.list Alcotest.int) "inverted range" [] (collect 12 10);
+      check Alcotest.int "full range" 1000
+        (List.length (collect min_int max_int)))
+
+let test_delete () =
+  with_tree (fun _ _ t ->
+      for i = 1 to 100 do
+        B.insert t ~key:i ~value:i
+      done;
+      check Alcotest.bool "delete present" true (B.delete t ~key:50 ~value:50);
+      check Alcotest.bool "delete again" false (B.delete t ~key:50 ~value:50);
+      check Alcotest.bool "delete absent" false (B.delete t ~key:500 ~value:1);
+      check (Alcotest.option Alcotest.int) "gone" None (B.find_first t ~key:50);
+      check Alcotest.int "length" 99 (B.length t);
+      B.check_invariants t)
+
+let test_delete_one_duplicate () =
+  with_tree (fun _ _ t ->
+      List.iter (fun v -> B.insert t ~key:1 ~value:v) [ 10; 20; 30 ];
+      check Alcotest.bool "delete middle dup" true (B.delete t ~key:1 ~value:20);
+      check (Alcotest.list Alcotest.int) "rest intact" [ 10; 30 ]
+        (B.find_all t ~key:1))
+
+let test_update_pattern () =
+  (* The closure1NAttSet pattern: change an indexed attribute by
+     delete(old) + insert(new), repeatedly, then restore. *)
+  with_tree (fun _ _ t ->
+      for oid = 1 to 500 do
+        B.insert t ~key:(oid mod 100) ~value:oid
+      done;
+      for oid = 1 to 500 do
+        let old_key = oid mod 100 in
+        let new_key = 99 - old_key in
+        check Alcotest.bool "remove old" true (B.delete t ~key:old_key ~value:oid);
+        B.insert t ~key:new_key ~value:oid
+      done;
+      check Alcotest.int "length preserved" 500 (B.length t);
+      B.check_invariants t;
+      for oid = 1 to 500 do
+        let k = 99 - (oid mod 100) in
+        if not (B.mem t ~key:k ~value:oid) then
+          Alcotest.failf "oid %d not at updated key %d" oid k
+      done)
+
+let test_attach_persistence () =
+  let pager = Pager.in_memory () in
+  let pool = Buffer_pool.create pager ~capacity:128 in
+  ignore (Buffer_pool.allocate pool);
+  let fl = Freelist.attach pool ~head:0 in
+  let t = B.create pool fl in
+  for i = 1 to 5000 do
+    B.insert t ~key:i ~value:(i * 3)
+  done;
+  Buffer_pool.flush_all pool;
+  let root = B.root t in
+  (* Fresh pool over the same pager simulates reopening the database. *)
+  let pool2 = Buffer_pool.create pager ~capacity:128 in
+  let fl2 = Freelist.attach pool2 ~head:0 in
+  let t2 = B.attach pool2 fl2 ~root in
+  check Alcotest.int "length after attach" 5000 (B.length t2);
+  check (Alcotest.option Alcotest.int) "lookup after attach" (Some 9999)
+    (B.find_first t2 ~key:3333);
+  B.check_invariants t2
+
+let test_negative_keys () =
+  with_tree (fun _ _ t ->
+      List.iter (fun k -> B.insert t ~key:k ~value:k) [ -5; 0; 5; -1000; 1000 ];
+      let all =
+        List.rev
+          (B.fold_range t ~lo:min_int ~hi:max_int ~init:[]
+             ~f:(fun acc ~key ~value:_ -> key :: acc))
+      in
+      check (Alcotest.list Alcotest.int) "sorted with negatives"
+        [ -1000; -5; 0; 5; 1000 ] all)
+
+let test_tiny_pool_pressure () =
+  (* The tree must work when the buffer pool is much smaller than the
+     tree — every access re-reads pages through eviction. *)
+  with_tree ~capacity:8 (fun _ _ t ->
+      let n = 10_000 in
+      for i = 1 to n do
+        B.insert t ~key:i ~value:i
+      done;
+      for i = 1 to 100 do
+        let k = i * 97 mod n + 1 in
+        check (Alcotest.option Alcotest.int)
+          (Printf.sprintf "find %d under pressure" k)
+          (Some k) (B.find_first t ~key:k)
+      done;
+      B.check_invariants t)
+
+(* Model-based property: tree behaves as a set of (key, value) pairs. *)
+let prop_model =
+  QCheck.Test.make ~name:"btree vs pair-set model" ~count:40
+    QCheck.(
+      small_list (triple (int_range 0 2) (int_range 0 50) (int_range 0 20)))
+    (fun ops ->
+      let pager = Pager.in_memory () in
+      let pool = Buffer_pool.create pager ~capacity:64 in
+      ignore (Buffer_pool.allocate pool);
+      let fl = Freelist.attach pool ~head:0 in
+      let t = B.create pool fl in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (op, k, v) ->
+          match op with
+          | 0 ->
+            B.insert t ~key:k ~value:v;
+            Hashtbl.replace model (k, v) ()
+          | 1 ->
+            let expected = Hashtbl.mem model (k, v) in
+            let got = B.delete t ~key:k ~value:v in
+            if got <> expected then failwith "delete result mismatch";
+            Hashtbl.remove model (k, v)
+          | _ ->
+            if B.mem t ~key:k ~value:v <> Hashtbl.mem model (k, v) then
+              failwith "mem mismatch")
+        ops;
+      B.check_invariants t;
+      let scanned =
+        B.fold_range t ~lo:min_int ~hi:max_int ~init:0
+          ~f:(fun acc ~key ~value ->
+            if not (Hashtbl.mem model (key, value)) then
+              failwith "phantom entry";
+            acc + 1)
+      in
+      scanned = Hashtbl.length model)
+
+let prop_range_matches_filter =
+  QCheck.Test.make ~name:"fold_range equals filtered scan" ~count:40
+    QCheck.(
+      pair
+        (small_list (pair (int_range 0 100) (int_range 0 10)))
+        (pair (int_range 0 100) (int_range 0 100)))
+    (fun (pairs, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let pager = Pager.in_memory () in
+      let pool = Buffer_pool.create pager ~capacity:64 in
+      ignore (Buffer_pool.allocate pool);
+      let fl = Freelist.attach pool ~head:0 in
+      let t = B.create pool fl in
+      List.iter (fun (k, v) -> B.insert t ~key:k ~value:v) pairs;
+      let expected =
+        List.sort_uniq compare (List.filter (fun (k, _) -> k >= lo && k <= hi) pairs)
+      in
+      let got =
+        List.rev
+          (B.fold_range t ~lo ~hi ~init:[] ~f:(fun acc ~key ~value ->
+               (key, value) :: acc))
+      in
+      got = expected)
+
+let () =
+  Alcotest.run "hyper_index"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/lookup small" `Quick test_insert_lookup_small;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "50k sequential" `Quick test_large_sequential;
+          Alcotest.test_case "20k random" `Quick test_large_random;
+          Alcotest.test_case "range scans" `Quick test_range_scan;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "delete one duplicate" `Quick test_delete_one_duplicate;
+          Alcotest.test_case "indexed-attribute update pattern" `Quick
+            test_update_pattern;
+          Alcotest.test_case "attach persistence" `Quick test_attach_persistence;
+          Alcotest.test_case "negative keys" `Quick test_negative_keys;
+          Alcotest.test_case "tiny pool pressure" `Quick test_tiny_pool_pressure;
+          qtest prop_model;
+          qtest prop_range_matches_filter;
+        ] );
+    ]

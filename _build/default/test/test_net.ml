@@ -1,0 +1,152 @@
+(* Network-simulation tests: latency-model arithmetic, channel
+   round-trip accounting, server-cache behaviour, virtual-clock charging
+   and detach semantics. *)
+
+open Hyper_net
+open Hyper_storage
+
+let check = Alcotest.check
+
+let test_latency_cost () =
+  let m = Latency_model.create ~per_request_ns:1000.0 ~per_byte_ns:2.0 in
+  check (Alcotest.float 1e-9) "fixed + per byte" 1200.0
+    (Latency_model.cost_ns m ~bytes:100);
+  check (Alcotest.float 1e-9) "zero model" 0.0
+    (Latency_model.cost_ns Latency_model.zero ~bytes:4096);
+  Alcotest.check_raises "negative cost rejected"
+    (Invalid_argument "Latency_model.create: negative cost") (fun () ->
+      ignore (Latency_model.create ~per_request_ns:(-1.0) ~per_byte_ns:0.0))
+
+let test_latency_presets_ordering () =
+  (* A 1988 disk access is slower than a LAN round trip; a modern SSD is
+     far faster than both. *)
+  let page = 4096 in
+  let lan = Latency_model.cost_ns Latency_model.lan_1988 ~bytes:page in
+  let disk = Latency_model.cost_ns Latency_model.disk_1988 ~bytes:page in
+  let ssd = Latency_model.cost_ns Latency_model.disk_modern ~bytes:page in
+  if not (ssd < lan && lan < disk) then
+    Alcotest.failf "preset ordering broken: ssd %.0f lan %.0f disk %.0f" ssd
+      lan disk
+
+let test_latency_charge_advances_vclock () =
+  Hyper_util.Vclock.reset_virtual ();
+  let m = Latency_model.create ~per_request_ns:500.0 ~per_byte_ns:0.0 in
+  Latency_model.charge m ~bytes:0;
+  Latency_model.charge m ~bytes:0;
+  check (Alcotest.float 1e-9) "two charges" 1000.0
+    (Hyper_util.Vclock.virtual_ns ());
+  Hyper_util.Vclock.reset_virtual ()
+
+let with_channel ?(server_cache_pages = 4) k =
+  let pager = Pager.in_memory () in
+  let ids = List.init 10 (fun _ -> Pager.allocate pager) in
+  let network = Latency_model.create ~per_request_ns:100.0 ~per_byte_ns:0.0 in
+  let server_disk =
+    Latency_model.create ~per_request_ns:10_000.0 ~per_byte_ns:0.0
+  in
+  let ch = Channel.attach ~network ~server_disk ~server_cache_pages pager in
+  Hyper_util.Vclock.reset_virtual ();
+  Fun.protect
+    ~finally:(fun () -> Hyper_util.Vclock.reset_virtual ())
+    (fun () -> k pager ch ids)
+
+let test_channel_counts_round_trips () =
+  with_channel (fun pager ch ids ->
+      let page = Page.alloc () in
+      Pager.write pager (List.hd ids) page;
+      ignore (Pager.read pager (List.hd ids));
+      ignore (Pager.read pager (List.nth ids 1));
+      let c = Channel.counters ch in
+      check Alcotest.int "three trips" 3 c.Channel.round_trips;
+      check Alcotest.int "bytes" (3 * Page.size) c.Channel.bytes_sent;
+      Channel.reset_counters ch;
+      check Alcotest.int "reset" 0 (Channel.counters ch).Channel.round_trips)
+
+let test_server_cache_hits_and_misses () =
+  with_channel (fun pager ch ids ->
+      (* First read of a page misses the server cache (disk charge);
+         a repeat read hits it (network charge only). *)
+      let v0 = Hyper_util.Vclock.virtual_ns () in
+      ignore (Pager.read pager (List.hd ids));
+      let miss_cost = Hyper_util.Vclock.virtual_ns () -. v0 in
+      let v1 = Hyper_util.Vclock.virtual_ns () in
+      ignore (Pager.read pager (List.hd ids));
+      let hit_cost = Hyper_util.Vclock.virtual_ns () -. v1 in
+      check (Alcotest.float 1e-9) "miss = net + disk" 10_100.0 miss_cost;
+      check (Alcotest.float 1e-9) "hit = net only" 100.0 hit_cost;
+      let c = Channel.counters ch in
+      check Alcotest.int "one miss" 1 c.Channel.server_misses;
+      check Alcotest.int "one hit" 1 c.Channel.server_hits)
+
+let test_server_cache_eviction () =
+  with_channel ~server_cache_pages:2 (fun pager ch ids ->
+      (* Touch pages 0,1,2: page 0 is evicted from the 2-page server
+         cache; re-reading it misses again. *)
+      List.iter (fun i -> ignore (Pager.read pager (List.nth ids i))) [ 0; 1; 2 ];
+      ignore (Pager.read pager (List.hd ids));
+      let c = Channel.counters ch in
+      check Alcotest.int "four misses (evicted re-read)" 4
+        c.Channel.server_misses)
+
+let test_write_populates_server_cache () =
+  with_channel (fun pager ch ids ->
+      Pager.write pager (List.hd ids) (Page.alloc ());
+      ignore (Pager.read pager (List.hd ids));
+      let c = Channel.counters ch in
+      check Alcotest.int "read after write is a server hit" 1
+        c.Channel.server_hits;
+      check Alcotest.int "no server miss" 0 c.Channel.server_misses)
+
+let test_warm_server () =
+  with_channel (fun pager ch ids ->
+      Channel.warm_server ch;
+      ignore (Pager.read pager (List.nth ids 5));
+      let c = Channel.counters ch in
+      check Alcotest.int "warm server never misses" 0 c.Channel.server_misses)
+
+let test_detach_stops_charging () =
+  with_channel (fun pager ch ids ->
+      Channel.detach ch;
+      let v0 = Hyper_util.Vclock.virtual_ns () in
+      ignore (Pager.read pager (List.hd ids));
+      check (Alcotest.float 1e-9) "no cost after detach" 0.0
+        (Hyper_util.Vclock.virtual_ns () -. v0);
+      check Alcotest.int "no trips after detach" 0
+        (Channel.counters ch).Channel.round_trips)
+
+let test_profile_1988 () =
+  let p = Channel.profile_1988 in
+  check Alcotest.int "server cache" 1024 p.Channel.server_cache_pages;
+  (* A page over the 1988 profile costs on the order of milliseconds. *)
+  let cost =
+    Latency_model.cost_ns p.Channel.network ~bytes:Page.size
+    +. Latency_model.cost_ns p.Channel.server_disk ~bytes:Page.size
+  in
+  if cost < 1e6 || cost > 1e8 then
+    Alcotest.failf "1988 page fetch cost %.0f ns out of expected range" cost
+
+let () =
+  Alcotest.run "hyper_net"
+    [
+      ( "latency_model",
+        [
+          Alcotest.test_case "cost arithmetic" `Quick test_latency_cost;
+          Alcotest.test_case "preset ordering" `Quick
+            test_latency_presets_ordering;
+          Alcotest.test_case "charges vclock" `Quick
+            test_latency_charge_advances_vclock;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "round trips" `Quick test_channel_counts_round_trips;
+          Alcotest.test_case "server cache hit/miss" `Quick
+            test_server_cache_hits_and_misses;
+          Alcotest.test_case "server cache eviction" `Quick
+            test_server_cache_eviction;
+          Alcotest.test_case "write populates cache" `Quick
+            test_write_populates_server_cache;
+          Alcotest.test_case "warm server" `Quick test_warm_server;
+          Alcotest.test_case "detach" `Quick test_detach_stops_charging;
+          Alcotest.test_case "1988 profile" `Quick test_profile_1988;
+        ] );
+    ]

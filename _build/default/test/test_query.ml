@@ -1,0 +1,256 @@
+(* Query-language tests: lexer, parser (grammar + errors), predicate
+   evaluation, planner access-path choice, engine execution against a
+   synthetic source, and end-to-end queries through Query_bridge over the
+   memdb backend (with index/scan agreement). *)
+
+module Ast = Hyper_query.Ast
+module Lexer = Hyper_query.Lexer
+module Parser = Hyper_query.Parser
+module Planner = Hyper_query.Planner
+module Engine = Hyper_query.Engine
+
+let check = Alcotest.check
+
+(* --- Lexer --- *)
+
+let test_lexer_tokens () =
+  let tokens = Lexer.tokenize "select WHERE hundred >= 10 and (ten != 3)" in
+  let strings = List.map Lexer.token_to_string tokens in
+  check
+    (Alcotest.list Alcotest.string)
+    "token stream"
+    [ "select"; "where"; "hundred"; ">="; "10"; "and"; "("; "ten"; "!="; "3";
+      ")"; "<eof>" ]
+    strings
+
+let test_lexer_operators () =
+  let ops = Lexer.tokenize "= != < <= > >= <>" in
+  check Alcotest.int "7 ops + eof" 8 (List.length ops)
+
+let test_lexer_error () =
+  match Lexer.tokenize "ten @ 3" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Lexer.Lex_error _ -> ()
+
+(* --- Parser --- *)
+
+let roundtrip q = Ast.stmt_to_string (Parser.parse q)
+
+let test_parse_simple () =
+  check Alcotest.string "simple" "select where hundred between 10 and 19"
+    (roundtrip "select where hundred between 10 and 19");
+  check Alcotest.string "count" "count where ten = 3"
+    (roundtrip "count where ten = 3");
+  check Alcotest.string "limit" "select where true limit 5"
+    (roundtrip "select where true limit 5")
+
+let test_parse_precedence () =
+  (* and binds tighter than or *)
+  check Alcotest.string "precedence"
+    "select where (ten = 1 or (ten = 2 and hundred = 3))"
+    (roundtrip "select where ten = 1 or ten = 2 and hundred = 3")
+
+let test_parse_not_and_parens () =
+  check Alcotest.string "not" "select where (not kind = form)"
+    (roundtrip "select where not kind = form");
+  check Alcotest.string "parens"
+    "select where ((ten = 1 or ten = 2) and hundred = 3)"
+    (roundtrip "select where (ten = 1 or ten = 2) and hundred = 3")
+
+let test_parse_errors () =
+  let expect_fail q =
+    match Parser.parse q with
+    | _ -> Alcotest.failf "expected parse error for %S" q
+    | exception Parser.Parse_error _ -> ()
+  in
+  expect_fail "select hundred = 3";
+  expect_fail "select where bogus = 3";
+  expect_fail "select where hundred between 9 and 5";
+  expect_fail "select where kind = banana";
+  expect_fail "select where ten = 3 trailing";
+  expect_fail "delete where ten = 3"
+
+(* --- Eval --- *)
+
+let row ?(oid = 1) ?(uid = 1) ?(ten = 5) ?(hundred = 50) ?(million = 500_000)
+    ?(kind = Ast.Text) () =
+  { Ast.oid; unique_id = uid; ten; hundred; million; kind }
+
+let test_eval () =
+  let e = Parser.parse_expr "hundred between 40 and 60 and not kind = form" in
+  check Alcotest.bool "matches" true (Ast.eval e (row ()));
+  check Alcotest.bool "kind excluded" false
+    (Ast.eval e (row ~kind:Ast.Form ()));
+  check Alcotest.bool "out of range" false (Ast.eval e (row ~hundred:70 ()));
+  let e2 = Parser.parse_expr "ten = 5 or million < 1000" in
+  check Alcotest.bool "or left" true (Ast.eval e2 (row ()));
+  check Alcotest.bool "or right" true
+    (Ast.eval e2 (row ~ten:1 ~million:500 ()));
+  check Alcotest.bool "neither" false (Ast.eval e2 (row ~ten:1 ()))
+
+(* --- Planner --- *)
+
+let plan_str ?(indexed = fun _ -> true) q =
+  Planner.plan_to_string (Planner.plan ~indexed (Parser.parse_expr q))
+
+let test_planner_picks_index () =
+  let s = plan_str "hundred between 10 and 19" in
+  check Alcotest.bool "index range" true
+    (Hyper_util.Text_gen.count_occurrences s ~sub:"index-range hundred" = 1)
+
+let test_planner_full_scan_when_unindexed () =
+  let indexed = function Ast.Ten -> false | _ -> true in
+  let s = plan_str ~indexed "ten = 3" in
+  check Alcotest.bool "full scan" true
+    (Hyper_util.Text_gen.count_occurrences s ~sub:"full-scan" = 1)
+
+let test_planner_picks_most_selective () =
+  (* million equality (width 1) beats a hundred range (width 10). *)
+  let s = plan_str "hundred between 10 and 19 and million = 5" in
+  check Alcotest.bool "million chosen" true
+    (Hyper_util.Text_gen.count_occurrences s ~sub:"index-range million" = 1);
+  (* The other conjunct survives as a residual filter. *)
+  check Alcotest.bool "residual keeps hundred" true
+    (Hyper_util.Text_gen.count_occurrences s ~sub:"hundred between 10 and 19" = 1)
+
+let test_planner_or_blocks_index () =
+  (* A disjunction cannot be served by one index probe. *)
+  let s = plan_str "hundred = 4 or million = 5" in
+  check Alcotest.bool "full scan on or" true
+    (Hyper_util.Text_gen.count_occurrences s ~sub:"full-scan" = 1)
+
+(* --- Engine over a synthetic source --- *)
+
+let synthetic_rows =
+  List.init 100 (fun i ->
+      row ~oid:(i + 1) ~uid:(i + 1) ~ten:((i mod 10) + 1)
+        ~hundred:((i mod 100) + 1)
+        ~million:((i * 10_000) + 1)
+        ~kind:(if i mod 10 = 0 then Ast.Form else Ast.Text)
+        ())
+
+let synthetic_source ?(with_index = true) () =
+  let scan f = List.iter f synthetic_rows in
+  let index_range attr ~lo ~hi f =
+    match attr with
+    | Ast.Hundred when with_index ->
+      List.iter
+        (fun r -> if r.Ast.hundred >= lo && r.Ast.hundred <= hi then f r)
+        synthetic_rows;
+      true
+    | _ -> false
+  in
+  { Engine.scan; index_range }
+
+let test_engine_select () =
+  match
+    Engine.run_string (synthetic_source ()) "select where hundred between 1 and 3"
+  with
+  | Engine.Oids oids ->
+    check (Alcotest.list Alcotest.int) "oids" [ 1; 2; 3 ] oids
+  | Engine.Count _ -> Alcotest.fail "expected oids"
+
+let test_engine_count_and_limit () =
+  (match Engine.run_string (synthetic_source ()) "count where kind = form" with
+  | Engine.Count n -> check Alcotest.int "10 forms" 10 n
+  | Engine.Oids _ -> Alcotest.fail "expected count");
+  match
+    Engine.run_string (synthetic_source ()) "select where kind = text limit 7"
+  with
+  | Engine.Oids oids -> check Alcotest.int "limited" 7 (List.length oids)
+  | Engine.Count _ -> Alcotest.fail "expected oids"
+
+let test_engine_index_equals_scan () =
+  let q = "select where hundred between 20 and 40 and ten = 1" in
+  let with_idx = Engine.run_string (synthetic_source ()) q in
+  let without = Engine.run_string (synthetic_source ~with_index:false ()) q in
+  check Alcotest.bool "same result either path" true (with_idx = without)
+
+(* --- End to end through a backend --- *)
+
+module B = Hyper_memdb.Memdb
+module Gen = Hyper_core.Generator.Make (B)
+
+let generated =
+  lazy
+    (let b = B.create () in
+     let layout, _ = Gen.generate b ~doc:1 ~leaf_level:4 ~seed:21L in
+     (b, layout))
+
+let test_bridge_queries () =
+  let b, layout = Lazy.force generated in
+  let query q = Hyper_core.Query_bridge.query (module B) b ~doc:1 q in
+  (match query "count where true" with
+  | Engine.Count n -> check Alcotest.int "all nodes" 781 n
+  | Engine.Oids _ -> Alcotest.fail "expected count");
+  (match query "count where kind = form" with
+  | Engine.Count n -> check Alcotest.int "5 forms" 5 n
+  | Engine.Oids _ -> Alcotest.fail "expected count");
+  (* Query result agrees with a manual filter. *)
+  (match query "select where hundred between 10 and 19 and kind = text" with
+  | Engine.Oids oids ->
+    let expected = ref [] in
+    Hyper_core.Layout.iter_oids layout (fun oid ->
+        let h = B.hundred b oid in
+        if h >= 10 && h <= 19 && B.kind b oid = Hyper_core.Schema.Text then
+          expected := oid :: !expected);
+    check (Alcotest.list Alcotest.int) "bridge = manual"
+      (List.sort compare !expected) oids
+  | Engine.Count _ -> Alcotest.fail "expected oids");
+  (* uniqueId range goes through the index. *)
+  match query "select where uniqueid between 1 and 5" with
+  | Engine.Oids oids -> check (Alcotest.list Alcotest.int) "uids" [ 1; 2; 3; 4; 5 ] oids
+  | Engine.Count _ -> Alcotest.fail "expected oids"
+
+let test_bridge_explain () =
+  let b, _ = Lazy.force generated in
+  let explain q = Hyper_core.Query_bridge.explain (module B) b ~doc:1 q in
+  check Alcotest.bool "hundred via index" true
+    (Hyper_util.Text_gen.count_occurrences
+       (explain "select where hundred between 1 and 10")
+       ~sub:"index-range hundred"
+    = 1);
+  check Alcotest.bool "ten via scan" true
+    (Hyper_util.Text_gen.count_occurrences
+       (explain "select where ten = 4")
+       ~sub:"full-scan"
+    = 1)
+
+let () =
+  Alcotest.run "hyper_query"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "error" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "not + parens" `Quick test_parse_not_and_parens;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ("eval", [ Alcotest.test_case "predicates" `Quick test_eval ]);
+      ( "planner",
+        [
+          Alcotest.test_case "picks index" `Quick test_planner_picks_index;
+          Alcotest.test_case "scan when unindexed" `Quick
+            test_planner_full_scan_when_unindexed;
+          Alcotest.test_case "most selective wins" `Quick
+            test_planner_picks_most_selective;
+          Alcotest.test_case "or forces scan" `Quick test_planner_or_blocks_index;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "select" `Quick test_engine_select;
+          Alcotest.test_case "count + limit" `Quick test_engine_count_and_limit;
+          Alcotest.test_case "index = scan" `Quick test_engine_index_equals_scan;
+        ] );
+      ( "bridge",
+        [
+          Alcotest.test_case "end-to-end queries" `Quick test_bridge_queries;
+          Alcotest.test_case "explain" `Quick test_bridge_explain;
+        ] );
+    ]

@@ -1,0 +1,337 @@
+(* Unit and property tests for Hyper_util: PRNG determinism and
+   distribution, text generation against the paper's §5.1 rules, bitmap
+   editing (op 17 semantics), statistics, tables and the virtual clock. *)
+
+open Hyper_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let diff = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then diff := true
+  done;
+  check Alcotest.bool "streams differ" true !diff
+
+let test_prng_split_independent () =
+  let a = Prng.create 7L in
+  let child = Prng.split a in
+  let c1 = Prng.next_int64 child in
+  (* Recreate: the split child must be a pure function of the parent state. *)
+  let b = Prng.create 7L in
+  let child' = Prng.split b in
+  check Alcotest.int64 "split deterministic" c1 (Prng.next_int64 child')
+
+let test_prng_bounds () =
+  let rng = Prng.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Prng.int out of range: %d" v;
+    let w = Prng.int_in rng 5 9 in
+    if w < 5 || w > 9 then Alcotest.failf "Prng.int_in out of range: %d" w
+  done
+
+let test_prng_uniformity () =
+  (* Paper: "random numbers should be drawn from a Uniform distribution".
+     Chi-square-ish sanity check over 10 buckets. *)
+  let rng = Prng.create 99L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    buckets
+
+let test_prng_invalid () =
+  let rng = Prng.create 0L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0));
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Prng.int_in: hi < lo")
+    (fun () -> ignore (Prng.int_in rng 5 4))
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair int64 (list small_int))
+    (fun (seed, xs) ->
+      let rng = Prng.create seed in
+      let a = Array.of_list xs in
+      Prng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* --- Text_gen --- *)
+
+let test_text_structure () =
+  let rng = Prng.create 11L in
+  for _ = 1 to 200 do
+    let s = Text_gen.generate rng in
+    let words = String.split_on_char ' ' s in
+    let n = List.length words in
+    if n < 10 || n > 100 then Alcotest.failf "word count %d out of 10..100" n;
+    check Alcotest.string "first word" Text_gen.marker (List.nth words 0);
+    check Alcotest.string "middle word" Text_gen.marker
+      (List.nth words ((n - 1) / 2));
+    check Alcotest.string "last word" Text_gen.marker (List.nth words (n - 1));
+    List.iter
+      (fun w ->
+        let len = String.length w in
+        if len < 1 || len > 10 then Alcotest.failf "word length %d" len;
+        String.iter
+          (fun c ->
+            if not ((c >= 'a' && c <= 'z') || c = '1') then
+              Alcotest.failf "bad char %c" c)
+          w)
+      words
+  done
+
+let test_text_average_size () =
+  (* §5.2: text nodes average roughly 380 bytes. *)
+  let rng = Prng.create 5L in
+  let total = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    total := !total + String.length (Text_gen.generate rng)
+  done;
+  let avg = !total / n in
+  if avg < 280 || avg > 440 then Alcotest.failf "average text size %d" avg
+
+let test_replace_roundtrip () =
+  let rng = Prng.create 21L in
+  for _ = 1 to 100 do
+    let s = Text_gen.generate rng in
+    match Text_gen.replace_first s ~old_sub:"version1" ~new_sub:"version-2" with
+    | None -> Alcotest.fail "marker not found"
+    | Some s2 -> (
+      check Alcotest.int "one char longer" (String.length s + 1) (String.length s2);
+      match Text_gen.replace_first s2 ~old_sub:"version-2" ~new_sub:"version1" with
+      | None -> Alcotest.fail "reverse marker not found"
+      | Some s3 -> check Alcotest.string "round trip restores" s s3)
+  done
+
+let test_replace_absent () =
+  check
+    (Alcotest.option Alcotest.string)
+    "absent" None
+    (Text_gen.replace_first "hello world" ~old_sub:"xyz" ~new_sub:"q")
+
+let test_count_occurrences () =
+  check Alcotest.int "3 markers" 3
+    (Text_gen.count_occurrences "version1 a version1 b version1"
+       ~sub:"version1");
+  check Alcotest.int "overlap handled" 2
+    (Text_gen.count_occurrences "aaaa" ~sub:"aa")
+
+(* --- Bitmap --- *)
+
+let test_bitmap_basic () =
+  let b = Bitmap.create ~width:10 ~height:7 in
+  check Alcotest.int "initially white" 0 (Bitmap.count_set b);
+  Bitmap.set b ~x:3 ~y:4 true;
+  check Alcotest.bool "set bit reads back" true (Bitmap.get b ~x:3 ~y:4);
+  check Alcotest.bool "neighbour untouched" false (Bitmap.get b ~x:4 ~y:4);
+  check Alcotest.int "one bit set" 1 (Bitmap.count_set b);
+  Bitmap.set b ~x:3 ~y:4 false;
+  check Alcotest.int "cleared" 0 (Bitmap.count_set b)
+
+let test_bitmap_invert_rect () =
+  let b = Bitmap.create ~width:100 ~height:100 in
+  Bitmap.invert_rect b ~x:10 ~y:20 ~w:25 ~h:25;
+  check Alcotest.int "25x25 set" (25 * 25) (Bitmap.count_set b);
+  check Alcotest.bool "inside" true (Bitmap.get b ~x:10 ~y:20);
+  check Alcotest.bool "outside" false (Bitmap.get b ~x:9 ~y:20);
+  (* Op 17 is self-inverse: repeating the edit restores the node. *)
+  Bitmap.invert_rect b ~x:10 ~y:20 ~w:25 ~h:25;
+  check Alcotest.int "restored" 0 (Bitmap.count_set b)
+
+let test_bitmap_invert_overlapping () =
+  let b = Bitmap.create ~width:50 ~height:50 in
+  Bitmap.invert_rect b ~x:0 ~y:0 ~w:30 ~h:30;
+  Bitmap.invert_rect b ~x:20 ~y:20 ~w:30 ~h:30;
+  (* Overlap 10x10 flipped twice. *)
+  check Alcotest.int "xor overlap" ((30 * 30 * 2) - (2 * 10 * 10))
+    (Bitmap.count_set b)
+
+let test_bitmap_bounds () =
+  let b = Bitmap.create ~width:10 ~height:10 in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Bitmap: coordinates out of bounds") (fun () ->
+      ignore (Bitmap.get b ~x:10 ~y:0));
+  Alcotest.check_raises "rect exceeds"
+    (Invalid_argument "Bitmap.invert_rect: rectangle exceeds bitmap")
+    (fun () -> Bitmap.invert_rect b ~x:5 ~y:5 ~w:6 ~h:1)
+
+let prop_bitmap_serialization =
+  QCheck.Test.make ~name:"bitmap to_bytes/of_bytes round trip" ~count:100
+    QCheck.(triple (int_range 1 64) (int_range 1 64) (small_list (pair small_nat small_nat)))
+    (fun (w, h, points) ->
+      let b = Bitmap.create ~width:w ~height:h in
+      List.iter
+        (fun (x, y) -> Bitmap.set b ~x:(x mod w) ~y:(y mod h) true)
+        points;
+      Bitmap.equal b (Bitmap.of_bytes (Bitmap.to_bytes b)))
+
+let prop_invert_rect_count =
+  QCheck.Test.make ~name:"invert_rect on white sets w*h bits" ~count:100
+    QCheck.(quad (int_range 1 80) (int_range 1 80) small_nat small_nat)
+    (fun (w, h, x, y) ->
+      let bw = 100 and bh = 100 in
+      let x = x mod (bw - w) and y = y mod (bh - h) in
+      let b = Bitmap.create ~width:bw ~height:bh in
+      Bitmap.invert_rect b ~x ~y ~w ~h;
+      Bitmap.count_set b = w * h)
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check Alcotest.int "count" 5 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 3.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "total" 15.0 (Stats.total s);
+  check (Alcotest.float 1e-6) "stddev" (sqrt 2.5) (Stats.stddev s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 5.0 (Stats.max s);
+  check (Alcotest.float 1e-9) "median" 3.0 (Stats.median s);
+  check (Alcotest.float 1e-9) "p0" 1.0 (Stats.percentile s 0.0);
+  check (Alcotest.float 1e-9) "p100" 5.0 (Stats.percentile s 100.0)
+
+let test_stats_growth () =
+  let s = Stats.create () in
+  for i = 1 to 1000 do
+    Stats.add s (float_of_int i)
+  done;
+  check Alcotest.int "count 1000" 1000 (Stats.count s);
+  check (Alcotest.float 1e-6) "mean 500.5" 500.5 (Stats.mean s)
+
+let prop_percentile_monotonic =
+  QCheck.Test.make ~name:"percentile is monotonic and bounded" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 40) (float_bound_exclusive 1000.0))
+              (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      QCheck.assume (xs <> []);
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      let v1 = Stats.percentile s lo and v2 = Stats.percentile s hi in
+      v1 <= v2 +. 1e-9
+      && v1 >= Stats.min s -. 1e-9
+      && v2 <= Stats.max s +. 1e-9)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check (Alcotest.float 0.0) "empty mean" 0.0 (Stats.mean s);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty series") (fun () ->
+      ignore (Stats.percentile s 50.0))
+
+(* --- Vclock --- *)
+
+let test_vclock_advance () =
+  Vclock.reset_virtual ();
+  let (), span = Vclock.time (fun () -> Vclock.advance_ns 5000.0) in
+  check (Alcotest.float 1e-9) "virtual part" 5000.0 span.Vclock.virtual_ns;
+  if Vclock.total_ns span < 5000.0 then Alcotest.fail "total includes virtual";
+  Vclock.reset_virtual ();
+  check (Alcotest.float 0.0) "reset" 0.0 (Vclock.virtual_ns ())
+
+let test_vclock_monotonic () =
+  let t0 = Vclock.now_ns () in
+  let t1 = Vclock.now_ns () in
+  if t1 < t0 then Alcotest.fail "clock went backwards"
+
+let test_vclock_negative () =
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Vclock.advance_ns: negative") (fun () ->
+      Vclock.advance_ns (-1.0))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" [ ("op", Table.Left); ("ms", Table.Right) ] in
+  Table.add_row t [ "nameLookup"; "0.12" ];
+  Table.add_separator t;
+  Table.add_row t [ "seqScan"; "3.4" ];
+  let s = Table.render t in
+  check Alcotest.bool "has title" true (String.length s > 0 && s.[0] = 'T');
+  check Alcotest.bool "contains op" true
+    (Text_gen.count_occurrences s ~sub:"nameLookup" = 1);
+  (* Right-aligned numbers: "0.12" is preceded by a space run. *)
+  check Alcotest.bool "contains value" true
+    (Text_gen.count_occurrences s ~sub:"0.12" = 1)
+
+let test_table_arity () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_fms () =
+  check Alcotest.string "small" "0.034" (Table.fms 0.0341);
+  check Alcotest.string "unit" "1.50" (Table.fms 1.5);
+  check Alcotest.string "hundreds" "150.0" (Table.fms 149.96);
+  check Alcotest.string "thousands" "1510" (Table.fms 1510.2)
+
+let () =
+  Alcotest.run "hyper_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split deterministic" `Quick test_prng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "invalid args" `Quick test_prng_invalid;
+          qtest prop_shuffle_permutation;
+        ] );
+      ( "text_gen",
+        [
+          Alcotest.test_case "structure per spec" `Quick test_text_structure;
+          Alcotest.test_case "average size ~380B" `Quick test_text_average_size;
+          Alcotest.test_case "edit round trip" `Quick test_replace_roundtrip;
+          Alcotest.test_case "replace absent" `Quick test_replace_absent;
+          Alcotest.test_case "count occurrences" `Quick test_count_occurrences;
+        ] );
+      ( "bitmap",
+        [
+          Alcotest.test_case "get/set" `Quick test_bitmap_basic;
+          Alcotest.test_case "invert rect (op 17)" `Quick test_bitmap_invert_rect;
+          Alcotest.test_case "overlapping inverts" `Quick test_bitmap_invert_overlapping;
+          Alcotest.test_case "bounds checking" `Quick test_bitmap_bounds;
+          qtest prop_bitmap_serialization;
+          qtest prop_invert_rect_count;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic moments" `Quick test_stats_basic;
+          Alcotest.test_case "growth" `Quick test_stats_growth;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          qtest prop_percentile_monotonic;
+        ] );
+      ( "vclock",
+        [
+          Alcotest.test_case "advance" `Quick test_vclock_advance;
+          Alcotest.test_case "monotonic" `Quick test_vclock_monotonic;
+          Alcotest.test_case "negative rejected" `Quick test_vclock_negative;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "fms formatting" `Quick test_table_fms;
+        ] );
+    ]
