@@ -23,12 +23,15 @@ type config = {
   uid_hash_index : bool;
       (* maintain a linear-hash access path on (doc, uniqueId) in
          addition to the B+tree; nameLookup then probes the hash *)
+  vfs : Vfs.t option;
+      (* storage VFS; None = real files.  Some (Vfs.Faulty.vfs env)
+         runs the whole store over the fault-injecting VFS *)
 }
 
 let default_config ~path =
   { path; pool_pages = 2048; durable_sync = false;
     checkpoint_wal_bytes = 64 * 1024 * 1024; remote = None;
-    object_cache = 0; uid_hash_index = false }
+    object_cache = 0; uid_hash_index = false; vfs = None }
 
 let remote_1988 = Hyper_net.Channel.profile_1988
 
@@ -155,8 +158,8 @@ let require_txn t = Engine.require_txn t.engine
 
 let open_db config =
   let engine =
-    Engine.open_ ~path:config.path ~pool_pages:config.pool_pages
-      ~durable_sync:config.durable_sync
+    Engine.open_ ?vfs:config.vfs ~path:config.path
+      ~pool_pages:config.pool_pages ~durable_sync:config.durable_sync
       ~checkpoint_wal_bytes:config.checkpoint_wal_bytes ()
   in
   let pool = Engine.pool engine in
@@ -167,9 +170,21 @@ let open_db config =
       config.remote
   in
   let t =
-    if Engine.fresh engine then begin
-      let page0 = Buffer_pool.allocate pool in
-      assert (page0 = 0);
+    (* Fresh also covers a file left behind by a crash during a previous
+       formatting attempt: formatting is not WAL-covered, so its commit
+       point is the meta magic on page 0 (probed unverified — the crash
+       may have torn the page or its checksum). *)
+    if not (Meta.is_formatted pool) then begin
+      let pager = Engine.pager engine in
+      (* Scrub leftover half-formatted pages: their contents are garbage
+         and their checksums may be torn; rewriting restores both. *)
+      for id = 0 to Pager.page_count pager - 1 do
+        Pager.write pager id (Page.alloc ())
+      done;
+      if Pager.page_count pager = 0 then begin
+        let page0 = Buffer_pool.allocate pool in
+        assert (page0 = 0)
+      end;
       Meta.format pool;
       let freelist = Freelist.attach pool ~head:0 in
       let heap = Heap.fresh pool freelist in
@@ -190,6 +205,16 @@ let open_db config =
           doc_counts = Hashtbl.create 4; result_seq = 0 }
       in
       save_roots t;
+      (* Two-phase flush: none of this is WAL-covered, so the meta magic
+         must not reach disk before every other format page is durable.
+         Flush and sync the store with the magic concealed, then stamp
+         it and flush page 0 alone — a crash anywhere in between leaves
+         a store that [Meta.is_formatted] classifies as unformatted and
+         the next open reformats from scratch. *)
+      Meta.conceal_magic pool;
+      Buffer_pool.flush_all pool;
+      Pager.sync (Engine.pager engine);
+      Meta.stamp_magic pool;
       Buffer_pool.flush_all pool;
       Pager.sync (Engine.pager engine);
       t
@@ -228,6 +253,7 @@ let close t =
   Engine.close t.engine
 
 let last_recovery t = Engine.recovery t.engine
+let read_only t = Engine.read_only t.engine
 
 (* --- node access --- *)
 
@@ -339,10 +365,12 @@ let add_ref t ~src ~dst ~offset_from ~offset_to =
 (* --- structural modification --- *)
 
 let array_remove_first ~what x a =
-  match Array.find_index (fun y -> y = x) a with
+  (* not Array.find_index: that landed in OCaml 5.1 and we build on 4.14 *)
+  let n = Array.length a in
+  let rec find i = if i >= n then None else if a.(i) = x then Some i else find (i + 1) in
+  match find 0 with
   | None -> invalid_arg (Printf.sprintf "Diskdb: %s does not exist" what)
-  | Some i ->
-    Array.append (Array.sub a 0 i) (Array.sub a (i + 1) (Array.length a - i - 1))
+  | Some i -> Array.append (Array.sub a 0 i) (Array.sub a (i + 1) (n - i - 1))
 
 let remove_child t ~parent ~child =
   require_txn t;
@@ -617,6 +645,12 @@ let collect_garbage t =
   let freed = ref 0 in
   for id = 1 to total - 1 do
     if not marked.(id) then begin
+      (* The page is dead — an aborted or crashed transaction may have
+         left it torn.  Scrub it (bypassing the pool: reading it first
+         could trip the checksum) so reuse from the free list starts
+         from a clean, verifiable page. *)
+      Pager.write (Engine.pager t.engine) id (Page.alloc ());
+      Buffer_pool.invalidate t.pool id;
       Freelist.push t.freelist id;
       incr freed
     end

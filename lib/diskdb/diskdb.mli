@@ -37,6 +37,12 @@ type config = {
       (** maintain a linear-hash access path on (doc, uniqueId) alongside
           the B+tree; [lookup_unique] (op 01) then probes the hash — the
           access-method ablation of bench §T5 *)
+  vfs : Hyper_storage.Vfs.t option;
+      (** the VFS all storage I/O (data file, [.sum] checksum sidecar,
+          WAL) flows through; [None] = real files.  Supplying
+          [Some (Vfs.Faulty.vfs env)] runs the whole store over the
+          deterministic fault-injecting VFS — crashes, torn writes,
+          lying fsync, typed I/O errors — for durability testing. *)
 }
 
 val default_config : path:string -> config
@@ -59,6 +65,11 @@ val checkpoint : t -> unit
 
 val last_recovery : t -> Hyper_storage.Recovery.report option
 (** The report of the recovery pass performed by [open_db], if any. *)
+
+val read_only : t -> bool
+(** Whether the store degraded to read-only because the WAL could not be
+    appended (e.g. [ENOSPC]).  Committed data remains readable; mutating
+    operations raise {!Hyper_storage.Storage_error.Error} [Read_only]. *)
 
 type io_counters = {
   pager_reads : int;

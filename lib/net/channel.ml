@@ -13,37 +13,60 @@ type counters = {
   mutable server_misses : int;
 }
 
+(* Intrusive doubly-linked recency list: O(1) touch and eviction.  The
+   old tick-scan made every server-cache miss O(cache size), which
+   dominated cold runs with large server caches. *)
+type lnode = {
+  l_page : int;
+  mutable l_prev : lnode option;
+  mutable l_next : lnode option;
+}
+
 type t = {
   pager : Pager.t;
   network : Latency_model.t;
   server_disk : Latency_model.t;
   cache_capacity : int;
-  cache : (int, int) Hashtbl.t; (* page -> last-use tick *)
-  mutable tick : int;
+  cache : (int, lnode) Hashtbl.t;
+  mutable lru_head : lnode option; (* most recently used *)
+  mutable lru_tail : lnode option; (* least recently used *)
   mutable all_resident : bool;
   counters : counters;
 }
 
+let lru_unlink t n =
+  (match n.l_prev with
+  | Some p -> p.l_next <- n.l_next
+  | None -> t.lru_head <- n.l_next);
+  (match n.l_next with
+  | Some s -> s.l_prev <- n.l_prev
+  | None -> t.lru_tail <- n.l_prev);
+  n.l_prev <- None;
+  n.l_next <- None
+
+let lru_push_front t n =
+  n.l_next <- t.lru_head;
+  (match t.lru_head with
+  | Some h -> h.l_prev <- Some n
+  | None -> t.lru_tail <- Some n);
+  t.lru_head <- Some n
+
 let cache_touch t page =
-  t.tick <- t.tick + 1;
-  if not (Hashtbl.mem t.cache page) then begin
+  match Hashtbl.find_opt t.cache page with
+  | Some n ->
+    lru_unlink t n;
+    lru_push_front t n
+  | None ->
     if Hashtbl.length t.cache >= t.cache_capacity then begin
-      (* Evict the least recently used entry. *)
-      let victim =
-        Hashtbl.fold
-          (fun p tick best ->
-            match best with
-            | Some (_, bt) when bt <= tick -> best
-            | _ -> Some (p, tick))
-          t.cache None
-      in
-      match victim with
-      | Some (p, _) -> Hashtbl.remove t.cache p
+      match t.lru_tail with
+      | Some victim ->
+        lru_unlink t victim;
+        Hashtbl.remove t.cache victim.l_page
       | None -> ()
     end;
-    Hashtbl.add t.cache page t.tick
-  end
-  else Hashtbl.replace t.cache page t.tick
+    let n = { l_page = page; l_prev = None; l_next = None } in
+    lru_push_front t n;
+    Hashtbl.add t.cache page n
 
 let server_lookup t page =
   let hit = t.all_resident || Hashtbl.mem t.cache page in
@@ -72,8 +95,8 @@ let attach ~network ?(server_disk = Latency_model.disk_1988)
     ?(server_cache_pages = 1024) pager =
   let t =
     { pager; network; server_disk; cache_capacity = server_cache_pages;
-      cache = Hashtbl.create (2 * server_cache_pages); tick = 0;
-      all_resident = false;
+      cache = Hashtbl.create (2 * server_cache_pages); lru_head = None;
+      lru_tail = None; all_resident = false;
       counters =
         { round_trips = 0; bytes_sent = 0; server_hits = 0; server_misses = 0 } }
   in

@@ -12,31 +12,45 @@ type t = {
   mutable on_reload : unit -> unit;
   mutable txn : txn option;
   mutable txn_counter : int;
+  mutable read_only : bool;
   mutable closed : bool;
 }
 
-let open_ ~path ~pool_pages ?(durable_sync = false)
+(* A WAL append/flush failing with ENOSPC means the log can no longer
+   uphold the write-ahead contract: demote to read-only rather than risk
+   committing without durability. *)
+let is_wal_full = function
+  | Storage_error.Error
+      (Storage_error.Io { fault = Storage_error.Enospc; _ }) ->
+    true
+  | _ -> false
+
+let open_ ?(vfs = Vfs.real) ~path ~pool_pages ?(durable_sync = false)
     ?(checkpoint_wal_bytes = 64 * 1024 * 1024) () =
+  (* One retry policy for every storage path: transient faults are
+     absorbed here, so Pager/Wal/Recovery only ever see hard errors. *)
+  let vfs = Vfs.retrying vfs in
   let wal_path = path ^ ".wal" in
-  let pager = Pager.create ~path in
+  let pager = Pager.create ~vfs path in
   let recovery_report =
-    if Recovery.needs_recovery ~wal_path then begin
-      let report = Recovery.recover ~wal_path pager in
+    if Recovery.needs_recovery ~vfs wal_path then begin
+      let report = Recovery.recover ~vfs ~wal_path pager in
       Pager.sync pager;
       Some report
     end
     else None
   in
-  let wal = Wal.open_ ~path:wal_path in
+  let wal = Wal.open_ ~vfs wal_path in
   Wal.truncate wal;
   let pool = Buffer_pool.create pager ~capacity:pool_pages in
   { pager; wal; pool; durable_sync; checkpoint_wal_bytes;
     is_fresh = Pager.page_count pager = 0; recovery_report;
     on_save = (fun () -> ()); on_reload = (fun () -> ()); txn = None;
-    txn_counter = 0; closed = false }
+    txn_counter = 0; read_only = false; closed = false }
 
 let fresh t = t.is_fresh
 let recovery t = t.recovery_report
+let read_only t = t.read_only
 
 let set_hooks t ~on_save ~on_reload =
   t.on_save <- on_save;
@@ -56,6 +70,7 @@ let current_txn t =
   | None -> invalid_arg "Engine: no active transaction"
 
 let begin_txn t =
+  if t.read_only then raise (Storage_error.Error Storage_error.Read_only);
   if t.txn <> None then invalid_arg "Engine: nested transaction";
   t.txn_counter <- t.txn_counter + 1;
   let txn = { id = t.txn_counter; undo = Hashtbl.create 64 } in
@@ -70,7 +85,25 @@ let begin_txn t =
     ~on_evict_dirty:(fun page img ->
       (* Write-ahead rule: log the redo image before the steal hits disk. *)
       Wal.append t.wal (Wal.After (txn.id, page, img));
-      Wal.flush t.wal)
+      try Wal.flush t.wal
+      with e when is_wal_full e ->
+        t.read_only <- true;
+        raise e)
+
+(* Roll the open transaction back in memory: discard in-pool writes,
+   restore stolen pages from the undo set, re-attach the owner's roots
+   from the meta page.  Shared by [abort] and by commit-failure
+   degradation; needs no WAL. *)
+let rollback t txn =
+  Buffer_pool.clear_txn_hooks t.pool;
+  Buffer_pool.discard_dirty t.pool;
+  Hashtbl.iter
+    (fun page img ->
+      Buffer_pool.invalidate t.pool page;
+      Pager.write t.pager page img)
+    txn.undo;
+  t.txn <- None;
+  t.on_reload ()
 
 let maybe_checkpoint t =
   if Wal.size_bytes t.wal > t.checkpoint_wal_bytes then begin
@@ -83,28 +116,26 @@ let commit t =
   let txn = current_txn t in
   t.on_save ();
   let dirty = Buffer_pool.take_dirty_set t.pool in
-  List.iter
-    (fun (page, img) -> Wal.append t.wal (Wal.After (txn.id, page, img)))
-    dirty;
-  Wal.append t.wal (Wal.Commit txn.id);
-  if t.durable_sync then Wal.sync t.wal else Wal.flush t.wal;
+  (try
+     List.iter
+       (fun (page, img) -> Wal.append t.wal (Wal.After (txn.id, page, img)))
+       dirty;
+     Wal.append t.wal (Wal.Commit txn.id);
+     if t.durable_sync then Wal.sync t.wal else Wal.flush t.wal
+   with e when is_wal_full e ->
+     (* The commit record never reached the log, so the transaction is
+        not committed: undo it in memory and degrade to read-only.  All
+        previously committed state on disk is untouched and readable. *)
+     t.read_only <- true;
+     rollback t txn;
+     raise e);
   (* Force policy: committed pages reach the data file eagerly. *)
   Buffer_pool.flush_all t.pool;
   Buffer_pool.clear_txn_hooks t.pool;
   t.txn <- None;
   maybe_checkpoint t
 
-let abort t =
-  let txn = current_txn t in
-  Buffer_pool.clear_txn_hooks t.pool;
-  Buffer_pool.discard_dirty t.pool;
-  Hashtbl.iter
-    (fun page img ->
-      Buffer_pool.invalidate t.pool page;
-      Pager.write t.pager page img)
-    txn.undo;
-  t.txn <- None;
-  t.on_reload ()
+let abort t = rollback t (current_txn t)
 
 let clear_caches t =
   if t.txn <> None then invalid_arg "Engine: clear_caches inside a transaction";
@@ -119,7 +150,9 @@ let checkpoint t =
 let close t =
   if not t.closed then begin
     if t.txn <> None then invalid_arg "Engine: close inside a transaction";
-    checkpoint t;
+    (* A read-only (degraded) engine has no dirty state to save and its
+       WAL is unusable — just release the handles. *)
+    if not t.read_only then checkpoint t;
     Wal.close t.wal;
     Pager.close t.pager;
     t.closed <- true

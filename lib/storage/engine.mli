@@ -16,24 +16,35 @@
 
     Owners (the object backend, the relational backend) provide the data
     structures; this module provides the transaction discipline, so the
-    recovery semantics are identical across backends. *)
+    recovery semantics are identical across backends.
+
+    Failure handling: all I/O flows through the supplied {!Vfs.t},
+    wrapped once in {!Vfs.retrying} so transient faults are retried with
+    bounded backoff.  If the WAL can no longer be appended (permanent
+    [ENOSPC]), the engine rolls the open transaction back in memory and
+    demotes itself to {!read_only}: committed data stays readable,
+    [begin_txn] raises {!Storage_error.Error} [Read_only]. *)
 
 type t
 
 val open_ :
+  ?vfs:Vfs.t ->
   path:string ->
   pool_pages:int ->
   ?durable_sync:bool ->
   ?checkpoint_wal_bytes:int ->
   unit ->
   t
-(** Defaults: no fsync, 64 MiB checkpoint threshold.  The WAL lives at
-    [path ^ ".wal"]. *)
+(** Defaults: {!Vfs.real}, no fsync, 64 MiB checkpoint threshold.  The
+    WAL lives at [path ^ ".wal"], page checksums at [path ^ ".sum"]. *)
 
 val fresh : t -> bool
 (** Whether the store was empty at [open_] (owner must format it). *)
 
 val recovery : t -> Recovery.report option
+
+val read_only : t -> bool
+(** Whether the engine degraded to read-only after a WAL append failure. *)
 
 val set_hooks : t -> on_save:(unit -> unit) -> on_reload:(unit -> unit) -> unit
 (** Must be called once right after [open_] (and before any

@@ -13,9 +13,29 @@ let check page =
   Page.get_type page = Page.Meta
   && Bytes.to_string (Page.get_sub page ~pos:4 ~len:4) = magic
 
+(* Two-phase formatting barrier (see Diskdb.open_db): the magic's
+   presence on disk is the atomic commit point of formatting, so the
+   formatter blanks it in the pooled page, flushes and syncs everything,
+   then stamps it back and flushes page 0 alone. *)
+let conceal_magic pool =
+  Buffer_pool.with_page_w pool 0 (fun page ->
+      Page.set_sub page ~pos:4 (Bytes.make 4 '\000'))
+
+let stamp_magic pool =
+  Buffer_pool.with_page_w pool 0 (fun page ->
+      Page.set_sub page ~pos:4 (Bytes.of_string magic))
+
+(* Formatting is not WAL-covered, so its commit point is a page 0 that
+   carries the magic *and* verifies.  A crash during formatting can leave
+   the magic written but the page or its checksum torn; every page-0
+   write after formatting completes is WAL-covered, so recovery has
+   already repaired any legitimate store by the time this runs and a
+   corrupt page 0 here can only be a formatting crash. *)
 let is_formatted pool =
   Pager.page_count (Buffer_pool.pager pool) > 0
-  && Buffer_pool.with_page pool 0 check
+  && (match Buffer_pool.with_page pool 0 check with
+     | ok -> ok
+     | exception Storage_error.Error (Storage_error.Corrupt_page _) -> false)
 
 let load pool =
   Buffer_pool.with_page pool 0 (fun page ->

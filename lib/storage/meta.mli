@@ -11,6 +11,17 @@ val format : Buffer_pool.t -> unit
     allocated). *)
 
 val is_formatted : Buffer_pool.t -> bool
+(** Whether page 0 carries a valid, checksum-verified meta signature.
+    Formatting is not WAL-covered, so a corrupt page 0 (a crash tore a
+    formatting write) counts as unformatted — every post-format write to
+    page 0 is WAL-covered, hence already repaired by recovery. *)
+
+val conceal_magic : Buffer_pool.t -> unit
+val stamp_magic : Buffer_pool.t -> unit
+(** Two-phase formatting barrier: blank / restore the magic in the
+    pooled page 0.  The formatter flushes and syncs the whole store with
+    the magic concealed, then stamps and flushes page 0 alone, making
+    the magic's arrival on disk the atomic commit point of formatting. *)
 
 val load : Buffer_pool.t -> (string * int64) list
 (** @raise Invalid_argument when page 0 has no valid meta signature. *)

@@ -17,6 +17,26 @@ let set_i64 b pos v = Bytes.set_int64_le b pos v
 let get_sub b ~pos ~len = Bytes.sub b pos len
 let set_sub b ~pos src = Bytes.blit src 0 b pos (Bytes.length src)
 
+(* CRC-32 (IEEE), table-driven — the page-image checksum.  Cheap enough
+   to run on every physical page transfer (4 KiB), strong enough to
+   catch torn writes and bit rot. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let checksum b =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  Bytes.iter
+    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    b;
+  !c lxor 0xFFFFFFFF
+
 type ptype = Free | Meta | Heap | Overflow | Btree_leaf | Btree_internal | Obj_table
 
 let of_tag = function

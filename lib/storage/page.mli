@@ -26,6 +26,10 @@ val set_i64 : bytes -> int -> int64 -> unit
 val get_sub : bytes -> pos:int -> len:int -> bytes
 val set_sub : bytes -> pos:int -> bytes -> unit
 
+val checksum : bytes -> int
+(** CRC-32 (IEEE) of a buffer — the page-image checksum {!Pager} stores
+    in the [.sum] sidecar and verifies on every read. *)
+
 (** Page-type tags stored in byte 0 of structured pages.  A freshly
     allocated (zeroed) page reads as [Free]. *)
 type ptype = Free | Meta | Heap | Overflow | Btree_leaf | Btree_internal | Obj_table

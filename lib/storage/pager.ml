@@ -1,8 +1,10 @@
 type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 
 type backing =
-  | File of Unix.file_descr
-  | Memory of bytes array ref
+  | File of { data : Vfs.file; sums : Vfs.file }
+  | Memory of { mutable pages : bytes array }
+      (* capacity = Array.length pages; the pager's [count] is the used
+         prefix, so growth is amortized doubling, not O(n) per alloc *)
 
 type t = {
   backing : backing;
@@ -17,18 +19,30 @@ let no_hook (_ : int) = ()
 
 let fresh_stats () = { reads = 0; writes = 0; allocs = 0 }
 
-let create ~path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let len = (Unix.fstat fd).Unix.st_size in
-  if len mod Page.size <> 0 then begin
-    Unix.close fd;
-    invalid_arg (Printf.sprintf "Pager.create: %s is not page-aligned" path)
-  end;
-  { backing = File fd; count = len / Page.size; on_read = no_hook;
+(* Each page's CRC lives in a 4-byte slot of the [.sum] sidecar.  Zero
+   means "no checksum recorded" (a hole, or a pre-checksum file) and is
+   accepted; a computed CRC of zero is stored as 1. *)
+let sum_width = 4
+
+let page_crc buf = match Page.checksum buf with 0 -> 1 | c -> c
+
+let create ?(vfs = Vfs.real) path =
+  let data = vfs.Vfs.open_rw path in
+  let len = data.Vfs.size () in
+  let count = len / Page.size in
+  (* A partial page at the tail is a torn append from a crash: the
+     allocation never committed, so drop it.  WAL replay re-extends the
+     file if the page is mentioned by a committed transaction. *)
+  if len mod Page.size <> 0 then data.Vfs.truncate (count * Page.size);
+  let sums = vfs.Vfs.open_rw (path ^ ".sum") in
+  (* Discard checksums beyond the data (stale sidecar, fresh file). *)
+  if sums.Vfs.size () > count * sum_width then
+    sums.Vfs.truncate (count * sum_width);
+  { backing = File { data; sums }; count; on_read = no_hook;
     on_write = no_hook; stats = fresh_stats (); closed = false }
 
 let in_memory () =
-  { backing = Memory (ref [||]); count = 0; on_read = no_hook;
+  { backing = Memory { pages = [||] }; count = 0; on_read = no_hook;
     on_write = no_hook; stats = fresh_stats (); closed = false }
 
 let check_open t = if t.closed then invalid_arg "Pager: store is closed"
@@ -39,28 +53,23 @@ let check_id t id =
 
 let page_count t = t.count
 
-let pread fd buf off =
-  let rec loop pos =
-    if pos < Page.size then begin
-      let n =
-        ExtUnix.pread fd buf (off + pos) pos (Page.size - pos)
-      in
-      if n = 0 then
-        (* Hole past EOF within an allocated region: treat as zeroes. *)
-        Bytes.fill buf pos (Page.size - pos) '\000'
-      else loop (pos + n)
-    end
-  in
-  loop 0
+let write_sum sums id buf =
+  let sb = Bytes.create sum_width in
+  Page.set_u32 sb 0 (page_crc buf);
+  sums.Vfs.pwrite ~buf:sb ~off:(id * sum_width)
 
-and pwrite fd buf off =
-  let rec loop pos =
-    if pos < Page.size then begin
-      let n = ExtUnix.pwrite fd buf (off + pos) pos (Page.size - pos) in
-      loop (pos + n)
-    end
-  in
-  loop 0
+let verify_sum ~data ~sums id buf =
+  let sb = Bytes.create sum_width in
+  sums.Vfs.pread ~buf:sb ~off:(id * sum_width);
+  let expected = Page.get_u32 sb 0 in
+  if expected <> 0 then begin
+    let actual = page_crc buf in
+    if actual <> expected then
+      raise
+        (Storage_error.Error
+           (Storage_error.Corrupt_page
+              { path = data.Vfs.path; page = id; expected; actual }))
+  end
 
 let allocate t =
   check_open t;
@@ -68,12 +77,18 @@ let allocate t =
   t.count <- t.count + 1;
   t.stats.allocs <- t.stats.allocs + 1;
   (match t.backing with
-  | File fd -> pwrite fd (Page.alloc ()) (id * Page.size)
-  | Memory arr ->
-    let grown = Array.make (id + 1) Bytes.empty in
-    Array.blit !arr 0 grown 0 id;
-    grown.(id) <- Page.alloc ();
-    arr := grown);
+  | File { data; sums } ->
+    let zero = Page.alloc () in
+    data.Vfs.pwrite ~buf:zero ~off:(id * Page.size);
+    write_sum sums id zero
+  | Memory m ->
+    let cap = Array.length m.pages in
+    if id >= cap then begin
+      let grown = Array.make (max 8 (2 * cap)) Bytes.empty in
+      Array.blit m.pages 0 grown 0 cap;
+      m.pages <- grown
+    end;
+    m.pages.(id) <- Page.alloc ());
   id
 
 let read t id =
@@ -82,31 +97,52 @@ let read t id =
   t.stats.reads <- t.stats.reads + 1;
   t.on_read id;
   match t.backing with
-  | File fd ->
+  | File { data; sums } ->
     let buf = Bytes.create Page.size in
-    pread fd buf (id * Page.size);
+    data.Vfs.pread ~buf ~off:(id * Page.size);
+    verify_sum ~data ~sums id buf;
     buf
-  | Memory arr -> Bytes.copy !arr.(id)
+  | Memory m -> Bytes.copy m.pages.(id)
 
-let write t id data =
+let read_unverified t id =
   check_open t;
   check_id t id;
-  if Bytes.length data <> Page.size then
+  match t.backing with
+  | File { data; _ } ->
+    let buf = Bytes.create Page.size in
+    data.Vfs.pread ~buf ~off:(id * Page.size);
+    buf
+  | Memory m -> Bytes.copy m.pages.(id)
+
+let write t id data_buf =
+  check_open t;
+  check_id t id;
+  if Bytes.length data_buf <> Page.size then
     invalid_arg "Pager.write: buffer is not one page";
   t.stats.writes <- t.stats.writes + 1;
   t.on_write id;
   match t.backing with
-  | File fd -> pwrite fd data (id * Page.size)
-  | Memory arr -> !arr.(id) <- Bytes.copy data
+  | File { data; sums } ->
+    data.Vfs.pwrite ~buf:data_buf ~off:(id * Page.size);
+    write_sum sums id data_buf
+  | Memory m -> m.pages.(id) <- Bytes.copy data_buf
 
 let sync t =
   check_open t;
-  match t.backing with File fd -> Unix.fsync fd | Memory _ -> ()
+  match t.backing with
+  | File { data; sums } ->
+    data.Vfs.sync ();
+    sums.Vfs.sync ()
+  | Memory _ -> ()
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    match t.backing with File fd -> Unix.close fd | Memory _ -> ()
+    match t.backing with
+    | File { data; sums } ->
+      data.Vfs.close ();
+      sums.Vfs.close ()
+    | Memory _ -> ()
   end
 
 let set_hooks t ~on_read ~on_write =

@@ -4,17 +4,30 @@
     {!Page.size}-byte pages.  All physical I/O in a backend flows through
     here, which gives a single point for
 
-    - counting reads and writes (the benchmark's I/O statistics), and
+    - counting reads and writes (the benchmark's I/O statistics),
     - simulating slower media or a remote page server: the [on_read] /
       [on_write] hooks fire once per physical page transfer, and typically
-      advance {!Hyper_util.Vclock} by a modelled latency. *)
+      advance {!Hyper_util.Vclock} by a modelled latency, and
+    - fault injection: all physical I/O goes through a {!Vfs.t}, never
+      through [Unix] directly.
+
+    Every page carries a CRC-32 stored in a [path ^ ".sum"] sidecar
+    (4 bytes per page, written on every page write).  Reads verify it and
+    raise {!Storage_error.Error} ([Corrupt_page]) on mismatch, so a torn
+    write or bit rot is caught at the pager instead of corrupting the
+    heap or the indexes silently.  A zero slot (sidecar hole, or a file
+    that predates checksums) is accepted unverified. *)
 
 type t
 
 type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 
-val create : path:string -> t
-(** Open (or create) the file at [path]. *)
+val create : ?vfs:Vfs.t -> string -> t
+(** [create path] opens (or creates) the file at [path] (and its [.sum]
+    sidecar) through [vfs] (default {!Vfs.real}).  A partial page at the
+    tail of the file — a torn append left by a crash — is truncated away;
+    WAL replay re-extends the file if a committed transaction mentions
+    the page. *)
 
 val in_memory : unit -> t
 (** A pager backed by an expandable in-RAM array instead of a file —
@@ -29,6 +42,12 @@ val allocate : t -> int
 val read : t -> int -> bytes
 (** A fresh copy of the page contents.
     @raise Invalid_argument for an id that was never allocated. *)
+
+val read_unverified : t -> int -> bytes
+(** Like {!read} but skips checksum verification, fires no hooks and
+    counts no statistics.  For probing pages whose integrity is unknown
+    by design — e.g. deciding whether page 0 of a file that survived a
+    crash during formatting carries the meta magic. *)
 
 val write : t -> int -> bytes -> unit
 (** @raise Invalid_argument on an unallocated id or wrong buffer size. *)

@@ -13,8 +13,8 @@ let after_last_checkpoint entries =
   in
   strip [] entries
 
-let recover ~wal_path pager =
-  let entries = after_last_checkpoint (Wal.read_all ~path:wal_path) in
+let recover ?(vfs = Vfs.real) ~wal_path pager =
+  let entries = after_last_checkpoint (Wal.read_all ~vfs wal_path) in
   let committed = Hashtbl.create 8 in
   let started = Hashtbl.create 8 in
   List.iter
@@ -65,5 +65,5 @@ let recover ~wal_path pager =
     pages_redone = !redone;
     pages_undone = !undone }
 
-let needs_recovery ~wal_path =
-  after_last_checkpoint (Wal.read_all ~path:wal_path) <> []
+let needs_recovery ?(vfs = Vfs.real) wal_path =
+  after_last_checkpoint (Wal.read_all ~vfs wal_path) <> []

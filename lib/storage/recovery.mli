@@ -13,9 +13,11 @@ type report = {
   pages_undone : int;
 }
 
-val recover : wal_path:string -> Pager.t -> report
+val recover : ?vfs:Vfs.t -> wal_path:string -> Pager.t -> report
 (** Replay [wal_path] into the pager.  Pages referenced by the log but
-    beyond the current end of file are allocated first. *)
+    beyond the current end of file are allocated first (a torn log can
+    legitimately mention pages past the data file's end — recovery must
+    extend the file, never crash). *)
 
-val needs_recovery : wal_path:string -> bool
+val needs_recovery : ?vfs:Vfs.t -> string -> bool
 (** True when the log contains entries after the last checkpoint. *)

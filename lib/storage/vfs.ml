@@ -1,0 +1,365 @@
+exception Crash
+
+type file = {
+  path : string;
+  pread : buf:bytes -> off:int -> unit;
+  pwrite : buf:bytes -> off:int -> unit;
+  size : unit -> int;
+  truncate : int -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  name : string;
+  open_rw : string -> file;
+  exists : string -> bool;
+  remove : string -> unit;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Crash -> Some "Vfs.Crash (simulated power failure)"
+    | _ -> None)
+
+(* --- real files --- *)
+
+let classify_unix_error = function
+  | Unix.EIO -> (Storage_error.Eio, false)
+  | Unix.ENOSPC -> (Storage_error.Enospc, false)
+  | Unix.EINTR | Unix.EAGAIN -> (Storage_error.Eio, true)
+  | e -> (Storage_error.Efault (Unix.error_message e), false)
+
+let wrap_unix op path f =
+  try f ()
+  with Unix.Unix_error (e, _, _) ->
+    let fault, transient = classify_unix_error e in
+    Storage_error.raise_io ~op ~path ~fault ~transient
+
+let real_open path =
+  let fd =
+    wrap_unix "open" path (fun () ->
+        Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)
+  in
+  let closed = ref false in
+  { path;
+    pread =
+      (fun ~buf ~off ->
+        wrap_unix "pread" path (fun () ->
+            let len = Bytes.length buf in
+            let rec loop pos =
+              if pos < len then begin
+                let n = ExtUnix.pread fd buf (off + pos) pos (len - pos) in
+                if n = 0 then
+                  (* Hole past EOF within an allocated region: zeroes. *)
+                  Bytes.fill buf pos (len - pos) '\000'
+                else loop (pos + n)
+              end
+            in
+            loop 0));
+    pwrite =
+      (fun ~buf ~off ->
+        wrap_unix "pwrite" path (fun () ->
+            let len = Bytes.length buf in
+            let rec loop pos =
+              if pos < len then
+                loop (pos + ExtUnix.pwrite fd buf (off + pos) pos (len - pos))
+            in
+            loop 0));
+    size = (fun () -> wrap_unix "fstat" path (fun () -> (Unix.fstat fd).Unix.st_size));
+    truncate = (fun len -> wrap_unix "ftruncate" path (fun () -> Unix.ftruncate fd len));
+    sync = (fun () -> wrap_unix "fsync" path (fun () -> Unix.fsync fd));
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          wrap_unix "close" path (fun () -> Unix.close fd)
+        end) }
+
+let real =
+  { name = "real";
+    open_rw = real_open;
+    exists = (fun path -> Sys.file_exists path);
+    remove = (fun path -> if Sys.file_exists path then Sys.remove path) }
+
+(* --- bounded retry with backoff --- *)
+
+let retrying ?(attempts = 4) ?(backoff_s = 0.0005) vfs =
+  let retry f =
+    let rec go attempt delay =
+      try f ()
+      with Storage_error.Error e
+           when Storage_error.is_transient e && attempt < attempts ->
+        if delay > 0. then (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+        go (attempt + 1) (delay *. 2.)
+    in
+    go 1 backoff_s
+  in
+  let wrap_file f =
+    { f with
+      pread = (fun ~buf ~off -> retry (fun () -> f.pread ~buf ~off));
+      pwrite = (fun ~buf ~off -> retry (fun () -> f.pwrite ~buf ~off));
+      sync = (fun () -> retry f.sync) }
+  in
+  { vfs with
+    name = vfs.name ^ "+retry";
+    open_rw = (fun path -> wrap_file (retry (fun () -> vfs.open_rw path))) }
+
+(* --- fault injection --- *)
+
+module Faulty = struct
+  type op = [ `Read | `Write | `Sync ]
+
+  type rule = {
+    suffix : string;
+    rops : op list;
+    fault : Storage_error.fault;
+    transient : bool;
+    mutable skip : int;
+    mutable remaining : int;
+  }
+
+  type plan = {
+    seed : int64;
+    crash_after_writes : int;
+    crash_after_syncs : int;
+    torn_writes : bool;
+    lying_fsync : bool;
+    power_loss : bool;
+    rules : rule list;
+  }
+
+  let quiet =
+    { seed = 1L; crash_after_writes = 0; crash_after_syncs = 0;
+      torn_writes = true; lying_fsync = false; power_loss = false; rules = [] }
+
+  (* One simulated file.  [stable] is what survives power loss; [cur] is
+     what reads observe; [pending] is the journal of mutations issued
+     since the data was last made durable, oldest first. *)
+  type pend =
+    | Pwrite of { seq : int; off : int; data : bytes }
+    | Ptrunc of { seq : int; len : int }
+
+  type vfile = {
+    vpath : string;
+    mutable stable : bytes;
+    mutable stable_len : int;
+    mutable cur : bytes;
+    mutable cur_len : int;
+    mutable pending : pend list; (* newest first *)
+  }
+
+  type env = {
+    mutable plan : plan;
+    mutable rng : Hyper_util.Prng.t;
+    files : (string, vfile) Hashtbl.t;
+    mutable seq : int;
+    mutable nwrites : int;
+    mutable nsyncs : int;
+    mutable crashed : bool;
+  }
+
+  let create plan =
+    { plan; rng = Hyper_util.Prng.create plan.seed;
+      files = Hashtbl.create 8; seq = 0; nwrites = 0; nsyncs = 0;
+      crashed = false }
+
+  let set_plan env plan =
+    env.plan <- plan;
+    env.rng <- Hyper_util.Prng.create plan.seed
+
+  let write_count env = env.nwrites
+  let sync_count env = env.nsyncs
+
+  let suffix_matches path suffix =
+    let lp = String.length path and ls = String.length suffix in
+    ls = 0 || (lp >= ls && String.sub path (lp - ls) ls = suffix)
+
+  (* First matching live rule decides; a rule still in its [skip] window
+     absorbs the op without firing (and without consulting later rules),
+     which lets tests target "the Nth write to the WAL". *)
+  let check_fault env ~opname ~(op : op) ~path =
+    let rec scan = function
+      | [] -> ()
+      | r :: rest ->
+        if r.remaining <> 0 && suffix_matches path r.suffix && List.mem op r.rops
+        then begin
+          if r.skip > 0 then r.skip <- r.skip - 1
+          else begin
+            if r.remaining > 0 then r.remaining <- r.remaining - 1;
+            Storage_error.raise_io ~op:opname ~path ~fault:r.fault
+              ~transient:r.transient
+          end
+        end
+        else scan rest
+    in
+    scan env.plan.rules
+
+  let check_crashed env = if env.crashed then raise Crash
+
+  let grow_to vf len =
+    if Bytes.length vf.cur < len then begin
+      let cap = max 4096 (max len (2 * Bytes.length vf.cur)) in
+      let bigger = Bytes.make cap '\000' in
+      Bytes.blit vf.cur 0 bigger 0 vf.cur_len;
+      vf.cur <- bigger
+    end
+
+  let apply_cur vf ~off ~data ~len =
+    grow_to vf (off + len);
+    if off > vf.cur_len then Bytes.fill vf.cur vf.cur_len (off - vf.cur_len) '\000';
+    Bytes.blit data 0 vf.cur off len;
+    vf.cur_len <- max vf.cur_len (off + len)
+
+  let apply_stable vf = function
+    | Pwrite { off; data; seq = _ } ->
+      let len = Bytes.length data in
+      if len > 0 then begin
+        if Bytes.length vf.stable < off + len then begin
+          let bigger = Bytes.make (max 4096 (max (off + len) (2 * Bytes.length vf.stable))) '\000' in
+          Bytes.blit vf.stable 0 bigger 0 vf.stable_len;
+          vf.stable <- bigger
+        end;
+        if off > vf.stable_len then
+          Bytes.fill vf.stable vf.stable_len (off - vf.stable_len) '\000';
+        Bytes.blit data 0 vf.stable off len;
+        vf.stable_len <- max vf.stable_len (off + len)
+      end
+    | Ptrunc { len; seq = _ } -> vf.stable_len <- min vf.stable_len len
+
+  let find_file env path =
+    match Hashtbl.find_opt env.files path with
+    | Some vf -> vf
+    | None ->
+      let vf =
+        { vpath = path; stable = Bytes.empty; stable_len = 0;
+          cur = Bytes.empty; cur_len = 0; pending = [] }
+      in
+      Hashtbl.add env.files path vf;
+      vf
+
+  (* A mutating op: bump the global write counter and crash here if the
+     plan says so.  At the crash point only a PRNG-chosen prefix of the
+     in-flight write reaches the file (a torn write). *)
+  let mutating env vf mk_full mk_torn =
+    check_crashed env;
+    env.nwrites <- env.nwrites + 1;
+    env.seq <- env.seq + 1;
+    if env.plan.crash_after_writes > 0
+       && env.nwrites >= env.plan.crash_after_writes
+    then begin
+      (match mk_torn with
+       | Some torn when env.plan.torn_writes -> torn ()
+       | _ -> ());
+      env.crashed <- true;
+      raise Crash
+    end;
+    let p = mk_full () in
+    vf.pending <- p :: vf.pending
+
+  let faulty_open env path =
+    let vf = find_file env path in
+    { path;
+      pread =
+        (fun ~buf ~off ->
+          check_crashed env;
+          check_fault env ~opname:"pread" ~op:`Read ~path;
+          let len = Bytes.length buf in
+          let avail = max 0 (min len (vf.cur_len - off)) in
+          if avail > 0 then Bytes.blit vf.cur off buf 0 avail;
+          if avail < len then Bytes.fill buf avail (len - avail) '\000');
+      pwrite =
+        (fun ~buf ~off ->
+          check_crashed env;
+          check_fault env ~opname:"pwrite" ~op:`Write ~path;
+          let len = Bytes.length buf in
+          mutating env vf
+            (fun () ->
+              apply_cur vf ~off ~data:buf ~len;
+              Pwrite { seq = env.seq; off; data = Bytes.copy buf })
+            (Some
+               (fun () ->
+                 let keep = Hyper_util.Prng.int env.rng (len + 1) in
+                 apply_cur vf ~off ~data:buf ~len:keep;
+                 vf.pending <-
+                   Pwrite { seq = env.seq; off; data = Bytes.sub buf 0 keep }
+                   :: vf.pending)));
+      size =
+        (fun () ->
+          check_crashed env;
+          vf.cur_len);
+      truncate =
+        (fun len ->
+          check_crashed env;
+          check_fault env ~opname:"ftruncate" ~op:`Write ~path;
+          mutating env vf
+            (fun () ->
+              vf.cur_len <- min vf.cur_len len;
+              Ptrunc { seq = env.seq; len })
+            None);
+      sync =
+        (fun () ->
+          check_crashed env;
+          check_fault env ~opname:"fsync" ~op:`Sync ~path;
+          env.nsyncs <- env.nsyncs + 1;
+          if env.plan.crash_after_syncs > 0
+             && env.nsyncs >= env.plan.crash_after_syncs
+          then begin
+            (* The barrier was requested but power failed first. *)
+            env.crashed <- true;
+            raise Crash
+          end;
+          if not env.plan.lying_fsync then begin
+            vf.stable <- Bytes.sub vf.cur 0 vf.cur_len;
+            vf.stable_len <- vf.cur_len;
+            vf.pending <- []
+          end);
+      close = (fun () -> ()) }
+
+  let vfs env =
+    { name = "faulty";
+      open_rw = (fun path -> faulty_open env path);
+      exists =
+        (fun path ->
+          check_crashed env;
+          Hashtbl.mem env.files path);
+      remove =
+        (fun path ->
+          check_crashed env;
+          Hashtbl.remove env.files path) }
+
+  let pend_seq = function Pwrite { seq; _ } -> seq | Ptrunc { seq; _ } -> seq
+
+  (* Power loss: replay the journal onto the durable images.  Without
+     [power_loss] every issued op survives (the OS page cache outlives a
+     process crash); with it, a PRNG-chosen global prefix of the issue
+     order survives and the first dropped write may additionally be torn
+     — modelling a FIFO write-back disk cache losing power. *)
+  let power_fail env =
+    let cutoff =
+      if env.plan.power_loss then Hyper_util.Prng.int env.rng (env.seq + 1)
+      else max_int
+    in
+    Hashtbl.iter
+      (fun _ vf ->
+        let ops = List.rev vf.pending in
+        List.iter
+          (fun p ->
+            let s = pend_seq p in
+            if s <= cutoff then apply_stable vf p
+            else if s = cutoff + 1 && env.plan.torn_writes then
+              match p with
+              | Pwrite { off; data; seq } ->
+                let keep = Hyper_util.Prng.int env.rng (Bytes.length data + 1) in
+                apply_stable vf
+                  (Pwrite { seq; off; data = Bytes.sub data 0 keep })
+              | Ptrunc _ -> ())
+          ops;
+        vf.pending <- [];
+        vf.cur <- Bytes.sub vf.stable 0 vf.stable_len;
+        vf.cur_len <- vf.stable_len)
+      env.files;
+    env.crashed <- false;
+    env.nwrites <- 0;
+    env.nsyncs <- 0
+end

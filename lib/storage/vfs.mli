@@ -1,0 +1,115 @@
+(** Virtual file system — the single seam through which every byte of
+    storage I/O flows.
+
+    {!Pager} and {!Wal} perform no direct [Unix] calls; they go through a
+    [Vfs.t], of which there are three:
+
+    - {!real} — passthrough to the operating system ([pread]/[pwrite]
+      via {!ExtUnix}, [fsync], [ftruncate]);
+    - {!retrying} — a middleware that retries transient
+      {!Storage_error.Io} faults with bounded exponential backoff
+      (installed once by {!Engine.open_}, so every storage path gets the
+      same policy);
+    - {!Faulty} — a deterministic, PRNG-seeded in-memory implementation
+      that injects crashes, torn writes, lying fsync and typed I/O
+      errors for the recovery fuzzer.
+
+    This mirrors how {!Hyper_net.Latency_model} controls the latency
+    environment: the fault plan controls the {e failure} environment of
+    the system under test. *)
+
+exception Crash
+(** Simulated power failure, raised by the fault-injecting VFS at a
+    planned crash point.  After it fires, every operation on the same
+    environment raises [Crash] again until {!Faulty.power_fail} is
+    called. *)
+
+type file = {
+  path : string;
+  pread : buf:bytes -> off:int -> unit;
+      (** Fill [buf] from [off]; regions past EOF read as zeroes. *)
+  pwrite : buf:bytes -> off:int -> unit;  (** Write all of [buf] at [off]. *)
+  size : unit -> int;
+  truncate : int -> unit;
+  sync : unit -> unit;  (** Durability barrier. *)
+  close : unit -> unit;
+}
+
+type t = {
+  name : string;
+  open_rw : string -> file;  (** Open read-write, creating if absent. *)
+  exists : string -> bool;
+  remove : string -> unit;
+}
+
+val real : t
+
+val retrying : ?attempts:int -> ?backoff_s:float -> t -> t
+(** [retrying vfs] retries operations that fail with a {e transient}
+    {!Storage_error.Io} up to [attempts] times total, sleeping
+    [backoff_s] (doubling each retry) in between.  Permanent faults and
+    {!Crash} propagate immediately. *)
+
+(** Deterministic fault injection over an in-memory file namespace.
+
+    Files survive [close]/re-[open_rw] within one environment, so a
+    store can be crashed and reopened entirely in process.  Each file
+    keeps a durable image plus a journal of issued-but-unsynced
+    mutations; a crash replays a prefix of the global issue order, which
+    models a FIFO write-back disk cache. *)
+module Faulty : sig
+  type op = [ `Read | `Write | `Sync ]
+
+  type rule = {
+    suffix : string;  (** file-name suffix to match; [""] matches all *)
+    rops : op list;
+    fault : Storage_error.fault;
+    transient : bool;
+    mutable skip : int;  (** let this many matching ops through first *)
+    mutable remaining : int;  (** times to fire; [-1] = forever *)
+  }
+
+  type plan = {
+    seed : int64;
+    crash_after_writes : int;
+        (** raise {!Crash} during the Nth mutating op (write or
+            truncate); [0] disables *)
+    crash_after_syncs : int;
+        (** raise {!Crash} during the Nth [sync], before it persists
+            anything; [0] disables *)
+    torn_writes : bool;
+        (** a crashing or power-lost write may leave a partial prefix *)
+    lying_fsync : bool;  (** [sync] reports success without persisting *)
+    power_loss : bool;
+        (** on {!power_fail}, unsynced writes past a random cutoff are
+            lost (otherwise everything issued survives, as after a mere
+            process kill) *)
+    rules : rule list;  (** typed I/O error injection *)
+  }
+
+  val quiet : plan
+  (** No crashes, no faults: [{ seed = 1L; crash_after_writes = 0;
+      crash_after_syncs = 0; torn_writes = true; lying_fsync = false;
+      power_loss = false; rules = [] }]. *)
+
+  type env
+
+  val create : plan -> env
+  val vfs : env -> t
+
+  val set_plan : env -> plan -> unit
+  (** Replace the plan (and reseed the PRNG) — e.g. arm a crash point
+      after setup, or disarm everything before recovery. *)
+
+  val write_count : env -> int
+  (** Mutating ops since creation or the last {!power_fail} — use a dry
+      run to size the crash-point space. *)
+
+  val sync_count : env -> int
+
+  val power_fail : env -> unit
+  (** Simulate losing power: settle every file to its durable contents (see
+      [power_loss] and [torn_writes]), drop the journals, clear the
+      crashed flag and reset the op counters.  The environment can then
+      be reopened to exercise recovery. *)
+end

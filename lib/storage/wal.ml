@@ -5,7 +5,12 @@ type entry =
   | Commit of int
   | Checkpoint
 
-type t = { path : string; mutable oc : out_channel }
+type t = {
+  path : string;
+  file : Vfs.file;
+  buf : Buffer.t; (* appended entries not yet issued to the vfs *)
+  mutable issued : int; (* bytes already written to the file *)
+}
 
 let entry_magic = 0xA7
 
@@ -22,9 +27,9 @@ let checksum b =
   Bytes.iter (fun c -> h := (((!h lsl 5) + !h) + Char.code c) land 0x3FFFFFFF) b;
   !h
 
-let open_ ~path =
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  { path; oc }
+let open_ ?(vfs = Vfs.real) path =
+  let file = vfs.Vfs.open_rw path in
+  { path; file; buf = Buffer.create 4096; issued = file.Vfs.size () }
 
 let payload_of = function
   | Begin _ | Commit _ | Checkpoint -> Bytes.empty
@@ -46,72 +51,84 @@ let append t e =
   Page.set_u32 header 2 txn;
   Page.set_u32 header 6 page;
   Page.set_u32 header 10 (Bytes.length payload);
-  output_bytes t.oc header;
-  output_bytes t.oc payload;
+  Buffer.add_bytes t.buf header;
+  Buffer.add_bytes t.buf payload;
   let crc = Bytes.create 4 in
   Page.set_u32 crc 0 (checksum payload lxor checksum header);
-  output_bytes t.oc crc
+  Buffer.add_bytes t.buf crc
 
-let flush t = Stdlib.flush t.oc
+(* Issue the buffered suffix to the vfs.  This is the point where WAL
+   bytes enter the (possibly simulated) OS — write-ahead ordering is
+   established by flushing before the corresponding page writes. *)
+let flush t =
+  if Buffer.length t.buf > 0 then begin
+    let b = Buffer.to_bytes t.buf in
+    t.file.Vfs.pwrite ~buf:b ~off:t.issued;
+    t.issued <- t.issued + Bytes.length b;
+    Buffer.clear t.buf
+  end
 
 let sync t =
   flush t;
-  let fd = Unix.descr_of_out_channel t.oc in
-  Unix.fsync fd
+  t.file.Vfs.sync ()
 
 let truncate t =
-  close_out t.oc;
-  t.oc <- open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path
+  Buffer.clear t.buf;
+  t.file.Vfs.truncate 0;
+  t.issued <- 0
 
-let size_bytes t =
-  flush t;
-  (Unix.stat t.path).Unix.st_size
+let size_bytes t = t.issued + Buffer.length t.buf
 
-let close t = close_out t.oc
+let close t =
+  (* Try to issue what is buffered, but never let a full disk turn close
+     into a crash loop; simulated power failures still propagate. *)
+  (try flush t with Storage_error.Error _ -> Buffer.clear t.buf);
+  t.file.Vfs.close ()
 
-let read_all ~path =
-  if not (Sys.file_exists path) then []
+let read_all ?(vfs = Vfs.real) path =
+  if not (vfs.Vfs.exists path) then []
   else begin
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
+    let file = vfs.Vfs.open_rw path in
+    let len = file.Vfs.size () in
+    let data = Bytes.create len in
+    if len > 0 then file.Vfs.pread ~buf:data ~off:0;
+    file.Vfs.close ();
     let entries = ref [] in
+    let pos = ref 0 in
     let ok = ref true in
-    (try
-       while !ok && pos_in ic + 18 <= len do
-         let header = Bytes.create 14 in
-         really_input ic header 0 14;
-         if Page.get_u8 header 0 <> entry_magic then ok := false
-         else begin
-           let kind = Page.get_u8 header 1 in
-           let txn = Page.get_u32 header 2 in
-           let page = Page.get_u32 header 6 in
-           let plen = Page.get_u32 header 10 in
-           if pos_in ic + plen + 4 > len then ok := false
-           else begin
-             let payload = Bytes.create plen in
-             really_input ic payload 0 plen;
-             let crc = Bytes.create 4 in
-             really_input ic crc 0 4;
-             if Page.get_u32 crc 0 <> (checksum payload lxor checksum header)
-             then ok := false
-             else
-               let entry =
-                 match kind with
-                 | 1 -> Some (Begin txn)
-                 | 2 -> Some (Before (txn, page, payload))
-                 | 3 -> Some (After (txn, page, payload))
-                 | 4 -> Some (Commit txn)
-                 | 5 -> Some Checkpoint
-                 | _ -> None
-               in
-               match entry with
-               | Some e -> entries := e :: !entries
-               | None -> ok := false
-           end
-         end
-       done
-     with End_of_file -> ());
-    close_in ic;
+    while !ok && !pos + 18 <= len do
+      let hdr = !pos in
+      if Page.get_u8 data hdr <> entry_magic then ok := false
+      else begin
+        let kind = Page.get_u8 data (hdr + 1) in
+        let txn = Page.get_u32 data (hdr + 2) in
+        let page = Page.get_u32 data (hdr + 6) in
+        let plen = Page.get_u32 data (hdr + 10) in
+        if hdr + 14 + plen + 4 > len then ok := false
+        else begin
+          let payload = Bytes.sub data (hdr + 14) plen in
+          let crc = Page.get_u32 data (hdr + 14 + plen) in
+          if crc <> checksum payload
+                    lxor checksum (Bytes.sub data hdr 14)
+          then ok := false
+          else
+            let entry =
+              match kind with
+              | 1 -> Some (Begin txn)
+              | 2 -> Some (Before (txn, page, payload))
+              | 3 -> Some (After (txn, page, payload))
+              | 4 -> Some (Commit txn)
+              | 5 -> Some Checkpoint
+              | _ -> None
+            in
+            match entry with
+            | Some e ->
+              entries := e :: !entries;
+              pos := hdr + 14 + plen + 4
+            | None -> ok := false
+        end
+      end
+    done;
     List.rev !entries
   end
 

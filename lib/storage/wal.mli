@@ -24,8 +24,11 @@ type entry =
 
 type t
 
-val open_ : path:string -> t
-(** Opens for appending (creates when absent). *)
+val open_ : ?vfs:Vfs.t -> string -> t
+(** Opens for appending (creates when absent) through [vfs] (default
+    {!Vfs.real}).  Appends are buffered in memory; {!flush} issues them
+    to the vfs, which is what establishes write-ahead ordering relative
+    to page writes. *)
 
 val append : t -> entry -> unit
 val flush : t -> unit
@@ -38,7 +41,7 @@ val truncate : t -> unit
 val size_bytes : t -> int
 val close : t -> unit
 
-val read_all : path:string -> entry list
+val read_all : ?vfs:Vfs.t -> string -> entry list
 (** Entire readable prefix of the log, ignoring a torn tail.  Returns []
     for a missing file. *)
 

@@ -33,7 +33,7 @@ let temp_path name =
 let cleanup path =
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; path ^ ".wal" ]
+    [ path; path ^ ".sum"; path ^ ".wal" ]
 
 (* One shared fixture for the whole suite. *)
 let fixture =

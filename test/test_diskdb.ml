@@ -22,7 +22,7 @@ let temp_path =
 let cleanup path =
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; path ^ ".wal" ]
+    [ path; path ^ ".sum"; path ^ ".wal" ]
 
 let with_db ?(pool_pages = 256) ?remote name k =
   let path = temp_path name in

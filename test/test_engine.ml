@@ -24,7 +24,7 @@ let with_engine ?(pool_pages = 8) name k =
       (try Engine.close e with _ -> ());
       List.iter
         (fun p -> if Sys.file_exists p then Sys.remove p)
-        [ path; path ^ ".wal" ])
+        [ path; path ^ ".sum"; path ^ ".wal" ])
     (fun () -> k e path)
 
 let test_bracketing_errors () =
@@ -120,6 +120,7 @@ let test_wal_before_after_ordering () =
   (* close checkpoints/truncates, so capture before closing: reopen path
      is gone — instead re-run without close. *)
   Sys.remove path;
+  Sys.remove (path ^ ".sum");
   Sys.remove (path ^ ".wal");
   let e = Engine.open_ ~path ~pool_pages:8 () in
   let pool = Engine.pool e in
@@ -127,7 +128,7 @@ let test_wal_before_after_ordering () =
   let id = Buffer_pool.allocate pool in
   Buffer_pool.with_page_w pool id (fun p -> Bytes.fill p 0 4 'z');
   Engine.commit e;
-  let entries = Wal.read_all ~path:(path ^ ".wal") in
+  let entries = Wal.read_all (path ^ ".wal") in
   let kinds =
     List.map
       (function
@@ -160,7 +161,7 @@ let test_wal_before_after_ordering () =
   (try Engine.close e with _ -> ());
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; path ^ ".wal" ]
+    [ path; path ^ ".sum"; path ^ ".wal" ]
 
 (* --- codec properties --- *)
 

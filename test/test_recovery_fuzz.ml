@@ -1,19 +1,27 @@
-(* Crash-recovery fuzzing.
+(* Crash-recovery fuzzing over the fault-injecting VFS.
 
    A workload of K committed transactions (each inserting a batch of 100
    nodes) runs against the disk backend with a tiny buffer pool (so
-   dirty-page steals and WAL activity are constant).  At random points we
-   "crash": snapshot the data file and WAL, truncate a random suffix of
-   the WAL copy (a torn tail), then open the copy.
+   dirty-page steals and WAL activity are constant) — entirely on top of
+   [Vfs.Faulty], so no real files are involved.  A dry run counts the
+   total number of mutating VFS operations W the workload issues; the
+   fuzzer then replays the workload with an in-process crash injected at
+   every stratified point k in [1..W]: the k-th write raises [Vfs.Crash]
+   mid-operation (optionally tearing the in-flight write), we simulate
+   the power failure, and reopen the store over the surviving bytes.
 
    Required property: recovery always lands on a *committed prefix* —
    the recovered database contains exactly the batches of the first j
    transactions for some j, with the uniqueId index, the object table and
    the heap mutually consistent.  No partial batches, no phantom nodes,
-   no broken lookups. *)
+   no broken lookups.  And because the workload commits with
+   [durable_sync] against an honest fsync, every acknowledged commit must
+   survive: j >= acked. *)
 
 open Hyper_core
 module B = Hyper_diskdb.Diskdb
+module V = Hyper_storage.Vfs
+module F = Hyper_storage.Vfs.Faulty
 
 let check = Alcotest.check
 
@@ -27,22 +35,7 @@ let temp_path =
 let cleanup path =
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; path ^ ".wal" ]
-
-let copy_file src dst =
-  let ic = open_in_bin src in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  let oc = open_out_bin dst in
-  output_string oc contents;
-  close_out oc
-
-let truncate_file path bytes =
-  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
-  let size = (Unix.fstat fd).Unix.st_size in
-  Unix.ftruncate fd (max 0 (size - bytes));
-  Unix.close fd
+    [ path; path ^ ".sum"; path ^ ".wal" ]
 
 let batch_size = 100
 
@@ -75,8 +68,7 @@ let assert_committed_prefix b ~max_batches =
     | None -> Alcotest.failf "uid %d lost from index" oid);
     let h = B.hundred b oid in
     if h <> (oid mod 100) + 1 then
-      Alcotest.failf "oid %d: hundred corrupted (%d)" oid h;
-    if oid mod (10 * batch_size) mod 10 = 0 then ()
+      Alcotest.failf "oid %d: hundred corrupted (%d)" oid h
   done;
   (* ... and nothing beyond it exists. *)
   for oid = count + 1 to max_batches * batch_size do
@@ -89,62 +81,96 @@ let assert_committed_prefix b ~max_batches =
   check Alcotest.int "index covers exactly the prefix" count indexed;
   batches
 
-let test_truncation_points () =
-  let rng = Hyper_util.Prng.create 0xF00DL in
-  let scenarios = 12 in
-  let total_batches = 6 in
-  for scenario = 1 to scenarios do
-    let path = temp_path "base" in
-    cleanup path;
-    let b = B.open_db { (B.default_config ~path) with B.pool_pages = 8 } in
-    (* Commit a random number of batches, then optionally leave a
-       transaction in flight at the crash point. *)
-    let committed = 1 + Hyper_util.Prng.int rng total_batches in
-    for batch = 0 to committed - 1 do
-      insert_batch b ~batch
-    done;
-    let in_flight = Hyper_util.Prng.bool rng in
-    if in_flight then begin
-      B.begin_txn b;
-      for i = 0 to 49 do
-        let oid = 900_000 + (scenario * 100) + i in
-        B.create_node b
-          { Schema.oid; doc = 1; unique_id = oid; ten = 1; hundred = 1;
-            million = 1; payload = Schema.P_internal }
-      done
-      (* neither committed nor aborted: crash takes it down *)
-    end;
-    (* Crash: snapshot, then tear a random amount off the WAL tail. *)
-    let snapshot = temp_path "crash" in
-    cleanup snapshot;
-    copy_file path snapshot;
-    copy_file (path ^ ".wal") (snapshot ^ ".wal");
-    let tear = Hyper_util.Prng.int rng 4096 in
-    truncate_file (snapshot ^ ".wal") tear;
-    (if in_flight then B.abort b);
-    B.close b;
-    cleanup path;
-    (* Recover and verify the committed-prefix property. *)
-    let b2 =
-      B.open_db { (B.default_config ~path:snapshot) with B.pool_pages = 64 }
-    in
-    let recovered = assert_committed_prefix b2 ~max_batches:committed in
-    (* An in-flight transaction must never surface. *)
-    (match B.lookup_unique b2 ~doc:1 (900_000 + (scenario * 100)) with
-    | None -> ()
-    | Some _ -> Alcotest.fail "in-flight transaction surfaced");
-    (* The store stays writable after recovery. *)
-    insert_batch b2 ~batch:recovered;
-    check Alcotest.int "writable after recovery"
-      ((recovered + 1) * batch_size)
-      (B.node_count b2 ~doc:1);
-    B.close b2;
-    cleanup snapshot
+let faulty_config env ~path ~pool_pages =
+  { (B.default_config ~path) with
+    B.pool_pages; durable_sync = true; vfs = Some (F.vfs env) }
+
+(* Run the workload until it finishes or the VFS kills the power.
+   Returns the number of batches whose commit was acknowledged.  The
+   final scenario bit leaves a transaction in flight at close time: its
+   nodes (oids 900_000+) must never surface after recovery. *)
+let run_workload env ~path ~batches ~in_flight =
+  let acked = ref 0 in
+  (try
+     let b = B.open_db (faulty_config env ~path ~pool_pages:8) in
+     for batch = 0 to batches - 1 do
+       insert_batch b ~batch;
+       incr acked
+     done;
+     if in_flight then begin
+       B.begin_txn b;
+       for i = 0 to 49 do
+         let oid = 900_000 + i in
+         B.create_node b
+           { Schema.oid; doc = 1; unique_id = oid; ten = 1; hundred = 1;
+             million = 1; payload = Schema.P_internal }
+       done;
+       (* Neither committed nor aborted: the crash takes it down.  Force
+          some steal activity so Before images reach the WAL. *)
+       B.abort b
+     end;
+     B.close b
+   with V.Crash -> ());
+  !acked
+
+(* One crash point: run the workload over a fresh faulty environment
+   that powers off at the [k]-th mutating VFS op, then recover and check
+   invariants. *)
+let run_crash_point ~seed ~k ~power_loss ~lying_fsync ~in_flight =
+  let total_batches = 5 in
+  let path = temp_path "vfs" in
+  let env =
+    F.create
+      { F.quiet with
+        F.seed; crash_after_writes = k; torn_writes = true; power_loss;
+        lying_fsync }
+  in
+  let acked = run_workload env ~path ~batches:total_batches ~in_flight in
+  (* The machine reboots: surviving bytes only, faults disarmed. *)
+  F.power_fail env;
+  F.set_plan env F.quiet;
+  let b2 = B.open_db (faulty_config env ~path ~pool_pages:64) in
+  let recovered = assert_committed_prefix b2 ~max_batches:total_batches in
+  (* durable_sync over an honest fsync: acknowledged commits survive.
+     Power loss combined with a lying fsync voids the guarantee. *)
+  if not (power_loss && lying_fsync) && recovered < acked then
+    Alcotest.failf
+      "durability violated (k=%d power=%b lying=%b): acked %d, recovered %d"
+      k power_loss lying_fsync acked recovered;
+  (* An in-flight transaction must never surface. *)
+  (match B.lookup_unique b2 ~doc:1 900_000 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "in-flight transaction surfaced");
+  (* The store stays writable after recovery. *)
+  insert_batch b2 ~batch:recovered;
+  check Alcotest.int "writable after recovery"
+    ((recovered + 1) * batch_size)
+    (B.node_count b2 ~doc:1);
+  B.close b2
+
+let test_crash_points () =
+  (* Dry run: learn how many mutating ops the whole workload issues. *)
+  let path = temp_path "dry" in
+  let env = F.create F.quiet in
+  let acked = run_workload env ~path ~batches:5 ~in_flight:true in
+  check Alcotest.int "dry run commits everything" 5 acked;
+  let w = F.write_count env in
+  if w < 20 then Alcotest.failf "workload too quiet: %d writes" w;
+  (* Stratified crash points across the whole write sequence, with the
+     fault mode varied per point. *)
+  let points = 120 in
+  for i = 0 to points - 1 do
+    let k = 1 + (i * (w - 1) / (points - 1)) in
+    run_crash_point
+      ~seed:(Int64.of_int (0xF00D + i))
+      ~k ~power_loss:(i mod 2 = 0) ~lying_fsync:(i mod 4 < 2)
+      ~in_flight:(i mod 8 >= 4)
   done
 
 let test_wal_fully_lost () =
   (* Losing the whole WAL after a clean flush must still leave the
-     committed data intact (commit forces pages to the data file). *)
+     committed data intact (commit forces pages to the data file).
+     This one runs on real files: it exercises [Vfs.real] end to end. *)
   let path = temp_path "nowal" in
   cleanup path;
   let b = B.open_db { (B.default_config ~path) with B.pool_pages = 8 } in
@@ -164,8 +190,8 @@ let () =
     [
       ( "fuzz",
         [
-          Alcotest.test_case "random torn-tail crashes" `Quick
-            test_truncation_points;
+          Alcotest.test_case "in-process crash points" `Quick
+            test_crash_points;
           Alcotest.test_case "wal lost entirely" `Quick test_wal_fully_lost;
         ] );
     ]

@@ -16,11 +16,13 @@ let temp_path =
 
 let with_file_pager name k =
   let path = temp_path name in
-  let pager = Pager.create ~path in
+  let pager = Pager.create path in
   Fun.protect
     ~finally:(fun () ->
       Pager.close pager;
-      if Sys.file_exists path then Sys.remove path)
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".sum" ])
     (fun () -> k pager path)
 
 (* --- Pager --- *)
@@ -37,19 +39,20 @@ let test_pager_roundtrip () =
 
 let test_pager_persistence () =
   let path = temp_path "persist" in
-  let pager = Pager.create ~path in
+  let pager = Pager.create path in
   let id = Pager.allocate pager in
   let page = Page.alloc () in
   Bytes.blit_string "persist me" 0 page 100 10;
   Pager.write pager id page;
   Pager.close pager;
-  let pager2 = Pager.create ~path in
+  let pager2 = Pager.create path in
   check Alcotest.int "page count survives" 1 (Pager.page_count pager2);
   let back = Pager.read pager2 id in
   check Alcotest.string "data survives" "persist me"
     (Bytes.to_string (Page.get_sub back ~pos:100 ~len:10));
   Pager.close pager2;
-  Sys.remove path
+  Sys.remove path;
+  Sys.remove (path ^ ".sum")
 
 let test_pager_bounds () =
   with_file_pager "bounds" (fun pager _ ->
@@ -424,7 +427,7 @@ let page_of_char c =
 
 let test_wal_roundtrip () =
   let path = temp_path "wal" in
-  let wal = Wal.open_ ~path in
+  let wal = Wal.open_ path in
   let entries =
     [
       Wal.Begin 1;
@@ -436,7 +439,7 @@ let test_wal_roundtrip () =
   in
   List.iter (Wal.append wal) entries;
   Wal.flush wal;
-  let back = Wal.read_all ~path in
+  let back = Wal.read_all path in
   check Alcotest.int "entry count" (List.length entries) (List.length back);
   List.iter2
     (fun a b ->
@@ -448,7 +451,7 @@ let test_wal_roundtrip () =
 
 let test_wal_torn_tail () =
   let path = temp_path "torn" in
-  let wal = Wal.open_ ~path in
+  let wal = Wal.open_ path in
   Wal.append wal (Wal.Begin 1);
   Wal.append wal (Wal.After (1, 0, page_of_char 'x'));
   Wal.append wal (Wal.Commit 1);
@@ -459,13 +462,13 @@ let test_wal_torn_tail () =
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
   Unix.ftruncate fd (full - 3);
   Unix.close fd;
-  let back = Wal.read_all ~path in
+  let back = Wal.read_all path in
   check Alcotest.int "commit lost, prefix kept" 2 (List.length back);
   Sys.remove path
 
 let test_wal_missing_file () =
   check Alcotest.int "missing file is empty log" 0
-    (List.length (Wal.read_all ~path:(temp_path "nonexistent")))
+    (List.length (Wal.read_all (temp_path "nonexistent")))
 
 let test_recovery_redo () =
   with_file_pager "redo" (fun pager _path ->
@@ -473,7 +476,7 @@ let test_recovery_redo () =
       let p0 = Pager.allocate pager in
       Pager.write pager p0 (page_of_char 'o');
       (* Committed txn whose after-image never reached the main file. *)
-      let wal = Wal.open_ ~path:wal_path in
+      let wal = Wal.open_ wal_path in
       Wal.append wal (Wal.Begin 1);
       Wal.append wal (Wal.Before (1, p0, page_of_char 'o'));
       Wal.append wal (Wal.After (1, p0, page_of_char 'n'));
@@ -493,7 +496,7 @@ let test_recovery_undo () =
       let p0 = Pager.allocate pager in
       (* Uncommitted txn stole the page onto disk before crashing. *)
       Pager.write pager p0 (page_of_char 'u');
-      let wal = Wal.open_ ~path:wal_path in
+      let wal = Wal.open_ wal_path in
       Wal.append wal (Wal.Begin 9);
       Wal.append wal (Wal.Before (9, p0, page_of_char 'o'));
       Wal.append wal (Wal.After (9, p0, page_of_char 'u'));
@@ -512,7 +515,7 @@ let test_recovery_mixed () =
       let p0 = Pager.allocate pager and p1 = Pager.allocate pager in
       Pager.write pager p0 (page_of_char '0');
       Pager.write pager p1 (page_of_char '1');
-      let wal = Wal.open_ ~path:wal_path in
+      let wal = Wal.open_ wal_path in
       (* txn 1 commits a change to p0; txn 2 crashes mid-flight on p1. *)
       Wal.append wal (Wal.Begin 1);
       Wal.append wal (Wal.Before (1, p0, page_of_char '0'));
@@ -536,7 +539,7 @@ let test_recovery_checkpoint_bound () =
       let wal_path = temp_path "ckpt_wal" in
       let p0 = Pager.allocate pager in
       Pager.write pager p0 (page_of_char 'k');
-      let wal = Wal.open_ ~path:wal_path in
+      let wal = Wal.open_ wal_path in
       Wal.append wal (Wal.Begin 1);
       Wal.append wal (Wal.After (1, p0, page_of_char 'x'));
       Wal.append wal (Wal.Commit 1);
@@ -544,7 +547,7 @@ let test_recovery_checkpoint_bound () =
       Wal.flush wal;
       Wal.close wal;
       check Alcotest.bool "no recovery needed" false
-        (Recovery.needs_recovery ~wal_path);
+        (Recovery.needs_recovery wal_path);
       let report = Recovery.recover ~wal_path pager in
       check Alcotest.int "nothing redone past checkpoint" 0
         report.Recovery.pages_redone;
