@@ -44,9 +44,12 @@ type cfg = {
   mutable seed : int64;
   mutable bechamel : bool;
   mutable skip : string list;
+  mutable json : string option;
 }
 
-let cfg = { levels = [ 4; 5; 6 ]; reps = 50; seed = 42L; bechamel = true; skip = [] }
+let cfg =
+  { levels = [ 4; 5; 6 ]; reps = 50; seed = 42L; bechamel = true; skip = [];
+    json = None }
 
 let parse_args () =
   let set_levels s =
@@ -61,7 +64,9 @@ let parse_args () =
       ("--no-bechamel", Arg.Unit (fun () -> cfg.bechamel <- false),
        " skip the Bechamel micro-benchmarks");
       ("--skip", Arg.String (fun s -> cfg.skip <- String.split_on_char ',' s),
-       "LIST skip experiment ids (e.g. T3,T7)") ]
+       "LIST skip experiment ids (e.g. T3,T7)");
+      ("--json", Arg.String (fun s -> cfg.json <- Some s),
+       "FILE write machine-readable results (see DESIGN.md §10)") ]
   in
   Arg.parse spec
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -81,7 +86,7 @@ let tmp name =
 let cleanup path =
   List.iter
     (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; path ^ ".wal" ]
+    [ path; path ^ ".wal"; path ^ ".sum" ]
 
 (* Memoized per-level instances; update operations in the protocol are
    self-inverse over an even rep count, so reuse across sections is
@@ -132,6 +137,89 @@ let protocol_config () = { Protocol.default_config with reps = cfg.reps }
 let shape_results : (string * bool * string) list ref = ref []
 
 let shape name ok detail = shape_results := (name, ok, detail) :: !shape_results
+
+(* --- machine-readable output (--json; format in DESIGN.md §10) --- *)
+
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write buf = function
+    | Bool x -> Buffer.add_string buf (string_of_bool x)
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+      (* NaN/infinity are not JSON; null keeps consumers honest. *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_file path t =
+    let buf = Buffer.create 65536 in
+    write buf t;
+    Buffer.add_char buf '\n';
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+end
+
+(* Per-op diskdb I/O counters captured during T3, for the JSON report:
+   (level, [(op label, counters over the cold+warm sequence)]). *)
+let t3_disk_io : (int * (string * Dsk.io_counters) list) list ref = ref []
+
+(* T5 traversal-prefetch ablation rows, for the table, the shape checks
+   and the JSON report. *)
+type prefetch_case = {
+  pc_prefetch : bool;
+  pc_cluster : bool;
+  pc_remote : bool;
+  pc_ms : float;
+  pc_io : Dsk.io_counters;
+}
+
+let t5_prefetch_results : prefetch_case list ref = ref []
 
 (* ====================== F1: schema verification ====================== *)
 
@@ -402,7 +490,19 @@ let t3 () =
       ProtoM.run_all ~config b layout);
   run "diskdb" (fun level config ->
       let b, layout, _ = disk_db level in
-      ProtoD.run_all ~config b layout);
+      (* Same sequence as [run_all], with the I/O counters snapshotted
+         around each operation for the JSON report. *)
+      let per_op =
+        List.map
+          (fun id ->
+            Dsk.reset_io b;
+            let m = ProtoD.run_op ~config b layout id in
+            (m.Protocol.op, m, Dsk.io_counters b))
+          Protocol.op_ids
+      in
+      t3_disk_io :=
+        (level, List.map (fun (op, _, io) -> (op, io)) per_op) :: !t3_disk_io;
+      List.map (fun (_, m, _) -> m) per_op);
   run "reldb" (fun level config ->
       let b, layout, _ = rel_db level in
       ProtoR.run_all ~config b layout);
@@ -701,7 +801,133 @@ let t5 () =
       Dsk.close b;
       cleanup path)
     [ 64; 256; 1024; 4096 ];
-  Table.print t2
+  Table.print t2;
+  (* Traversal-prefetch ablation (group fetch vs page-at-a-time, the
+     paper's Vbase/GemStone transfer-granularity axis): 20 cold closure1N
+     traversals from random level-3 starts, prefetch on/off x
+     clustered/unclustered x local/remote.  The unclustered-remote pair
+     is the acceptance check: batching the children's pages into one
+     group transfer must cut network round trips at least 3x without
+     changing the traversal results. *)
+  let prefetch_level = 5 in
+  let closures_per_case = 20 in
+  let prefetch_layout =
+    Layout.make ~doc:1 ~oid_base:0 ~leaf_level:prefetch_level ()
+  in
+  (* The database file depends only on [cluster]; generate it once per
+     clustering mode and re-open it under each (remote, prefetch)
+     configuration. *)
+  let prefetch_db ~cluster =
+    let path = tmp (Printf.sprintf "prefetch_%b.db" cluster) in
+    cleanup path;
+    let b =
+      Dsk.open_db { (Dsk.default_config ~path) with Dsk.pool_pages = 1024 }
+    in
+    ignore
+      (GenD.generate ~cluster b ~doc:1 ~leaf_level:prefetch_level
+         ~seed:cfg.seed);
+    Dsk.close b;
+    path
+  in
+  let run_prefetch ~cluster ~remote ~prefetch path =
+    let b =
+      Dsk.open_db
+        { (Dsk.default_config ~path) with
+          Dsk.pool_pages = 1024;
+          prefetch;
+          remote = (if remote then Some Dsk.remote_1988 else None) }
+    in
+    Dsk.clear_caches b;
+    Dsk.reset_io b;
+    let rng = Prng.create 17L in
+    let results = ref [] in
+    Dsk.begin_txn b;
+    let (), span =
+      Hyper_util.Vclock.time (fun () ->
+          for _ = 1 to closures_per_case do
+            results :=
+              OpsD.closure_1n b
+                ~start:(Layout.random_level prefetch_layout rng 3)
+              :: !results
+          done)
+    in
+    Dsk.commit b;
+    let io = Dsk.io_counters b in
+    Dsk.close b;
+    t5_prefetch_results :=
+      { pc_prefetch = prefetch; pc_cluster = cluster; pc_remote = remote;
+        pc_ms = Hyper_util.Vclock.total_ms span; pc_io = io }
+      :: !t5_prefetch_results;
+    (List.rev !results, io, Hyper_util.Vclock.total_ms span)
+  in
+  let tp =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Traversal prefetch (group fetch) ablation: %d cold closure1N \
+            traversals at level %d"
+           closures_per_case prefetch_level)
+      [ ("case", Table.Left); ("prefetch", Table.Left);
+        ("round trips", Table.Right); ("batched", Table.Right);
+        ("pool miss", Table.Right); ("prefetched", Table.Right);
+        ("server miss", Table.Right); ("ms", Table.Right) ]
+  in
+  let identical = ref true in
+  List.iter
+    (fun cluster ->
+      let path = prefetch_db ~cluster in
+      List.iter
+        (fun remote ->
+          let res_off, io_off, ms_off =
+            run_prefetch ~cluster ~remote ~prefetch:false path
+          in
+          let res_on, io_on, ms_on =
+            run_prefetch ~cluster ~remote ~prefetch:true path
+          in
+          if res_on <> res_off then identical := false;
+          let case =
+            Printf.sprintf "%s %s"
+              (if cluster then "clustered" else "unclustered")
+              (if remote then "remote" else "local")
+          in
+          List.iter
+            (fun (label, io, ms) ->
+              Table.add_row tp
+                [ case; label;
+                  string_of_int io.Dsk.round_trips;
+                  string_of_int io.Dsk.batched_round_trips;
+                  string_of_int io.Dsk.pool_misses;
+                  string_of_int io.Dsk.pool_prefetches;
+                  string_of_int io.Dsk.server_misses; Table.fms ms ])
+            [ ("off", io_off, ms_off); ("on", io_on, ms_on) ];
+          if remote && not cluster then begin
+            shape "T5 prefetch cuts remote round trips >= 3x (unclustered)"
+              (io_on.Dsk.round_trips > 0
+              && io_off.Dsk.round_trips >= 3 * io_on.Dsk.round_trips)
+              (Printf.sprintf "%d vs %d round trips (%.1fx)"
+                 io_off.Dsk.round_trips io_on.Dsk.round_trips
+                 (float_of_int io_off.Dsk.round_trips
+                 /. float_of_int (max 1 io_on.Dsk.round_trips)));
+            shape "T5 prefetch batches are group fetches"
+              (io_on.Dsk.batched_round_trips > 0
+              && io_on.Dsk.pool_prefetches > 0)
+              (Printf.sprintf "%d batched trips, %d pages prefetched"
+                 io_on.Dsk.batched_round_trips io_on.Dsk.pool_prefetches)
+          end;
+          if (not remote) && not cluster then
+            shape "T5 prefetch does not regress local cold misses"
+              (io_on.Dsk.pool_misses <= io_off.Dsk.pool_misses
+              && io_on.Dsk.pool_misses + io_on.Dsk.pool_prefetches
+                 <= io_off.Dsk.pool_misses + (io_off.Dsk.pool_misses / 10) + 8)
+              (Printf.sprintf "misses %d -> %d (+%d prefetched)"
+                 io_off.Dsk.pool_misses io_on.Dsk.pool_misses
+                 io_on.Dsk.pool_prefetches))
+        [ false; true ];
+      cleanup path)
+    [ true; false ];
+  Table.print tp;
+  shape "T5 prefetch leaves traversal results unchanged" !identical
+    "closure1N node lists identical with prefetch on and off"
 
 (* ====================== T6: extension operations ====================== *)
 
@@ -999,6 +1225,86 @@ let () =
   Printf.printf "\n%d/%d shape checks passed\n"
     (List.length results - List.length failed)
     (List.length results);
+  (* Machine-readable report (written before the failure exit so CI can
+     archive partial results). *)
+  (match cfg.json with
+  | None -> ()
+  | Some path ->
+    let io_json (c : Dsk.io_counters) =
+      Json.Obj
+        [ ("pager_reads", Json.Int c.Dsk.pager_reads);
+          ("pager_writes", Json.Int c.Dsk.pager_writes);
+          ("pool_hits", Json.Int c.Dsk.pool_hits);
+          ("pool_misses", Json.Int c.Dsk.pool_misses);
+          ("pool_evictions", Json.Int c.Dsk.pool_evictions);
+          ("pool_prefetches", Json.Int c.Dsk.pool_prefetches);
+          ("round_trips", Json.Int c.Dsk.round_trips);
+          ("batched_round_trips", Json.Int c.Dsk.batched_round_trips);
+          ("server_hits", Json.Int c.Dsk.server_hits);
+          ("server_misses", Json.Int c.Dsk.server_misses);
+          ("wal_bytes", Json.Int c.Dsk.wal_bytes);
+          ("object_hits", Json.Int c.Dsk.object_hits);
+          ("object_misses", Json.Int c.Dsk.object_misses) ]
+    in
+    let operations =
+      List.concat_map
+        (fun (backend, level, ms) ->
+          let ios =
+            if backend = "diskdb" then
+              Option.value ~default:[] (List.assoc_opt level !t3_disk_io)
+            else []
+          in
+          List.map
+            (fun m ->
+              Json.Obj
+                ([ ("backend", Json.Str backend); ("level", Json.Int level);
+                   ("op", Json.Str m.Protocol.op);
+                   ("reps", Json.Int m.Protocol.reps);
+                   ("nodes_cold", Json.Int m.Protocol.nodes_cold);
+                   ("nodes_warm", Json.Int m.Protocol.nodes_warm);
+                   ("cold_ms", Json.Float m.Protocol.cold_ms);
+                   ("warm_ms", Json.Float m.Protocol.warm_ms);
+                   ("cold_ms_per_node",
+                    Json.Float (Protocol.cold_ms_per_node m));
+                   ("warm_ms_per_node",
+                    Json.Float (Protocol.warm_ms_per_node m)) ]
+                @
+                match List.assoc_opt m.Protocol.op ios with
+                | Some io -> [ ("io", io_json io) ]
+                | None -> []))
+            ms)
+        (List.rev !t3_results)
+    in
+    let prefetch_rows =
+      List.rev_map
+        (fun r ->
+          Json.Obj
+            [ ("prefetch", Json.Bool r.pc_prefetch);
+              ("clustered", Json.Bool r.pc_cluster);
+              ("remote", Json.Bool r.pc_remote); ("ms", Json.Float r.pc_ms);
+              ("io", io_json r.pc_io) ])
+        !t5_prefetch_results
+    in
+    let shapes =
+      List.map
+        (fun (name, ok, detail) ->
+          Json.Obj
+            [ ("name", Json.Str name); ("pass", Json.Bool ok);
+              ("detail", Json.Str detail) ])
+        results
+    in
+    Json.to_file path
+      (Json.Obj
+         [ ("meta",
+            Json.Obj
+              [ ("levels",
+                 Json.List (List.map (fun l -> Json.Int l) cfg.levels));
+                ("reps", Json.Int cfg.reps);
+                ("seed", Json.Str (Int64.to_string cfg.seed)) ]);
+           ("operations", Json.List operations);
+           ("prefetch_ablation", Json.List prefetch_rows);
+           ("shapes", Json.List shapes) ]);
+    Printf.printf "wrote %s\n" path);
   (* Clean up cached disk databases. *)
   Hashtbl.iter (fun _ (b, _, _) -> try Dsk.close b with _ -> ()) disk_cache;
   Hashtbl.iter (fun _ (b, _, _) -> try Rel.close b with _ -> ()) rel_cache;

@@ -54,6 +54,17 @@ module type S = sig
   val add_part : t -> whole:Oid.t -> part:Oid.t -> unit
   (** M-N aggregation. *)
 
+  val add_children : t -> parent:Oid.t -> Oid.t array -> unit
+  (** Append the whole array to the parent's ordered children sequence —
+      semantically [Array.iter (add_child …)], but backends that encode
+      the edge array inside the parent's record amortize it into one
+      record rewrite instead of one per edge (the bulk-load path of the
+      generator, which otherwise rewrites a fanout-5 parent five
+      times). *)
+
+  val add_parts : t -> whole:Oid.t -> Oid.t array -> unit
+  (** Batch form of {!add_part}, same contract as {!add_children}. *)
+
   val add_ref :
     t -> src:Oid.t -> dst:Oid.t -> offset_from:int -> offset_to:int -> unit
   (** M-N association with attributes. *)
@@ -116,6 +127,15 @@ module type S = sig
   (** Range predicate on [million] (op 04; 1% selectivity). *)
 
   (** {2 Relationship traversal} *)
+
+  val prefetch_nodes : t -> Oid.t list -> unit
+  (** Hint that the nodes are about to be read (e.g. the children of the
+      node a closure just visited).  Disk-backed stores resolve the oids
+      through the object table and fetch the backing pages as one
+      batched group transfer ({!Hyper_storage.Buffer_pool.prefetch});
+      in-memory backends do nothing.  A pure hint: unknown oids and
+      cache-resident nodes are skipped, results of subsequent reads are
+      unchanged. *)
 
   val children : t -> Oid.t -> Oid.t array
   (** Ordered (op 05A). *)

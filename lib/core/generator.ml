@@ -122,16 +122,19 @@ module Make (B : Backend.S) = struct
             leaf_order)
     in
 
-    (* Phase 3: 1-N relationships, in order (the children sequence). *)
+    (* Phase 3: 1-N relationships, in order (the children sequence).
+       One batched call per parent: a backend that stores the edge array
+       inside the parent record rewrites it once instead of once per
+       child (the per-edge version made bulk loading quadratic in the
+       fanout). *)
     let phase_one_n =
       timed_phase b "create 1-N relationships" (fun items ->
           Layout.iter_oids layout (fun oid ->
-              if not (Layout.is_leaf layout oid) then
-                Array.iter
-                  (fun child ->
-                    B.add_child b ~parent:oid ~child;
-                    incr items)
-                  (Layout.children_of layout oid)))
+              if not (Layout.is_leaf layout oid) then begin
+                let children = Layout.children_of layout oid in
+                B.add_children b ~parent:oid children;
+                items := !items + Array.length children
+              end))
     in
 
     (* Phase 4: M-N parts — 5 random distinct nodes from the next level
@@ -147,11 +150,8 @@ module Make (B : Backend.S) = struct
             Array.iter
               (fun whole ->
                 let chosen = sample_distinct rng_parts pool fanout in
-                Array.iter
-                  (fun part ->
-                    B.add_part b ~whole ~part;
-                    incr items)
-                  chosen)
+                B.add_parts b ~whole chosen;
+                items := !items + Array.length chosen)
               (level_oids level)
           done)
     in

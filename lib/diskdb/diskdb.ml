@@ -23,6 +23,10 @@ type config = {
   uid_hash_index : bool;
       (* maintain a linear-hash access path on (doc, uniqueId) in
          addition to the B+tree; nameLookup then probes the hash *)
+  prefetch : bool;
+      (* traversal prefetch: closure operations batch-fetch the heap
+         pages of the nodes they are about to visit (one group transfer
+         on a remote channel instead of one round trip per page) *)
   vfs : Vfs.t option;
       (* storage VFS; None = real files.  Some (Vfs.Faulty.vfs env)
          runs the whole store over the fault-injecting VFS *)
@@ -31,7 +35,7 @@ type config = {
 let default_config ~path =
   { path; pool_pages = 2048; durable_sync = false;
     checkpoint_wal_bytes = 64 * 1024 * 1024; remote = None;
-    object_cache = 0; uid_hash_index = false; vfs = None }
+    object_cache = 0; uid_hash_index = false; prefetch = false; vfs = None }
 
 let remote_1988 = Hyper_net.Channel.profile_1988
 
@@ -39,9 +43,9 @@ type t = {
   engine : Engine.t;
   pool : Buffer_pool.t;
   channel : Hyper_net.Channel.t option;
+  prefetch_enabled : bool;
   object_cache_capacity : int;
-  object_cache : (int, Codec.node * int ref) Hashtbl.t; (* oid -> node, tick *)
-  mutable cache_clock : int;
+  object_cache : (int, Codec.node) Hyper_util.Lru.t; (* capacity >= 1 always *)
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable freelist : Freelist.t;
@@ -54,6 +58,10 @@ type t = {
   mutable idx_million : Btree.t;
   doc_counts : (int, int) Hashtbl.t;
   mutable result_seq : int;
+  (* rid of every stored result list, in store order — rebuilt lazily
+     ([result_len = -1]) by one cheap rid scan; appended to on store *)
+  mutable result_rids : Heap.rid array;
+  mutable result_len : int;
 }
 
 let name = "diskdb"
@@ -190,9 +198,11 @@ let open_db config =
       let heap = Heap.fresh pool freelist in
       let results_heap = Heap.fresh pool freelist in
       let t =
-        { engine; pool; channel;
+        { engine; pool; channel; prefetch_enabled = config.prefetch;
           object_cache_capacity = config.object_cache;
-          object_cache = Hashtbl.create 256; cache_clock = 0; cache_hits = 0;
+          object_cache =
+            Hyper_util.Lru.create ~capacity:(max 1 config.object_cache) ();
+          cache_hits = 0;
           cache_misses = 0; freelist; heap; results_heap;
           objtab = Object_table.fresh pool freelist;
           idx_uid = Btree.create pool freelist;
@@ -202,7 +212,8 @@ let open_db config =
              else None);
           idx_hundred = Btree.create pool freelist;
           idx_million = Btree.create pool freelist;
-          doc_counts = Hashtbl.create 4; result_seq = 0 }
+          doc_counts = Hashtbl.create 4; result_seq = 0;
+          result_rids = [||]; result_len = 0 }
       in
       save_roots t;
       (* Two-phase flush: none of this is WAL-covered, so the meta magic
@@ -222,14 +233,17 @@ let open_db config =
     else begin
       let a = attach_all pool in
       let t =
-        { engine; pool; channel;
+        { engine; pool; channel; prefetch_enabled = config.prefetch;
           object_cache_capacity = config.object_cache;
-          object_cache = Hashtbl.create 256; cache_clock = 0; cache_hits = 0;
+          object_cache =
+            Hyper_util.Lru.create ~capacity:(max 1 config.object_cache) ();
+          cache_hits = 0;
           cache_misses = 0; freelist = a.a_freelist; heap = a.a_heap;
           results_heap = a.a_results; objtab = a.a_objtab; idx_uid = a.a_uid;
           idx_uid_hash = a.a_uid_hash; idx_hundred = a.a_hundred;
           idx_million = a.a_million; doc_counts = Hashtbl.create 4;
-          result_seq = a.a_result_seq }
+          result_seq = a.a_result_seq;
+          result_rids = [||]; result_len = -1 }
       in
       List.iter (fun (doc, n) -> Hashtbl.replace t.doc_counts doc n) a.a_docs;
       t
@@ -238,13 +252,15 @@ let open_db config =
   Engine.set_hooks engine
     ~on_save:(fun () -> save_roots t)
     ~on_reload:(fun () ->
-      Hashtbl.reset t.object_cache;
+      Hyper_util.Lru.clear t.object_cache;
+      (* the aborted transaction may have stored results; rebuild lazily *)
+      t.result_len <- -1;
       load_roots t);
   t
 
 let clear_caches t =
   Engine.clear_caches t.engine;
-  Hashtbl.reset t.object_cache
+  Hyper_util.Lru.clear t.object_cache
 
 let checkpoint t = Engine.checkpoint t.engine
 
@@ -265,37 +281,22 @@ let rid_of t oid =
 (* Decoded-object cache (check-out caching, ECKL87).  Entries share the
    mutable Codec.node with callers; every mutation path goes through
    [update_node], which refreshes the entry, and abort/cold-reset clear
-   the whole cache, so it can never serve stale state. *)
-
-let cache_evict_one t =
-  let victim =
-    Hashtbl.fold
-      (fun oid (_, tick) best ->
-        match best with
-        | Some (_, bt) when bt <= !tick -> best
-        | _ -> Some (oid, !tick))
-      t.object_cache None
-  in
-  match victim with
-  | Some (oid, _) -> Hashtbl.remove t.object_cache oid
-  | None -> ()
+   the whole cache, so it can never serve stale state.  The cache is a
+   {!Hyper_util.Lru}: eviction used to be an O(n) tick fold, which made
+   every miss linear in the cache size. *)
 
 let cache_put t oid node =
-  if t.object_cache_capacity > 0 then begin
-    if
-      (not (Hashtbl.mem t.object_cache oid))
-      && Hashtbl.length t.object_cache >= t.object_cache_capacity
-    then cache_evict_one t;
-    t.cache_clock <- t.cache_clock + 1;
-    Hashtbl.replace t.object_cache oid (node, ref t.cache_clock)
-  end
+  if t.object_cache_capacity > 0 then
+    Hyper_util.Lru.put t.object_cache oid node
 
 let read_node t oid =
-  match Hashtbl.find_opt t.object_cache oid with
-  | Some (node, tick) ->
+  match
+    if t.object_cache_capacity > 0 then
+      Hyper_util.Lru.find t.object_cache oid
+    else None
+  with
+  | Some node ->
     t.cache_hits <- t.cache_hits + 1;
-    t.cache_clock <- t.cache_clock + 1;
-    tick := t.cache_clock;
     node
   | None ->
     if t.object_cache_capacity > 0 then t.cache_misses <- t.cache_misses + 1;
@@ -329,25 +330,44 @@ let create_node ?near t spec =
   Hashtbl.replace t.doc_counts doc
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.doc_counts doc))
 
-let add_child t ~parent ~child =
+(* Batch form: the parent's record is decoded, extended by the whole
+   array and re-encoded once, instead of once per edge — the per-edge
+   version made bulk-loading a fanout-k parent O(k²) in copying and k
+   heap rewrites of an ever-growing record. *)
+let add_children t ~parent children =
   require_txn t;
-  let p = read_node t parent in
-  let c = read_node t child in
-  if c.Codec.parent <> 0 then
-    invalid_arg (Printf.sprintf "Diskdb: node %d already has a parent" child);
-  p.Codec.children <- Array.append p.Codec.children [| child |];
-  update_node t parent p;
-  c.Codec.parent <- parent;
-  update_node t child c
+  if Array.length children > 0 then begin
+    let p = read_node t parent in
+    Array.iter
+      (fun child ->
+        let c = read_node t child in
+        if c.Codec.parent <> 0 then
+          invalid_arg
+            (Printf.sprintf "Diskdb: node %d already has a parent" child);
+        c.Codec.parent <- parent;
+        update_node t child c)
+      children;
+    p.Codec.children <- Array.append p.Codec.children children;
+    update_node t parent p
+  end
 
-let add_part t ~whole ~part =
+let add_child t ~parent ~child = add_children t ~parent [| child |]
+
+let add_parts t ~whole parts =
   require_txn t;
-  let w = read_node t whole in
-  w.Codec.parts <- Array.append w.Codec.parts [| part |];
-  update_node t whole w;
-  let p = read_node t part in
-  p.Codec.part_of <- Array.append p.Codec.part_of [| whole |];
-  update_node t part p
+  if Array.length parts > 0 then begin
+    let w = read_node t whole in
+    w.Codec.parts <- Array.append w.Codec.parts parts;
+    update_node t whole w;
+    Array.iter
+      (fun part ->
+        let p = read_node t part in
+        p.Codec.part_of <- Array.append p.Codec.part_of [| whole |];
+        update_node t part p)
+      parts
+  end
+
+let add_part t ~whole ~part = add_parts t ~whole [| part |]
 
 let add_ref t ~src ~dst ~offset_from ~offset_to =
   require_txn t;
@@ -447,7 +467,7 @@ let delete_node t oid =
       : bool);
   Heap.delete t.heap (rid_of t oid);
   Object_table.remove t.objtab ~oid;
-  Hashtbl.remove t.object_cache oid;
+  Hyper_util.Lru.remove t.object_cache oid;
   Hashtbl.replace t.doc_counts doc
     (Option.value ~default:1 (Hashtbl.find_opt t.doc_counts doc) - 1)
 
@@ -498,6 +518,48 @@ let range_hundred t ~doc ~lo ~hi = collect_range t.idx_hundred ~doc ~lo ~hi
 let range_million t ~doc ~lo ~hi = collect_range t.idx_million ~doc ~lo ~hi
 
 (* --- relationships --- *)
+
+(* Traversal prefetch: resolve the oids through the object table, then
+   batch-fetch the heap pages (and overflow chains) backing the not-yet
+   -checked-out nodes.  On a remote channel the batch rides one round
+   trip instead of one per page.  A pure hint — unknown oids and nodes
+   already in the object cache are skipped, and the decode that follows
+   goes through [read_node] unchanged. *)
+let prefetch_nodes t oids =
+  if t.prefetch_enabled then begin
+    let resolve oids =
+      List.filter_map
+        (fun oid ->
+          if
+            t.object_cache_capacity > 0
+            && Hyper_util.Lru.mem t.object_cache oid
+          then None
+          else Object_table.get t.objtab ~oid)
+        oids
+    in
+    let rids = resolve oids in
+    if rids <> [] then begin
+      Heap.prefetch_records t.heap rids;
+      (* One level of lookahead along the 1-N hierarchy: the records
+         just staged are resident now, so peeking at their children
+         costs no transfer, and batching the children's pages here turns
+         the per-fanout prefetch the traversal issues at the next level
+         into pool hits.  A group-fetch server ships the sub-hierarchy,
+         not just the requested page set — the page-at-a-time vs.
+         group-transfer contrast the paper draws between Vbase and
+         GemStone. *)
+      let lookahead =
+        List.concat_map
+          (fun oid ->
+            match Object_table.get t.objtab ~oid with
+            | None -> []
+            | Some _ -> Array.to_list (read_node t oid).Codec.children)
+          oids
+      in
+      let child_rids = resolve lookahead in
+      if child_rids <> [] then Heap.prefetch_records t.heap child_rids
+    end
+  end
 
 let children t oid = (read_node t oid).Codec.children
 
@@ -552,19 +614,43 @@ let iter_doc t ~doc f =
 let node_count t ~doc =
   Option.value ~default:0 (Hashtbl.find_opt t.doc_counts doc)
 
+(* The results heap is append-only, so its page-chain order is store
+   order.  [result_rids] indexes it: rebuilt by one rid-only scan (no
+   record decoding) when stale, appended to on every store — so
+   [stored_result] is a single record read, not a full-heap rescan and
+   an O(n) [List.nth] per call. *)
+
+let result_rids_push t rid =
+  if t.result_len >= 0 then begin
+    let cap = Array.length t.result_rids in
+    if t.result_len >= cap then begin
+      let grown = Array.make (max 8 (2 * cap)) 0 in
+      Array.blit t.result_rids 0 grown 0 t.result_len;
+      t.result_rids <- grown
+    end;
+    t.result_rids.(t.result_len) <- rid;
+    t.result_len <- t.result_len + 1
+  end
+
+let result_index t =
+  if t.result_len < 0 then begin
+    t.result_rids <- [||];
+    t.result_len <- 0;
+    Heap.iter_rids t.results_heap (fun rid -> result_rids_push t rid)
+  end
+
 let store_result_list t oids =
   require_txn t;
-  ignore (Heap.insert t.results_heap (Codec.encode_oid_list oids) : Heap.rid);
+  let rid = Heap.insert t.results_heap (Codec.encode_oid_list oids) in
+  result_rids_push t rid;
   t.result_seq <- t.result_seq + 1
 
 let stored_result_count t = t.result_seq
 
 let stored_result t i =
   if i < 0 || i >= t.result_seq then invalid_arg "Diskdb.stored_result";
-  let results = ref [] in
-  Heap.iter t.results_heap (fun _ data ->
-      results := Codec.decode_oid_list data :: !results);
-  List.nth (List.rev !results) i
+  result_index t;
+  Codec.decode_oid_list (Heap.read t.results_heap t.result_rids.(i))
 
 (* --- introspection --- *)
 
@@ -574,7 +660,9 @@ type io_counters = {
   pool_hits : int;
   pool_misses : int;
   pool_evictions : int;
+  pool_prefetches : int;
   round_trips : int;
+  batched_round_trips : int;
   server_hits : int;
   server_misses : int;
   wal_bytes : int;
@@ -585,26 +673,30 @@ type io_counters = {
 let io_counters t =
   let ps = Pager.stats (Engine.pager t.engine) in
   let bs = Buffer_pool.stats t.pool in
-  let rt, sh, sm =
+  let rt, brt, sh, sm =
     match t.channel with
-    | None -> (0, 0, 0)
+    | None -> (0, 0, 0, 0)
     | Some c ->
       let k = Hyper_net.Channel.counters c in
-      Hyper_net.Channel.(k.round_trips, k.server_hits, k.server_misses)
+      Hyper_net.Channel.
+        (k.round_trips, k.batched_round_trips, k.server_hits, k.server_misses)
   in
   { pager_reads = ps.Pager.reads; pager_writes = ps.Pager.writes;
     pool_hits = bs.Buffer_pool.hits; pool_misses = bs.Buffer_pool.misses;
-    pool_evictions = bs.Buffer_pool.evictions; round_trips = rt;
-    server_hits = sh; server_misses = sm;
+    pool_evictions = bs.Buffer_pool.evictions;
+    pool_prefetches = bs.Buffer_pool.prefetches; round_trips = rt;
+    batched_round_trips = brt; server_hits = sh; server_misses = sm;
     wal_bytes = Engine.wal_bytes t.engine; object_hits = t.cache_hits;
     object_misses = t.cache_misses }
 
 let io_description t =
   let c = io_counters t in
   Printf.sprintf
-    "pager r/w %d/%d; pool hit/miss/evict %d/%d/%d; net trips %d (server %d/%d)"
+    "pager r/w %d/%d; pool hit/miss/evict %d/%d/%d (+%d prefetched); net \
+     trips %d (%d batched, server %d/%d)"
     c.pager_reads c.pager_writes c.pool_hits c.pool_misses c.pool_evictions
-    c.round_trips c.server_hits c.server_misses
+    c.pool_prefetches c.round_trips c.batched_round_trips c.server_hits
+    c.server_misses
 
 let reset_io t =
   Pager.reset_stats (Engine.pager t.engine);

@@ -37,6 +37,15 @@ type config = {
       (** maintain a linear-hash access path on (doc, uniqueId) alongside
           the B+tree; [lookup_unique] (op 01) then probes the hash — the
           access-method ablation of bench §T5 *)
+  prefetch : bool;
+      (** traversal prefetch: closure operations (via
+          [prefetch_nodes]) batch-fetch the heap pages of the nodes
+          they are about to visit through
+          {!Hyper_storage.Buffer_pool.prefetch}.  On a remote channel a
+          batch costs one round trip (group transfer) instead of one
+          per page — the page-at-a-time vs. group-fetch axis of the
+          paper's Vbase/GemStone discussion.  Off by default so the
+          baseline measurements keep page-at-a-time behaviour. *)
   vfs : Hyper_storage.Vfs.t option;
       (** the VFS all storage I/O (data file, [.sum] checksum sidecar,
           WAL) flows through; [None] = real files.  Supplying
@@ -47,7 +56,8 @@ type config = {
 
 val default_config : path:string -> config
 (** 2048-page pool (8 MiB), no fsync (simulated durability cost instead),
-    64 MiB checkpoint threshold, local disk, object cache off. *)
+    64 MiB checkpoint threshold, local disk, object cache off, traversal
+    prefetch off. *)
 
 val remote_1988 : remote
 (** 10 Mbit/s LAN + late-80s server disk, 1024-page server cache. *)
@@ -77,7 +87,11 @@ type io_counters = {
   pool_hits : int;
   pool_misses : int;
   pool_evictions : int;
-  round_trips : int; (** 0 when local *)
+  pool_prefetches : int;
+      (** pages fetched by prefetch batches (not counted as misses) *)
+  round_trips : int; (** 0 when local; a batched fetch counts once *)
+  batched_round_trips : int;
+      (** the subset of [round_trips] that were group fetches *)
   server_hits : int;
   server_misses : int;
   wal_bytes : int;

@@ -169,6 +169,44 @@ let add_part t ~whole ~part =
       w.parts <- old_parts;
       p.part_of <- old_part_of)
 
+let add_children t ~parent children =
+  let p = node_of t parent in
+  let old_children = p.children in
+  let set =
+    Array.map
+      (fun child ->
+        let c = node_of t child in
+        if Oid.is_valid c.parent then
+          invalid_arg
+            (Printf.sprintf "Memdb: node %d already has a parent" child);
+        c.parent <- parent;
+        c)
+      children
+  in
+  p.children <- p.children @ Array.to_list children;
+  log_undo t (fun () ->
+      p.children <- old_children;
+      Array.iter (fun c -> c.parent <- Oid.none) set)
+
+let add_parts t ~whole parts =
+  let w = node_of t whole in
+  let old_parts = w.parts in
+  let saved =
+    Array.map
+      (fun part ->
+        let pn = node_of t part in
+        let old = pn.part_of in
+        pn.part_of <- pn.part_of @ [ whole ];
+        (pn, old))
+      parts
+  in
+  w.parts <- w.parts @ Array.to_list parts;
+  log_undo t (fun () ->
+      w.parts <- old_parts;
+      Array.iter (fun (pn, old) -> pn.part_of <- old) saved)
+
+let prefetch_nodes _t _oids = ()
+
 let add_ref t ~src ~dst ~offset_from ~offset_to =
   let s = node_of t src and d = node_of t dst in
   let out = { Schema.target = dst; offset_from; offset_to } in

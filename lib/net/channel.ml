@@ -8,71 +8,30 @@ type profile = {
 
 type counters = {
   mutable round_trips : int;
+  mutable batched_round_trips : int;
   mutable bytes_sent : int;
   mutable server_hits : int;
   mutable server_misses : int;
-}
-
-(* Intrusive doubly-linked recency list: O(1) touch and eviction.  The
-   old tick-scan made every server-cache miss O(cache size), which
-   dominated cold runs with large server caches. *)
-type lnode = {
-  l_page : int;
-  mutable l_prev : lnode option;
-  mutable l_next : lnode option;
 }
 
 type t = {
   pager : Pager.t;
   network : Latency_model.t;
   server_disk : Latency_model.t;
-  cache_capacity : int;
-  cache : (int, lnode) Hashtbl.t;
-  mutable lru_head : lnode option; (* most recently used *)
-  mutable lru_tail : lnode option; (* least recently used *)
+  (* Server page cache: an O(1) LRU index — the old tick-scan made every
+     miss O(cache size), which dominated cold runs with large caches. *)
+  cache : (int, unit) Hyper_util.Lru.t;
   mutable all_resident : bool;
   counters : counters;
 }
 
-let lru_unlink t n =
-  (match n.l_prev with
-  | Some p -> p.l_next <- n.l_next
-  | None -> t.lru_head <- n.l_next);
-  (match n.l_next with
-  | Some s -> s.l_prev <- n.l_prev
-  | None -> t.lru_tail <- n.l_prev);
-  n.l_prev <- None;
-  n.l_next <- None
-
-let lru_push_front t n =
-  n.l_next <- t.lru_head;
-  (match t.lru_head with
-  | Some h -> h.l_prev <- Some n
-  | None -> t.lru_tail <- Some n);
-  t.lru_head <- Some n
-
-let cache_touch t page =
-  match Hashtbl.find_opt t.cache page with
-  | Some n ->
-    lru_unlink t n;
-    lru_push_front t n
-  | None ->
-    if Hashtbl.length t.cache >= t.cache_capacity then begin
-      match t.lru_tail with
-      | Some victim ->
-        lru_unlink t victim;
-        Hashtbl.remove t.cache victim.l_page
-      | None -> ()
-    end;
-    let n = { l_page = page; l_prev = None; l_next = None } in
-    lru_push_front t n;
-    Hashtbl.add t.cache page n
-
 let server_lookup t page =
-  let hit = t.all_resident || Hashtbl.mem t.cache page in
-  cache_touch t page;
+  let hit = t.all_resident || Hyper_util.Lru.mem t.cache page in
+  Hyper_util.Lru.put t.cache page ();
   hit
 
+(* One page fetched on its own: a full request/response round trip, plus
+   a server disk read when the server cache misses. *)
 let on_read t page =
   t.counters.round_trips <- t.counters.round_trips + 1;
   t.counters.bytes_sent <- t.counters.bytes_sent + Page.size;
@@ -84,23 +43,49 @@ let on_read t page =
     Latency_model.charge t.server_disk ~bytes:Page.size
   end
 
+(* A group fetch: the whole batch rides one request/response exchange —
+   one per-request network overhead, amortized across the pages — while
+   the server still pays one disk read per page it does not have
+   cached.  This is the page-at-a-time vs. group-transfer distinction
+   of the 1988 client/server OODB designs. *)
+let on_read_many t pages =
+  let n = List.length pages in
+  t.counters.round_trips <- t.counters.round_trips + 1;
+  t.counters.batched_round_trips <- t.counters.batched_round_trips + 1;
+  t.counters.bytes_sent <- t.counters.bytes_sent + (n * Page.size);
+  Latency_model.charge t.network ~bytes:(n * Page.size);
+  List.iter
+    (fun page ->
+      if server_lookup t page then
+        t.counters.server_hits <- t.counters.server_hits + 1
+      else begin
+        t.counters.server_misses <- t.counters.server_misses + 1;
+        Latency_model.charge t.server_disk ~bytes:Page.size
+      end)
+    pages
+
 let on_write t page =
   t.counters.round_trips <- t.counters.round_trips + 1;
   t.counters.bytes_sent <- t.counters.bytes_sent + Page.size;
   Latency_model.charge t.network ~bytes:Page.size;
   (* The written page is now resident in the server cache. *)
-  cache_touch t page
+  Hyper_util.Lru.put t.cache page ()
 
 let attach ~network ?(server_disk = Latency_model.disk_1988)
     ?(server_cache_pages = 1024) pager =
   let t =
-    { pager; network; server_disk; cache_capacity = server_cache_pages;
-      cache = Hashtbl.create (2 * server_cache_pages); lru_head = None;
-      lru_tail = None; all_resident = false;
+    { pager; network; server_disk;
+      cache =
+        Hyper_util.Lru.create
+          ~initial_size:(2 * max 1 server_cache_pages)
+          ~capacity:(max 1 server_cache_pages) ();
+      all_resident = false;
       counters =
-        { round_trips = 0; bytes_sent = 0; server_hits = 0; server_misses = 0 } }
+        { round_trips = 0; batched_round_trips = 0; bytes_sent = 0;
+          server_hits = 0; server_misses = 0 } }
   in
-  Pager.set_hooks pager ~on_read:(on_read t) ~on_write:(on_write t);
+  Pager.set_hooks pager ~on_read:(on_read t) ~on_write:(on_write t)
+    ~on_read_many:(on_read_many t);
   t
 
 let profile_1988 =
@@ -117,6 +102,7 @@ let counters t = t.counters
 
 let reset_counters t =
   t.counters.round_trips <- 0;
+  t.counters.batched_round_trips <- 0;
   t.counters.bytes_sent <- 0;
   t.counters.server_hits <- 0;
   t.counters.server_misses <- 0

@@ -12,7 +12,15 @@
     This is the mechanism behind the cold/warm distinction in a
     workstation/server architecture (paper §6): a cold run fetches nodes
     from the server; the warm run hits the workstation's buffer pool and
-    never touches the channel. *)
+    never touches the channel.
+
+    Group fetch: a batched read ({!Hyper_storage.Pager.read_many}, driven
+    by {!Hyper_storage.Buffer_pool.prefetch}) costs {e one} round trip —
+    one per-request network overhead plus the per-byte cost of all pages
+    shipped — while the server still pays one disk read per page its
+    cache misses.  This models the page-at-a-time vs. group-transfer
+    distinction of the 1988 client/server OODB designs (Vbase shipping
+    single pages vs. GemStone-style bulk check-out). *)
 
 type t
 
@@ -30,6 +38,9 @@ val profile_1988 : profile
 
 type counters = {
   mutable round_trips : int;
+      (** request/response exchanges — a batched fetch counts once *)
+  mutable batched_round_trips : int;
+      (** the subset of [round_trips] that were group fetches *)
   mutable bytes_sent : int;
   mutable server_hits : int;
   mutable server_misses : int;

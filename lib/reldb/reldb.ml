@@ -290,11 +290,36 @@ let add_child t ~parent ~child =
   Btree.insert t.s.child_by_parent ~key:(child_key ~parent ~pos) ~value:rid;
   Btree.insert t.s.child_by_child ~key:child ~value:rid
 
+(* Batch form: one next-position probe for the whole batch instead of
+   one B+tree range fold per edge. *)
+let add_children t ~parent children =
+  require_txn t;
+  let pos = ref (next_child_pos t parent) in
+  Array.iter
+    (fun child ->
+      if Btree.find_first t.s.child_by_child ~key:child <> None then
+        invalid_arg (Printf.sprintf "Reldb: node %d already has a parent" child);
+      let row = { Rows.parent; pos = !pos; child } in
+      let rid = Heap.insert t.s.child_heap (Rows.encode_child row) in
+      Btree.insert t.s.child_by_parent ~key:(child_key ~parent ~pos:!pos)
+        ~value:rid;
+      Btree.insert t.s.child_by_child ~key:child ~value:rid;
+      incr pos)
+    children
+
 let add_part t ~whole ~part =
   require_txn t;
   let rid = Heap.insert t.s.part_heap (Rows.encode_part { Rows.whole; part }) in
   Btree.insert t.s.part_by_whole ~key:whole ~value:rid;
   Btree.insert t.s.part_by_part ~key:part ~value:rid
+
+let add_parts t ~whole parts =
+  Array.iter (fun part -> add_part t ~whole ~part) parts
+
+(* Row storage has no per-object pages to group-fetch: edges live in
+   their own heaps and are reached through the B+trees, so the hint has
+   nothing cheaper than the demand path to do. *)
+let prefetch_nodes _t _oids = ()
 
 let add_ref t ~src ~dst ~offset_from ~offset_to =
   require_txn t;

@@ -1,4 +1,9 @@
-type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable prefetches : int; (* pages brought in by [prefetch] batches *)
+}
 
 type frame = {
   page_id : int;
@@ -18,6 +23,7 @@ type t = {
   (* pages already reported to [on_first_dirty] since the last
      [take_dirty_set] *)
   first_dirty_seen : (int, unit) Hashtbl.t;
+  mutable pinned : int; (* frames with pins > 0; bounds prefetch batches *)
   stats : stats;
 }
 
@@ -27,8 +33,8 @@ let create pager ~capacity =
   if capacity < 4 then invalid_arg "Buffer_pool.create: capacity < 4";
   { pager; cap = capacity; frames = Hashtbl.create (2 * capacity); clock = 0;
     on_first_dirty = no_hook; on_evict_dirty = no_hook;
-    first_dirty_seen = Hashtbl.create 64;
-    stats = { hits = 0; misses = 0; evictions = 0 } }
+    first_dirty_seen = Hashtbl.create 64; pinned = 0;
+    stats = { hits = 0; misses = 0; evictions = 0; prefetches = 0 } }
 
 let capacity t = t.cap
 let pager t = t.pager
@@ -86,10 +92,18 @@ let load t page_id =
     Hashtbl.add t.frames page_id f;
     f
 
+let pin t f =
+  if f.pins = 0 then t.pinned <- t.pinned + 1;
+  f.pins <- f.pins + 1
+
+let unpin t f =
+  f.pins <- f.pins - 1;
+  if f.pins = 0 then t.pinned <- t.pinned - 1
+
 let with_pinned t page_id k =
   let f = load t page_id in
-  f.pins <- f.pins + 1;
-  Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> k f)
+  pin t f;
+  Fun.protect ~finally:(fun () -> unpin t f) (fun () -> k f)
 
 let with_page t page_id k = with_pinned t page_id (fun f -> k f.data)
 
@@ -106,6 +120,69 @@ let with_page_w t page_id k =
   with_pinned t page_id (fun f ->
       mark_dirty t f;
       k f.data)
+
+(* Batch prefetch: bring the missing pages of [page_ids] into the pool
+   with one [Pager.read_many].  This is a hint, not a contract —
+   already-resident ids are skipped, duplicates collapse, and the batch
+   is capped at the number of unpinned slots so making room can never
+   require evicting a pinned frame (ids past the cap are dropped; the
+   later demand read pays for them one page at a time).  Fetched pages
+   count as [prefetches], not [misses]. *)
+let prefetch t page_ids =
+  let seen = Hashtbl.create 16 in
+  let missing =
+    List.filter
+      (fun id ->
+        let fresh =
+          (not (Hashtbl.mem t.frames id)) && not (Hashtbl.mem seen id)
+        in
+        if fresh then Hashtbl.add seen id ();
+        fresh)
+      page_ids
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  let batch = take (t.cap - t.pinned) missing in
+  if batch <> [] then begin
+    let want = List.length batch in
+    (* Terminates before evict_one can run out of unpinned victims:
+       after (frames - pinned) evictions frames = pinned, and
+       pinned + want <= cap by the cap above. *)
+    while Hashtbl.length t.frames + want > t.cap do
+      evict_one t
+    done;
+    let pages = Pager.read_many t.pager batch in
+    List.iter2
+      (fun page_id data ->
+        let f = { page_id; data; dirty = false; pins = 0; tick = 0 } in
+        touch t f;
+        Hashtbl.add t.frames page_id f;
+        t.stats.prefetches <- t.stats.prefetches + 1)
+      batch pages
+  end
+
+(* Pin a whole group for the duration of [k].  The prefetch fills every
+   missing frame with one pager batch; the per-page [load]s below then
+   hit the pool.  More distinct ids than the pool capacity cannot all be
+   pinned and eventually fails in [evict_one]. *)
+let with_pages t page_ids k =
+  prefetch t page_ids;
+  let pinned = ref [] in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun f -> unpin t f) !pinned)
+    (fun () ->
+      let frames =
+        List.map
+          (fun id ->
+            let f = load t id in
+            pin t f;
+            pinned := f :: !pinned;
+            f)
+          page_ids
+      in
+      k (List.map (fun f -> f.data) frames))
 
 let allocate t =
   let page_id = Pager.allocate t.pager in
@@ -163,4 +240,5 @@ let stats t = t.stats
 let reset_stats t =
   t.stats.hits <- 0;
   t.stats.misses <- 0;
-  t.stats.evictions <- 0
+  t.stats.evictions <- 0;
+  t.stats.prefetches <- 0

@@ -29,6 +29,24 @@ val with_page : t -> int -> (bytes -> 'a) -> 'a
 val with_page_w : t -> int -> (bytes -> 'a) -> 'a
 (** Write access; marks the frame dirty. *)
 
+val prefetch : t -> int list -> unit
+(** [prefetch t page_ids] brings the not-yet-resident pages of
+    [page_ids] into the pool with a single {!Pager.read_many} (one
+    round trip on a remote channel, instead of one per page).  A pure
+    hint: resident ids and duplicates are skipped, the batch is capped
+    at the number of unpinned slots — a prefetch {e never} evicts a
+    pinned frame — and ids beyond the cap are dropped, to be demand
+    -read later.  Pages fetched this way count in the [prefetches]
+    statistic rather than as misses; the demand access that follows is
+    then a hit. *)
+
+val with_pages : t -> int list -> (bytes list -> 'a) -> 'a
+(** [with_pages t page_ids k] pins all of [page_ids] (missing frames
+    are fetched as one {!prefetch} batch) and runs [k] on their buffers,
+    in the order given.  The callback must not retain the buffers.
+    Fails like {!prefetch}/[with_page] would if more distinct pages than
+    the pool capacity are requested. *)
+
 val allocate : t -> int
 (** Allocate a fresh page through the pager and cache it (dirty). *)
 
@@ -59,7 +77,14 @@ val take_dirty_set : t -> (int * bytes) list
     the first-dirty tracking so subsequent writes fire [on_first_dirty]
     again. Frames remain cached and dirty until flushed. *)
 
-type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable prefetches : int;
+      (** pages brought in by {!prefetch} batches (not counted as
+          misses; the subsequent demand access is a hit) *)
+}
 
 val stats : t -> stats
 val reset_stats : t -> unit

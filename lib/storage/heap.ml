@@ -190,6 +190,45 @@ let update t rid data =
     insert ~near:rid t data
   end
 
+(* --- batch prefetch --- *)
+
+(* Overflow chains are followed breadth-first across the whole record
+   batch: one [Buffer_pool.prefetch] per wave (all first overflow pages,
+   then all second pages, ...), so a batch of K records whose longest
+   chain has depth D costs D batched fetches instead of sum(chain
+   lengths) single-page fetches. *)
+let prefetch_overflow_waves t firsts =
+  let rec wave pages =
+    if pages <> [] then begin
+      Buffer_pool.prefetch t.pool pages;
+      let next =
+        List.filter_map
+          (fun id ->
+            match
+              Buffer_pool.with_page t.pool id (fun page -> Page.get_u32 page 4)
+            with
+            | 0 -> None
+            | n -> Some n)
+          pages
+      in
+      wave next
+    end
+  in
+  wave firsts
+
+let prefetch_records t rids =
+  Buffer_pool.prefetch t.pool (List.map rid_page rids);
+  let firsts =
+    List.filter_map
+      (fun rid ->
+        let payload = read_payload t rid in
+        if Bytes.length payload > 0 && Bytes.get payload 0 = tag_overflow then
+          match Page.get_u32 payload 5 with 0 -> None | first -> Some first
+        else None)
+      rids
+  in
+  prefetch_overflow_waves t firsts
+
 let iter t f =
   let rec walk page_id =
     if page_id <> 0 && page_id <> -1 then begin
@@ -204,6 +243,19 @@ let iter t f =
         (fun (slot, payload) ->
           f (rid_make ~page:page_id ~slot) (decode t payload))
         records;
+      walk next
+    end
+  in
+  walk t.head
+
+let iter_rids t f =
+  let rec walk page_id =
+    if page_id <> 0 && page_id <> -1 then begin
+      let next =
+        Buffer_pool.with_page t.pool page_id (fun page ->
+            Slotted.iter page (fun slot _ -> f (rid_make ~page:page_id ~slot));
+            Slotted.next_page page)
+      in
       walk next
     end
   in

@@ -39,9 +39,24 @@ val update : t -> rid -> bytes -> rid
 
 val delete : t -> rid -> unit
 
+val prefetch_records : t -> rid list -> unit
+(** Bring the pages backing [rids] into the buffer pool in batched
+    fetches: one {!Buffer_pool.prefetch} for the slotted pages, then —
+    for records that spilled into overflow chains — one batch per chain
+    {e wave} (all first overflow pages across the batch, then all second
+    pages, ...).  On a remote channel a batch of K scattered records
+    thus costs a handful of round trips instead of one per page.  The
+    rids must be live, like for {!read}; duplicate and co-located rids
+    collapse into the resident set naturally. *)
+
 val iter : t -> (rid -> bytes -> unit) -> unit
 (** Visit every record in page-chain order (physical order — relevant to
     sequential-scan behaviour). *)
+
+val iter_rids : t -> (rid -> unit) -> unit
+(** Like {!iter} but yields only the rids, without decoding records or
+    touching overflow chains — an O(chain pages) scan used to rebuild
+    rid indexes cheaply. *)
 
 val record_count : t -> int
 val page_count : t -> int

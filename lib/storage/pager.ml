@@ -11,6 +11,8 @@ type t = {
   mutable count : int;
   mutable on_read : int -> unit;
   mutable on_write : int -> unit;
+  mutable on_read_many : (int list -> unit) option;
+      (* batched-read hook; [None] falls back to [on_read] per page *)
   stats : stats;
   mutable closed : bool;
 }
@@ -39,11 +41,13 @@ let create ?(vfs = Vfs.real) path =
   if sums.Vfs.size () > count * sum_width then
     sums.Vfs.truncate (count * sum_width);
   { backing = File { data; sums }; count; on_read = no_hook;
-    on_write = no_hook; stats = fresh_stats (); closed = false }
+    on_write = no_hook; on_read_many = None; stats = fresh_stats ();
+    closed = false }
 
 let in_memory () =
   { backing = Memory { pages = [||] }; count = 0; on_read = no_hook;
-    on_write = no_hook; stats = fresh_stats (); closed = false }
+    on_write = no_hook; on_read_many = None; stats = fresh_stats ();
+    closed = false }
 
 let check_open t = if t.closed then invalid_arg "Pager: store is closed"
 
@@ -58,10 +62,7 @@ let write_sum sums id buf =
   Page.set_u32 sb 0 (page_crc buf);
   sums.Vfs.pwrite ~buf:sb ~off:(id * sum_width)
 
-let verify_sum ~data ~sums id buf =
-  let sb = Bytes.create sum_width in
-  sums.Vfs.pread ~buf:sb ~off:(id * sum_width);
-  let expected = Page.get_u32 sb 0 in
+let verify_sum_value ~data id buf ~expected =
   if expected <> 0 then begin
     let actual = page_crc buf in
     if actual <> expected then
@@ -70,6 +71,11 @@ let verify_sum ~data ~sums id buf =
            (Storage_error.Corrupt_page
               { path = data.Vfs.path; page = id; expected; actual }))
   end
+
+let verify_sum ~data ~sums id buf =
+  let sb = Bytes.create sum_width in
+  sums.Vfs.pread ~buf:sb ~off:(id * sum_width);
+  verify_sum_value ~data id buf ~expected:(Page.get_u32 sb 0)
 
 let allocate t =
   check_open t;
@@ -103,6 +109,41 @@ let read t id =
     verify_sum ~data ~sums id buf;
     buf
   | Memory m -> Bytes.copy m.pages.(id)
+
+(* Vectored read: one [pread_multi] for the page contents and one for
+   their checksum slots, then per-page verification.  Statistics count
+   every page; the batched hook (when installed) fires once for the
+   whole group — that is what lets a remote channel charge a single
+   round trip for a group fetch. *)
+let read_many t ids =
+  check_open t;
+  List.iter (fun id -> check_id t id) ids;
+  if ids = [] then []
+  else begin
+    t.stats.reads <- t.stats.reads + List.length ids;
+    (match t.on_read_many with
+    | Some f -> f ids
+    | None -> List.iter t.on_read ids);
+    match t.backing with
+    | File { data; sums } ->
+      let bufs = List.map (fun _ -> Bytes.create Page.size) ids in
+      data.Vfs.pread_multi
+        (List.map2 (fun id buf -> (buf, id * Page.size)) ids bufs);
+      let sum_bufs = List.map (fun _ -> Bytes.create sum_width) ids in
+      sums.Vfs.pread_multi
+        (List.map2 (fun id sb -> (sb, id * sum_width)) ids sum_bufs);
+      let rec verify ids bufs sbs =
+        match (ids, bufs, sbs) with
+        | [], [], [] -> ()
+        | id :: ids, buf :: bufs, sb :: sbs ->
+          verify_sum_value ~data id buf ~expected:(Page.get_u32 sb 0);
+          verify ids bufs sbs
+        | _ -> assert false
+      in
+      verify ids bufs sum_bufs;
+      bufs
+    | Memory m -> List.map (fun id -> Bytes.copy m.pages.(id)) ids
+  end
 
 let read_unverified t id =
   check_open t;
@@ -145,13 +186,15 @@ let close t =
     | Memory _ -> ()
   end
 
-let set_hooks t ~on_read ~on_write =
+let set_hooks ?on_read_many t ~on_read ~on_write =
   t.on_read <- on_read;
-  t.on_write <- on_write
+  t.on_write <- on_write;
+  t.on_read_many <- on_read_many
 
 let clear_hooks t =
   t.on_read <- no_hook;
-  t.on_write <- no_hook
+  t.on_write <- no_hook;
+  t.on_read_many <- None
 
 let stats t = t.stats
 

@@ -43,6 +43,17 @@ val read : t -> int -> bytes
 (** A fresh copy of the page contents.
     @raise Invalid_argument for an id that was never allocated. *)
 
+val read_many : t -> int list -> bytes list
+(** [read_many t ids] reads the pages as one vectored
+    {!Vfs.file.pread_multi} (data and checksum sidecar each get a single
+    call) and verifies every page's CRC.  Statistics count one read per
+    page, but the batched hook — when installed via [set_hooks
+    ~on_read_many] — fires {e once} with the whole id list, so a remote
+    channel can charge one round trip for the group.  Without a batched
+    hook, [on_read] fires per page as usual.  Duplicate ids are read
+    twice; order of the result matches [ids].
+    @raise Invalid_argument if any id was never allocated. *)
+
 val read_unverified : t -> int -> bytes
 (** Like {!read} but skips checksum verification, fires no hooks and
     counts no statistics.  For probing pages whose integrity is unknown
@@ -58,8 +69,13 @@ val sync : t -> unit
 val close : t -> unit
 
 val set_hooks :
+  ?on_read_many:(int list -> unit) ->
   t -> on_read:(int -> unit) -> on_write:(int -> unit) -> unit
-(** Install I/O hooks.  Each receives the page id. *)
+(** Install I/O hooks.  [on_read]/[on_write] receive the page id, once
+    per physical page transfer.  [on_read_many], when supplied, replaces
+    the per-page [on_read] for {!read_many} batches: it receives the
+    whole id list once (the "group fetch" of the remote channel).  When
+    absent, batches fall back to per-page [on_read]. *)
 
 val clear_hooks : t -> unit
 val stats : t -> stats

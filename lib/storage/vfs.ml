@@ -3,6 +3,7 @@ exception Crash
 type file = {
   path : string;
   pread : buf:bytes -> off:int -> unit;
+  pread_multi : (bytes * int) list -> unit;
   pwrite : buf:bytes -> off:int -> unit;
   size : unit -> int;
   truncate : int -> unit;
@@ -42,21 +43,24 @@ let real_open path =
         Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)
   in
   let closed = ref false in
+  let do_pread ~buf ~off =
+    wrap_unix "pread" path (fun () ->
+        let len = Bytes.length buf in
+        let rec loop pos =
+          if pos < len then begin
+            let n = ExtUnix.pread fd buf (off + pos) pos (len - pos) in
+            if n = 0 then
+              (* Hole past EOF within an allocated region: zeroes. *)
+              Bytes.fill buf pos (len - pos) '\000'
+            else loop (pos + n)
+          end
+        in
+        loop 0)
+  in
   { path;
-    pread =
-      (fun ~buf ~off ->
-        wrap_unix "pread" path (fun () ->
-            let len = Bytes.length buf in
-            let rec loop pos =
-              if pos < len then begin
-                let n = ExtUnix.pread fd buf (off + pos) pos (len - pos) in
-                if n = 0 then
-                  (* Hole past EOF within an allocated region: zeroes. *)
-                  Bytes.fill buf pos (len - pos) '\000'
-                else loop (pos + n)
-              end
-            in
-            loop 0));
+    pread = do_pread;
+    pread_multi =
+      (List.iter (fun (buf, off) -> do_pread ~buf ~off));
     pwrite =
       (fun ~buf ~off ->
         wrap_unix "pwrite" path (fun () ->
@@ -98,6 +102,10 @@ let retrying ?(attempts = 4) ?(backoff_s = 0.0005) vfs =
   let wrap_file f =
     { f with
       pread = (fun ~buf ~off -> retry (fun () -> f.pread ~buf ~off));
+      (* Retry each sub-read on its own so a transient fault in the
+         middle of a batch does not force re-reading the whole batch. *)
+      pread_multi =
+        (List.iter (fun (buf, off) -> retry (fun () -> f.pread ~buf ~off)));
       pwrite = (fun ~buf ~off -> retry (fun () -> f.pwrite ~buf ~off));
       sync = (fun () -> retry f.sync) }
   in
@@ -259,15 +267,21 @@ module Faulty = struct
 
   let faulty_open env path =
     let vf = find_file env path in
+    let do_pread ~opname ~buf ~off =
+      check_crashed env;
+      check_fault env ~opname ~op:`Read ~path;
+      let len = Bytes.length buf in
+      let avail = max 0 (min len (vf.cur_len - off)) in
+      if avail > 0 then Bytes.blit vf.cur off buf 0 avail;
+      if avail < len then Bytes.fill buf avail (len - avail) '\000'
+    in
     { path;
-      pread =
-        (fun ~buf ~off ->
-          check_crashed env;
-          check_fault env ~opname:"pread" ~op:`Read ~path;
-          let len = Bytes.length buf in
-          let avail = max 0 (min len (vf.cur_len - off)) in
-          if avail > 0 then Bytes.blit vf.cur off buf 0 avail;
-          if avail < len then Bytes.fill buf avail (len - avail) '\000');
+      pread = (fun ~buf ~off -> do_pread ~opname:"pread" ~buf ~off);
+      pread_multi =
+        (* Faults are checked per sub-read, so a rule's [skip] window can
+           target "the Nth page of a batch" and the crash-fuzz model sees
+           batched reads exactly like a sequence of single reads. *)
+        (List.iter (fun (buf, off) -> do_pread ~opname:"pread_multi" ~buf ~off));
       pwrite =
         (fun ~buf ~off ->
           check_crashed env;

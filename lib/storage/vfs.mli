@@ -28,6 +28,15 @@ type file = {
   path : string;
   pread : buf:bytes -> off:int -> unit;
       (** Fill [buf] from [off]; regions past EOF read as zeroes. *)
+  pread_multi : (bytes * int) list -> unit;
+      (** Vectored read: fill each [(buf, off)] pair, in order, with the
+          same semantics as issuing the [pread]s one by one (zero fill
+          past EOF included).  One call is the unit the upper layers
+          batch on — {!Pager.read_many} issues a single [pread_multi]
+          per page group.  The fault-injecting VFS consults its rules
+          once {e per sub-read}, so injected errors and torn tails hit
+          individual pages of a batch exactly as they would hit single
+          reads. *)
   pwrite : buf:bytes -> off:int -> unit;  (** Write all of [buf] at [off]. *)
   size : unit -> int;
   truncate : int -> unit;

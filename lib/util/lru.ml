@@ -1,0 +1,81 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+}
+
+let create ?(initial_size = 64) ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  { cap = capacity; table = Hashtbl.create initial_size; head = None;
+    tail = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with
+  | Some h -> h.prev <- Some n
+  | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let mem t k = Hashtbl.mem t.table k
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+    unlink t victim;
+    Hashtbl.remove t.table victim.key
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    n.value <- v;
+    unlink t n;
+    push_front t n
+  | None ->
+    if Hashtbl.length t.table >= t.cap then evict_lru t;
+    let n = { key = k; value = v; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.add t.table k n
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let iter f t = Hashtbl.iter (fun k n -> f k n.value) t.table

@@ -1,0 +1,36 @@
+(** Bounded LRU map with O(1) touch, insert and eviction.
+
+    A hash table over an intrusive doubly-linked recency list — the
+    classic page-cache index.  Both the simulated server page cache
+    ({!Hyper_net.Channel}) and the decoded-object cache of the disk
+    backend use it; before it was factored out each kept its own copy
+    (and the object cache evicted with an O(n) fold that dominated
+    cache-bounded runs).
+
+    Not thread-safe, like the rest of the storage layer. *)
+
+type ('k, 'v) t
+
+val create : ?initial_size:int -> capacity:int -> unit -> ('k, 'v) t
+(** [capacity] must be positive: inserting beyond it evicts the
+    least-recently-used binding.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : _ t -> int
+val length : _ t -> int
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test that does {e not} count as a use. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit moves the binding to most-recently-used. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, making the binding most-recently-used.  Evicts
+    the least-recently-used binding when over capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iteration in unspecified order; does not touch recency. *)
