@@ -1,0 +1,165 @@
+(* hyperfuzz — differential oracle fuzzer driver.
+
+   Generates seed-driven op traces (Hyper_check.Gen), replays them on
+   memdb (oracle) and the disk-backed subjects, shrinks any divergence to
+   a minimal repro and saves it as a replayable trace file.  A second
+   mode interleaves faulty-VFS crash points with the trace and checks
+   recovery against the oracle's acked-commit prefix.  Exit status 1 on
+   any divergence — CI fails the job and uploads the repro artifact. *)
+
+open Cmdliner
+module Check = Hyper_check.Differential
+module Trace = Hyper_core.Trace
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let parse_subjects s =
+  let names = String.split_on_char ',' s in
+  let kinds =
+    List.map
+      (fun n ->
+        match Check.kind_of_name (String.trim n) with
+        | Some k -> k
+        | None -> failwith (Printf.sprintf "unknown subject %S" n))
+      names
+  in
+  if kinds = [] then failwith "empty subject list";
+  kinds
+
+let repro_path ~dir ~seed = Filename.concat dir (Printf.sprintf "fuzz-repro-%Ld.trace" seed)
+
+let report_finding ~dir (f : Check.finding) =
+  let { Check.seed; gen_seed; level; _ } = f.f_case in
+  let path = repro_path ~dir ~seed in
+  Check.save_repro ~path ~gen_seed ~level f.f_minimal;
+  say "DIVERGENCE on %s (seed %Ld, %d-op minimal repro):" f.f_backend seed
+    (List.length f.f_minimal);
+  Format.printf "%a@." Check.pp_divergence f.f_divergence;
+  say "replay: hyperfuzz replay %s" path
+
+(* Stratify n crash points over the write-count space of the trace:
+   evenly spaced, never 0. *)
+let crash_points ~writes n =
+  if writes <= 0 || n <= 0 then []
+  else
+    List.init n (fun i ->
+        let k = 1 + (i * writes / n) in
+        min k writes)
+    |> List.sort_uniq compare
+
+let check_crashes ~gen_seed ~level ~npoints ~seed ops =
+  if npoints = 0 then true
+  else begin
+    let writes = Check.crash_writes ~gen_seed ~level ops in
+    List.for_all
+      (fun k ->
+        match Check.crash_check ~gen_seed ~level ~crash_after:k ops with
+        | Check.Crash_clean _ -> true
+        | Check.Crash_diverged { crash_step; acked; in_flight; divergence } ->
+            say
+              "CRASH DIVERGENCE (seed %Ld, crash after %d writes, step %d, \
+               %d acked commits%s):"
+              seed k crash_step acked
+              (if in_flight then ", commit in flight" else "");
+            Format.printf "%a@." Check.pp_divergence divergence;
+            false)
+      (crash_points ~writes npoints)
+  end
+
+let run_fuzz seed traces steps level budget_s subjects npoints dir =
+  let subjects = parse_subjects subjects in
+  let gen_seed = 42L in
+  let deadline =
+    if budget_s > 0.0 then Some (Unix.gettimeofday () +. budget_s) else None
+  in
+  let expired () =
+    match deadline with
+    | Some t -> Unix.gettimeofday () > t
+    | None -> false
+  in
+  let failures = ref 0 in
+  let ran = ref 0 in
+  (try
+     for i = 0 to traces - 1 do
+       if expired () then raise Exit;
+       let seed = Int64.add seed (Int64.of_int i) in
+       let case = { Check.seed; gen_seed; level; steps; subjects } in
+       incr ran;
+       (match Check.run_case case with
+       | Some f ->
+           report_finding ~dir f;
+           incr failures
+       | None -> ());
+       if (not (expired ())) && not (check_crashes ~gen_seed ~level ~npoints ~seed
+              (Hyper_check.Gen.trace ~seed ~gen_seed ~level ~steps))
+       then incr failures
+     done
+   with Exit -> ());
+  say "fuzz: %d trace(s), %d divergence(s) [seed base %Ld, level %d, steps %d]"
+    !ran !failures seed level steps;
+  if !failures > 0 then exit 1
+
+let run_replay path subjects =
+  let subjects = parse_subjects subjects in
+  let gen_seed, level, ops = Check.load_repro ~path in
+  let oracle, layout = Check.oracle_harness ~gen_seed ~level in
+  let failures = ref 0 in
+  List.iter
+    (fun kind ->
+      let subject = Check.subject_harness ~gen_seed ~level kind in
+      match Check.check ~layout ~oracle ~subject ops with
+      | None -> say "%s: agrees (%d ops)" subject.Check.h_name (List.length ops)
+      | Some d ->
+          incr failures;
+          say "%s: diverges" subject.Check.h_name;
+          Format.printf "%a@." Check.pp_divergence d)
+    subjects;
+  if !failures > 0 then exit 1
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"N" ~doc:"Base trace seed; trace $(i,i) uses seed+$(i,i).")
+
+let traces_arg =
+  Arg.(value & opt int 10_000 & info [ "traces" ] ~docv:"N"
+         ~doc:"Maximum number of traces (the budget usually stops first).")
+
+let steps_arg =
+  Arg.(value & opt int 120 & info [ "steps" ] ~docv:"N" ~doc:"Ops per trace.")
+
+let level_arg =
+  Arg.(value & opt int 3 & info [ "level" ] ~docv:"L" ~doc:"Leaf level of the generated database.")
+
+let budget_arg =
+  Arg.(value & opt float 30.0 & info [ "budget-s" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock budget; 0 disables.")
+
+let subjects_arg =
+  Arg.(value & opt string "diskdb,diskdb-remote,reldb"
+       & info [ "subjects" ] ~docv:"LIST"
+           ~doc:"Comma-separated subjects: diskdb, diskdb-remote, reldb.")
+
+let crash_points_arg =
+  Arg.(value & opt int 0 & info [ "crash-points" ] ~docv:"N"
+         ~doc:"Crash-point interleavings per trace (0 disables crash mode).")
+
+let dir_arg =
+  Arg.(value & opt string "." & info [ "repro-dir" ] ~docv:"DIR"
+         ~doc:"Where to save shrunk repro trace files.")
+
+let trace_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Repro trace file.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Fuzz backends against the memdb oracle")
+    Term.(const run_fuzz $ seed_arg $ traces_arg $ steps_arg $ level_arg
+          $ budget_arg $ subjects_arg $ crash_points_arg $ dir_arg)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a saved repro trace against the subjects")
+    Term.(const run_replay $ trace_arg $ subjects_arg)
+
+let () =
+  let doc = "differential oracle fuzzer for the HyperModel backends" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "hyperfuzz" ~doc) [ run_cmd; replay_cmd ]))

@@ -1,0 +1,493 @@
+open Hyper_core
+module Vfs = Hyper_storage.Vfs
+module M = Hyper_memdb.Memdb
+module D = Hyper_diskdb.Diskdb
+module R = Hyper_reldb.Reldb
+
+type kind = Disk | Disk_remote | Rel
+
+let kind_name = function
+  | Disk -> "diskdb"
+  | Disk_remote -> "diskdb-remote"
+  | Rel -> "reldb"
+
+let kind_of_name = function
+  | "diskdb" -> Some Disk
+  | "diskdb-remote" -> Some Disk_remote
+  | "reldb" -> Some Rel
+  | _ -> None
+
+let all_kinds = [ Disk; Disk_remote; Rel ]
+
+type divergence = {
+  step : int;
+  op : Trace.op;
+  oracle : Trace.outcome;
+  subject : Trace.outcome;
+  backend : string;
+}
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "@[<v>step %d on %s: %s@,  oracle:  %s@,  subject: %s@]"
+    d.step d.backend (Trace.op_to_string d.op)
+    (Trace.outcome_to_string d.oracle)
+    (Trace.outcome_to_string d.subject)
+
+type harness = {
+  h_name : string;
+  h_fresh : unit -> Backend.instance * (unit -> unit);
+}
+
+let layout_of ~gen_seed:_ ~level =
+  Layout.make ~doc:1 ~oid_base:0 ~leaf_level:level ()
+
+let oracle_harness ~gen_seed ~level =
+  let fresh () =
+    let b = M.create () in
+    let module G = Generator.Make (M) in
+    let _layout, _ = G.generate b ~doc:1 ~leaf_level:level ~seed:gen_seed in
+    (Backend.Instance ((module M : Backend.S with type t = M.t), b), fun () -> ())
+  in
+  ({ h_name = "memdb"; h_fresh = fresh }, layout_of ~gen_seed ~level)
+
+(* Disk-backed subjects run entirely over the in-memory fault-injecting
+   VFS (quiet plan): no real files, no cleanup, and the crash harness can
+   later arm faults on the very same seam.  Small pools / caches keep the
+   eviction, overflow and group-fetch paths hot at fuzzing sizes. *)
+let disk_config ?(durable_sync = false) ~remote ~prefetch vfs =
+  {
+    (D.default_config ~path:"/fuzz/disk.db") with
+    pool_pages = 96;
+    object_cache = 64;
+    uid_hash_index = true;
+    durable_sync;
+    remote;
+    prefetch;
+    vfs = Some vfs;
+  }
+
+let rel_config ?(durable_sync = false) vfs =
+  {
+    (R.default_config ~path:"/fuzz/rel.db") with
+    pool_pages = 96;
+    durable_sync;
+    vfs = Some vfs;
+  }
+
+let generate_disk db ~gen_seed ~level =
+  let module G = Generator.Make (D) in
+  ignore (G.generate db ~doc:1 ~leaf_level:level ~seed:gen_seed)
+
+let subject_harness ~gen_seed ~level kind =
+  let fresh () =
+    let env = Vfs.Faulty.create Vfs.Faulty.quiet in
+    let vfs = Vfs.Faulty.vfs env in
+    match kind with
+    | Disk | Disk_remote ->
+        let remote =
+          if kind = Disk_remote then Some Hyper_net.Channel.profile_test
+          else None
+        in
+        let db = D.open_db (disk_config ~remote ~prefetch:(kind = Disk_remote) vfs) in
+        generate_disk db ~gen_seed ~level;
+        ( Backend.Instance ((module D : Backend.S with type t = D.t), db),
+          fun () -> try D.close db with _ -> () )
+    | Rel ->
+        let db = R.open_db (rel_config vfs) in
+        let module G = Generator.Make (R) in
+        ignore (G.generate db ~doc:1 ~leaf_level:level ~seed:gen_seed);
+        ( Backend.Instance ((module R : Backend.S with type t = R.t), db),
+          fun () -> try R.close db with _ -> () )
+  in
+  { h_name = kind_name kind; h_fresh = fresh }
+
+let with_verify ops = ops @ [ Trace.Verify_checks ]
+
+let check ?(final_verify = true) ~layout ~oracle ~subject ops =
+  let ops = if final_verify then with_verify ops else ops in
+  let o_inst, o_close = oracle.h_fresh () in
+  let s_inst, s_close = subject.h_fresh () in
+  let rec go i = function
+    | [] -> None
+    | op :: rest ->
+        let o_out = Trace.apply ~layout o_inst op in
+        let s_out = Trace.apply ~layout s_inst op in
+        if Trace.outcome_equal o_out s_out then go (i + 1) rest
+        else
+          Some
+            {
+              step = i;
+              op;
+              oracle = o_out;
+              subject = s_out;
+              backend = subject.h_name;
+            }
+  in
+  let d = go 0 ops in
+  o_close ();
+  s_close ();
+  d
+
+(* {2 Shrinking} *)
+
+(* A chunk is the unit whole-removal preserves trace shape on: a full
+   Begin .. Commit/Abort block, or one op outside any block. *)
+let chunk_ops ops =
+  let chunks = ref [] and block = ref [] and in_block = ref false in
+  List.iter
+    (fun op ->
+      match op with
+      | Trace.Begin ->
+          if !block <> [] then chunks := List.rev !block :: !chunks;
+          in_block := true;
+          block := [ op ]
+      | (Trace.Commit | Trace.Abort) when !in_block ->
+          in_block := false;
+          chunks := List.rev (op :: !block) :: !chunks;
+          block := []
+      | _ when !in_block -> block := op :: !block
+      | _ -> chunks := [ op ] :: !chunks)
+    ops;
+  if !block <> [] then chunks := List.rev !block :: !chunks;
+  List.rev !chunks
+
+(* Keep ops 0..step; if that cuts a transaction block open, close it so
+   the subject is not left mid-transaction before the final verify. *)
+let truncate_after ops step =
+  let rec take i in_block acc = function
+    | [] -> (acc, in_block)
+    | op :: rest ->
+        if i > step then (acc, in_block)
+        else
+          let in_block =
+            match op with
+            | Trace.Begin -> true
+            | Trace.Commit | Trace.Abort -> false
+            | _ -> in_block
+          in
+          take (i + 1) in_block (op :: acc) rest
+  in
+  let acc, open_block = take 0 false [] ops in
+  List.rev (if open_block then Trace.Commit :: acc else acc)
+
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let shrink ~layout ~oracle ~subject ops d =
+  let best_d = ref d in
+  let attempt candidate =
+    if candidate = [] then None
+    else
+      match check ~layout ~oracle ~subject candidate with
+      | Some d ->
+          best_d := d;
+          Some candidate
+      | None -> None
+  in
+  let current = ref ops in
+  (* Truncation only helps if the trace still diverges without its tail
+     (it should — the divergence is at d.step — but a cautious re-check
+     keeps shrink total). *)
+  (match attempt (truncate_after !current d.step) with
+  | Some c -> current := c
+  | None -> ());
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Pass 1: drop whole chunks (txn blocks / standalone ops), last
+       chunk first — later chunks depend on earlier state, not vice
+       versa, so they fall away easier. *)
+    let continue_pass = ref true in
+    while !continue_pass do
+      continue_pass := false;
+      let cs = chunk_ops !current in
+      let n = List.length cs in
+      (try
+         for i = n - 1 downto 0 do
+           let candidate = List.concat (remove_nth cs i) in
+           match attempt candidate with
+           | Some c ->
+               current := c;
+               changed := true;
+               continue_pass := true;
+               raise Exit
+           | None -> ()
+         done
+       with Exit -> ())
+    done;
+    (* Pass 2: drop single ops inside surviving blocks.  Begin and
+       Commit/Abort stay: a block disappears only whole (pass 1). *)
+    let continue_pass = ref true in
+    while !continue_pass do
+      continue_pass := false;
+      let arr = Array.of_list !current in
+      (try
+         for i = Array.length arr - 1 downto 0 do
+           match arr.(i) with
+           | Trace.Begin | Trace.Commit | Trace.Abort -> ()
+           | _ -> (
+               let candidate = remove_nth !current i in
+               match attempt candidate with
+               | Some c ->
+                   current := c;
+                   changed := true;
+                   continue_pass := true;
+                   raise Exit
+               | None -> ())
+         done
+       with Exit -> ())
+    done
+  done;
+  (!current, !best_d)
+
+(* {2 One fuzz case} *)
+
+type case = {
+  seed : int64;
+  gen_seed : int64;
+  level : int;
+  steps : int;
+  subjects : kind list;
+}
+
+type finding = {
+  f_case : case;
+  f_backend : string;
+  f_minimal : Trace.op list;
+  f_divergence : divergence;
+}
+
+let run_case case =
+  let ops =
+    Gen.trace ~seed:case.seed ~gen_seed:case.gen_seed ~level:case.level
+      ~steps:case.steps
+  in
+  let oracle, layout =
+    oracle_harness ~gen_seed:case.gen_seed ~level:case.level
+  in
+  let rec try_subjects = function
+    | [] -> None
+    | kind :: rest -> (
+        let subject =
+          subject_harness ~gen_seed:case.gen_seed ~level:case.level kind
+        in
+        match check ~layout ~oracle ~subject ops with
+        | None -> try_subjects rest
+        | Some d ->
+            let minimal, min_d = shrink ~layout ~oracle ~subject ops d in
+            Some
+              {
+                f_case = case;
+                f_backend = subject.h_name;
+                f_minimal = minimal;
+                f_divergence = min_d;
+              })
+  in
+  try_subjects case.subjects
+
+(* {2 Crash-point interleaving} *)
+
+(* Every oid the probe suite must look at: the generated structure plus
+   everything the trace ever created (probing since-deleted or
+   never-committed oids is fine — both sides must fail identically). *)
+let probe_oids layout ops =
+  let oids = ref [] in
+  Layout.iter_oids layout (fun o -> oids := o :: !oids);
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun op ->
+      match op with
+      | Trace.Create { oid; _ } when not (Hashtbl.mem seen oid) ->
+          Hashtbl.add seen oid ();
+          oids := oid :: !oids
+      | _ -> ())
+    ops;
+  List.rev !oids
+
+let probe_trace layout ops =
+  let doc = layout.Layout.doc in
+  let per_oid o =
+    [
+      Trace.Attrs o;
+      Trace.Children o;
+      Trace.Parent o;
+      Trace.Parts o;
+      Trace.Part_of o;
+      Trace.Refs_to o;
+      Trace.Refs_from o;
+      Trace.Text o;
+      Trace.Form_digest o;
+      Trace.Dyn_attr { oid = o; key = "alpha" };
+    ]
+  in
+  List.concat_map per_oid (probe_oids layout ops)
+  @ [
+      Trace.Scan doc;
+      Trace.Node_count doc;
+      Trace.Range_unique { doc; lo = 1; hi = 10_000_000 };
+      Trace.Range_hundred { doc; lo = -50; hi = 200 };
+      Trace.Range_million { doc; lo = 1; hi = 1_000_000 };
+      Trace.Verify_checks;
+    ]
+
+(* The trace prefix covering the first [n] commits (inclusive).  With
+   the generator's shape invariants this is exactly the state an oracle
+   must hold after [n] transactions were made durable. *)
+let prefix_through_commit ops n =
+  if n = 0 then []
+  else
+    let rec go acc k = function
+      | [] -> List.rev acc
+      | op :: rest ->
+          let acc = op :: acc in
+          if op = Trace.Commit then
+            if k + 1 = n then List.rev acc else go acc (k + 1) rest
+          else go acc k rest
+    in
+    go [] 0 ops
+
+let fresh_oracle_at ~gen_seed ~level prefix =
+  let b = M.create () in
+  let module G = Generator.Make (M) in
+  let layout, _ = G.generate b ~doc:1 ~leaf_level:level ~seed:gen_seed in
+  let inst = Backend.Instance ((module M : Backend.S with type t = M.t), b) in
+  List.iter (fun op -> ignore (Trace.apply ~layout inst op)) prefix;
+  (inst, layout)
+
+let compare_probes ~layout ~backend oracle_inst subject_inst probes =
+  let rec go i = function
+    | [] -> None
+    | op :: rest ->
+        let o = Trace.apply ~layout oracle_inst op in
+        let s = Trace.apply ~layout subject_inst op in
+        if Trace.outcome_equal o s then go (i + 1) rest
+        else Some { step = i; op; oracle = o; subject = s; backend }
+  in
+  go 0 probes
+
+(* Crash-mode subject: local diskdb, durable_sync on (an acked commit
+   must survive the power failure by its own fsync, not by luck). *)
+let crash_cfg vfs = disk_config ~durable_sync:true ~remote:None ~prefetch:false vfs
+
+let crash_writes ~gen_seed ~level ops =
+  let env = Vfs.Faulty.create Vfs.Faulty.quiet in
+  let vfs = Vfs.Faulty.vfs env in
+  let db = D.open_db (crash_cfg vfs) in
+  generate_disk db ~gen_seed ~level;
+  let layout = layout_of ~gen_seed ~level in
+  let inst = Backend.Instance ((module D : Backend.S with type t = D.t), db) in
+  let before = Vfs.Faulty.write_count env in
+  List.iter (fun op -> ignore (Trace.apply ~layout inst op)) ops;
+  let after = Vfs.Faulty.write_count env in
+  (try D.close db with _ -> ());
+  after - before
+
+type crash_report =
+  | Crash_clean of { crash_step : int option; acked : int }
+  | Crash_diverged of {
+      crash_step : int;
+      acked : int;
+      in_flight : bool;
+      divergence : divergence;
+    }
+
+let crash_check ~gen_seed ~level ~crash_after ops =
+  let env = Vfs.Faulty.create Vfs.Faulty.quiet in
+  let vfs = Vfs.Faulty.vfs env in
+  let db = D.open_db (crash_cfg vfs) in
+  generate_disk db ~gen_seed ~level;
+  let layout = layout_of ~gen_seed ~level in
+  let inst = Backend.Instance ((module D : Backend.S with type t = D.t), db) in
+  Vfs.Faulty.arm_crash env ~after_writes:crash_after ();
+  let is_crash = function Vfs.Crash -> true | _ -> false in
+  let acked = ref 0 in
+  let crash = ref None in
+  (try
+     List.iteri
+       (fun i op ->
+         match Trace.apply ~reraise:is_crash ~layout inst op with
+         | outcome ->
+             if op = Trace.Commit && outcome = Trace.Done Trace.V_unit then
+               incr acked
+         | exception Vfs.Crash ->
+             crash := Some (i, op = Trace.Commit);
+             raise Exit)
+       ops
+   with Exit -> ());
+  (* Power-fail, disarm, reopen: recovery replays the WAL over whatever
+     the simulated disk retained. *)
+  Vfs.Faulty.set_plan env Vfs.Faulty.quiet;
+  Vfs.Faulty.power_fail env;
+  let recovered = D.open_db (crash_cfg vfs) in
+  let rec_inst =
+    Backend.Instance ((module D : Backend.S with type t = D.t), recovered)
+  in
+  let probes = probe_trace layout ops in
+  let compare_at n =
+    let oracle_inst, _ =
+      fresh_oracle_at ~gen_seed ~level (prefix_through_commit ops n)
+    in
+    compare_probes ~layout ~backend:"diskdb-crash" oracle_inst rec_inst probes
+  in
+  let result =
+    match !crash with
+    | None -> (
+        (* Crash point past the trace's writes: plain final-state check. *)
+        match compare_at !acked with
+        | None -> Crash_clean { crash_step = None; acked = !acked }
+        | Some d ->
+            Crash_diverged
+              {
+                crash_step = List.length ops;
+                acked = !acked;
+                in_flight = false;
+                divergence = d;
+              })
+    | Some (step, in_flight) -> (
+        match compare_at !acked with
+        | None -> Crash_clean { crash_step = Some step; acked = !acked }
+        | Some d ->
+            if in_flight then
+              match compare_at (!acked + 1) with
+              | None -> Crash_clean { crash_step = Some step; acked = !acked + 1 }
+              | Some _ ->
+                  Crash_diverged
+                    {
+                      crash_step = step;
+                      acked = !acked;
+                      in_flight;
+                      divergence = d;
+                    }
+            else
+              Crash_diverged
+                { crash_step = step; acked = !acked; in_flight; divergence = d })
+  in
+  (try D.close recovered with _ -> ());
+  result
+
+(* {2 Repro files} *)
+
+let save_repro ~path ~gen_seed ~level ops =
+  let oc = open_out path in
+  Printf.fprintf oc "# hyperfuzz v1 gen_seed=%Ld level=%d\n" gen_seed level;
+  List.iter (fun op -> output_string oc (Trace.op_to_string op ^ "\n")) ops;
+  close_out oc
+
+let load_repro ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = input_line ic in
+      let gen_seed, level =
+        try Scanf.sscanf header "# hyperfuzz v1 gen_seed=%Ld level=%d" (fun g l -> (g, l))
+        with _ -> failwith (path ^ ": bad hyperfuzz header: " ^ header)
+      in
+      let ops = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then
+             ops := Trace.op_of_string line :: !ops
+         done
+       with End_of_file -> ());
+      (gen_seed, level, List.rev !ops))

@@ -1,0 +1,133 @@
+(** Differential execution: one trace, one oracle, N subjects.
+
+    The oracle is always memdb — the simplest backend, kept
+    deliberately free of caching, paging and recovery machinery.  Every
+    subject replays the same trace over the same generated database
+    ([gen_seed]/[level]); the first step whose normalised outcome
+    ({!Hyper_core.Trace.outcome}) differs from the oracle's is a
+    divergence.  A final {!Hyper_core.Trace.Verify_checks} is appended
+    so structural corruption that no generated read happened to observe
+    still fails the run.
+
+    Everything here is deterministic: equal inputs find equal
+    divergences and shrink them to equal minimal repros. *)
+
+open Hyper_core
+
+(** Disk-backed subjects.  [Disk_remote] runs diskdb over the simulated
+    workstation/server channel ({!Hyper_net.Channel.profile_test}) with
+    traversal prefetch on, so group fetches are differentially checked
+    too. *)
+type kind = Disk | Disk_remote | Rel
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+val all_kinds : kind list
+
+type divergence = {
+  step : int;  (** 0-based index into the (verify-extended) trace *)
+  op : Trace.op;
+  oracle : Trace.outcome;
+  subject : Trace.outcome;
+  backend : string;
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+(** A recipe for building fresh, identically-seeded instances of one
+    backend — shrinking re-runs candidate traces from scratch, so a
+    subject is a constructor, not a connection. *)
+type harness = {
+  h_name : string;
+  h_fresh : unit -> Backend.instance * (unit -> unit);
+      (** instance over a freshly generated database, plus its closer *)
+}
+
+val oracle_harness : gen_seed:int64 -> level:int -> harness * Layout.t
+val subject_harness : gen_seed:int64 -> level:int -> kind -> harness
+
+val check :
+  ?final_verify:bool ->
+  layout:Layout.t ->
+  oracle:harness ->
+  subject:harness ->
+  Trace.op list ->
+  divergence option
+(** Replay the trace on fresh oracle and subject instances; return the
+    first step that disagrees.  [final_verify] (default [true]) appends
+    a trailing [Verify_checks]. *)
+
+val shrink :
+  layout:Layout.t ->
+  oracle:harness ->
+  subject:harness ->
+  Trace.op list ->
+  divergence ->
+  Trace.op list * divergence
+(** Minimise a diverging trace, qcheck-style, preserving the trace
+    shape invariants ({!Gen}): truncate after the divergence step, then
+    repeatedly drop whole transaction blocks / standalone ops, then
+    single ops inside surviving blocks, to a fixpoint.  [Begin] and
+    [Commit]/[Abort] are only ever removed together with their whole
+    block, so mutations never escape transactions (which would manufacture
+    false divergences out of memdb's leniency).  Returns the minimal
+    trace and its divergence. *)
+
+(** {2 One fuzz case end to end} *)
+
+type case = {
+  seed : int64;  (** trace seed *)
+  gen_seed : int64;
+  level : int;
+  steps : int;
+  subjects : kind list;
+}
+
+type finding = {
+  f_case : case;
+  f_backend : string;
+  f_minimal : Trace.op list;
+  f_divergence : divergence;  (** divergence of the minimal trace *)
+}
+
+val run_case : case -> finding option
+(** Generate the trace for [case.seed], check every subject, and on the
+    first divergence shrink it (against the diverging subject only). *)
+
+(** {2 Crash-point interleaving}
+
+    Oracle-checked recovery: replay the trace on a disk subject with a
+    crash armed [k] mutating VFS ops past setup, power-fail at the
+    crash, reopen (running WAL recovery), then compare the recovered
+    state — via an exhaustive per-node probe — against the oracle
+    replaying exactly the acked-commit prefix of the trace.  If the
+    crash interrupted a commit, the commit record may or may not have
+    reached the WAL, so either the acked or the acked+1 prefix must
+    match. *)
+
+type crash_report =
+  | Crash_clean of { crash_step : int option; acked : int }
+      (** recovered state matched; [crash_step = None] means [k]
+          exceeded the writes the trace performs (nothing crashed, full
+          run compared instead) *)
+  | Crash_diverged of {
+      crash_step : int;
+      acked : int;
+      in_flight : bool;  (** crash fired during a commit *)
+      divergence : divergence;
+    }
+
+val crash_writes : gen_seed:int64 -> level:int -> Trace.op list -> int
+(** Dry run on an unfaulted disk subject: how many mutating VFS ops the
+    trace performs after setup — the size of the crash-point space. *)
+
+val crash_check :
+  gen_seed:int64 -> level:int -> crash_after:int -> Trace.op list -> crash_report
+
+(** {2 Repro files} — printed by the fuzzer, replayed by tests. *)
+
+val save_repro :
+  path:string -> gen_seed:int64 -> level:int -> Trace.op list -> unit
+
+val load_repro : path:string -> int64 * int * Trace.op list
+(** @raise Failure on a malformed file. *)

@@ -1,0 +1,460 @@
+open Hyper_util
+open Hyper_core
+module M = Hyper_memdb.Memdb
+
+(* Fresh OIDs live far above any generated structure (level 6 has
+   ~100k nodes); the unique_id doubles as the oid so created nodes never
+   collide with layout uids (1 .. node_count) or each other. *)
+let fresh_base = 1_000_000
+
+(* OIDs in this range exist on no backend: used for the deliberate
+   invalid-argument probes. *)
+let bogus_base = 5_000_000
+
+let words rng n =
+  String.concat " "
+    (List.init n (fun _ ->
+         String.init (1 + Prng.int rng 7) (fun _ -> Prng.lowercase_letter rng)))
+
+let dyn_keys = [| "alpha"; "beta"; "gamma" |]
+
+type st = {
+  rng : Prng.t;
+  b : M.t;  (** scratch oracle the trace is generated against *)
+  inst : Backend.instance;
+  layout : Layout.t;
+  ops : Trace.op list ref;
+  count : int ref;
+  mutable next_fresh : int;
+  mutable created : Oid.t list;  (** oids created by the trace (may be dead) *)
+  mutable graveyard : Oid.t list;  (** oids deleted by the trace *)
+}
+
+let emit st op =
+  st.ops := op :: !(st.ops);
+  incr st.count;
+  (* Keep the scratch oracle in lock-step so later picks see real state.
+     Outcomes (including errors of the deliberately-invalid ops) are
+     irrelevant here; they are recomputed at replay time. *)
+  ignore (Trace.apply ~layout:st.layout st.inst op)
+
+let exists st oid =
+  match M.kind st.b oid with _ -> true | exception _ -> false
+
+(* A random live node: layout nodes dominate, trace-created nodes mixed
+   in.  Falls back to the structure root (never deleted: it always has
+   children) when unlucky picks hit deleted nodes. *)
+let existing st =
+  let rec go tries =
+    if tries = 0 then Layout.root st.layout
+    else
+      let cand =
+        match st.created with
+        | oid :: _ when Prng.int st.rng 100 < 25 ->
+            if Prng.bool st.rng then oid
+            else List.nth st.created (Prng.int st.rng (List.length st.created))
+        | _ -> Layout.random_node st.layout st.rng
+      in
+      if exists st cand then cand else go (tries - 1)
+  in
+  go 8
+
+(* Mostly-live oid, sometimes nonexistent: exercises error parity. *)
+let probe_oid st =
+  if Prng.int st.rng 100 < 6 then bogus_base + Prng.int st.rng 50
+  else existing st
+
+let text_biased st =
+  let cand = Layout.random_text st.layout st.rng in
+  if Prng.int st.rng 100 < 70 && exists st cand then cand else existing st
+
+let form_biased st =
+  let cand = Layout.random_form st.layout st.rng in
+  if Prng.int st.rng 100 < 80 && exists st cand then cand else existing st
+
+(* Is [anc] an ancestor of (or equal to) [oid] in the 1-N hierarchy?
+   Guards add_child against creating a cycle — closure_1n assumes a
+   forest. *)
+let rec reaches_up st ~anc oid =
+  oid = anc
+  ||
+  match M.parent st.b oid with
+  | Some p -> reaches_up st ~anc p
+  | None -> false
+
+let parentless st =
+  let live =
+    List.filter (fun o -> exists st o && M.parent st.b o = None) st.created
+  in
+  match live with
+  | [] -> None
+  | l -> Some (List.nth l (Prng.int st.rng (List.length l)))
+
+(* {2 Mutations} — each returns [true] if it emitted something. *)
+
+let gen_create st =
+  let oid =
+    match st.graveyard with
+    | o :: _ when Prng.int st.rng 100 < 15 && not (exists st o) -> o
+    | _ ->
+        st.next_fresh <- st.next_fresh + 1;
+        fresh_base + st.next_fresh
+  in
+  let payload =
+    let r = Prng.int st.rng 100 in
+    if r < 55 then Trace.P_internal
+    else if r < 85 then Trace.P_text (words st.rng (2 + Prng.int st.rng 5))
+    else if r < 97 then
+      Trace.P_form (8 + Prng.int st.rng 32, 8 + Prng.int st.rng 32)
+    else Trace.P_draw
+  in
+  let near = if Prng.int st.rng 100 < 30 then Some (existing st) else None in
+  emit st
+    (Trace.Create
+       {
+         oid;
+         doc = st.layout.Layout.doc;
+         uid = oid;
+         ten = 1 + Prng.int st.rng 10;
+         hundred = 1 + Prng.int st.rng 100;
+         million = 1 + Prng.int st.rng 1_000_000;
+         near;
+         payload;
+       });
+  st.created <- oid :: st.created;
+  st.graveyard <- List.filter (fun o -> o <> oid) st.graveyard;
+  true
+
+let pick_parent_for st child =
+  let rec go tries =
+    if tries = 0 then None
+    else
+      let p = existing st in
+      if p <> child && not (reaches_up st ~anc:child p) then Some p
+      else go (tries - 1)
+  in
+  go 6
+
+let gen_add_child st =
+  let child =
+    (* Rarely a nonexistent child: the edge must be rejected with no
+       half-applied state on any backend. *)
+    if Prng.int st.rng 100 < 5 then Some (bogus_base + Prng.int st.rng 50)
+    else parentless st
+  in
+  match child with
+  | None -> false
+  | Some child -> (
+      match pick_parent_for st child with
+      | None -> false
+      | Some parent ->
+          emit st (Trace.Add_child { parent; child });
+          true)
+
+let gen_add_children st =
+  (* Distinct parentless children under one parent, batch API. *)
+  let rec collect acc n =
+    if n = 0 then acc
+    else
+      match parentless st with
+      | Some c when not (List.mem c acc) -> collect (c :: acc) (n - 1)
+      | _ -> acc
+  in
+  match collect [] (2 + Prng.int st.rng 2) with
+  | [] | [ _ ] -> false
+  | children -> (
+      let ok_parent p =
+        List.for_all (fun c -> p <> c && not (reaches_up st ~anc:c p)) children
+      in
+      let rec go tries =
+        if tries = 0 then None
+        else
+          let p = existing st in
+          if ok_parent p then Some p else go (tries - 1)
+      in
+      match go 6 with
+      | None -> false
+      | Some parent ->
+          emit st (Trace.Add_children { parent; children });
+          true)
+
+let gen_add_part st =
+  let whole = probe_oid st in
+  let part = probe_oid st in
+  if whole = part then false
+  else begin
+    emit st (Trace.Add_part { whole; part });
+    true
+  end
+
+let gen_add_parts st =
+  let whole = existing st in
+  let rec collect acc n =
+    if n = 0 then acc
+    else
+      let p = probe_oid st in
+      if p <> whole && not (List.mem p acc) then collect (p :: acc) (n - 1)
+      else collect acc (n - 1)
+  in
+  match collect [] (2 + Prng.int st.rng 2) with
+  | [] -> false
+  | parts ->
+      emit st (Trace.Add_parts { whole; parts });
+      true
+
+let gen_add_ref st =
+  let src = probe_oid st in
+  let dst = probe_oid st in
+  if src = dst then false
+  else begin
+    emit st
+      (Trace.Add_ref
+         {
+           src;
+           dst;
+           offset_from = Prng.int st.rng 10;
+           offset_to = Prng.int st.rng 10;
+         });
+    true
+  end
+
+let gen_remove_child st =
+  let rec go tries =
+    if tries = 0 then false
+    else
+      let child = existing st in
+      match M.parent st.b child with
+      | Some parent ->
+          (* 5%: wrong parent — both backends must reject identically
+             without mutating anything. *)
+          let parent =
+            if Prng.int st.rng 100 < 5 then existing st else parent
+          in
+          emit st (Trace.Remove_child { parent; child });
+          true
+      | None -> go (tries - 1)
+  in
+  go 6
+
+let gen_remove_part st =
+  let rec go tries =
+    if tries = 0 then false
+    else
+      let whole = existing st in
+      let parts = M.parts st.b whole in
+      if Array.length parts = 0 then go (tries - 1)
+      else begin
+        let part = Prng.choose st.rng parts in
+        emit st (Trace.Remove_part { whole; part });
+        true
+      end
+  in
+  go 6
+
+let gen_remove_ref st =
+  let rec go tries =
+    if tries = 0 then false
+    else
+      let src = existing st in
+      let links = M.refs_to st.b src in
+      if Array.length links = 0 then go (tries - 1)
+      else begin
+        let link = Prng.choose st.rng links in
+        emit st (Trace.Remove_ref { src; dst = link.Schema.target });
+        true
+      end
+  in
+  go 6
+
+let gen_delete st =
+  let rec go tries =
+    if tries = 0 then false
+    else
+      let oid = existing st in
+      if oid <> Layout.root st.layout && Array.length (M.children st.b oid) = 0
+      then begin
+        emit st (Trace.Delete oid);
+        st.graveyard <- oid :: st.graveyard;
+        true
+      end
+      else go (tries - 1)
+  in
+  go 6
+
+let gen_set_hundred st =
+  emit st
+    (Trace.Set_hundred
+       { oid = probe_oid st; value = Prng.int_in st.rng (-20) 130 });
+  true
+
+let gen_set_text st =
+  emit st
+    (Trace.Set_text
+       { oid = text_biased st; value = words st.rng (1 + Prng.int st.rng 8) });
+  true
+
+let gen_set_dyn st =
+  emit st
+    (Trace.Set_dyn
+       {
+         oid = existing st;
+         key = Prng.choose st.rng dyn_keys;
+         value = Prng.int st.rng 100;
+       });
+  true
+
+let gen_text_edit st =
+  emit st (Trace.Text_edit (text_biased st));
+  true
+
+let gen_form_edit st =
+  let oid = form_biased st in
+  match M.form st.b oid with
+  | bm ->
+      let bw = Bitmap.width bm and bh = Bitmap.height bm in
+      let w = 1 + Prng.int st.rng (max 1 (bw / 2)) in
+      let h = 1 + Prng.int st.rng (max 1 (bh / 2)) in
+      let x = Prng.int st.rng (max 1 (bw - w)) in
+      let y = Prng.int st.rng (max 1 (bh - h)) in
+      emit st (Trace.Form_edit { oid; x; y; w; h });
+      true
+  | exception _ -> false
+
+(* Closures 10/14/15 store their result list, and op 12 rewrites
+   [hundred] across the closure — all mutations. *)
+let gen_closure_mut st =
+  let start = existing st in
+  (match Prng.int st.rng 4 with
+  | 0 -> emit st (Trace.Closure_1n start)
+  | 1 -> emit st (Trace.Closure_mn start)
+  | 2 -> emit st (Trace.Closure_mnatt { start; depth = 1 + Prng.int st.rng 8 })
+  | _ -> emit st (Trace.Closure_1n_att_set start));
+  true
+
+let mutations =
+  [|
+    (20, gen_create);
+    (12, gen_add_child);
+    (5, gen_add_children);
+    (8, gen_add_part);
+    (4, gen_add_parts);
+    (8, gen_add_ref);
+    (8, gen_remove_child);
+    (6, gen_remove_part);
+    (6, gen_remove_ref);
+    (6, gen_delete);
+    (8, gen_set_hundred);
+    (6, gen_set_text);
+    (4, gen_set_dyn);
+    (5, gen_text_edit);
+    (4, gen_form_edit);
+    (6, gen_closure_mut);
+  |]
+
+let pick_weighted rng table =
+  let total = Array.fold_left (fun a (w, _) -> a + w) 0 table in
+  let r = ref (Prng.int rng total) in
+  let chosen = ref (snd table.(0)) in
+  (try
+     Array.iter
+       (fun (w, f) ->
+         if !r < w then begin
+           chosen := f;
+           raise Exit
+         end
+         else r := !r - w)
+       table
+   with Exit -> ());
+  !chosen
+
+let gen_mutation st =
+  let rec go tries =
+    if tries = 0 then ignore (gen_create st)
+    else if not (pick_weighted st.rng mutations st) then go (tries - 1)
+  in
+  go 4
+
+(* {2 Reads} *)
+
+let gen_read st =
+  let l = st.layout in
+  let doc = l.Layout.doc in
+  let n = l.Layout.node_count in
+  match Prng.int st.rng 20 with
+  | 0 ->
+      emit st
+        (Trace.Lookup_unique
+           {
+             doc;
+             uid =
+               (if Prng.bool st.rng || st.created = [] then
+                  1 + Prng.int st.rng (n + 20)
+                else List.nth st.created (Prng.int st.rng (List.length st.created)));
+           })
+  | 1 ->
+      let lo = 1 + Prng.int st.rng n in
+      emit st (Trace.Range_unique { doc; lo; hi = lo + Prng.int st.rng 30 })
+  | 2 ->
+      let lo = Prng.int_in st.rng (-5) 100 in
+      emit st (Trace.Range_hundred { doc; lo; hi = lo + Prng.int st.rng 15 })
+  | 3 ->
+      let lo = 1 + Prng.int st.rng 1_000_000 in
+      emit st (Trace.Range_million { doc; lo; hi = lo + Prng.int st.rng 20_000 })
+  | 4 -> emit st (Trace.Attrs (probe_oid st))
+  | 5 ->
+      emit st
+        (Trace.Dyn_attr { oid = existing st; key = Prng.choose st.rng dyn_keys })
+  | 6 -> emit st (Trace.Children (probe_oid st))
+  | 7 -> emit st (Trace.Parent (probe_oid st))
+  | 8 -> emit st (Trace.Parts (probe_oid st))
+  | 9 -> emit st (Trace.Part_of (probe_oid st))
+  | 10 -> emit st (Trace.Refs_to (probe_oid st))
+  | 11 -> emit st (Trace.Refs_from (probe_oid st))
+  | 12 -> emit st (Trace.Text (text_biased st))
+  | 13 -> emit st (Trace.Form_digest (form_biased st))
+  | 14 -> emit st (Trace.Scan doc)
+  | 15 -> emit st (Trace.Node_count doc)
+  | 16 -> emit st (Trace.Closure_1n_att_sum (existing st))
+  | 17 -> emit st (Trace.Attrs (existing st))
+  | 18 ->
+      emit st
+        (Trace.Closure_1n_pred
+           { start = existing st; x = 1 + Prng.int st.rng 990_000 })
+  | _ ->
+      emit st
+        (Trace.Closure_link_sum
+           { start = existing st; depth = 1 + Prng.int st.rng 8 })
+
+let trace ~seed ~gen_seed ~level ~steps =
+  let b = M.create () in
+  let module G = Generator.Make (M) in
+  let layout, _ = G.generate b ~doc:1 ~leaf_level:level ~seed:gen_seed in
+  let inst = Backend.Instance ((module M : Backend.S with type t = M.t), b) in
+  let st =
+    {
+      rng = Prng.create seed;
+      b;
+      inst;
+      layout;
+      ops = ref [];
+      count = ref 0;
+      next_fresh = 0;
+      created = [];
+      graveyard = [];
+    }
+  in
+  while !(st.count) < steps do
+    let r = Prng.int st.rng 100 in
+    if r < 40 then gen_read st
+    else if r < 45 then emit st Trace.Clear_caches
+    else if r < 48 then emit st Trace.Verify_checks
+    else begin
+      emit st Trace.Begin;
+      let n = 1 + Prng.int st.rng 6 in
+      for _ = 1 to n do
+        if Prng.int st.rng 100 < 62 then gen_mutation st else gen_read st
+      done;
+      emit st (if Prng.int st.rng 100 < 85 then Trace.Commit else Trace.Abort)
+    end
+  done;
+  List.rev !(st.ops)

@@ -1,0 +1,28 @@
+(** Seed-driven trace generation for the differential fuzzer.
+
+    A trace is generated against a scratch in-memory oracle so that op
+    arguments stay (mostly) valid as the database evolves: the generator
+    applies each op to the scratch database the moment it emits it and
+    draws the next op's inputs from the resulting state.  All randomness
+    comes from the seed — equal [(seed, gen_seed, level, steps)] yield
+    equal traces.
+
+    Shape invariants the generated traces maintain (and shrinking
+    preserves):
+    - every mutation happens inside a [Begin] … [Commit]/[Abort] block
+      (the disk engines require it; memdb merely tolerates the
+      opposite);
+    - transaction blocks are never nested and always closed;
+    - [Clear_caches] only appears outside a block;
+    - the 1-N graph stays acyclic (reparenting is checked against the
+      scratch oracle), so [closure_1n] always terminates.
+
+    A small fraction of ops is deliberately invalid (unknown OIDs,
+    missing edges, payload-kind mismatches) so that {e error behaviour}
+    is differentially compared too. *)
+
+val trace :
+  seed:int64 -> gen_seed:int64 -> level:int -> steps:int -> Hyper_core.Trace.op list
+(** [gen_seed]/[level] describe the generated database the trace runs
+    against (they must match the fixture the trace is replayed on);
+    [steps] is the approximate op count (blocks are never cut short). *)

@@ -1,0 +1,134 @@
+(** Reified backend operations: one serialisable value per {!Backend.S}
+    call, with a normalised observable outcome.
+
+    This is the vocabulary of the differential fuzzer ({!Hyper_check}):
+    a trace — a list of [op] — can be generated from a PRNG seed, applied
+    to any backend, printed to a text file one op per line, parsed back,
+    and replayed bit-for-bit.  Applying the same trace to two backends
+    holding the same generated database must produce the same outcome at
+    every step; any difference is a cross-backend bug.
+
+    Outcome normalisation encodes the cross-backend contract:
+    - relations whose order is specified (children, parts, refsTo, every
+      closure) are compared {e ordered};
+    - inverse relations and index ranges, whose order is an access-path
+      artefact (partOf, refsFrom, range lookups), are compared {e sorted};
+    - exceptions are compared by class only ([Invalid_argument],
+      exception constructor name), never by message — messages carry
+      backend names. *)
+
+(** Payload of a reified [create]: forms are always created white, so a
+    width/height pair replaces the bitmap. *)
+type payload =
+  | P_internal
+  | P_text of string
+  | P_form of int * int  (** width, height *)
+  | P_draw
+
+type op =
+  (* transactions and cache control *)
+  | Begin
+  | Commit
+  | Abort
+  | Clear_caches
+  (* mutations *)
+  | Create of {
+      oid : Oid.t;
+      doc : int;
+      uid : int;
+      ten : int;
+      hundred : int;
+      million : int;
+      near : Oid.t option;
+      payload : payload;
+    }
+  | Add_child of { parent : Oid.t; child : Oid.t }
+  | Add_children of { parent : Oid.t; children : Oid.t list }
+  | Add_part of { whole : Oid.t; part : Oid.t }
+  | Add_parts of { whole : Oid.t; parts : Oid.t list }
+  | Add_ref of { src : Oid.t; dst : Oid.t; offset_from : int; offset_to : int }
+  | Remove_child of { parent : Oid.t; child : Oid.t }
+  | Remove_part of { whole : Oid.t; part : Oid.t }
+  | Remove_ref of { src : Oid.t; dst : Oid.t }
+  | Delete of Oid.t
+  | Set_hundred of { oid : Oid.t; value : int }
+  | Set_text of { oid : Oid.t; value : string }
+  | Set_dyn of { oid : Oid.t; key : string; value : int }
+  | Text_edit of Oid.t  (** op 16 *)
+  | Form_edit of { oid : Oid.t; x : int; y : int; w : int; h : int }
+      (** op 17 *)
+  (* lookups *)
+  | Lookup_unique of { doc : int; uid : int }
+  | Range_unique of { doc : int; lo : int; hi : int }
+  | Range_hundred of { doc : int; lo : int; hi : int }
+  | Range_million of { doc : int; lo : int; hi : int }
+  (* single-node reads *)
+  | Attrs of Oid.t  (** kind, uniqueId, ten, hundred, million *)
+  | Dyn_attr of { oid : Oid.t; key : string }
+  | Children of Oid.t
+  | Parent of Oid.t
+  | Parts of Oid.t
+  | Part_of of Oid.t
+  | Refs_to of Oid.t
+  | Refs_from of Oid.t
+  | Text of Oid.t
+  | Form_digest of Oid.t  (** width, height, set-pixel count, bit digest *)
+  (* scans *)
+  | Scan of int  (** doc: node count + order-insensitive attribute sums *)
+  | Node_count of int  (** doc *)
+  (* closures (10, 14, 15 store their result list: mutations) *)
+  | Closure_1n of Oid.t
+  | Closure_mn of Oid.t
+  | Closure_mnatt of { start : Oid.t; depth : int }
+  | Closure_1n_att_sum of Oid.t
+  | Closure_1n_att_set of Oid.t
+  | Closure_1n_pred of { start : Oid.t; x : int }
+  | Closure_link_sum of { start : Oid.t; depth : int }
+  (* structural verification (compared as (check name, pass) pairs) *)
+  | Verify_checks
+
+val is_mutation : op -> bool
+(** Whether the op may change database state (and therefore must run
+    inside a transaction on every backend).  [Begin]/[Commit]/[Abort]
+    and [Clear_caches] are control ops, not mutations. *)
+
+(** Normalised observable result of one applied op. *)
+type value =
+  | V_unit
+  | V_int of int
+  | V_int_opt of int option
+  | V_ints of int list
+  | V_oids of Oid.t list
+  | V_links of (Oid.t * int * int) list
+  | V_pairs of (Oid.t * int) list
+  | V_string of string
+  | V_checks of (string * bool) list
+
+type outcome =
+  | Done of value
+  | Raised of string
+      (** exception class: ["Invalid_argument"] or the exception's
+          constructor name — never the message *)
+
+val outcome_equal : outcome -> outcome -> bool
+
+val outcome_to_string : outcome -> string
+(** Compact human-readable rendering (lists elided past a prefix). *)
+
+val apply :
+  ?reraise:(exn -> bool) ->
+  layout:Layout.t ->
+  Backend.instance ->
+  op ->
+  outcome
+(** Apply one op to a backend and normalise the result.  Exceptions are
+    captured into [Raised] unless [reraise] returns [true] for them
+    (the crash harness lets the fault-injecting VFS's crash exception
+    propagate). *)
+
+(** {2 Serialisation} — one op per line, parse-print round trips. *)
+
+val op_to_string : op -> string
+
+val op_of_string : string -> op
+(** @raise Failure on a malformed line. *)

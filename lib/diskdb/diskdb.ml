@@ -338,6 +338,15 @@ let add_children t ~parent children =
   require_txn t;
   if Array.length children > 0 then begin
     let p = read_node t parent in
+    (* Validate every endpoint before the first write: a bad child must
+       not leave a half-linked batch behind. *)
+    Array.iter
+      (fun child ->
+        let c = read_node t child in
+        if c.Codec.parent <> 0 then
+          invalid_arg
+            (Printf.sprintf "Diskdb: node %d already has a parent" child))
+      children;
     Array.iter
       (fun child ->
         let c = read_node t child in
@@ -357,6 +366,7 @@ let add_parts t ~whole parts =
   require_txn t;
   if Array.length parts > 0 then begin
     let w = read_node t whole in
+    Array.iter (fun part -> ignore (read_node t part)) parts;
     w.Codec.parts <- Array.append w.Codec.parts parts;
     update_node t whole w;
     Array.iter
@@ -372,6 +382,7 @@ let add_part t ~whole ~part = add_parts t ~whole [| part |]
 let add_ref t ~src ~dst ~offset_from ~offset_to =
   require_txn t;
   let s = read_node t src in
+  ignore (read_node t dst);
   s.Codec.refs_to <-
     Array.append s.Codec.refs_to
       [| { Schema.target = dst; offset_from; offset_to } |];

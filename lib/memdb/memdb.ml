@@ -171,6 +171,16 @@ let add_part t ~whole ~part =
 
 let add_children t ~parent children =
   let p = node_of t parent in
+  (* Validate every endpoint before the first assignment: a bad child
+     must not leave a half-linked batch behind (the raise happens before
+     any undo entry is logged, so abort could not repair it). *)
+  Array.iter
+    (fun child ->
+      let c = node_of t child in
+      if Oid.is_valid c.parent then
+        invalid_arg
+          (Printf.sprintf "Memdb: node %d already has a parent" child))
+    children;
   let old_children = p.children in
   let set =
     Array.map
@@ -190,6 +200,7 @@ let add_children t ~parent children =
 
 let add_parts t ~whole parts =
   let w = node_of t whole in
+  Array.iter (fun part -> ignore (node_of t part)) parts;
   let old_parts = w.parts in
   let saved =
     Array.map

@@ -92,6 +92,10 @@ let profile_1988 =
   { network = Latency_model.lan_1988; server_disk = Latency_model.disk_1988;
     server_cache_pages = 1024 }
 
+let profile_test =
+  { network = Latency_model.zero; server_disk = Latency_model.zero;
+    server_cache_pages = 64 }
+
 let attach_profile (p : profile) pager =
   attach ~network:p.network ~server_disk:p.server_disk
     ~server_cache_pages:p.server_cache_pages pager

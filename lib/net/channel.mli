@@ -36,6 +36,13 @@ val profile_1988 : profile
 (** 10 Mbit/s LAN, late-80s server disk, 1024-page server cache — the
     environment the paper's measurements assumed. *)
 
+val profile_test : profile
+(** Zero-latency wire and server disk with a deliberately tiny (64-page)
+    server cache: exercises every remote code path — round trips, group
+    fetches, server-cache eviction — while costing nothing on the
+    virtual clock.  Meant for correctness harnesses (the differential
+    fuzzer runs a channel-remote subject with it), not measurements. *)
+
 type counters = {
   mutable round_trips : int;
       (** request/response exchanges — a batched fetch counts once *)

@@ -10,11 +10,12 @@ type config = {
   durable_sync : bool;
   checkpoint_wal_bytes : int;
   remote : Hyper_net.Channel.profile option;
+  vfs : Vfs.t option;
 }
 
 let default_config ~path =
   { path; pool_pages = 2048; durable_sync = false;
-    checkpoint_wal_bytes = 64 * 1024 * 1024; remote = None }
+    checkpoint_wal_bytes = 64 * 1024 * 1024; remote = None; vfs = None }
 
 let remote_1988 = Hyper_net.Channel.profile_1988
 
@@ -51,6 +52,7 @@ type t = {
   mutable s : structures;
   doc_counts : (int, int) Hashtbl.t;
   mutable result_seq : int;
+  mutable edge_seq : int; (* stamps M-N edge rows in insertion order *)
 }
 
 let name = "reldb"
@@ -89,7 +91,8 @@ let save_roots t =
       ("part_by_part", Btree.root s.part_by_part);
       ("ref_by_src", Btree.root s.ref_by_src);
       ("ref_by_dst", Btree.root s.ref_by_dst);
-      ("result_seq", t.result_seq) ]
+      ("result_seq", t.result_seq);
+      ("edge_seq", t.edge_seq) ]
     |> List.map (fun (k, v) -> (k, Int64.of_int v))
   in
   let kvs =
@@ -140,6 +143,7 @@ let load_roots t =
   let kvs = Meta.load t.pool in
   t.s <- attach_structures t.pool kvs;
   t.result_seq <- Int64.to_int (List.assoc "result_seq" kvs);
+  t.edge_seq <- Int64.to_int (List.assoc "edge_seq" kvs);
   load_doc_counts t kvs
 
 let begin_txn t = Engine.begin_txn t.engine
@@ -150,8 +154,8 @@ let require_txn t = Engine.require_txn t.engine
 
 let open_db config =
   let engine =
-    Engine.open_ ~path:config.path ~pool_pages:config.pool_pages
-      ~durable_sync:config.durable_sync
+    Engine.open_ ?vfs:config.vfs ~path:config.path
+      ~pool_pages:config.pool_pages ~durable_sync:config.durable_sync
       ~checkpoint_wal_bytes:config.checkpoint_wal_bytes ()
   in
   let pool = Engine.pool engine in
@@ -191,7 +195,7 @@ let open_db config =
       in
       let t =
         { engine; pool; channel; s; doc_counts = Hashtbl.create 4;
-          result_seq = 0 }
+          result_seq = 0; edge_seq = 0 }
       in
       save_roots t;
       Buffer_pool.flush_all pool;
@@ -203,7 +207,8 @@ let open_db config =
       let t =
         { engine; pool; channel; s = attach_structures pool kvs;
           doc_counts = Hashtbl.create 4;
-          result_seq = Int64.to_int (List.assoc "result_seq" kvs) }
+          result_seq = Int64.to_int (List.assoc "result_seq" kvs);
+          edge_seq = Int64.to_int (List.assoc "edge_seq" kvs) }
       in
       load_doc_counts t kvs;
       t
@@ -229,6 +234,12 @@ let node_rid t oid =
   | None -> invalid_arg (Printf.sprintf "Reldb: unknown oid %d" oid)
 
 let read_node t oid = Rows.decode_node (Heap.read t.s.node_heap (node_rid t oid))
+
+(* A secondary-index probe on a deleted or never-created node would
+   happily return (or insert) rows for it; the backend contract — and
+   the other backends, which resolve the node record first — is to
+   reject the oid.  One primary-key probe buys the same behaviour. *)
+let require_node t oid = ignore (node_rid t oid : int)
 
 let update_node t row =
   let rid = node_rid t row.Rows.oid in
@@ -282,6 +293,8 @@ let next_child_pos t parent =
 
 let add_child t ~parent ~child =
   require_txn t;
+  require_node t parent;
+  require_node t child;
   if Btree.find_first t.s.child_by_child ~key:child <> None then
     invalid_arg (Printf.sprintf "Reldb: node %d already has a parent" child);
   let pos = next_child_pos t parent in
@@ -294,6 +307,15 @@ let add_child t ~parent ~child =
    one B+tree range fold per edge. *)
 let add_children t ~parent children =
   require_txn t;
+  (* Validate every endpoint before the first insert: a bad child must
+     not leave a half-linked batch behind. *)
+  require_node t parent;
+  Array.iter
+    (fun child ->
+      require_node t child;
+      if Btree.find_first t.s.child_by_child ~key:child <> None then
+        invalid_arg (Printf.sprintf "Reldb: node %d already has a parent" child))
+    children;
   let pos = ref (next_child_pos t parent) in
   Array.iter
     (fun child ->
@@ -307,13 +329,26 @@ let add_children t ~parent children =
       incr pos)
     children
 
+let next_edge_seq t =
+  let seq = t.edge_seq in
+  t.edge_seq <- seq + 1;
+  seq
+
 let add_part t ~whole ~part =
   require_txn t;
-  let rid = Heap.insert t.s.part_heap (Rows.encode_part { Rows.whole; part }) in
+  require_node t whole;
+  require_node t part;
+  let rid =
+    Heap.insert t.s.part_heap
+      (Rows.encode_part { Rows.whole; part; seq = next_edge_seq t })
+  in
   Btree.insert t.s.part_by_whole ~key:whole ~value:rid;
   Btree.insert t.s.part_by_part ~key:part ~value:rid
 
 let add_parts t ~whole parts =
+  require_txn t;
+  require_node t whole;
+  Array.iter (fun part -> require_node t part) parts;
   Array.iter (fun part -> add_part t ~whole ~part) parts
 
 (* Row storage has no per-object pages to group-fetch: edges live in
@@ -323,9 +358,12 @@ let prefetch_nodes _t _oids = ()
 
 let add_ref t ~src ~dst ~offset_from ~offset_to =
   require_txn t;
+  require_node t src;
+  require_node t dst;
   let rid =
     Heap.insert t.s.ref_heap
-      (Rows.encode_ref { Rows.src; dst; offset_from; offset_to })
+      (Rows.encode_ref
+         { Rows.src; dst; offset_from; offset_to; seq = next_edge_seq t })
   in
   Btree.insert t.s.ref_by_src ~key:src ~value:rid;
   Btree.insert t.s.ref_by_dst ~key:dst ~value:rid
@@ -497,6 +535,7 @@ let range_million t ~doc ~lo ~hi = collect_range t.s.idx_million ~doc ~lo ~hi
 let rids_for tree key = Btree.find_all tree ~key
 
 let children t oid =
+  require_node t oid;
   let rids =
     List.rev
       (Btree.fold_range t.s.child_by_parent ~lo:(child_key ~parent:oid ~pos:0)
@@ -510,17 +549,30 @@ let children t oid =
        rids)
 
 let parent t oid =
+  require_node t oid;
   Option.map
     (fun rid -> (Rows.decode_child (Heap.read t.s.child_heap rid)).Rows.parent)
     (Btree.find_first t.s.child_by_child ~key:oid)
 
+(* parts and refsTo are insertion-ordered; the index yields rids (which
+   Heap recycles), so order by the rows' sequence stamps instead. *)
 let parts t oid =
-  Array.of_list
-    (List.map
-       (fun rid -> (Rows.decode_part (Heap.read t.s.part_heap rid)).Rows.part)
-       (rids_for t.s.part_by_whole oid))
+  require_node t oid;
+  let rows =
+    List.map
+      (fun rid -> Rows.decode_part (Heap.read t.s.part_heap rid))
+      (rids_for t.s.part_by_whole oid)
+  in
+  let rows =
+    List.sort
+      (fun (a : Rows.part_row) (b : Rows.part_row) ->
+        compare a.Rows.seq b.Rows.seq)
+      rows
+  in
+  Array.of_list (List.map (fun (r : Rows.part_row) -> r.Rows.part) rows)
 
 let part_of t oid =
+  require_node t oid;
   Array.of_list
     (List.map
        (fun rid -> (Rows.decode_part (Heap.read t.s.part_heap rid)).Rows.whole)
@@ -532,13 +584,21 @@ let link_of_ref ~incoming r =
     offset_to = r.Rows.offset_to }
 
 let refs_to t oid =
-  Array.of_list
-    (List.map
-       (fun rid ->
-         link_of_ref ~incoming:false (Rows.decode_ref (Heap.read t.s.ref_heap rid)))
-       (rids_for t.s.ref_by_src oid))
+  require_node t oid;
+  let rows =
+    List.map
+      (fun rid -> Rows.decode_ref (Heap.read t.s.ref_heap rid))
+      (rids_for t.s.ref_by_src oid)
+  in
+  let rows =
+    List.sort
+      (fun (a : Rows.ref_row) (b : Rows.ref_row) -> compare a.Rows.seq b.Rows.seq)
+      rows
+  in
+  Array.of_list (List.map (link_of_ref ~incoming:false) rows)
 
 let refs_from t oid =
+  require_node t oid;
   Array.of_list
     (List.map
        (fun rid ->

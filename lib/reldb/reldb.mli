@@ -21,6 +21,9 @@ type config = {
   checkpoint_wal_bytes : int;
   remote : Hyper_net.Channel.profile option;
       (** workstation/server simulation, as in the object backend *)
+  vfs : Hyper_storage.Vfs.t option;
+      (** VFS all storage I/O flows through; [None] = real files.  Same
+          contract as {!Hyper_diskdb.Diskdb.config}[.vfs]. *)
 }
 
 val default_config : path:string -> config

@@ -13,9 +13,20 @@ type node_row = {
 
 type child_row = { parent : int; pos : int; child : int }
 
-type part_row = { whole : int; part : int }
+(* M-N edges carry an insertion sequence number: the secondary indexes
+   map endpoint -> heap rid, and rids are recycled by Heap's free list,
+   so rid order is an access-path artefact.  parts/refsTo are specified
+   as insertion-ordered (what the pointer backends' append order gives),
+   and [seq] is what makes that order survive a delete + re-add. *)
+type part_row = { whole : int; part : int; seq : int }
 
-type ref_row = { src : int; dst : int; offset_from : int; offset_to : int }
+type ref_row = {
+  src : int;
+  dst : int;
+  offset_from : int;
+  offset_to : int;
+  seq : int;
+}
 
 (* --- emit / read primitives (little-endian over Buffer / cursor) --- *)
 
@@ -145,23 +156,26 @@ let decode_child data =
   { parent; pos; child }
 
 let encode_part r =
-  let buf = Buffer.create 8 in
+  let buf = Buffer.create 12 in
   emit_u32 buf r.whole;
   emit_u32 buf r.part;
+  emit_u32 buf r.seq;
   Buffer.to_bytes buf
 
 let decode_part data =
   let c = { data; pos = 0 } in
   let whole = read_u32 c in
   let part = read_u32 c in
-  { whole; part }
+  let seq = read_u32 c in
+  { whole; part; seq }
 
 let encode_ref r =
-  let buf = Buffer.create 10 in
+  let buf = Buffer.create 14 in
   emit_u32 buf r.src;
   emit_u32 buf r.dst;
   emit_u8 buf r.offset_from;
   emit_u8 buf r.offset_to;
+  emit_u32 buf r.seq;
   Buffer.to_bytes buf
 
 let decode_ref data =
@@ -170,7 +184,8 @@ let decode_ref data =
   let dst = read_u32 c in
   let offset_from = read_u8 c in
   let offset_to = read_u8 c in
-  { src; dst; offset_from; offset_to }
+  let seq = read_u32 c in
+  { src; dst; offset_from; offset_to; seq }
 
 let encode_oid_list oids =
   let buf = Buffer.create (4 + (4 * List.length oids)) in

@@ -26,9 +26,18 @@ type node_row = {
 
 type child_row = { parent : int; pos : int; child : int }
 
-type part_row = { whole : int; part : int }
+(* [seq] orders M-N edges by insertion: the endpoint indexes map to
+   heap rids, which Heap recycles, so rid order cannot serve as the
+   specified parts/refsTo order after a delete + re-add. *)
+type part_row = { whole : int; part : int; seq : int }
 
-type ref_row = { src : int; dst : int; offset_from : int; offset_to : int }
+type ref_row = {
+  src : int;
+  dst : int;
+  offset_from : int;
+  offset_to : int;
+  seq : int;
+}
 
 val encode_node : node_row -> bytes
 val decode_node : bytes -> node_row

@@ -28,34 +28,41 @@ let recover ?(vfs = Vfs.real) ~wal_path pager =
       ignore (Pager.allocate pager)
     done
   in
-  let redone = ref 0 in
+  (* Resolve each page to its latest image in LOG ORDER: committed
+     transactions contribute their redo (After) images, transactions
+     without a commit record contribute their undo (Before) images, and
+     whichever record came later in the log supersedes the earlier one.
+     Separate redo-then-undo passes are wrong here: a transaction that
+     aborted cleanly long before the crash also has no commit record,
+     and replaying its before-images *after* the redo pass would clobber
+     pages that later committed transactions rewrote — its images are
+     only current up to the point in the log where it ran.  Applying in
+     log order makes a later committed After win over a stale Before,
+     while a transaction still in flight at the crash (whose records end
+     the log) is undone exactly as before. *)
+  let final = Hashtbl.create 64 in
   List.iter
     (function
       | Wal.After (t, p, img) when Hashtbl.mem committed t ->
-        ensure_page p;
-        Pager.write pager p img;
-        incr redone
+        Hashtbl.replace final p (`Redo img)
+      | Wal.Before (t, p, img) when not (Hashtbl.mem committed t) ->
+        Hashtbl.replace final p (`Undo img)
       | Wal.Begin _ | Wal.Commit _ | Wal.Checkpoint | Wal.Before _
       | Wal.After _ -> ())
     entries;
-  (* Undo: first before-image per (txn, page) wins. *)
-  let first_before = Hashtbl.create 16 in
-  List.iter
-    (function
-      | Wal.Before (t, p, img)
-        when (not (Hashtbl.mem committed t))
-             && not (Hashtbl.mem first_before (t, p)) ->
-        Hashtbl.add first_before (t, p) img
-      | Wal.Begin _ | Wal.Commit _ | Wal.Checkpoint | Wal.Before _
-      | Wal.After _ -> ())
-    entries;
+  let redone = ref 0 in
   let undone = ref 0 in
   Hashtbl.iter
-    (fun (_, p) img ->
+    (fun p action ->
       ensure_page p;
-      Pager.write pager p img;
-      incr undone)
-    first_before;
+      match action with
+      | `Redo img ->
+        Pager.write pager p img;
+        incr redone
+      | `Undo img ->
+        Pager.write pager p img;
+        incr undone)
+    final;
   let ids tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
   let rolled_back =
     List.filter (fun t -> not (Hashtbl.mem committed t)) (ids started)

@@ -179,6 +179,21 @@ module Faulty = struct
   let write_count env = env.nwrites
   let sync_count env = env.nsyncs
 
+  (* Crash points in the plan are absolute op counts, and [set_plan] does
+     not reset the counters — arming a crash "k writes from now" after a
+     setup phase therefore needs the current counts added in. *)
+  let arm_crash env ?(after_writes = 0) ?(after_syncs = 0) ?power_loss () =
+    let plan = env.plan in
+    set_plan env
+      {
+        plan with
+        crash_after_writes =
+          (if after_writes > 0 then env.nwrites + after_writes else 0);
+        crash_after_syncs =
+          (if after_syncs > 0 then env.nsyncs + after_syncs else 0);
+        power_loss = Option.value power_loss ~default:plan.power_loss;
+      }
+
   let suffix_matches path suffix =
     let lp = String.length path and ls = String.length suffix in
     ls = 0 || (lp >= ls && String.sub path (lp - ls) ls = suffix)

@@ -116,6 +116,16 @@ module Faulty : sig
 
   val sync_count : env -> int
 
+  val arm_crash :
+    env -> ?after_writes:int -> ?after_syncs:int -> ?power_loss:bool -> unit -> unit
+  (** Arm a crash point {e relative to the current counters}: crash
+      during the [after_writes]-th mutating op (or [after_syncs]-th
+      sync) from now, counting from the next one.  [0] (the default)
+      leaves that trigger disarmed.  Keeps the rest of the current plan
+      ([power_loss] optionally overridden) — the convenience the
+      differential crash harness uses to plant a crash mid-trace after
+      an unfaulted setup phase. *)
+
   val power_fail : env -> unit
   (** Simulate losing power: settle every file to its durable contents (see
       [power_loss] and [torn_writes]), drop the journals, clear the

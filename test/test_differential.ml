@@ -1,0 +1,220 @@
+(* Tier-1 harness around Hyper_check: small-budget differential runs
+   (the big budget lives in bin/fuzz.ml and CI's nightly job).
+
+   What is pinned here:
+   - agreement: generated traces find zero divergences on every subject;
+   - sensitivity: a deliberately lying backend IS caught, the repro
+     shrinks to a handful of ops, and shrinking is deterministic;
+   - crash interleaving: recovery at several crash points matches the
+     oracle replay of the acked prefix;
+   - the checked-in corpus replays cleanly (regression traces for every
+     divergence class the fuzzer has found);
+   - trace serialisation round-trips, so printed repros are faithful. *)
+
+open Hyper_core
+open Hyper_check
+
+let check = Alcotest.check
+let gen_seed = 42L
+let level = 3
+
+(* --- cross-backend agreement on generated traces --- *)
+
+let test_agreement () =
+  List.iter
+    (fun seed ->
+      match
+        Differential.run_case
+          { Differential.seed; gen_seed; level; steps = 50;
+            subjects = Differential.all_kinds }
+      with
+      | None -> ()
+      | Some f ->
+        Alcotest.failf "seed %Ld diverged on %s: %s" seed
+          f.Differential.f_backend
+          (Format.asprintf "%a" Differential.pp_divergence
+             f.Differential.f_divergence))
+    [ 201L; 202L ]
+
+(* --- sensitivity: a lying backend must be caught and shrunk --- *)
+
+(* Memdb with a bug planted in [children]: nodes whose oid is a multiple
+   of 23 report their children reversed.  Several layout nodes (23, 46,
+   69, 92, 115) hit it, so generated reads, closures and the final
+   verify all can observe it. *)
+module Liar = struct
+  include Hyper_memdb.Memdb
+
+  let name = "liar"
+
+  let children t oid =
+    let c = children t oid in
+    let n = Array.length c in
+    if oid mod 23 = 0 && n > 1 then
+      Array.init n (fun i -> c.(n - 1 - i))
+    else c
+end
+
+let liar_harness () =
+  {
+    Differential.h_name = "liar";
+    h_fresh =
+      (fun () ->
+        let b = Hyper_memdb.Memdb.create () in
+        let module G = Generator.Make (Hyper_memdb.Memdb) in
+        let _ = G.generate b ~doc:1 ~leaf_level:level ~seed:gen_seed in
+        ( Backend.Instance ((module Liar : Backend.S with type t = Liar.t), b),
+          fun () -> () ));
+  }
+
+let find_liar () =
+  let oracle, layout = Differential.oracle_harness ~gen_seed ~level in
+  let subject = liar_harness () in
+  let ops = Gen.trace ~seed:303L ~gen_seed ~level ~steps:60 in
+  match Differential.check ~layout ~oracle ~subject ops with
+  | None -> Alcotest.fail "planted bug not detected"
+  | Some d ->
+    let minimal, d' = Differential.shrink ~layout ~oracle ~subject ops d in
+    (minimal, d')
+
+let test_liar_detected_and_shrunk () =
+  let minimal, d = find_liar () in
+  check Alcotest.bool "shrunk to a handful of ops" true
+    (List.length minimal <= 4);
+  (* The minimal repro still diverges when replayed from scratch. *)
+  let oracle, layout = Differential.oracle_harness ~gen_seed ~level in
+  match Differential.check ~layout ~oracle ~subject:(liar_harness ()) minimal with
+  | None -> Alcotest.fail "minimal repro does not reproduce"
+  | Some d2 ->
+    check Alcotest.int "same divergence step" d.Differential.step
+      d2.Differential.step
+
+let test_shrink_deterministic () =
+  let m1, d1 = find_liar () in
+  let m2, d2 = find_liar () in
+  check
+    (Alcotest.list Alcotest.string)
+    "same minimal trace"
+    (List.map Trace.op_to_string m1)
+    (List.map Trace.op_to_string m2);
+  check Alcotest.int "same step" d1.Differential.step d2.Differential.step
+
+(* --- crash-point interleaving --- *)
+
+let test_crash_points_clean () =
+  let ops = Gen.trace ~seed:404L ~gen_seed ~level ~steps:40 in
+  let writes = Differential.crash_writes ~gen_seed ~level ops in
+  check Alcotest.bool "trace performs writes" true (writes > 0);
+  List.iter
+    (fun k ->
+      let k = max 1 k in
+      match Differential.crash_check ~gen_seed ~level ~crash_after:k ops with
+      | Differential.Crash_clean _ -> ()
+      | Differential.Crash_diverged { crash_step; acked; _ } ->
+        Alcotest.failf "recovery diverged at k=%d (step %d, %d acked)" k
+          crash_step acked)
+    [ writes / 4; writes / 2; 3 * writes / 4 ]
+
+(* --- checked-in corpus --- *)
+
+let corpus_files () =
+  let dir = "corpus" in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Alcotest.fail "corpus directory missing (dune deps broken?)";
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".trace")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let test_corpus_replays () =
+  let files = corpus_files () in
+  check Alcotest.bool "corpus is non-empty" true (List.length files >= 4);
+  List.iter
+    (fun path ->
+      let g, l, ops = Differential.load_repro ~path in
+      let oracle, layout = Differential.oracle_harness ~gen_seed:g ~level:l in
+      List.iter
+        (fun kind ->
+          let subject = Differential.subject_harness ~gen_seed:g ~level:l kind in
+          match Differential.check ~layout ~oracle ~subject ops with
+          | None -> ()
+          | Some d ->
+            Alcotest.failf "%s vs %s: %s" path
+              (Differential.kind_name kind)
+              (Format.asprintf "%a" Differential.pp_divergence d))
+        Differential.all_kinds)
+    files
+
+(* --- serialisation and generation determinism --- *)
+
+let test_op_round_trip () =
+  let ops = Gen.trace ~seed:505L ~gen_seed ~level ~steps:300 in
+  check Alcotest.bool "trace long enough to cover the grammar" true
+    (List.length ops > 200);
+  List.iter
+    (fun op ->
+      let s = Trace.op_to_string op in
+      if Trace.op_of_string s <> op then
+        Alcotest.failf "round trip broke: %S" s)
+    ops
+
+let test_gen_deterministic () =
+  let t1 = Gen.trace ~seed:606L ~gen_seed ~level ~steps:80 in
+  let t2 = Gen.trace ~seed:606L ~gen_seed ~level ~steps:80 in
+  check
+    (Alcotest.list Alcotest.string)
+    "same seed, same trace"
+    (List.map Trace.op_to_string t1)
+    (List.map Trace.op_to_string t2);
+  let t3 = Gen.trace ~seed:607L ~gen_seed ~level ~steps:80 in
+  check Alcotest.bool "different seed, different trace" true
+    (List.map Trace.op_to_string t1 <> List.map Trace.op_to_string t3)
+
+let test_save_load_round_trip () =
+  let ops = Gen.trace ~seed:708L ~gen_seed ~level ~steps:60 in
+  let path = Filename.temp_file "hyper_fuzz_repro" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Differential.save_repro ~path ~gen_seed ~level ops;
+      let g, l, ops' = Differential.load_repro ~path in
+      check Alcotest.int "level survives" level l;
+      check Alcotest.bool "gen_seed survives" true (g = gen_seed);
+      check
+        (Alcotest.list Alcotest.string)
+        "ops survive"
+        (List.map Trace.op_to_string ops)
+        (List.map Trace.op_to_string ops'))
+
+let () =
+  Alcotest.run "hyper_differential"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "generated traces agree everywhere" `Quick
+            test_agreement;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "planted bug detected and shrunk" `Quick
+            test_liar_detected_and_shrunk;
+          Alcotest.test_case "shrinking is deterministic" `Quick
+            test_shrink_deterministic;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "recovery matches oracle at 3 crash points"
+            `Quick test_crash_points_clean;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "checked-in traces replay" `Quick test_corpus_replays ] );
+      ( "serialisation",
+        [
+          Alcotest.test_case "op print/parse round trip" `Quick
+            test_op_round_trip;
+          Alcotest.test_case "generation deterministic" `Quick
+            test_gen_deterministic;
+          Alcotest.test_case "repro file round trip" `Quick
+            test_save_load_round_trip;
+        ] );
+    ]

@@ -225,10 +225,10 @@ let prop_reldb_relationship_rows =
       quad (int_bound 100_000) (int_bound 100_000) (int_bound 9) (int_bound 9))
     (fun (a, b, f, o) ->
       let child = { Hyper_reldb.Rows.parent = a + 1; pos = f; child = b + 1 } in
-      let part = { Hyper_reldb.Rows.whole = a + 1; part = b + 1 } in
+      let part = { Hyper_reldb.Rows.whole = a + 1; part = b + 1; seq = o } in
       let r =
         { Hyper_reldb.Rows.src = a + 1; dst = b + 1; offset_from = f;
-          offset_to = o }
+          offset_to = o; seq = a }
       in
       Hyper_reldb.Rows.decode_child (Hyper_reldb.Rows.encode_child child)
       = child

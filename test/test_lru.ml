@@ -1,0 +1,147 @@
+(* Model-based check of Hyper_util.Lru against a naive reference: an
+   association list kept most-recently-used-first, where every operation
+   is a linear scan.  Random op sequences must leave both structures
+   with identical observable state — contents, recency order (observed
+   through eviction), length and hit/miss answers. *)
+
+module Lru = Hyper_util.Lru
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- the reference model --- *)
+
+module Model = struct
+  type t = { cap : int; mutable l : (int * int) list }
+
+  let create cap = { cap; l = [] }
+  let length m = List.length m.l
+  let mem m k = List.mem_assoc k m.l
+
+  let find m k =
+    match List.assoc_opt k m.l with
+    | None -> None
+    | Some v ->
+      m.l <- (k, v) :: List.remove_assoc k m.l;
+      Some v
+
+  let put m k v =
+    m.l <- (k, v) :: List.remove_assoc k m.l;
+    if List.length m.l > m.cap then
+      m.l <- List.filteri (fun i _ -> i < m.cap) m.l
+
+  let remove m k = m.l <- List.remove_assoc k m.l
+  let clear m = m.l <- []
+  let sorted m = List.sort compare m.l
+end
+
+(* --- random op sequences --- *)
+
+type op = Put of int * int | Find of int | Mem of int | Remove of int | Clear
+
+let op_gen =
+  (* Keys from a small space so collisions, touches and evictions of
+     the same key actually happen. *)
+  QCheck.Gen.(
+    frequency
+      [ (6, map2 (fun k v -> Put (k, v)) (int_bound 20) (int_bound 1000));
+        (4, map (fun k -> Find k) (int_bound 20));
+        (2, map (fun k -> Mem k) (int_bound 20));
+        (2, map (fun k -> Remove k) (int_bound 20));
+        (1, return Clear) ])
+
+let op_print = function
+  | Put (k, v) -> Printf.sprintf "put %d %d" k v
+  | Find k -> Printf.sprintf "find %d" k
+  | Mem k -> Printf.sprintf "mem %d" k
+  | Remove k -> Printf.sprintf "remove %d" k
+  | Clear -> "clear"
+
+let scenario =
+  QCheck.make
+    ~print:(fun (cap, ops) ->
+      Printf.sprintf "cap=%d [%s]" cap
+        (String.concat "; " (List.map op_print ops)))
+    QCheck.Gen.(pair (int_range 1 8) (list_size (int_bound 120) op_gen))
+
+let lru_contents t =
+  let acc = ref [] in
+  Lru.iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.sort compare !acc
+
+let agrees (cap, ops) =
+  let t = Lru.create ~capacity:cap () in
+  let m = Model.create cap in
+  List.for_all
+    (fun op ->
+      let step_ok =
+        match op with
+        | Put (k, v) ->
+          Lru.put t k v;
+          Model.put m k v;
+          true
+        | Find k -> Lru.find t k = Model.find m k
+        | Mem k -> Lru.mem t k = Model.mem m k
+        | Remove k ->
+          Lru.remove t k;
+          Model.remove m k;
+          true
+        | Clear ->
+          Lru.clear t;
+          Model.clear m;
+          true
+      in
+      step_ok
+      && Lru.length t = Model.length m
+      && Lru.length t <= cap
+      && lru_contents t = Model.sorted m)
+    ops
+
+let model_agreement =
+  QCheck.Test.make ~name:"random ops match assoc-list model" ~count:500
+    scenario agrees
+
+(* Recency is only observable through which binding an over-capacity put
+   evicts; drive it explicitly so a put/find that fails to move its key
+   to the front cannot hide behind content equality. *)
+let eviction_order =
+  QCheck.Test.make ~name:"eviction follows recency, not insertion" ~count:300
+    QCheck.(
+      make
+        ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+        Gen.(list_size (int_bound 40) (int_bound 6)))
+    (fun touches ->
+      let cap = 4 in
+      let t = Lru.create ~capacity:cap () in
+      let m = Model.create cap in
+      List.iteri
+        (fun i k ->
+          (* Alternate touching (find) and inserting fresh keys. *)
+          if i mod 3 = 2 then begin
+            let fresh = 100 + i in
+            Lru.put t fresh i;
+            Model.put m fresh i
+          end
+          else begin
+            ignore (Lru.find t k);
+            ignore (Model.find m k);
+            Lru.put t k i;
+            Model.put m k i
+          end)
+        touches;
+      lru_contents t = Model.sorted m)
+
+let invalid_capacity () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity < 1") (fun () ->
+      ignore (Lru.create ~capacity:0 () : (int, int) Lru.t))
+
+let () =
+  Alcotest.run "hyper_lru"
+    [
+      ( "model",
+        [
+          qtest model_agreement;
+          qtest eviction_order;
+          Alcotest.test_case "invalid capacity" `Quick invalid_capacity;
+        ] );
+    ]

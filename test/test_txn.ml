@@ -329,6 +329,112 @@ let test_workspace_conflict_and_refresh () =
     (Some "second")
     (Workspace.shared_get shared 1)
 
+(* --- multiuser invariants over real backends ---
+
+   Multiuser.Make drives concurrent closure1NAttSet transactions through
+   a real backend; these pin its accounting exactly:
+   - every attempt resolves: committed + aborted = attempted;
+   - each logical transaction gets at most one retry, so the permanently
+     failed count is (aborted - retried_ok) / 2 and the identity
+     committed + (aborted - retried_ok) / 2 = logical transactions holds;
+   - disjoint workloads converge completely (no aborts at all);
+   - the database is structurally intact afterwards.  The transaction
+     body complements hundred (h := 99 - h), which maps the generated
+     1..100 onto -1..98, so odd numbers of commits leave some nodes out
+     of the attribute range; complementing those back restores a state
+     Verify accepts in full. *)
+
+module Multiuser_invariants (B : Hyper_core.Backend.S) = struct
+  module MU = Hyper_core.Multiuser.Make (B)
+  module G = Hyper_core.Generator.Make (B)
+  module V = Hyper_core.Verify.Make (B)
+
+  let accounting_ok ~users ~txns_per_user (r : Hyper_core.Multiuser.result) =
+    check Alcotest.int "committed + aborted = attempted" r.txns_attempted
+      (r.committed + r.aborted);
+    check Alcotest.bool "retried_ok bounded by aborts" true
+      (r.retried_ok <= r.aborted);
+    check Alcotest.int "abort parity (one retry each)" 0
+      ((r.aborted - r.retried_ok) mod 2);
+    let permanently_failed = (r.aborted - r.retried_ok) / 2 in
+    check Alcotest.int "every logical txn accounted for"
+      (users * txns_per_user)
+      (r.committed + permanently_failed)
+
+  let normalize_hundred b layout =
+    B.begin_txn b;
+    Hyper_core.Layout.iter_oids layout (fun oid ->
+        let h = B.hundred b oid in
+        if h < 1 then B.set_hundred b oid (99 - h));
+    B.commit b
+
+  let run_all b layout =
+    List.iter
+      (fun mode ->
+        (* Fully disjoint: everyone works a private subtree, so both
+           schemes must commit everything first try. *)
+        let r =
+          MU.run b layout ~mode ~users:3 ~txns_per_user:10 ~hot_fraction:0.0
+            ~seed:11L
+        in
+        accounting_ok ~users:3 ~txns_per_user:10 r;
+        check Alcotest.int
+          (Hyper_core.Multiuser.mode_to_string mode ^ " disjoint aborts")
+          0 r.aborted;
+        check Alcotest.int
+          (Hyper_core.Multiuser.mode_to_string mode ^ " disjoint commits")
+          30 r.committed;
+        (* Contended: half the transactions hit one hot subtree.  Aborts
+           are allowed; the accounting identity and forward progress are
+           not negotiable. *)
+        let r =
+          MU.run b layout ~mode ~users:3 ~txns_per_user:10 ~hot_fraction:0.5
+            ~seed:13L
+        in
+        accounting_ok ~users:3 ~txns_per_user:10 r;
+        check Alcotest.bool
+          (Hyper_core.Multiuser.mode_to_string mode ^ " makes progress")
+          true (r.committed > 0))
+      [ Hyper_core.Multiuser.Two_phase_locking; Hyper_core.Multiuser.Optimistic ];
+    normalize_hundred b layout;
+    let fails = Hyper_core.Verify.failures (V.run b layout) in
+    match fails with
+    | [] -> ()
+    | c :: _ ->
+      Alcotest.failf "verify failed after multiuser run: %s — %s"
+        c.Hyper_core.Verify.name c.Hyper_core.Verify.detail
+end
+
+let test_multiuser_memdb () =
+  let module B = Hyper_memdb.Memdb in
+  let module I = Multiuser_invariants (B) in
+  let b = B.create () in
+  let layout, _ = I.G.generate b ~doc:1 ~leaf_level:3 ~seed:21L in
+  I.run_all b layout
+
+let test_multiuser_diskdb () =
+  let module B = Hyper_diskdb.Diskdb in
+  let module I = Multiuser_invariants (B) in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hyper_txn_mu_%d.db" (Unix.getpid ()))
+  in
+  let cleanup () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ path; path ^ ".sum"; path ^ ".wal" ]
+  in
+  cleanup ();
+  let b = B.open_db (B.default_config ~path) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try B.close b with _ -> ());
+      cleanup ())
+    (fun () ->
+      let layout, _ = I.G.generate b ~doc:1 ~leaf_level:3 ~seed:21L in
+      I.run_all b layout)
+
 let () =
   Alcotest.run "hyper_txn"
     [
@@ -374,5 +480,11 @@ let () =
             test_workspace_disjoint_publishes;
           Alcotest.test_case "conflict + refresh" `Quick
             test_workspace_conflict_and_refresh;
+        ] );
+      ( "multiuser",
+        [
+          Alcotest.test_case "invariants on memdb" `Quick test_multiuser_memdb;
+          Alcotest.test_case "invariants on diskdb" `Quick
+            test_multiuser_diskdb;
         ] );
     ]
