@@ -1,0 +1,113 @@
+(* hyperlint — typedtree-based invariant linter for the storage, txn
+   and fault-injection layers.
+
+     dune build @check        # produce the .cmt files
+     hyperlint _build/default # report violations, exit 1 on any
+
+   The rules, the invariants they guard and the suppression story are
+   documented in DESIGN.md §12. *)
+
+open Cmdliner
+module Lint = Hyper_lint.Driver
+module Rules = Hyper_lint.Rules
+module Finding = Hyper_lint.Finding
+
+let list_rules () =
+  List.iter
+    (fun (id, descr) -> Printf.printf "%-26s %s\n" id descr)
+    Rules.all
+
+let run roots allowlist only all_paths verbose do_list =
+  if do_list then begin
+    list_rules ();
+    0
+  end
+  else begin
+    let roots =
+      match roots with
+      | [] ->
+          if Sys.file_exists "_build/default" then [ "_build/default" ]
+          else [ "." ]
+      | rs -> rs
+    in
+    let allowlist_file =
+      match allowlist with
+      | Some f -> Some f
+      | None ->
+          if Sys.file_exists "lint.allowlist" then Some "lint.allowlist"
+          else None
+    in
+    let only = if only = [] then Lint.default_only else only in
+    let report = Lint.scan ?allowlist_file ~only ~scope_all:all_paths roots in
+    if report.Lint.units = 0 then begin
+      prerr_endline
+        "hyperlint: no .cmt files matched — run `dune build @check` first \
+         and point hyperlint at the build directory";
+      2
+    end
+    else begin
+      List.iter
+        (fun f -> print_endline (Finding.to_string_hinted f))
+        report.Lint.findings;
+      if verbose then begin
+        List.iter
+          (fun f ->
+            Printf.printf "allowed (lint.allowlist): %s\n"
+              (Finding.to_string f))
+          report.Lint.allowed;
+        List.iter
+          (fun f ->
+            Printf.printf "allowed ([@lint.allow]): %s\n"
+              (Finding.to_string f))
+          report.Lint.attr_suppressed
+      end;
+      Printf.eprintf
+        "hyperlint: %d unit(s), %d finding(s), %d allowed (%d by attribute)\n"
+        report.Lint.units
+        (List.length report.Lint.findings)
+        (List.length report.Lint.allowed)
+        (List.length report.Lint.attr_suppressed);
+      if report.Lint.findings <> [] then 1 else 0
+    end
+  end
+
+let roots_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"DIR"
+           ~doc:"Directories to walk for .cmt files (default: \
+                 _build/default if present, else the current directory).")
+
+let allowlist_arg =
+  Arg.(value & opt (some file) None
+       & info [ "allowlist" ] ~docv:"FILE"
+           ~doc:"Suppression file (default: lint.allowlist if present). \
+                 Lines of `rule-id path-substring`.")
+
+let only_arg =
+  Arg.(value & opt_all string []
+       & info [ "only" ] ~docv:"PREFIX"
+           ~doc:"Only lint sources whose path starts with $(docv) \
+                 (repeatable; default lib/ and bin/).")
+
+let all_paths_arg =
+  Arg.(value & flag
+       & info [ "all-paths" ]
+           ~doc:"Disable per-rule directory scoping (deterministic-iteration \
+                 normally applies to lib/reldb, lib/txn and lib/check only).")
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "verbose"; "v" ] ~doc:"Also print allowed/suppressed findings.")
+
+let list_arg =
+  Arg.(value & flag & info [ "list-rules" ] ~doc:"List rule ids and exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hyperlint" ~version:"%%VERSION%%"
+       ~doc:"Typedtree-based invariant linter for the hypermodel repo")
+    Term.(
+      const run $ roots_arg $ allowlist_arg $ only_arg $ all_paths_arg
+      $ verbose_arg $ list_arg)
+
+let () = exit (Cmd.eval' cmd)

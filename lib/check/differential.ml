@@ -1,5 +1,6 @@
 open Hyper_core
 module Vfs = Hyper_storage.Vfs
+module Storage_error = Hyper_storage.Storage_error
 module M = Hyper_memdb.Memdb
 module D = Hyper_diskdb.Diskdb
 module R = Hyper_reldb.Reldb
@@ -91,13 +92,13 @@ let subject_harness ~gen_seed ~level kind =
         let db = D.open_db (disk_config ~remote ~prefetch:(kind = Disk_remote) vfs) in
         generate_disk db ~gen_seed ~level;
         ( Backend.Instance ((module D : Backend.S with type t = D.t), db),
-          fun () -> try D.close db with _ -> () )
+          fun () -> try D.close db with Storage_error.Error _ -> () )
     | Rel ->
         let db = R.open_db (rel_config vfs) in
         let module G = Generator.Make (R) in
         ignore (G.generate db ~doc:1 ~leaf_level:level ~seed:gen_seed);
         ( Backend.Instance ((module R : Backend.S with type t = R.t), db),
-          fun () -> try R.close db with _ -> () )
+          fun () -> try R.close db with Storage_error.Error _ -> () )
   in
   { h_name = kind_name kind; h_fresh = fresh }
 
@@ -378,7 +379,7 @@ let crash_writes ~gen_seed ~level ops =
   let before = Vfs.Faulty.write_count env in
   List.iter (fun op -> ignore (Trace.apply ~layout inst op)) ops;
   let after = Vfs.Faulty.write_count env in
-  (try D.close db with _ -> ());
+  (try D.close db with Storage_error.Error _ -> ());
   after - before
 
 type crash_report =
@@ -461,7 +462,7 @@ let crash_check ~gen_seed ~level ~crash_after ops =
               Crash_diverged
                 { crash_step = step; acked = !acked; in_flight; divergence = d })
   in
-  (try D.close recovered with _ -> ());
+  (try D.close recovered with Storage_error.Error _ -> ());
   result
 
 (* {2 Repro files} *)
@@ -480,7 +481,8 @@ let load_repro ~path =
       let header = input_line ic in
       let gen_seed, level =
         try Scanf.sscanf header "# hyperfuzz v1 gen_seed=%Ld level=%d" (fun g l -> (g, l))
-        with _ -> failwith (path ^ ": bad hyperfuzz header: " ^ header)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          failwith (path ^ ": bad hyperfuzz header: " ^ header)
       in
       let ops = ref [] in
       (try

@@ -39,7 +39,11 @@ let emit st op =
   ignore (Trace.apply ~layout:st.layout st.inst op)
 
 let exists st oid =
-  match M.kind st.b oid with _ -> true | exception _ -> false
+  (* Memdb signals unknown oids with Invalid_argument; anything else
+     (e.g. an armed crash fault) must not be mistaken for "deleted". *)
+  match M.kind st.b oid with
+  | _ -> true
+  | exception Invalid_argument _ -> false
 
 (* A random live node: layout nodes dominate, trace-created nodes mixed
    in.  Falls back to the structure root (never deleted: it always has
@@ -76,7 +80,7 @@ let form_biased st =
    Guards add_child against creating a cycle — closure_1n assumes a
    forest. *)
 let rec reaches_up st ~anc oid =
-  oid = anc
+  Oid.equal oid anc
   ||
   match M.parent st.b oid with
   | Some p -> reaches_up st ~anc p
@@ -122,7 +126,7 @@ let gen_create st =
          payload;
        });
   st.created <- oid :: st.created;
-  st.graveyard <- List.filter (fun o -> o <> oid) st.graveyard;
+  st.graveyard <- List.filter (fun o -> not (Oid.equal o oid)) st.graveyard;
   true
 
 let pick_parent_for st child =
@@ -130,7 +134,7 @@ let pick_parent_for st child =
     if tries = 0 then None
     else
       let p = existing st in
-      if p <> child && not (reaches_up st ~anc:child p) then Some p
+      if (not (Oid.equal p child)) && not (reaches_up st ~anc:child p) then Some p
       else go (tries - 1)
   in
   go 6
@@ -164,7 +168,9 @@ let gen_add_children st =
   | [] | [ _ ] -> false
   | children -> (
       let ok_parent p =
-        List.for_all (fun c -> p <> c && not (reaches_up st ~anc:c p)) children
+        List.for_all
+          (fun c -> (not (Oid.equal p c)) && not (reaches_up st ~anc:c p))
+          children
       in
       let rec go tries =
         if tries = 0 then None
@@ -181,7 +187,7 @@ let gen_add_children st =
 let gen_add_part st =
   let whole = probe_oid st in
   let part = probe_oid st in
-  if whole = part then false
+  if Oid.equal whole part then false
   else begin
     emit st (Trace.Add_part { whole; part });
     true
@@ -193,7 +199,8 @@ let gen_add_parts st =
     if n = 0 then acc
     else
       let p = probe_oid st in
-      if p <> whole && not (List.mem p acc) then collect (p :: acc) (n - 1)
+      if (not (Oid.equal p whole)) && not (List.mem p acc) then
+        collect (p :: acc) (n - 1)
       else collect acc (n - 1)
   in
   match collect [] (2 + Prng.int st.rng 2) with
@@ -205,7 +212,7 @@ let gen_add_parts st =
 let gen_add_ref st =
   let src = probe_oid st in
   let dst = probe_oid st in
-  if src = dst then false
+  if Oid.equal src dst then false
   else begin
     emit st
       (Trace.Add_ref
@@ -271,7 +278,9 @@ let gen_delete st =
     if tries = 0 then false
     else
       let oid = existing st in
-      if oid <> Layout.root st.layout && Array.length (M.children st.b oid) = 0
+      if
+        (not (Oid.equal oid (Layout.root st.layout)))
+        && Array.length (M.children st.b oid) = 0
       then begin
         emit st (Trace.Delete oid);
         st.graveyard <- oid :: st.graveyard;
@@ -318,7 +327,7 @@ let gen_form_edit st =
       let y = Prng.int st.rng (max 1 (bh - h)) in
       emit st (Trace.Form_edit { oid; x; y; w; h });
       true
-  | exception _ -> false
+  | exception Invalid_argument _ -> false
 
 (* Closures 10/14/15 store their result list, and op 12 rewrites
    [hundred] across the closure — all mutations. *)

@@ -86,7 +86,7 @@ module Make (B : Backend.S) = struct
     B.add_ref b ~src:root_b ~dst:root_a ~offset_from:0 ~offset_to:0;
     let link_works =
       Array.exists
-        (fun l -> l.Schema.target = root_a)
+        (fun l -> Oid.equal l.Schema.target root_a)
         (B.refs_to b root_b)
       && can doc_a.Layout.doc Access.Read
       && B.hundred b root_a >= 0

@@ -49,7 +49,7 @@ module Make (B : Backend.S) = struct
       let first = Layout.level_first_oid layout 3 in
       let idx = (Hashtbl.hash (u * 7919) + u) mod level3 in
       let oid = first + idx in
-      if oid = hot_start then first + ((idx + 1) mod level3) else oid
+      if Oid.equal oid hot_start then first + ((idx + 1) mod level3) else oid
     in
     let occ = Hyper_txn.Occ.create () in
     let locks = Hyper_txn.Lock_manager.create ~timeout_ms:50.0 () in

@@ -202,11 +202,11 @@ let apply ?(reraise = fun _ -> false) ~layout
         V_unit
       | Lookup_unique { doc; uid } -> V_int_opt (B.lookup_unique b ~doc uid)
       | Range_unique { doc; lo; hi } ->
-        V_oids (List.sort compare (B.range_unique b ~doc ~lo ~hi))
+        V_oids (List.sort Oid.compare (B.range_unique b ~doc ~lo ~hi))
       | Range_hundred { doc; lo; hi } ->
-        V_oids (List.sort compare (B.range_hundred b ~doc ~lo ~hi))
+        V_oids (List.sort Oid.compare (B.range_hundred b ~doc ~lo ~hi))
       | Range_million { doc; lo; hi } ->
-        V_oids (List.sort compare (B.range_million b ~doc ~lo ~hi))
+        V_oids (List.sort Oid.compare (B.range_million b ~doc ~lo ~hi))
       | Attrs oid ->
         V_ints
           [ kind_code (B.kind b oid); B.unique_id b oid; B.ten b oid;
@@ -251,12 +251,18 @@ let apply ?(reraise = fun _ -> false) ~layout
         (* Details of failing checks can embed backend-specific exception
            messages; compare (name, verdict) only. *)
         V_checks
-          (List.map (fun c -> (c.Verify.name, c.Verify.ok)) (V.run b layout)))
+          (List.map
+             (fun c -> (c.Verify.name, c.Verify.ok))
+             (V.run ~reraise b layout)))
   with
   | e when reraise e -> raise e
   | Invalid_argument _ -> Raised "Invalid_argument"
   | Failure _ -> Raised "Failure"
-  | e -> Raised (Printexc.exn_slot_name e)
+  | e ->
+    (* Outcome normalisation is this function's purpose: any backend
+       exception becomes a comparable Raised value.  Crash faults were
+       already re-raised by the guarded case above. *)
+    (Raised (Printexc.exn_slot_name e) [@lint.allow "no-catchall-swallow"])
 
 (* --- serialisation --- *)
 

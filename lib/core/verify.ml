@@ -5,11 +5,15 @@ let all_ok checks = List.for_all (fun c -> c.ok) checks
 let failures checks = List.filter (fun c -> not c.ok) checks
 
 module Make (B : Backend.S) = struct
-  let check name f =
+  (* A raising check is a failed check — except for exceptions the
+     caller declares transparent (fault-injection crash points must
+     reach the harness, not drown as a "failed" row). *)
+  let check ~reraise name f =
     match f () with
     | None -> { name; ok = true; detail = "ok" }
     | Some detail -> { name; ok = false; detail }
-    | exception e -> { name; ok = false; detail = Printexc.to_string e }
+    | exception e when not (reraise e) ->
+      { name; ok = false; detail = Printexc.to_string e }
 
   (* Fold over oids, returning the first failure description. *)
   let first_failure layout f =
@@ -24,7 +28,8 @@ module Make (B : Backend.S) = struct
      with Exit -> ());
     !result
 
-  let run b layout =
+  let run ?(reraise = fun _ -> false) b layout =
+    let check name f = check ~reraise name f in
     let doc = layout.Layout.doc in
     let n = layout.Layout.node_count in
     [
@@ -53,7 +58,7 @@ module Make (B : Backend.S) = struct
                 Some (Printf.sprintf "oid %d: wrong uniqueId" oid)
               else
                 match B.lookup_unique b ~doc uid with
-                | Some o when o = oid -> None
+                | Some o when Oid.equal o oid -> None
                 | Some o ->
                   Some (Printf.sprintf "uid %d resolves to %d, not %d" uid o oid)
                 | None -> Some (Printf.sprintf "uid %d not found" uid)));
@@ -94,7 +99,8 @@ module Make (B : Backend.S) = struct
                 else begin
                   let level = Layout.level_of_oid layout oid in
                   let distinct =
-                    List.length (List.sort_uniq compare (Array.to_list parts))
+                    List.length
+                      (List.sort_uniq Oid.compare (Array.to_list parts))
                     = Array.length parts
                   in
                   if not distinct then
@@ -121,7 +127,8 @@ module Make (B : Backend.S) = struct
                   match acc with
                   | Some _ -> acc
                   | None ->
-                    if Array.exists (fun p -> p = oid) (B.parts b w) then None
+                    if Array.exists (fun p -> Oid.equal p oid) (B.parts b w)
+                    then None
                     else
                       Some
                         (Printf.sprintf "oid %d: partOf %d lacks inverse" oid w))
@@ -156,7 +163,7 @@ module Make (B : Backend.S) = struct
                     let src = link.Schema.target in
                     if
                       Array.exists
-                        (fun l -> l.Schema.target = oid)
+                        (fun l -> Oid.equal l.Schema.target oid)
                         (B.refs_to b src)
                     then None
                     else
@@ -201,8 +208,10 @@ module Make (B : Backend.S) = struct
           Layout.iter_oids layout (fun oid ->
               let h = B.hundred b oid in
               if h >= 40 && h <= 49 then expected := oid :: !expected);
-          let got = List.sort compare (B.range_hundred b ~doc ~lo:40 ~hi:49) in
-          if got = List.sort compare !expected then None
+          let got =
+            List.sort Oid.compare (B.range_hundred b ~doc ~lo:40 ~hi:49)
+          in
+          if got = List.sort Oid.compare !expected then None
           else
             Some
               (Printf.sprintf "index returned %d nodes, scan %d"

@@ -15,6 +15,10 @@ val all_ok : check list -> bool
 val failures : check list -> check list
 
 module Make (B : Backend.S) : sig
-  val run : B.t -> Layout.t -> check list
-  (** Full verification (visits every node; linear in database size). *)
+  val run : ?reraise:(exn -> bool) -> B.t -> Layout.t -> check list
+  (** Full verification (visits every node; linear in database size).
+      A check that raises is reported as failed with the exception text
+      — unless [reraise] returns [true] for it, in which case it
+      propagates untouched (used by the fault-injection harness to keep
+      [Vfs.Crash] visible through a [Verify_checks] trace op). *)
 end

@@ -95,9 +95,11 @@ let save_roots t =
       ("idx_hundred", Int64.of_int (Btree.root t.idx_hundred));
       ("idx_million", Int64.of_int (Btree.root t.idx_million));
       ("result_seq", Int64.of_int t.result_seq) ]
-    @ Hashtbl.fold
-        (fun doc count acc -> (doc_key doc, Int64.of_int count) :: acc)
-        t.doc_counts []
+    @ List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold
+           (fun doc count acc -> (doc_key doc, Int64.of_int count) :: acc)
+           t.doc_counts [])
   in
   Meta.store t.pool kvs
 
@@ -427,7 +429,9 @@ let remove_ref t ~src ~dst =
   let s = read_node t src in
   let link =
     match
-      Array.find_opt (fun l -> l.Schema.target = dst) s.Codec.refs_to
+      Array.find_opt
+        (fun l -> Oid.equal l.Schema.target dst)
+        s.Codec.refs_to
     with
     | Some l -> l
     | None ->

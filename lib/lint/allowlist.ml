@@ -1,0 +1,57 @@
+type entry = { rule : string; path_fragment : string }
+
+let is_space c = c = ' ' || c = '\t'
+
+(* First whitespace-separated token and the rest (trimmed). *)
+let split_token line =
+  let n = String.length line in
+  let rec skip i = if i < n && is_space line.[i] then skip (i + 1) else i in
+  let rec tok i = if i < n && not (is_space line.[i]) then tok (i + 1) else i in
+  let s = skip 0 in
+  let e = tok s in
+  (String.sub line s (e - s), String.trim (String.sub line e (n - e)))
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match split_token line with
+  | "", _ -> None
+  | rule, rest -> (
+      (* The path fragment is the second token; trailing words after it
+         are treated as an inline comment. *)
+      match split_token rest with
+      | "", _ -> None
+      | frag, _ -> Some { rule; path_fragment = frag })
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] in
+      (try
+         while true do
+           match parse_line (input_line ic) with
+           | Some e -> entries := e :: !entries
+           | None -> ()
+         done
+       with End_of_file -> ());
+      List.rev !entries)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec at i =
+      if i + nn > nh then false
+      else String.sub hay i nn = needle || at (i + 1)
+    in
+    at 0
+
+let allows entries (f : Finding.t) =
+  List.exists
+    (fun e -> e.rule = f.rule && contains ~needle:e.path_fragment f.file)
+    entries

@@ -1,0 +1,15 @@
+(** Checked-in suppression list.
+
+    One entry per line: a rule id, whitespace, and a path substring the
+    finding's file must contain.  Blank lines and [#] comments are
+    ignored.  The file is the coarse companion to the fine-grained
+    [\[@lint.allow "rule-id"\]] source attribute — use it for whole-file
+    or whole-directory waivers that would be noisy as attributes. *)
+
+type entry = { rule : string; path_fragment : string }
+
+val load : string -> entry list
+(** @raise Sys_error if the file cannot be read. *)
+
+val allows : entry list -> Finding.t -> bool
+(** Whether some entry matches the finding's rule and file. *)

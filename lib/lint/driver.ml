@@ -1,0 +1,64 @@
+type report = {
+  findings : Finding.t list;
+  allowed : Finding.t list;
+  attr_suppressed : Finding.t list;
+  units : int;
+}
+
+let default_only = [ "lib/"; "bin/" ]
+
+let rec collect_cmts acc path =
+  match Sys.is_directory path with
+  | true ->
+      Array.fold_left
+        (fun acc name -> collect_cmts acc (Filename.concat path name))
+        acc (Sys.readdir path)
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception Sys_error _ -> acc (* raced with a build, or dangling link *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let scan ?(only = default_only) ?allowlist_file ?(scope_all = false) roots =
+  let allow_entries =
+    match allowlist_file with None -> [] | Some f -> Allowlist.load f
+  in
+  let seen = Hashtbl.create 64 in
+  let units = ref 0 in
+  let findings = ref [] and allowed = ref [] and suppressed = ref [] in
+  let consider cmt_path =
+    match Cmt_format.read_cmt cmt_path with
+    | exception
+        ( Sys_error _ | End_of_file | Failure _ | Cmt_format.Error _
+        | Cmi_format.Error _ ) ->
+        (* Unreadable or foreign-version cmt: not this build's output. *)
+        ()
+    | cmt -> (
+        match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+        | Cmt_format.Implementation str, Some source
+          when Filename.check_suffix source ".ml"
+               && List.exists (fun p -> starts_with p source) only
+               && not (Hashtbl.mem seen source) ->
+            Hashtbl.add seen source ();
+            incr units;
+            let r = Rules.check_structure ~scope_all ~source str in
+            List.iter
+              (fun f ->
+                if Allowlist.allows allow_entries f then
+                  allowed := f :: !allowed
+                else findings := f :: !findings)
+              r.Rules.findings;
+            suppressed := List.rev_append r.Rules.suppressed !suppressed
+        | _ -> ())
+  in
+  List.iter
+    (fun root ->
+      List.iter consider (List.sort String.compare (collect_cmts [] root)))
+    roots;
+  {
+    findings = List.sort Finding.compare !findings;
+    allowed = List.sort Finding.compare !allowed;
+    attr_suppressed = List.sort Finding.compare !suppressed;
+    units = !units;
+  }

@@ -1,0 +1,29 @@
+(** Whole-project lint driver.
+
+    Walks directories for [.cmt] files (as produced by
+    [dune build \@check]), runs {!Rules.check_structure} over every
+    implementation whose recorded source path matches an [only] prefix,
+    and aggregates the findings.  Interfaces, packed modules and
+    generated sources (no [.ml] suffix) are skipped, as is a second
+    [.cmt] for an already-seen source. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted; what the build should fail on *)
+  allowed : Finding.t list;  (** waived by the allowlist file *)
+  attr_suppressed : Finding.t list;  (** waived by [\[@lint.allow\]] *)
+  units : int;  (** compilation units linted *)
+}
+
+val default_only : string list
+(** [["lib/"; "bin/"]] — the layers whose invariants the rules guard. *)
+
+val scan :
+  ?only:string list ->
+  ?allowlist_file:string ->
+  ?scope_all:bool ->
+  string list ->
+  report
+(** [scan roots] — each root is a directory to walk (or a single [.cmt]
+    file).  [scope_all] lifts the per-rule directory scoping (used by
+    the fixture tests).
+    @raise Sys_error if the allowlist file cannot be read. *)

@@ -1,0 +1,25 @@
+(** One rule violation, located in a source file.
+
+    Findings are what {!Rules.check_structure} produces and what
+    {!Driver.scan} aggregates, sorts and prints.  The [file] is the
+    compilation unit's source path as the compiler recorded it
+    (relative to the build context root, e.g. ["lib/txn/workspace.ml"]);
+    [line]/[col] are 1-based / 0-based as in compiler diagnostics. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["vfs-boundary"] *)
+  file : string;
+  line : int;
+  col : int;
+  message : string;  (** what is wrong at this site *)
+  hint : string;  (** how to fix (or legitimately suppress) it *)
+}
+
+val compare : t -> t -> int
+(** Order by file, then line, column and rule — the report order. *)
+
+val to_string : t -> string
+(** ["file:line:col: [rule] message"] — no hint. *)
+
+val to_string_hinted : t -> string
+(** Same, plus an indented ["hint: ..."] second line. *)

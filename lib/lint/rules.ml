@@ -1,0 +1,380 @@
+(* Typedtree-level checks.  Each rule is a structural (and, for V4, a
+   type-level) pattern over the tree the compiler already elaborated, so
+   module aliases, [open]s and type abbreviations are resolved for us.
+   The checks deliberately approximate in the direction of precision:
+   a site that trips a rule legitimately carries a
+   [@lint.allow "rule-id"] attribute or an allowlist entry, and the
+   remaining blind spots (e.g. a polymorphic compare whose type the
+   inferencer already expanded to [int]) are accepted rather than
+   guessed at. *)
+
+open Typedtree
+
+let v1 = "vfs-boundary"
+let v2 = "no-catchall-swallow"
+let v3 = "pin-balance"
+let v4 = "no-poly-compare-on-oid"
+let v5 = "deterministic-iteration"
+
+let all =
+  [
+    (v1, "direct Unix/ExtUnix file I/O outside lib/storage/{vfs,extUnix}.ml");
+    (v2, "catch-all exception handler that never re-raises");
+    (v3, "Buffer_pool.pin without an unpin in the enclosing binding");
+    (v4, "polymorphic =/<>/compare/Hashtbl.hash instantiated at Oid.t");
+    (v5, "Hashtbl iteration order flowing into an unsorted list result");
+  ]
+
+type result = { findings : Finding.t list; suppressed : Finding.t list }
+
+(* {2 Small helpers over compiler-libs data} *)
+
+(* "Hyper_storage__Buffer_pool" is the mangled unit name of the wrapped
+   module "Buffer_pool"; accept both spellings everywhere. *)
+let part_matches m part =
+  part = m || String.ends_with ~suffix:("__" ^ m) part
+
+let path_parts p = String.split_on_char '.' (Path.name p)
+
+let ident_path e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+(* Head of an application chain: [head_of (f a b)] is [f]. *)
+let rec head_of e =
+  match e.exp_desc with Texp_apply (f, _) -> head_of f | _ -> e
+
+let head_constr_parts ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (path_parts p)
+  | _ -> None
+
+let arrow_first ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | _ -> None
+
+let is_oid_type ty =
+  match head_constr_parts ty with
+  | Some parts -> (
+      match List.rev parts with
+      | "t" :: owner :: _ -> part_matches "Oid" owner
+      | _ -> false)
+  | None -> false
+
+let is_list_type ty =
+  match head_constr_parts ty with
+  | Some [ "list" ] -> true
+  | Some _ | None -> false
+
+(* {2 [@lint.allow] attributes} *)
+
+let allow_strings (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "lint.allow" then []
+      else
+        match a.attr_payload with
+        | Parsetree.PStr
+            [ { pstr_desc = Parsetree.Pstr_eval (e, _); _ } ] -> (
+            let string_const (e : Parsetree.expression) =
+              match e.pexp_desc with
+              | Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)) ->
+                  Some s
+              | _ -> None
+            in
+            match e.pexp_desc with
+            | Parsetree.Pexp_tuple es -> List.filter_map string_const es
+            | _ -> Option.to_list (string_const e))
+        | _ -> [])
+    attrs
+
+(* {2 Sub-tree scans} *)
+
+exception Found
+
+let expr_exists pred e =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          if pred e then raise Found;
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  match it.expr it e with () -> false | exception Found -> true
+
+let mentions_unpin =
+  expr_exists (fun e ->
+      match e.exp_desc with
+      | Texp_ident (p, _, _) -> Path.last p = "unpin"
+      | _ -> false)
+
+(* Any use of [raise]/[raise_notrace] counts as a re-raise; a handler
+   that raises a *different* exception still discards the original, but
+   distinguishing that would need value tracking — the rule stays
+   syntactic. *)
+let has_raise =
+  expr_exists (fun e ->
+      match e.exp_desc with
+      | Texp_ident (p, _, _) ->
+          let n = Path.last p in
+          n = "raise" || n = "raise_notrace" || n = "reraise"
+      | _ -> false)
+
+(* [r := x :: !r] anywhere below [e] — the list-accumulating iteration
+   callback shape. *)
+let accumulates_cons =
+  expr_exists (fun e ->
+      match e.exp_desc with
+      | Texp_apply (f, [ (_, Some _); (_, Some rhs) ]) -> (
+          match f.exp_desc with
+          | Texp_ident (p, _, _) when Path.last p = ":=" -> (
+              match rhs.exp_desc with
+              | Texp_construct (_, cd, _) -> cd.Types.cstr_name = "::"
+              | _ -> false)
+          | _ -> false)
+      | _ -> false)
+
+(* A value pattern that matches every exception. *)
+let rec catch_all_pat (p : pattern) =
+  match p.pat_desc with
+  | Tpat_any | Tpat_var _ -> true
+  | Tpat_or (a, b, _) -> catch_all_pat a || catch_all_pat b
+  | _ -> false
+
+let sortish e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      match Path.last p with
+      | "sort" | "sort_uniq" | "stable_sort" | "fast_sort" -> true
+      | _ -> false)
+  | _ -> false
+
+(* An application is a "sorting context" when its head or one of its
+   arguments is a sort: covers both [List.sort cmp (fold ...)] and
+   [fold ... |> List.sort_uniq cmp]. *)
+let is_sort_context fn args =
+  sortish (head_of fn)
+  || List.exists
+       (fun (_, a) ->
+         match a with Some ae -> sortish (head_of ae) | None -> false)
+       args
+
+(* {2 The pass} *)
+
+let unix_io_names =
+  [
+    "read"; "write"; "single_write"; "write_substring"; "openfile";
+    "ftruncate"; "fsync"; "fdatasync"; "lseek";
+  ]
+
+let ext_unix_io_names = [ "pread"; "pwrite" ]
+
+let v5_in_scope source =
+  let under prefix =
+    String.length source >= String.length prefix
+    && String.sub source 0 (String.length prefix) = prefix
+  in
+  under "lib/reldb" || under "lib/txn" || under "lib/check"
+
+type ctx = {
+  source : string;
+  base : string;  (* Filename.basename source *)
+  scope_all : bool;
+  mutable active_allows : string list;  (* stack-scoped [@lint.allow] ids *)
+  mutable sort_depth : int;  (* > 0 inside a sorting application *)
+  mutable bindings : (string * bool) list;  (* (name, mentions unpin) *)
+  mutable findings : Finding.t list;
+  mutable suppressed : Finding.t list;
+}
+
+let check_structure ~scope_all ~source (str : structure) =
+  let ctx =
+    {
+      source;
+      base = Filename.basename source;
+      scope_all;
+      active_allows = [];
+      sort_depth = 0;
+      bindings = [];
+      findings = [];
+      suppressed = [];
+    }
+  in
+  let flag ?(extra_allows = []) rule (loc : Location.t) message hint =
+    let pos = loc.loc_start in
+    let f =
+      {
+        Finding.rule;
+        file = ctx.source;
+        line = pos.pos_lnum;
+        col = pos.pos_cnum - pos.pos_bol;
+        message;
+        hint;
+      }
+    in
+    if List.mem rule ctx.active_allows || List.mem rule extra_allows then
+      ctx.suppressed <- f :: ctx.suppressed
+    else ctx.findings <- f :: ctx.findings
+  in
+  let check_ident e p =
+    let parts = path_parts p in
+    let rev = List.rev parts in
+    (match rev with
+    | name :: owner ->
+        (* V1: the Vfs seam.  [lib/storage/vfs.ml] and its pread/pwrite
+           shim are the only files allowed to touch the OS directly. *)
+        let v1_hit =
+          (List.mem name unix_io_names
+          && List.exists (fun m -> part_matches "Unix" m || part_matches "UnixLabels" m) owner)
+          || (List.mem name ext_unix_io_names
+             && List.exists (part_matches "ExtUnix") owner)
+        in
+        if v1_hit && ctx.base <> "vfs.ml" && ctx.base <> "extUnix.ml" then
+          flag v1 e.exp_loc
+            (Printf.sprintf "direct I/O call `%s` bypasses the Vfs seam"
+               (Path.name p))
+            "route the operation through a Vfs.t (lib/storage/vfs.ml); \
+             only vfs.ml/extUnix.ml may call Unix I/O directly"
+    | [] -> ());
+    (* V3: pin balance. *)
+    (match rev with
+    | "pin" :: owner
+      when List.exists (part_matches "Buffer_pool") owner
+           || ctx.base = "buffer_pool.ml" ->
+        let enclosing_unpins = List.exists snd ctx.bindings in
+        let defining_pin =
+          match ctx.bindings with ("pin", _) :: _ -> true | _ -> false
+        in
+        if not (enclosing_unpins || defining_pin) then
+          flag v3 e.exp_loc
+            "Buffer_pool.pin with no unpin in the enclosing binding"
+            "pair pin with unpin in a Fun.protect ~finally, or use \
+             with_page/with_pages"
+    | _ -> ());
+    (* V4: polymorphic structural ops at Oid.t.  The ident's type is the
+       instantiation, so both applied ([a = b]) and first-class uses
+       ([List.sort compare oids]) are caught. *)
+    let poly_op =
+      match parts with
+      | [ "Stdlib"; ("=" | "<>" | "compare") ] -> Some (List.nth parts 1)
+      | _ -> (
+          match rev with
+          | "hash" :: owner :: _ when part_matches "Hashtbl" owner ->
+              Some "Hashtbl.hash"
+          | _ -> None)
+    in
+    match poly_op with
+    | Some op -> (
+        match arrow_first e.exp_type with
+        | Some a when is_oid_type a ->
+            flag v4 e.exp_loc
+              (Printf.sprintf "polymorphic `%s` instantiated at Oid.t" op)
+              "use Oid.equal / Oid.compare (or a keyed hash) so the code \
+               survives Oid.t gaining structure"
+        | _ -> ())
+    | None -> ()
+  in
+  let check_catch_all_case ~what (guard : expression option)
+      (pat_loc : Location.t) (rhs : expression) =
+    if Option.is_none guard && not (has_raise rhs) then
+      flag v2 ~extra_allows:(allow_strings rhs.exp_attributes) pat_loc
+        (what
+       ^ " can swallow Storage_error.Error and Vfs.Crash crash points")
+        "match explicit exception constructors, add a `when` guard that \
+         re-raises crash faults, or re-raise"
+  in
+  let check_expr e =
+    (match ident_path e with
+    | Some p -> check_ident e p
+    | None -> ());
+    match e.exp_desc with
+    | Texp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            if catch_all_pat c.c_lhs then
+              check_catch_all_case ~what:"catch-all `try ... with` handler"
+                c.c_guard c.c_lhs.pat_loc c.c_rhs)
+          cases
+    | Texp_match (_, cases, _) ->
+        List.iter
+          (fun c ->
+            match split_pattern c.c_lhs with
+            | _, Some ep when catch_all_pat ep ->
+                check_catch_all_case ~what:"catch-all `exception` case"
+                  c.c_guard ep.pat_loc c.c_rhs
+            | _ -> ())
+          cases
+    | Texp_apply (fn, args)
+      when ctx.scope_all || v5_in_scope ctx.source -> (
+        match ident_path fn with
+        | Some p -> (
+            match List.rev (path_parts p) with
+            | "fold" :: owner :: _ when part_matches "Hashtbl" owner ->
+                if is_list_type e.exp_type && ctx.sort_depth = 0 then
+                  flag v5 e.exp_loc
+                    "Hashtbl.fold builds a list in hash-iteration order \
+                     with no sort in sight"
+                    "sort the result with a keyed comparator (e.g. \
+                     List.sort Int.compare), or iterate a sorted key list"
+            | "iter" :: owner :: _ when part_matches "Hashtbl" owner ->
+                if
+                  List.exists
+                    (fun (_, a) ->
+                      match a with
+                      | Some ae -> accumulates_cons ae
+                      | None -> false)
+                    args
+                then
+                  flag v5 e.exp_loc
+                    "Hashtbl.iter accumulates a list in hash-iteration \
+                     order"
+                    "collect then sort with a keyed comparator, or \
+                     iterate a sorted key list"
+            | _ -> ())
+        | None -> ())
+    | _ -> ()
+  in
+  let default = Tast_iterator.default_iterator in
+  let expr sub e =
+    let saved = ctx.active_allows in
+    ctx.active_allows <- allow_strings e.exp_attributes @ ctx.active_allows;
+    check_expr e;
+    (match e.exp_desc with
+    | Texp_apply (fn, args) when is_sort_context fn args ->
+        ctx.sort_depth <- ctx.sort_depth + 1;
+        default.expr sub e;
+        ctx.sort_depth <- ctx.sort_depth - 1
+    | _ -> default.expr sub e);
+    ctx.active_allows <- saved
+  in
+  let value_binding sub vb =
+    let saved_allows = ctx.active_allows in
+    ctx.active_allows <- allow_strings vb.vb_attributes @ ctx.active_allows;
+    let name =
+      match pat_bound_idents vb.vb_pat with
+      | [ id ] -> Ident.name id
+      | _ -> ""
+    in
+    ctx.bindings <- (name, mentions_unpin vb.vb_expr) :: ctx.bindings;
+    default.value_binding sub vb;
+    ctx.bindings <- List.tl ctx.bindings;
+    ctx.active_allows <- saved_allows
+  in
+  let structure sub s =
+    (* Floating [@@@lint.allow "..."] applies to the rest of the
+       enclosing structure (commonly: the rest of the file). *)
+    let saved = ctx.active_allows in
+    List.iter
+      (fun item ->
+        (match item.str_desc with
+        | Tstr_attribute a -> ctx.active_allows <- allow_strings [ a ] @ ctx.active_allows
+        | _ -> ());
+        sub.Tast_iterator.structure_item sub item)
+      s.str_items;
+    ctx.active_allows <- saved
+  in
+  let it = { default with expr; value_binding; structure } in
+  it.structure it str;
+  { findings = List.rev ctx.findings; suppressed = List.rev ctx.suppressed }

@@ -1,0 +1,41 @@
+(** The repo-specific invariant rules, run over one compilation unit's
+    typedtree (from a [.cmt] file produced by [dune build \@check]).
+
+    Rules:
+    - [vfs-boundary] — direct [Unix]/[ExtUnix] file I/O outside
+      [lib/storage/vfs.ml] and [lib/storage/extUnix.ml].  All storage
+      bytes must flow through [Vfs.t] so fault injection sees them.
+    - [no-catchall-swallow] — an unguarded [with _ ->] / [with e ->]
+      handler (or [match ... with exception _ ->]) whose body never
+      re-raises.  Such handlers can swallow [Storage_error.Error] and,
+      worse, [Vfs.Crash] — silently disarming the crash fuzzer.
+      Guarded catch-alls ([| e when pred e -> ...]) are considered
+      deliberate and accepted.
+    - [pin-balance] — a [Buffer_pool.pin] call in a binding that
+      contains no [unpin] (the balanced idiom pairs them through
+      [Fun.protect ~finally] or uses [with_page]/[with_pages]).
+    - [no-poly-compare-on-oid] — polymorphic [=], [<>], [compare] or
+      [Hashtbl.hash] instantiated at [Oid.t]; use [Oid.equal] /
+      [Oid.compare] so the code survives [Oid.t] gaining structure.
+    - [deterministic-iteration] — [Hashtbl.fold] producing a list with
+      no sort in the surrounding application chain, or [Hashtbl.iter]
+      accumulating into a list ref; hash iteration order is not part of
+      any contract and already caused a real cross-backend ordering
+      divergence (see DESIGN.md §11).  Scoped to [lib/reldb], [lib/txn]
+      and [lib/check] unless [scope_all] is set.
+
+    Suppression: a [\[@lint.allow "rule-id"\]] attribute on the
+    expression, on the enclosing [let] binding, or floating
+    ([\[@@@lint.allow "rule-id"\]]) for the rest of the file. *)
+
+type result = {
+  findings : Finding.t list;  (** violations, in traversal order *)
+  suppressed : Finding.t list;
+      (** would-be violations silenced by a [\[@lint.allow\]] attribute *)
+}
+
+val all : (string * string) list
+(** [(rule_id, one-line description)] for every rule, in V1..V5 order. *)
+
+val check_structure :
+  scope_all:bool -> source:string -> Typedtree.structure -> result

@@ -100,7 +100,7 @@ let hundred_index_add d v oid =
 
 let hundred_index_remove d v oid =
   let r = hundred_bucket d v in
-  r := List.filter (fun o -> o <> oid) !r
+  r := List.filter (fun o -> not (Oid.equal o oid)) !r
 
 let million_index_add d v oid =
   let existing = Option.value ~default:[] (IMap.find_opt v d.million_index) in
@@ -136,7 +136,8 @@ let create_node ?near:_ t spec =
   log_undo t (fun () ->
       Hashtbl.remove t.nodes oid;
       Hashtbl.remove d.uid_to_oid spec.Schema.unique_id;
-      d.member_order <- List.filter (fun o -> o <> oid) d.member_order;
+      d.member_order <-
+        List.filter (fun o -> not (Oid.equal o oid)) d.member_order;
       d.member_count <- d.member_count - 1;
       hundred_index_remove d n.hundred oid;
       d.million_index <-
@@ -144,7 +145,7 @@ let create_node ?near:_ t spec =
           (function
             | None -> None
             | Some oids -> (
-              match List.filter (fun o -> o <> oid) oids with
+              match List.filter (fun o -> not (Oid.equal o oid)) oids with
               | [] -> None
               | rest -> Some rest))
           d.million_index)
@@ -259,7 +260,9 @@ let remove_part t ~whole ~part =
 let remove_ref t ~src ~dst =
   let s = node_of t src and d = node_of t dst in
   let link =
-    match List.find_opt (fun l -> l.Schema.target = dst) s.refs_to with
+    match
+      List.find_opt (fun l -> Oid.equal l.Schema.target dst) s.refs_to
+    with
     | Some l -> l
     | None ->
       invalid_arg (Printf.sprintf "Memdb: no reference %d -> %d" src dst)
@@ -288,7 +291,7 @@ let delete_node t oid =
   let old_order = d.member_order in
   Hashtbl.remove t.nodes oid;
   Hashtbl.remove d.uid_to_oid n.unique_id;
-  d.member_order <- List.filter (fun o -> o <> oid) d.member_order;
+  d.member_order <- List.filter (fun o -> not (Oid.equal o oid)) d.member_order;
   d.member_count <- d.member_count - 1;
   hundred_index_remove d n.hundred oid;
   d.million_index <-
@@ -296,7 +299,7 @@ let delete_node t oid =
       (function
         | None -> None
         | Some oids -> (
-          match List.filter (fun o -> o <> oid) oids with
+          match List.filter (fun o -> not (Oid.equal o oid)) oids with
           | [] -> None
           | rest -> Some rest))
       d.million_index;

@@ -97,9 +97,11 @@ let save_roots t =
   in
   let kvs =
     kvs
-    @ Hashtbl.fold
-        (fun doc count acc -> (doc_key doc, Int64.of_int count) :: acc)
-        t.doc_counts []
+    @ List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold
+           (fun doc count acc -> (doc_key doc, Int64.of_int count) :: acc)
+           t.doc_counts [])
   in
   Meta.store t.pool kvs
 

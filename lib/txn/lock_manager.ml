@@ -84,11 +84,13 @@ let release_all t ~txn =
   locked
     (fun () ->
       let emptied = ref [] in
-      Hashtbl.iter
-        (fun resource e ->
-          e.holders <- List.remove_assoc txn e.holders;
-          if e.holders = [] then emptied := resource :: !emptied)
-        t.table;
+      (* Collection order is irrelevant: every entry is removed below. *)
+      (Hashtbl.iter
+         (fun resource e ->
+           e.holders <- List.remove_assoc txn e.holders;
+           if e.holders = [] then emptied := resource :: !emptied)
+         t.table
+       [@lint.allow "deterministic-iteration"]);
       List.iter (Hashtbl.remove t.table) !emptied;
       Condition.broadcast t.changed)
     t
@@ -104,8 +106,9 @@ let holds t ~txn ~resource =
 let locked_resources t ~txn =
   locked
     (fun () ->
-      Hashtbl.fold
-        (fun resource e acc ->
-          if List.mem_assoc txn e.holders then resource :: acc else acc)
-        t.table [])
+      List.sort Int.compare
+        (Hashtbl.fold
+           (fun resource e acc ->
+             if List.mem_assoc txn e.holders then resource :: acc else acc)
+           t.table []))
     t

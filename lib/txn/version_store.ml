@@ -62,4 +62,4 @@ let variants t ~key =
   Hashtbl.fold
     (fun (k, name) _ acc -> if k = key then name :: acc else acc)
     t.variant_chains []
-  |> List.sort_uniq compare
+  |> List.sort_uniq String.compare

@@ -24,7 +24,7 @@ let shared_get s key =
 
 let shared_keys s =
   with_lock s (fun () ->
-      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.store []))
+      List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.store []))
 
 let shared_version_of s key =
   match Hashtbl.find_opt s.store key with Some (_, v) -> v | None -> 0
@@ -51,28 +51,33 @@ let get t key =
 let put t key v = Hashtbl.replace t.overlay key v
 
 let dirty_keys t =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.overlay [])
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.overlay [])
 
 let baseline_of t key =
   Option.value ~default:0 (Hashtbl.find_opt t.baseline key)
 
 let publish t =
   with_lock t.parent (fun () ->
-      let conflicts =
-        Hashtbl.fold
-          (fun k _ acc ->
-            if shared_version_of t.parent k <> baseline_of t k then k :: acc
-            else acc)
-          t.overlay []
+      (* Publish in sorted key order so the version stamps a publish
+         assigns are reproducible run to run, not hash-bucket order. *)
+      let keys =
+        List.sort Int.compare
+          (Hashtbl.fold (fun k _ acc -> k :: acc) t.overlay [])
       in
-      if conflicts <> [] then Conflicts (List.sort compare conflicts)
+      let conflicts =
+        List.filter
+          (fun k -> shared_version_of t.parent k <> baseline_of t k)
+          keys
+      in
+      if conflicts <> [] then Conflicts conflicts
       else begin
         let n = Hashtbl.length t.overlay in
-        Hashtbl.iter
-          (fun k v ->
+        List.iter
+          (fun k ->
+            let v = Hashtbl.find t.overlay k in
             t.parent.version <- t.parent.version + 1;
             Hashtbl.replace t.parent.store k (v, t.parent.version))
-          t.overlay;
+          keys;
         Hashtbl.reset t.overlay;
         (* Re-baseline inline; we already hold the lock. *)
         Hashtbl.reset t.baseline;

@@ -1,0 +1,29 @@
+(* The idiomatic counterparts of fixture_violations.ml — the shapes the
+   rules are meant to steer code toward.  test_lint asserts hyperlint
+   reports nothing here, with nothing suppressed either. *)
+
+module Oid = Hyper_core.Oid
+module Vfs = Hyper_storage.Vfs
+
+(* I/O goes through the VFS seam, not raw Unix. *)
+let present (vfs : Vfs.t) path = vfs.Vfs.exists path
+
+(* Handlers name the exceptions they mean to absorb. *)
+let swallow f = try f () with Not_found | Invalid_argument _ -> ()
+
+module Buffer_pool = struct
+  let pin _pool _page = ()
+  let unpin _pool _page = ()
+end
+
+(* Pin is balanced by an unpin in the same binding. *)
+let pinned pool page f =
+  Buffer_pool.pin pool page;
+  Fun.protect ~finally:(fun () -> Buffer_pool.unpin pool page) f
+
+(* Keyed equality at Oid.t. *)
+let same_node (a : Oid.t) (b : Oid.t) = Oid.equal a b
+
+(* Hash-order fold, immediately sorted with a keyed comparator. *)
+let doc_ids (tbl : (int, string) Hashtbl.t) =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

@@ -1,0 +1,28 @@
+(* The same plants as fixture_violations.ml, each waived with a
+   [@lint.allow] attribute — exercising expression attributes,
+   let-binding attributes and a floating [@@@lint.allow].  test_lint
+   asserts zero findings and counts the suppressions. *)
+
+module Oid = Hyper_core.Oid
+
+let raw_open path =
+  (Unix.openfile path [ Unix.O_RDONLY ] 0o644 [@lint.allow "vfs-boundary"])
+
+let swallow f = (try f () with _ -> ()) [@lint.allow "no-catchall-swallow"]
+
+module Buffer_pool = struct
+  let pin _pool _page = ()
+  let unpin _pool _page = ()
+end
+
+let leak pool page = Buffer_pool.pin pool page
+  [@@lint.allow "pin-balance"]
+
+(* Everything below the floating attribute is waived for the rule. *)
+[@@@lint.allow "no-poly-compare-on-oid"]
+
+let same_node (a : Oid.t) (b : Oid.t) = a = b
+
+let doc_ids (tbl : (int, string) Hashtbl.t) =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+   [@lint.allow "deterministic-iteration"])

@@ -1,0 +1,26 @@
+(* One planted violation per hyperlint rule.  test_lint asserts the
+   exact rule id and line of each finding, so keep this file stable:
+   append new plants at the bottom rather than reflowing. *)
+
+module Oid = Hyper_core.Oid
+
+(* vfs-boundary: raw Unix I/O outside the VFS seam. *)
+let raw_open path = Unix.openfile path [ Unix.O_RDONLY ] 0o644
+
+(* no-catchall-swallow: handler would eat Vfs.Crash / Storage_error. *)
+let swallow f = try f () with _ -> ()
+
+(* pin-balance: pin with no unpin anywhere in the enclosing binding. *)
+module Buffer_pool = struct
+  let pin _pool _page = ()
+  let unpin _pool _page = ()
+end
+
+let leak pool page = Buffer_pool.pin pool page
+
+(* no-poly-compare-on-oid: structural equality at Oid.t. *)
+let same_node (a : Oid.t) (b : Oid.t) = a = b
+
+(* deterministic-iteration: list built in hash order, never sorted. *)
+let doc_ids (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
