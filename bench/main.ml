@@ -20,6 +20,7 @@ module Dsk = Hyper_diskdb.Diskdb
 module Rel = Hyper_reldb.Reldb
 module Table = Hyper_util.Table
 module Prng = Hyper_util.Prng
+module Obs = Hyper_obs.Obs
 
 module GenM = Generator.Make (Mem)
 module GenD = Generator.Make (Dsk)
@@ -45,11 +46,12 @@ type cfg = {
   mutable bechamel : bool;
   mutable skip : string list;
   mutable json : string option;
+  mutable metrics : string option;
 }
 
 let cfg =
   { levels = [ 4; 5; 6 ]; reps = 50; seed = 42L; bechamel = true; skip = [];
-    json = None }
+    json = None; metrics = None }
 
 let parse_args () =
   let set_levels s =
@@ -66,7 +68,9 @@ let parse_args () =
       ("--skip", Arg.String (fun s -> cfg.skip <- String.split_on_char ',' s),
        "LIST skip experiment ids (e.g. T3,T7)");
       ("--json", Arg.String (fun s -> cfg.json <- Some s),
-       "FILE write machine-readable results (see DESIGN.md §10)") ]
+       "FILE write machine-readable results (see DESIGN.md §10)");
+      ("--metrics", Arg.String (fun s -> cfg.metrics <- Some s),
+       "FILE write a Prometheus-style metrics dump (see DESIGN.md §13)") ]
   in
   Arg.parse spec
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
@@ -1198,8 +1202,38 @@ let micro () =
 
 (* ====================== main ====================== *)
 
+(* The metrics registry snapshot, as a JSON object keyed by metric
+   name.  Histograms expand to {count, sum, buckets: [[le, cum], ...]}
+   (cumulative, Prometheus-style). *)
+let metrics_json () =
+  Json.Obj
+    (List.map
+       (function
+         | Obs.F_counter { name; value; _ } -> (name, Json.Int value)
+         | Obs.F_gauge { name; value; _ } -> (name, Json.Float value)
+         | Obs.F_histogram { name; count; sum; buckets; _ } ->
+           ( name,
+             Json.Obj
+               [ ("count", Json.Int count); ("sum", Json.Float sum);
+                 ("buckets",
+                  Json.List
+                    (List.filter_map
+                       (fun (le, cum) ->
+                         (* Drop empty leading buckets and the non-JSON
+                            infinite bound; [count] already carries the
+                            catch-all total. *)
+                         if cum = 0 || le = infinity then None
+                         else
+                           Some (Json.List [ Json.Float le; Json.Int cum ]))
+                       buckets)) ] ))
+       (Obs.families ()))
+
 let () =
   parse_args ();
+  (* The whole run reports through the metrics registry; the sink stays
+     enabled so the --json metrics section and --metrics dump cover
+     generation, the protocol and the ablations alike. *)
+  Obs.enable ();
   Printf.printf
     "The HyperModel Benchmark — reproduction harness\n\
      levels: %s   reps: %d   seed: %Ld\n"
@@ -1303,7 +1337,15 @@ let () =
                 ("seed", Json.Str (Int64.to_string cfg.seed)) ]);
            ("operations", Json.List operations);
            ("prefetch_ablation", Json.List prefetch_rows);
-           ("shapes", Json.List shapes) ]);
+           ("shapes", Json.List shapes);
+           ("metrics", metrics_json ()) ]);
+    Printf.printf "wrote %s\n" path);
+  (match cfg.metrics with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.to_prometheus ());
+    close_out oc;
     Printf.printf "wrote %s\n" path);
   (* Clean up cached disk databases. *)
   Hashtbl.iter (fun _ (b, _, _) -> try Dsk.close b with _ -> ()) disk_cache;

@@ -69,13 +69,12 @@ let check_crashes ~gen_seed ~level ~npoints ~seed ops =
 let run_fuzz seed traces steps level budget_s subjects npoints dir =
   let subjects = parse_subjects subjects in
   let gen_seed = 42L in
-  let deadline =
-    if budget_s > 0.0 then Some (Unix.gettimeofday () +. budget_s) else None
-  in
+  (* Monotonic budget: a wall-clock step must not end (or extend) the
+     fuzzing window. *)
+  let now_s () = Int64.to_float (Hyper_util.Mtime_stub.now_ns ()) /. 1e9 in
+  let deadline = if budget_s > 0.0 then Some (now_s () +. budget_s) else None in
   let expired () =
-    match deadline with
-    | Some t -> Unix.gettimeofday () > t
-    | None -> false
+    match deadline with Some t -> now_s () > t | None -> false
   in
   let failures = ref 0 in
   let ran = ref 0 in

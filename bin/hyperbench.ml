@@ -92,6 +92,14 @@ let fanout_arg =
 let layout_of ?fanout level =
   Layout.make ?fanout ~doc:1 ~oid_base:0 ~leaf_level:level ()
 
+(* generate/run build the test database from scratch; a store left at
+   the target path by a previous invocation would collide with
+   regeneration ("oid 1 already exists").  Remove it, WAL included. *)
+let remove_store path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".wal" ]
+
 let generate_into (type a) (module B : Backend.S with type t = a) (b : a)
     ~level ~seed ~cluster ~fanout =
   let module G = Generator.Make (B) in
@@ -101,6 +109,7 @@ let generate_into (type a) (module B : Backend.S with type t = a) (b : a)
 
 let cmd_generate =
   let run backend level path seed pool_pages cluster remote fanout =
+    if backend <> Mem then remove_store path;
     with_backend backend ~path ~pool_pages ~remote
       { act =
           (fun (type a) (module B : Backend.S with type t = a) (b : a) ->
@@ -159,7 +168,11 @@ let cmd_verify =
 (* --- run --- *)
 
 let cmd_run =
-  let run backend level path seed pool_pages remote cluster reps ops fanout =
+  let run backend level path seed pool_pages remote cluster reps ops fanout
+      trace metrics =
+    let module Obs = Hyper_obs.Obs in
+    if metrics <> None then Obs.enable ();
+    if backend <> Mem then remove_store path;
     with_backend backend ~path ~pool_pages ~remote
       { act =
           (fun (type a) (module B : Backend.S with type t = a) (b : a) ->
@@ -169,7 +182,27 @@ let cmd_run =
             let module P = Protocol.Make (B) in
             let config = { Protocol.default_config with reps } in
             let ids = if ops = [] then Protocol.op_ids else ops in
+            (* Span collection starts after generation so the trace
+               holds exactly one tree per timed batch. *)
+            if trace <> None then Obs.Span.set_tracing true;
             let ms = List.map (P.run_op ~config b layout) ids in
+            (match trace with
+            | None -> ()
+            | Some file ->
+              let roots = Obs.Span.take_roots () in
+              Obs.Span.set_tracing false;
+              let oc = open_out file in
+              output_string oc (Obs.Span.to_string roots);
+              close_out oc;
+              Printf.printf "trace: %d root spans -> %s\n" (List.length roots)
+                file);
+            (match metrics with
+            | None -> ()
+            | Some file ->
+              let oc = open_out file in
+              output_string oc (Obs.to_prometheus ());
+              close_out oc;
+              Printf.printf "metrics -> %s\n" file);
             print_string
               (Report.operation_table
                  ~title:
@@ -183,12 +216,23 @@ let cmd_run =
     Arg.(value & opt (list string) [] & info [ "ops" ] ~docv:"IDS"
            ~doc:"Comma-separated op ids (e.g. 01,05A,10); default: all 20.")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write per-operation span trees (one root per timed \
+                 cold/warm batch) to $(docv).")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Enable the metrics sink and write a Prometheus-style \
+                 dump to $(docv) after the run.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Generate a database and run benchmark operations (paper §6).")
     Term.(
       const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
-      $ remote_arg $ cluster_arg $ reps_arg $ ops_arg $ fanout_arg)
+      $ remote_arg $ cluster_arg $ reps_arg $ ops_arg $ fanout_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- query --- *)
 

@@ -1,5 +1,9 @@
 open Hyper_util
 
+let m_retries =
+  Hyper_obs.Obs.Counter.make "hyper_txn_retries_total"
+    ~help:"aborted multiuser transactions that succeeded on retry"
+
 type mode = Two_phase_locking | Optimistic
 
 let mode_to_string = function
@@ -125,17 +129,22 @@ module Make (B : Backend.S) = struct
               bump attempted 1;
               if run_once () then begin
                 bump committed 1;
-                bump retried_ok 1
+                bump retried_ok 1;
+                Hyper_obs.Obs.Counter.incr m_retries
               end
               else bump aborted 1
             end
           done)
         ()
     in
-    let t0 = Unix.gettimeofday () in
+    (* Monotonic wall clock: an NTP step mid-run must not skew the
+       reported throughput. *)
+    let t0 = Mtime_stub.now_ns () in
     let threads = List.init users (fun i -> worker (i + 1)) in
     List.iter Thread.join threads;
-    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let wall_ms =
+      Int64.to_float (Int64.sub (Mtime_stub.now_ns ()) t0) /. 1e6
+    in
     { mode; users; txns_attempted = !attempted; committed = !committed;
       aborted = !aborted; retried_ok = !retried_ok; wall_ms;
       throughput_tps =

@@ -1,3 +1,5 @@
+module Obs = Hyper_obs.Obs
+
 module Make (B : Backend.S) = struct
   (* --- 6.1 Name lookup --- *)
 
@@ -34,13 +36,15 @@ module Make (B : Backend.S) = struct
   (* --- 6.4.1 Sequential scan --- *)
 
   let seq_scan b ~doc =
-    let visited = ref 0 in
-    B.iter_doc b ~doc (fun oid ->
-        (* The ten attribute is retrieved to force node access, but no
-           result is returned (paper: "no result was actually returned"). *)
-        ignore (B.ten b oid : int);
-        incr visited);
-    !visited
+    Obs.Span.with_span "seqScan" (fun () ->
+        let visited = ref 0 in
+        B.iter_doc b ~doc (fun oid ->
+            (* The ten attribute is retrieved to force node access, but no
+               result is returned (paper: "no result was actually
+               returned"). *)
+            ignore (B.ten b oid : int);
+            incr visited);
+        !visited)
 
   (* --- 6.5 Closure traversals ---
 
@@ -54,34 +58,36 @@ module Make (B : Backend.S) = struct
     if Array.length oids > 1 then B.prefetch_nodes b (Array.to_list oids)
 
   let closure_1n b ~start =
-    let acc = ref [] in
-    let rec visit oid =
-      acc := oid :: !acc;
-      let cs = B.children b oid in
-      prefetch_fanout b cs;
-      Array.iter visit cs
-    in
-    visit start;
-    let result = List.rev !acc in
-    B.store_result_list b result;
-    result
+    Obs.Span.with_span "closure1N" (fun () ->
+        let acc = ref [] in
+        let rec visit oid =
+          acc := oid :: !acc;
+          let cs = B.children b oid in
+          prefetch_fanout b cs;
+          Array.iter visit cs
+        in
+        visit start;
+        let result = List.rev !acc in
+        B.store_result_list b result;
+        result)
 
   let closure_mn b ~start =
-    let seen = Hashtbl.create 64 in
-    let acc = ref [] in
-    let rec visit oid =
-      if not (Hashtbl.mem seen oid) then begin
-        Hashtbl.add seen oid ();
-        acc := oid :: !acc;
-        let ps = B.parts b oid in
-        prefetch_fanout b ps;
-        Array.iter visit ps
-      end
-    in
-    visit start;
-    let result = List.rev !acc in
-    B.store_result_list b result;
-    result
+    Obs.Span.with_span "closureMN" (fun () ->
+        let seen = Hashtbl.create 64 in
+        let acc = ref [] in
+        let rec visit oid =
+          if not (Hashtbl.mem seen oid) then begin
+            Hashtbl.add seen oid ();
+            acc := oid :: !acc;
+            let ps = B.parts b oid in
+            prefetch_fanout b ps;
+            Array.iter visit ps
+          end
+        in
+        visit start;
+        let result = List.rev !acc in
+        B.store_result_list b result;
+        result)
 
   (* Depth-bounded breadth-first walk over refsTo.  In generated
      databases every node has exactly one outgoing reference, so this is
@@ -118,57 +124,62 @@ module Make (B : Backend.S) = struct
     done
 
   let closure_mnatt b ~start ~depth =
-    let acc = ref [] in
-    refs_walk b ~start ~depth (fun oid _ -> acc := oid :: !acc);
-    let result = List.rev !acc in
-    B.store_result_list b result;
-    result
+    Obs.Span.with_span "closureMNATT" (fun () ->
+        let acc = ref [] in
+        refs_walk b ~start ~depth (fun oid _ -> acc := oid :: !acc);
+        let result = List.rev !acc in
+        B.store_result_list b result;
+        result)
 
   (* --- 6.6 Other closure operations --- *)
 
   let closure_1n_att_sum b ~start =
-    let sum = ref 0 in
-    let rec visit oid =
-      sum := !sum + B.hundred b oid;
-      let cs = B.children b oid in
-      prefetch_fanout b cs;
-      Array.iter visit cs
-    in
-    visit start;
-    !sum
+    Obs.Span.with_span "closure1NAttSum" (fun () ->
+        let sum = ref 0 in
+        let rec visit oid =
+          sum := !sum + B.hundred b oid;
+          let cs = B.children b oid in
+          prefetch_fanout b cs;
+          Array.iter visit cs
+        in
+        visit start;
+        !sum)
 
   let closure_1n_att_set b ~start =
-    let updated = ref 0 in
-    let rec visit oid =
-      B.set_hundred b oid (99 - B.hundred b oid);
-      incr updated;
-      let cs = B.children b oid in
-      prefetch_fanout b cs;
-      Array.iter visit cs
-    in
-    visit start;
-    !updated
+    Obs.Span.with_span "closure1NAttSet" (fun () ->
+        let updated = ref 0 in
+        let rec visit oid =
+          B.set_hundred b oid (99 - B.hundred b oid);
+          incr updated;
+          let cs = B.children b oid in
+          prefetch_fanout b cs;
+          Array.iter visit cs
+        in
+        visit start;
+        !updated)
 
   let closure_1n_pred b ~start ~x =
-    let hi = x + 9999 in
-    let acc = ref [] in
-    let rec visit oid =
-      let m = B.million b oid in
-      (* In-range nodes are excluded and terminate the recursion. *)
-      if m < x || m > hi then begin
-        acc := oid :: !acc;
-        let cs = B.children b oid in
-        prefetch_fanout b cs;
-        Array.iter visit cs
-      end
-    in
-    visit start;
-    List.rev !acc
+    Obs.Span.with_span "closure1NPred" (fun () ->
+        let hi = x + 9999 in
+        let acc = ref [] in
+        let rec visit oid =
+          let m = B.million b oid in
+          (* In-range nodes are excluded and terminate the recursion. *)
+          if m < x || m > hi then begin
+            acc := oid :: !acc;
+            let cs = B.children b oid in
+            prefetch_fanout b cs;
+            Array.iter visit cs
+          end
+        in
+        visit start;
+        List.rev !acc)
 
   let closure_mnatt_link_sum b ~start ~depth =
-    let acc = ref [] in
-    refs_walk b ~start ~depth (fun oid dist -> acc := (oid, dist) :: !acc);
-    List.rev !acc
+    Obs.Span.with_span "closureMNATTLINKSUM" (fun () ->
+        let acc = ref [] in
+        refs_walk b ~start ~depth (fun oid dist -> acc := (oid, dist) :: !acc);
+        List.rev !acc)
 
   (* --- 6.7 Editing --- *)
 

@@ -21,6 +21,12 @@ type config = { reps : int; seed : int64; depth : int }
 
 let default_config = { reps = 50; seed = 0x5EEDL; depth = 25 }
 
+module Obs = Hyper_obs.Obs
+
+let h_op_ns =
+  Obs.Histogram.make "hyper_op_ns"
+    ~help:"total (wall + virtual) ns per timed benchmark batch"
+
 let op_ids =
   [ "01"; "02"; "03"; "04"; "05A"; "05B"; "06"; "07A"; "07B"; "08"; "09";
     "10"; "11"; "12"; "13"; "14"; "15"; "16"; "17"; "18" ]
@@ -29,18 +35,27 @@ module Make (B : Backend.S) = struct
   module O = Ops.Make (B)
 
   (* One benchmark sequence: cold batch (caches dropped first), commit
-     inside the window, then the warm batch over the same inputs. *)
+     inside the window, then the warm batch over the same inputs.  Each
+     batch is also a span root, so a trace dump shows the closure's
+     page-fetch tree per temperature. *)
   let sequence b ~op ~reps thunks =
-    let batch () =
-      Vclock.time (fun () ->
-          B.begin_txn b;
-          let n = Array.fold_left (fun acc f -> acc + f ()) 0 thunks in
-          B.commit b;
-          n)
+    let batch temp =
+      let r, span =
+        Obs.Span.with_span
+          (Printf.sprintf "%s.%s" op temp)
+          (fun () ->
+            Vclock.time (fun () ->
+                B.begin_txn b;
+                let n = Array.fold_left (fun acc f -> acc + f ()) 0 thunks in
+                B.commit b;
+                n))
+      in
+      Obs.Histogram.observe h_op_ns (Vclock.total_ns span);
+      (r, span)
     in
     B.clear_caches b;
-    let nodes_cold, cold_span = batch () in
-    let nodes_warm, warm_span = batch () in
+    let nodes_cold, cold_span = batch "cold" in
+    let nodes_warm, warm_span = batch "warm" in
     B.clear_caches b;
     { op; reps; nodes_cold; nodes_warm;
       cold_ms = Vclock.total_ms cold_span;

@@ -15,6 +15,7 @@ let v2 = "no-catchall-swallow"
 let v3 = "pin-balance"
 let v4 = "no-poly-compare-on-oid"
 let v5 = "deterministic-iteration"
+let v6 = "monotonic-time"
 
 let all =
   [
@@ -23,6 +24,7 @@ let all =
     (v3, "Buffer_pool.pin without an unpin in the enclosing binding");
     (v4, "polymorphic =/<>/compare/Hashtbl.hash instantiated at Oid.t");
     (v5, "Hashtbl iteration order flowing into an unsorted list result");
+    (v6, "Unix.gettimeofday (wall clock) outside lib/util");
   ]
 
 type result = { findings : Finding.t list; suppressed : Finding.t list }
@@ -171,12 +173,14 @@ let unix_io_names =
 
 let ext_unix_io_names = [ "pread"; "pwrite" ]
 
+let source_under prefix source =
+  String.length source >= String.length prefix
+  && String.sub source 0 (String.length prefix) = prefix
+
 let v5_in_scope source =
-  let under prefix =
-    String.length source >= String.length prefix
-    && String.sub source 0 (String.length prefix) = prefix
-  in
-  under "lib/reldb" || under "lib/txn" || under "lib/check"
+  source_under "lib/reldb" source
+  || source_under "lib/txn" source
+  || source_under "lib/check" source
 
 type ctx = {
   source : string;
@@ -236,7 +240,24 @@ let check_structure ~scope_all ~source (str : structure) =
             (Printf.sprintf "direct I/O call `%s` bypasses the Vfs seam"
                (Path.name p))
             "route the operation through a Vfs.t (lib/storage/vfs.ml); \
-             only vfs.ml/extUnix.ml may call Unix I/O directly"
+             only vfs.ml/extUnix.ml may call Unix I/O directly";
+        (* V6: the wall clock.  Unix.gettimeofday moves with NTP steps,
+           so any timing or deadline derived from it can go negative or
+           wildly wrong mid-run; lib/util owns the monotonic source
+           (Mtime_stub, with gettimeofday only as a clamped fallback). *)
+        if
+          name = "gettimeofday"
+          && List.exists
+               (fun m ->
+                 part_matches "Unix" m || part_matches "UnixLabels" m)
+               owner
+          && not (source_under "lib/util" ctx.source)
+        then
+          flag v6 e.exp_loc
+            "Unix.gettimeofday is wall-clock time; NTP steps make \
+             derived timings and deadlines wrong"
+            "use Hyper_util.Mtime_stub.now_ns (or Vclock) for durations \
+             and deadlines; only lib/util may read the wall clock"
     | [] -> ());
     (* V3: pin balance. *)
     (match rev with

@@ -1,4 +1,23 @@
 open Hyper_storage
+module Obs = Hyper_obs.Obs
+
+let m_round_trips =
+  Obs.Counter.make "hyper_net_round_trips_total"
+    ~help:"client/server request-response exchanges"
+
+let m_batched =
+  Obs.Counter.make "hyper_net_batched_round_trips_total"
+    ~help:"round trips that carried a page group rather than one page"
+
+let m_bytes =
+  Obs.Counter.make "hyper_net_bytes_sent_total" ~help:"payload bytes moved"
+
+let m_server_hits =
+  Obs.Counter.make "hyper_net_server_hits_total" ~help:"server page-cache hits"
+
+let m_server_misses =
+  Obs.Counter.make "hyper_net_server_misses_total"
+    ~help:"server page-cache misses (server disk reads)"
 
 type profile = {
   network : Latency_model.t;
@@ -35,11 +54,16 @@ let server_lookup t page =
 let on_read t page =
   t.counters.round_trips <- t.counters.round_trips + 1;
   t.counters.bytes_sent <- t.counters.bytes_sent + Page.size;
+  Obs.Counter.incr m_round_trips;
+  Obs.Counter.add m_bytes Page.size;
   Latency_model.charge t.network ~bytes:Page.size;
-  if server_lookup t page then
-    t.counters.server_hits <- t.counters.server_hits + 1
+  if server_lookup t page then begin
+    t.counters.server_hits <- t.counters.server_hits + 1;
+    Obs.Counter.incr m_server_hits
+  end
   else begin
     t.counters.server_misses <- t.counters.server_misses + 1;
+    Obs.Counter.incr m_server_misses;
     Latency_model.charge t.server_disk ~bytes:Page.size
   end
 
@@ -53,13 +77,19 @@ let on_read_many t pages =
   t.counters.round_trips <- t.counters.round_trips + 1;
   t.counters.batched_round_trips <- t.counters.batched_round_trips + 1;
   t.counters.bytes_sent <- t.counters.bytes_sent + (n * Page.size);
+  Obs.Counter.incr m_round_trips;
+  Obs.Counter.incr m_batched;
+  Obs.Counter.add m_bytes (n * Page.size);
   Latency_model.charge t.network ~bytes:(n * Page.size);
   List.iter
     (fun page ->
-      if server_lookup t page then
-        t.counters.server_hits <- t.counters.server_hits + 1
+      if server_lookup t page then begin
+        t.counters.server_hits <- t.counters.server_hits + 1;
+        Obs.Counter.incr m_server_hits
+      end
       else begin
         t.counters.server_misses <- t.counters.server_misses + 1;
+        Obs.Counter.incr m_server_misses;
         Latency_model.charge t.server_disk ~bytes:Page.size
       end)
     pages
@@ -67,6 +97,8 @@ let on_read_many t pages =
 let on_write t page =
   t.counters.round_trips <- t.counters.round_trips + 1;
   t.counters.bytes_sent <- t.counters.bytes_sent + Page.size;
+  Obs.Counter.incr m_round_trips;
+  Obs.Counter.add m_bytes Page.size;
   Latency_model.charge t.network ~bytes:Page.size;
   (* The written page is now resident in the server cache. *)
   Hyper_util.Lru.put t.cache page ()

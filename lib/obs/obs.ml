@@ -1,0 +1,299 @@
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+(* {2 Registry} *)
+
+type counter_v = { mutable c : int }
+type gauge_v = { mutable g : float }
+
+(* Bucket [i] holds observations x with bound(i-1) < x <= bound(i),
+   where bound(i) = 2^i; the last bucket is a catch-all. *)
+let nbuckets = 48
+
+type histogram_v = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_buckets : int array;
+}
+
+type metric =
+  | M_counter of counter_v
+  | M_gauge of gauge_v
+  | M_histogram of histogram_v
+
+type entry = { name : string; help : string; m : metric }
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let register ~help name fresh =
+  match Hashtbl.find_opt registry name with
+  | Some e ->
+      let want = fresh () in
+      if kind_name e.m <> kind_name want then
+        invalid_arg
+          (Printf.sprintf "Obs: %s already registered as a %s" name
+             (kind_name e.m));
+      e.m
+  | None ->
+      let m = fresh () in
+      Hashtbl.add registry name { name; help; m };
+      m
+
+let reset_metric = function
+  | M_counter c -> c.c <- 0
+  | M_gauge g -> g.g <- 0.0
+  | M_histogram h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      Array.fill h.h_buckets 0 nbuckets 0
+
+let format_labels = function
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) kvs)
+      ^ "}"
+
+module Counter = struct
+  type t = counter_v
+
+  let make ?(help = "") name =
+    match register ~help name (fun () -> M_counter { c = 0 }) with
+    | M_counter c -> c
+    | _ -> assert false
+
+  let labeled ?help name kvs = make ?help (name ^ format_labels kvs)
+  let incr t = if !on then t.c <- t.c + 1
+  let add t n = if !on then t.c <- t.c + n
+  let value t = t.c
+end
+
+module Gauge = struct
+  type t = gauge_v
+
+  let make ?(help = "") name =
+    match register ~help name (fun () -> M_gauge { g = 0.0 }) with
+    | M_gauge g -> g
+    | _ -> assert false
+
+  let set t v = if !on then t.g <- v
+  let add t v = if !on then t.g <- t.g +. v
+  let value t = t.g
+end
+
+module Histogram = struct
+  type t = histogram_v
+
+  let make ?(help = "") name =
+    let fresh () =
+      M_histogram { h_count = 0; h_sum = 0.0; h_buckets = Array.make nbuckets 0 }
+    in
+    match register ~help name fresh with
+    | M_histogram h -> h
+    | _ -> assert false
+
+  let bucket_of x =
+    let rec go i bound =
+      if i >= nbuckets - 1 || x <= bound then i else go (i + 1) (bound *. 2.0)
+    in
+    go 0 1.0
+
+  let observe t x =
+    if !on && not (Float.is_nan x) then begin
+      let x = Float.max x 0.0 in
+      t.h_count <- t.h_count + 1;
+      t.h_sum <- t.h_sum +. x;
+      let i = bucket_of x in
+      t.h_buckets.(i) <- t.h_buckets.(i) + 1
+    end
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+
+  let bound i = if i >= nbuckets - 1 then infinity else Float.pow 2.0 (float_of_int i)
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Obs.Histogram.quantile: q out of range";
+    if t.h_count = 0 then 0.0
+    else begin
+      let target =
+        Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.h_count)))
+      in
+      let cum = ref 0 and found = ref (bound (nbuckets - 2)) in
+      (try
+         for i = 0 to nbuckets - 1 do
+           cum := !cum + t.h_buckets.(i);
+           if !cum >= target then begin
+             found := bound i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !found
+    end
+end
+
+(* {2 Spans} *)
+
+module Span = struct
+  type node = {
+    sp_name : string;
+    sp_start : float;
+    mutable sp_stop : float;
+    mutable rev_children : node list;
+  }
+
+  let tracing = ref false
+  let stack : node list ref = ref []
+  let roots_rev : node list ref = ref []
+
+  let set_tracing b =
+    tracing := b;
+    if not b then begin
+      stack := [];
+      roots_rev := []
+    end
+
+  let now () = Hyper_util.Vclock.now_ns ()
+
+  let with_span nm f =
+    if not !tracing then f ()
+    else begin
+      let n =
+        { sp_name = nm; sp_start = now (); sp_stop = 0.0; rev_children = [] }
+      in
+      stack := n :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          n.sp_stop <- now ();
+          match !stack with
+          | top :: rest when top == n -> (
+              stack := rest;
+              match rest with
+              | parent :: _ -> parent.rev_children <- n :: parent.rev_children
+              | [] -> roots_rev := n :: !roots_rev)
+          | _ ->
+              (* Unbalanced (tracing toggled mid-span): drop the node. *)
+              ())
+        f
+    end
+
+  let take_roots () =
+    let r = List.rev !roots_rev in
+    roots_rev := [];
+    r
+
+  let name n = n.sp_name
+  let children n = List.rev n.rev_children
+  let duration_ms n = Float.max 0.0 (n.sp_stop -. n.sp_start) /. 1e6
+
+  let to_string nodes =
+    let buf = Buffer.create 256 in
+    let rec go indent n =
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s  %.3f ms\n" indent n.sp_name (duration_ms n));
+      List.iter (go (indent ^ "  ")) (children n)
+    in
+    List.iter (go "") nodes;
+    Buffer.contents buf
+end
+
+let reset () =
+  Hashtbl.iter (fun _ e -> reset_metric e.m) registry;
+  Span.stack := [];
+  Span.roots_rev := []
+
+(* {2 Export} *)
+
+type family =
+  | F_counter of { name : string; help : string; value : int }
+  | F_gauge of { name : string; help : string; value : float }
+  | F_histogram of {
+      name : string;
+      help : string;
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+    }
+
+let histogram_cumulative h =
+  let cum = ref 0 and acc = ref [] in
+  for i = 0 to nbuckets - 1 do
+    cum := !cum + h.h_buckets.(i);
+    acc := (Histogram.bound i, !cum) :: !acc
+  done;
+  List.rev !acc
+
+let family_of e =
+  match e.m with
+  | M_counter c -> F_counter { name = e.name; help = e.help; value = c.c }
+  | M_gauge g -> F_gauge { name = e.name; help = e.help; value = g.g }
+  | M_histogram h ->
+      F_histogram
+        {
+          name = e.name;
+          help = e.help;
+          count = h.h_count;
+          sum = h.h_sum;
+          buckets = histogram_cumulative h;
+        }
+
+let entries_sorted () =
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    (Hashtbl.fold (fun _ e acc -> e :: acc) registry [])
+
+let families () = List.map family_of (entries_sorted ())
+
+(* The family name for HELP/TYPE lines: the metric name with any
+   label suffix stripped. *)
+let base_name name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let le_string b = if b = infinity then "+Inf" else Printf.sprintf "%g" b
+
+let to_prometheus () =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name help kind =
+    let base = base_name name in
+    if not (Hashtbl.mem seen_header base) then begin
+      Hashtbl.add seen_header base ();
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  List.iter
+    (fun e ->
+      match e.m with
+      | M_counter c ->
+          header e.name e.help "counter";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" e.name c.c)
+      | M_gauge g ->
+          header e.name e.help "gauge";
+          Buffer.add_string buf (Printf.sprintf "%s %.17g\n" e.name g.g)
+      | M_histogram h ->
+          header e.name e.help "histogram";
+          List.iter
+            (fun (b, cum) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" e.name
+                   (le_string b) cum))
+            (histogram_cumulative h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %.17g\n" e.name h.h_sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" e.name h.h_count))
+    (entries_sorted ());
+  Buffer.contents buf

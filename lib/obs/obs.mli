@@ -1,0 +1,136 @@
+(** Process-wide observability: metrics registry and span tracing.
+
+    A single global registry of named counters, gauges and log-scale
+    histograms, plus nestable spans.  Everything is built around a
+    no-op fast path: instrumented hot loops pay one ref dereference
+    and a conditional branch while the sink is disabled (the default),
+    so instrumentation can stay compiled-in everywhere.
+
+    Metric handles are created eagerly at module-initialisation time
+    (registration itself is unconditional and idempotent); only
+    {e observations} are gated on {!on}.  Names follow
+    [hyper_<subsystem>_<what>_<unit>] with Prometheus conventions
+    ([_total] counters, [_ns]/[_bytes] units); low-cardinality labels
+    are encoded in the full name, e.g.
+    [hyper_vfs_faults_total{kind="eio"}].
+
+    The registry is process-global and unsynchronised: concurrent
+    counter bumps may drop increments under threads, which is
+    acceptable for benchmark telemetry.  Span tracing maintains a
+    single ambient stack and must only be enabled in single-threaded
+    runs. *)
+
+val on : bool ref
+(** Fast-path flag, read by every observation site.  Treat as
+    read-only outside {!enable}/{!disable}. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid) and drop any
+    collected spans.  For tests and between benchmark runs. *)
+
+module Counter : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Create or look up the counter [name].  Idempotent: a second
+      [make] with the same name returns the same counter.
+      @raise Invalid_argument if [name] is registered as a different
+      metric kind. *)
+
+  val labeled : ?help:string -> string -> (string * string) list -> t
+  (** [labeled name [(k, v); ...]] is [make "name{k=\"v\",...}"] —
+      labels become part of the registered name.  Keep cardinality
+      low; every distinct label set is a separate registry entry. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  (** Log-scale histogram: bucket [i] counts observations in
+      [(2^(i-1), 2^i]], with a final catch-all bucket.  Geometric
+      buckets cover nanosecond-to-minutes dynamic range in ~48
+      buckets at a fixed ~2x resolution. *)
+
+  type t
+
+  val make : ?help:string -> string -> t
+  val observe : t -> float -> unit
+  (** Record one observation.  Negative values clamp to 0 (defence in
+      depth: the monotonic clock already prevents negative timing
+      deltas); NaN is dropped. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t q] with [q] in \[0,1\]: upper bound of the bucket
+      holding the q-th observation — an estimate within one bucket
+      (~2x).  0 on an empty histogram. *)
+end
+
+module Span : sig
+  (** Nestable spans forming per-root trees.  Durations use the
+      virtual benchmark clock ({!Hyper_util.Vclock}), so simulated
+      network/disk latency shows up in traces exactly as it does in
+      reported timings.  Tracing is gated separately from metrics by
+      {!tracing}; with it off, {!with_span} is a single branch. *)
+
+  type node
+
+  val tracing : bool ref
+  val set_tracing : bool -> unit
+  (** Disabling also discards any open or collected spans. *)
+
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a span.  Exception-safe: the span closes
+      (and is recorded) even if the thunk raises. *)
+
+  val take_roots : unit -> node list
+  (** Completed root spans in completion order; clears the buffer. *)
+
+  val name : node -> string
+  val children : node -> node list
+  val duration_ms : node -> float
+  (** Clamped to >= 0 (virtual-clock resets mid-span cannot produce a
+      negative duration). *)
+
+  val to_string : node list -> string
+  (** Indented tree rendering, one line per span:
+      [name  <duration> ms]. *)
+end
+
+(** {2 Export} *)
+
+type family =
+  | F_counter of { name : string; help : string; value : int }
+  | F_gauge of { name : string; help : string; value : float }
+  | F_histogram of {
+      name : string;
+      help : string;
+      count : int;
+      sum : float;
+      buckets : (float * int) list;
+          (** Cumulative [(le, count)] pairs, last bucket [le = infinity]. *)
+    }
+
+val families : unit -> family list
+(** Snapshot of every registered metric, sorted by name. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format ([# HELP] / [# TYPE] lines,
+    [_bucket{le="..."}] / [_sum] / [_count] for histograms). *)

@@ -1,3 +1,22 @@
+module Obs = Hyper_obs.Obs
+
+(* Process-wide mirrors of the per-pool [stats] record, so a bench run
+   over several pools still reports one coherent metric family. *)
+let m_hits = Obs.Counter.make "hyper_pool_hits_total" ~help:"buffer-pool hits"
+
+let m_misses =
+  Obs.Counter.make "hyper_pool_misses_total" ~help:"buffer-pool demand misses"
+
+let m_evictions =
+  Obs.Counter.make "hyper_pool_evictions_total" ~help:"frames evicted"
+
+let m_prefetches =
+  Obs.Counter.make "hyper_pool_prefetches_total"
+    ~help:"pages brought in by prefetch batches"
+
+let m_pins =
+  Obs.Counter.make "hyper_pool_pins_total" ~help:"pin calls (pin churn)"
+
 type stats = {
   mutable hits : int;
   mutable misses : int;
@@ -68,7 +87,8 @@ let evict_one t =
     if f.dirty then t.on_evict_dirty f.page_id f.data;
     write_back t f;
     Hashtbl.remove t.frames f.page_id;
-    t.stats.evictions <- t.stats.evictions + 1
+    t.stats.evictions <- t.stats.evictions + 1;
+    Obs.Counter.incr m_evictions
 
 let ensure_room t =
   while Hashtbl.length t.frames >= t.cap do
@@ -79,20 +99,23 @@ let load t page_id =
   match Hashtbl.find_opt t.frames page_id with
   | Some f ->
     t.stats.hits <- t.stats.hits + 1;
+    Obs.Counter.incr m_hits;
     touch t f;
     f
   | None ->
     t.stats.misses <- t.stats.misses + 1;
+    Obs.Counter.incr m_misses;
     ensure_room t;
-    let f =
-      { page_id; data = Pager.read t.pager page_id; dirty = false; pins = 0;
-        tick = 0 }
+    let data =
+      Obs.Span.with_span "pool.miss" (fun () -> Pager.read t.pager page_id)
     in
+    let f = { page_id; data; dirty = false; pins = 0; tick = 0 } in
     touch t f;
     Hashtbl.add t.frames page_id f;
     f
 
 let pin t f =
+  Obs.Counter.incr m_pins;
   if f.pins = 0 then t.pinned <- t.pinned + 1;
   f.pins <- f.pins + 1
 
@@ -153,7 +176,11 @@ let prefetch t page_ids =
     while Hashtbl.length t.frames + want > t.cap do
       evict_one t
     done;
-    let pages = Pager.read_many t.pager batch in
+    let pages =
+      Obs.Span.with_span "pool.prefetch" (fun () ->
+          Pager.read_many t.pager batch)
+    in
+    Obs.Counter.add m_prefetches want;
     List.iter2
       (fun page_id data ->
         let f = { page_id; data; dirty = false; pins = 0; tick = 0 } in

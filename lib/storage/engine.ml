@@ -1,3 +1,20 @@
+module Obs = Hyper_obs.Obs
+
+let m_begins =
+  Obs.Counter.make "hyper_txn_begins_total" ~help:"engine transactions begun"
+
+let m_commits =
+  Obs.Counter.make "hyper_txn_commits_total"
+    ~help:"engine transactions committed"
+
+let m_aborts =
+  Obs.Counter.make "hyper_txn_aborts_total"
+    ~help:"engine transactions rolled back (explicit abort or commit failure)"
+
+let m_checkpoints =
+  Obs.Counter.make "hyper_txn_checkpoints_total"
+    ~help:"WAL-size-triggered checkpoints"
+
 type txn = { id : int; undo : (int, bytes) Hashtbl.t }
 
 type t = {
@@ -28,8 +45,11 @@ let is_wal_full = function
 let open_ ?(vfs = Vfs.real) ~path ~pool_pages ?(durable_sync = false)
     ?(checkpoint_wal_bytes = 64 * 1024 * 1024) () =
   (* One retry policy for every storage path: transient faults are
-     absorbed here, so Pager/Wal/Recovery only ever see hard errors. *)
-  let vfs = Vfs.retrying vfs in
+     absorbed here, so Pager/Wal/Recovery only ever see hard errors.
+     The observer sits outside the retry layer so each logical
+     operation counts once; absorbed faults surface only as
+     hyper_vfs_retries_total. *)
+  let vfs = Vfs.observed (Vfs.retrying vfs) in
   let wal_path = path ^ ".wal" in
   let pager = Pager.create ~vfs path in
   let recovery_report =
@@ -73,6 +93,7 @@ let begin_txn t =
   if t.read_only then raise (Storage_error.Error Storage_error.Read_only);
   if t.txn <> None then invalid_arg "Engine: nested transaction";
   t.txn_counter <- t.txn_counter + 1;
+  Obs.Counter.incr m_begins;
   let txn = { id = t.txn_counter; undo = Hashtbl.create 64 } in
   t.txn <- Some txn;
   Wal.append t.wal (Wal.Begin txn.id);
@@ -103,10 +124,12 @@ let rollback t txn =
       Pager.write t.pager page img)
     txn.undo;
   t.txn <- None;
+  Obs.Counter.incr m_aborts;
   t.on_reload ()
 
 let maybe_checkpoint t =
   if Wal.size_bytes t.wal > t.checkpoint_wal_bytes then begin
+    Obs.Counter.incr m_checkpoints;
     Buffer_pool.flush_all t.pool;
     Pager.sync t.pager;
     Wal.truncate t.wal
@@ -129,6 +152,7 @@ let commit t =
      t.read_only <- true;
      rollback t txn;
      raise e);
+  Obs.Counter.incr m_commits;
   (* Force policy: committed pages reach the data file eagerly. *)
   Buffer_pool.flush_all t.pool;
   Buffer_pool.clear_txn_hooks t.pool;
@@ -149,7 +173,12 @@ let checkpoint t =
 
 let close t =
   if not t.closed then begin
-    if t.txn <> None then invalid_arg "Engine: close inside a transaction";
+    (* An open transaction at close has no commit record, so it was
+       never durable — recovery after a crash here would discard it.
+       Roll it back rather than raise: close usually runs from a
+       [Fun.protect] finalizer, where raising would mask whatever
+       exception abandoned the transaction in the first place. *)
+    (match t.txn with Some txn -> rollback t txn | None -> ());
     (* A read-only (degraded) engine has no dirty state to save and its
        WAL is unusable — just release the handles. *)
     if not t.read_only then checkpoint t;

@@ -66,5 +66,12 @@ val clear_caches : t -> unit
     @raise Invalid_argument inside a transaction. *)
 
 val checkpoint : t -> unit
+
 val close : t -> unit
+(** Checkpoint and release the file handles.  A transaction still open
+    at close was never durable (its commit record does not exist), so
+    it is rolled back first — close is typically called from a
+    [Fun.protect] finalizer, where raising would mask the exception
+    that abandoned the transaction.  Idempotent. *)
+
 val wal_bytes : t -> int

@@ -1,3 +1,16 @@
+module Obs = Hyper_obs.Obs
+
+let m_runs =
+  Obs.Counter.make "hyper_recovery_runs_total" ~help:"recovery passes run"
+
+let m_redone =
+  Obs.Counter.make "hyper_recovery_pages_redone_total"
+    ~help:"pages restored from committed redo images"
+
+let m_undone =
+  Obs.Counter.make "hyper_recovery_pages_undone_total"
+    ~help:"pages restored from uncommitted undo images"
+
 type report = {
   committed : int list;
   rolled_back : int list;
@@ -63,6 +76,9 @@ let recover ?(vfs = Vfs.real) ~wal_path pager =
         Pager.write pager p img;
         incr undone)
     final;
+  Obs.Counter.incr m_runs;
+  Obs.Counter.add m_redone !redone;
+  Obs.Counter.add m_undone !undone;
   let ids tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
   let rolled_back =
     List.filter (fun t -> not (Hashtbl.mem committed t)) (ids started)

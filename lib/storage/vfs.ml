@@ -86,6 +86,92 @@ let real =
     exists = (fun path -> Sys.file_exists path);
     remove = (fun path -> if Sys.file_exists path then Sys.remove path) }
 
+(* --- observability --- *)
+
+module Obs = Hyper_obs.Obs
+
+let m_reads =
+  Obs.Counter.make "hyper_vfs_reads_total"
+    ~help:"pread calls issued (a vectored read counts each sub-read)"
+
+let m_read_bytes =
+  Obs.Counter.make "hyper_vfs_read_bytes_total" ~help:"bytes read"
+
+let m_writes =
+  Obs.Counter.make "hyper_vfs_writes_total" ~help:"pwrite calls issued"
+
+let m_write_bytes =
+  Obs.Counter.make "hyper_vfs_write_bytes_total" ~help:"bytes written"
+
+let m_fsyncs =
+  Obs.Counter.make "hyper_vfs_fsyncs_total" ~help:"durability barriers issued"
+
+let m_truncates = Obs.Counter.make "hyper_vfs_truncates_total" ~help:"truncates"
+let m_opens = Obs.Counter.make "hyper_vfs_opens_total" ~help:"files opened"
+
+let m_crashes =
+  Obs.Counter.make "hyper_vfs_crashes_total"
+    ~help:"simulated power failures observed at the VFS seam"
+
+let m_retries =
+  Obs.Counter.make "hyper_vfs_retries_total"
+    ~help:"transient-fault retries performed by the retrying middleware"
+
+let fault_kind = function
+  | Storage_error.Eio -> "eio"
+  | Storage_error.Enospc -> "enospc"
+  | Storage_error.Efault _ -> "efault"
+
+let note_exn exn =
+  if !Obs.on then
+    match exn with
+    | Storage_error.Error (Storage_error.Io { fault; _ }) ->
+        Obs.Counter.incr
+          (Obs.Counter.labeled "hyper_vfs_faults_total"
+             ~help:"typed I/O faults surfacing through the VFS, by kind"
+             [ ("kind", fault_kind fault) ])
+    | Crash -> Obs.Counter.incr m_crashes
+    | _ -> ()
+
+let observed vfs =
+  let observe f = try f () with e -> note_exn e; raise e in
+  let wrap_file f =
+    { f with
+      pread =
+        (fun ~buf ~off ->
+          Obs.Counter.incr m_reads;
+          Obs.Counter.add m_read_bytes (Bytes.length buf);
+          observe (fun () -> f.pread ~buf ~off));
+      pread_multi =
+        (fun reqs ->
+          List.iter
+            (fun (buf, _) ->
+              Obs.Counter.incr m_reads;
+              Obs.Counter.add m_read_bytes (Bytes.length buf))
+            reqs;
+          observe (fun () -> f.pread_multi reqs));
+      pwrite =
+        (fun ~buf ~off ->
+          Obs.Counter.incr m_writes;
+          Obs.Counter.add m_write_bytes (Bytes.length buf);
+          observe (fun () -> f.pwrite ~buf ~off));
+      truncate =
+        (fun len ->
+          Obs.Counter.incr m_truncates;
+          observe (fun () -> f.truncate len));
+      sync =
+        (fun () ->
+          Obs.Counter.incr m_fsyncs;
+          Obs.Span.with_span "vfs.sync" (fun () ->
+              observe (fun () -> f.sync ()))) }
+  in
+  { vfs with
+    name = vfs.name ^ "+obs";
+    open_rw =
+      (fun path ->
+        Obs.Counter.incr m_opens;
+        wrap_file (observe (fun () -> vfs.open_rw path))) }
+
 (* --- bounded retry with backoff --- *)
 
 let retrying ?(attempts = 4) ?(backoff_s = 0.0005) vfs =
@@ -94,6 +180,7 @@ let retrying ?(attempts = 4) ?(backoff_s = 0.0005) vfs =
       try f ()
       with Storage_error.Error e
            when Storage_error.is_transient e && attempt < attempts ->
+        Obs.Counter.incr m_retries;
         if delay > 0. then (try Unix.sleepf delay with Unix.Unix_error _ -> ());
         go (attempt + 1) (delay *. 2.)
     in

@@ -57,7 +57,18 @@ val retrying : ?attempts:int -> ?backoff_s:float -> t -> t
 (** [retrying vfs] retries operations that fail with a {e transient}
     {!Storage_error.Io} up to [attempts] times total, sleeping
     [backoff_s] (doubling each retry) in between.  Permanent faults and
-    {!Crash} propagate immediately. *)
+    {!Crash} propagate immediately.  Each retry bumps
+    [hyper_vfs_retries_total]. *)
+
+val observed : t -> t
+(** Observability middleware: counts reads/writes/fsyncs/truncates and
+    their byte volumes into the {!Hyper_obs.Obs} registry
+    ([hyper_vfs_*]), classifies surfacing faults by kind
+    ([hyper_vfs_faults_total{kind="..."}] — always re-raising), and
+    wraps [sync] in a ["vfs.sync"] span.  Installed once by
+    {!Engine.open_} {e outside} {!retrying}, so a retried operation
+    counts once and absorbed transient faults appear only as
+    retries. *)
 
 (** Deterministic fault injection over an in-memory file namespace.
 

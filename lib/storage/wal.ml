@@ -1,3 +1,27 @@
+module Obs = Hyper_obs.Obs
+
+let m_appends =
+  Obs.Counter.make "hyper_wal_appends_total" ~help:"log entries appended"
+
+let m_append_bytes =
+  Obs.Counter.make "hyper_wal_append_bytes_total"
+    ~help:"serialized entry bytes appended (header + payload + crc)"
+
+let m_flushes =
+  Obs.Counter.make "hyper_wal_flushes_total"
+    ~help:"buffered batches issued to the VFS"
+
+let m_syncs =
+  Obs.Counter.make "hyper_wal_syncs_total" ~help:"WAL durability barriers"
+
+let h_flush_bytes =
+  Obs.Histogram.make "hyper_wal_flush_bytes"
+    ~help:"bytes per flushed batch (fsync batching efficacy)"
+
+let g_size =
+  Obs.Gauge.make "hyper_wal_size_bytes"
+    ~help:"bytes issued to the log file since the last truncate"
+
 type entry =
   | Begin of int
   | Before of int * int * bytes
@@ -55,7 +79,9 @@ let append t e =
   Buffer.add_bytes t.buf payload;
   let crc = Bytes.create 4 in
   Page.set_u32 crc 0 (checksum payload lxor checksum header);
-  Buffer.add_bytes t.buf crc
+  Buffer.add_bytes t.buf crc;
+  Obs.Counter.incr m_appends;
+  Obs.Counter.add m_append_bytes (14 + Bytes.length payload + 4)
 
 (* Issue the buffered suffix to the vfs.  This is the point where WAL
    bytes enter the (possibly simulated) OS — write-ahead ordering is
@@ -65,11 +91,15 @@ let flush t =
     let b = Buffer.to_bytes t.buf in
     t.file.Vfs.pwrite ~buf:b ~off:t.issued;
     t.issued <- t.issued + Bytes.length b;
-    Buffer.clear t.buf
+    Buffer.clear t.buf;
+    Obs.Counter.incr m_flushes;
+    Obs.Histogram.observe h_flush_bytes (float_of_int (Bytes.length b));
+    Obs.Gauge.set g_size (float_of_int t.issued)
   end
 
 let sync t =
   flush t;
+  Obs.Counter.incr m_syncs;
   t.file.Vfs.sync ()
 
 let truncate t =

@@ -1,3 +1,17 @@
+module Obs = Hyper_obs.Obs
+
+let m_lock_waits =
+  Obs.Counter.make "hyper_txn_lock_waits_total"
+    ~help:"lock acquisitions that had to wait at least one poll"
+
+let m_lock_timeouts =
+  Obs.Counter.make "hyper_txn_lock_timeouts_total"
+    ~help:"lock acquisitions that gave up at the deadline"
+
+let h_lock_wait_ns =
+  Obs.Histogram.make "hyper_txn_lock_wait_ns"
+    ~help:"time spent waiting for contended locks (granted waits only)"
+
 type mode = Shared | Exclusive
 
 exception Timeout of { txn : int; resource : int }
@@ -60,16 +74,35 @@ let acquire t ~txn ~resource mode =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
-      let deadline = Unix.gettimeofday () +. t.timeout_s in
+      (* Monotonic deadline: an NTP step stepping the wall clock must
+         neither stretch nor cut short the lock timeout. *)
+      let start = Hyper_util.Mtime_stub.now_ns () in
+      let deadline =
+        Int64.add start (Int64.of_float (t.timeout_s *. 1e9))
+      in
+      let waited = ref false in
       (* The entry must be re-fetched on every iteration: [release_all]
          drops empty entries from the table, so a cached record can be an
          orphan that a fresh acquirer no longer shares. *)
       let rec wait () =
         let e = entry_for t resource in
-        if compatible e ~txn mode then grant e ~txn mode
+        if compatible e ~txn mode then begin
+          grant e ~txn mode;
+          if !waited then
+            Obs.Histogram.observe h_lock_wait_ns
+              (Int64.to_float
+                 (Int64.sub (Hyper_util.Mtime_stub.now_ns ()) start))
+        end
         else begin
-          if Unix.gettimeofday () >= deadline then
-            raise (Timeout { txn; resource });
+          if not !waited then begin
+            waited := true;
+            Obs.Counter.incr m_lock_waits
+          end;
+          if Int64.compare (Hyper_util.Mtime_stub.now_ns ()) deadline >= 0
+          then begin
+            Obs.Counter.incr m_lock_timeouts;
+            raise (Timeout { txn; resource })
+          end;
           (* Condition.wait has no timeout in the stdlib; poll with short
              sleeps outside the mutex instead. *)
           Mutex.unlock t.mutex;

@@ -1,3 +1,13 @@
+module Obs = Hyper_obs.Obs
+
+let m_occ_commits =
+  Obs.Counter.make "hyper_txn_occ_commits_total"
+    ~help:"OCC transactions that validated and committed"
+
+let m_occ_aborts =
+  Obs.Counter.make "hyper_txn_occ_aborts_total"
+    ~help:"OCC transactions that failed validation or were aborted"
+
 type t = {
   mutex : Mutex.t;
   versions : (int, int) Hashtbl.t; (* resource -> commit counter value *)
@@ -50,9 +60,13 @@ let commit txn =
     Hashtbl.iter
       (fun r () -> Hashtbl.replace t.versions r (version_of t r + 1))
       txn.writes;
-    t.committed <- t.committed + 1
+    t.committed <- t.committed + 1;
+    Obs.Counter.incr m_occ_commits
   end
-  else t.aborted <- t.aborted + 1;
+  else begin
+    t.aborted <- t.aborted + 1;
+    Obs.Counter.incr m_occ_aborts
+  end;
   Mutex.unlock t.mutex;
   valid
 
@@ -62,6 +76,7 @@ let abort txn =
     let t = txn.owner in
     Mutex.lock t.mutex;
     t.aborted <- t.aborted + 1;
+    Obs.Counter.incr m_occ_aborts;
     Mutex.unlock t.mutex
   end
 

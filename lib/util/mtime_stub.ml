@@ -1,1 +1,21 @@
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+external monotonic_ns : unit -> int64 = "hyper_mtime_monotonic_ns"
+
+(* Last value handed out.  On the CLOCK_MONOTONIC path this never
+   regresses by construction; the clamp exists for the gettimeofday
+   fallback, where an NTP step can pull the wall clock backwards.  The
+   ref is racy under threads, but the failure mode is returning a
+   slightly stale (still monotone) reading, never a regression below
+   what this thread last observed through a data dependency. *)
+let last = ref 0L
+
+let fallback_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let now_ns () =
+  let t = monotonic_ns () in
+  let t = if Int64.compare t 0L >= 0 then t else fallback_ns () in
+  let prev = !last in
+  if Int64.compare t prev > 0 then begin
+    last := t;
+    t
+  end
+  else prev

@@ -1,6 +1,11 @@
 (** Minimal monotonic clock (nanoseconds).
 
-    Uses [Unix.gettimeofday]; microsecond resolution is sufficient because
-    the benchmark protocol always times batches of 50 operations. *)
+    Reads [clock_gettime(CLOCK_MONOTONIC)] through a C stub, so readings
+    are immune to NTP steps and [settimeofday].  On platforms without a
+    monotonic clock it falls back to [Unix.gettimeofday] with a
+    non-decreasing clamp; either way successive calls never go
+    backwards, so timing deltas, spans and histogram observations can
+    never be negative.  The epoch is arbitrary (typically boot time):
+    only differences between readings are meaningful. *)
 
 val now_ns : unit -> int64

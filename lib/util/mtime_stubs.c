@@ -1,0 +1,25 @@
+/* Monotonic clock for Mtime_stub.  CLOCK_MONOTONIC is immune to NTP
+   steps and settimeofday, which is the whole point: benchmark timings
+   must never go negative because the wall clock jumped mid-run.
+   Returns -1 when the platform has no monotonic clock so the OCaml
+   side can fall back to a clamped gettimeofday. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim value hyper_mtime_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0) {
+    int64_t ns = (int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec;
+    CAMLreturn(caml_copy_int64(ns));
+  }
+#endif
+  CAMLreturn(caml_copy_int64((int64_t)-1));
+}

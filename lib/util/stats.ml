@@ -2,16 +2,21 @@ type t = {
   mutable values : float array;
   mutable n : int;
   mutable sum : float;
-  mutable sum_sq : float;
+  (* Welford running moments: the naive sum-of-squares formula loses all
+     precision when the mean dwarfs the spread (e.g. absolute-nanosecond
+     samples), and can even go negative. *)
+  mutable mean_ : float;
+  mutable m2 : float;
   mutable lo : float;
   mutable hi : float;
 }
 
 let create () =
-  { values = Array.make 16 0.0; n = 0; sum = 0.0; sum_sq = 0.0;
+  { values = Array.make 16 0.0; n = 0; sum = 0.0; mean_ = 0.0; m2 = 0.0;
     lo = infinity; hi = neg_infinity }
 
 let add t x =
+  if Float.is_nan x then invalid_arg "Stats.add: NaN sample";
   if t.n = Array.length t.values then begin
     let bigger = Array.make (2 * t.n) 0.0 in
     Array.blit t.values 0 bigger 0 t.n;
@@ -20,29 +25,33 @@ let add t x =
   t.values.(t.n) <- x;
   t.n <- t.n + 1;
   t.sum <- t.sum +. x;
-  t.sum_sq <- t.sum_sq +. (x *. x);
+  let delta = x -. t.mean_ in
+  t.mean_ <- t.mean_ +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_));
   if x < t.lo then t.lo <- x;
   if x > t.hi then t.hi <- x
 
 let count t = t.n
 let total t = t.sum
-let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let mean t = if t.n = 0 then 0.0 else t.mean_
 
 let stddev t =
   if t.n < 2 then 0.0
-  else
-    let n = float_of_int t.n in
-    let var = (t.sum_sq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
-    sqrt (Float.max var 0.0)
+  else sqrt (Float.max (t.m2 /. float_of_int (t.n - 1)) 0.0)
 
-let min t = t.lo
-let max t = t.hi
+let min t =
+  if t.n = 0 then invalid_arg "Stats.min: empty series";
+  t.lo
+
+let max t =
+  if t.n = 0 then invalid_arg "Stats.max: empty series";
+  t.hi
 
 let percentile t p =
   if t.n = 0 then invalid_arg "Stats.percentile: empty series";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.sub t.values 0 t.n in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (t.n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in

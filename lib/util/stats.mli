@@ -9,18 +9,24 @@ type t
 val create : unit -> t
 
 val add : t -> float -> unit
-(** Record one sample. *)
+(** Record one sample.  @raise Invalid_argument on NaN: a NaN sample
+    would silently poison every summary number downstream. *)
 
 val count : t -> int
 val total : t -> float
 val mean : t -> float
 
 val stddev : t -> float
-(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+(** Sample standard deviation (n-1 denominator, Welford's online
+    update so large offsets don't cancel); 0 for fewer than two
     samples. *)
 
 val min : t -> float
+(** @raise Invalid_argument on an empty series (previously returned
+    [infinity] straight into reports). *)
+
 val max : t -> float
+(** @raise Invalid_argument on an empty series. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in \[0,100\], by linear interpolation over

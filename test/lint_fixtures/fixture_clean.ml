@@ -27,3 +27,6 @@ let same_node (a : Oid.t) (b : Oid.t) = Oid.equal a b
 (* Hash-order fold, immediately sorted with a keyed comparator. *)
 let doc_ids (tbl : (int, string) Hashtbl.t) =
   List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+(* Durations come from the monotonic clock, not the wall clock. *)
+let stamp () = Hyper_util.Mtime_stub.now_ns ()

@@ -26,3 +26,5 @@ let same_node (a : Oid.t) (b : Oid.t) = a = b
 let doc_ids (tbl : (int, string) Hashtbl.t) =
   (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
    [@lint.allow "deterministic-iteration"])
+
+let stamp () = (Unix.gettimeofday () [@lint.allow "monotonic-time"])

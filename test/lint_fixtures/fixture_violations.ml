@@ -24,3 +24,6 @@ let same_node (a : Oid.t) (b : Oid.t) = a = b
 (* deterministic-iteration: list built in hash order, never sorted. *)
 let doc_ids (tbl : (int, string) Hashtbl.t) =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+(* monotonic-time: wall-clock reads outside lib/util. *)
+let stamp () = Unix.gettimeofday ()

@@ -39,11 +39,30 @@ let test_bracketing_errors () =
       Alcotest.check_raises "clear_caches inside txn"
         (Invalid_argument "Engine: clear_caches inside a transaction")
         (fun () -> Engine.clear_caches e);
-      Alcotest.check_raises "close inside txn"
-        (Invalid_argument "Engine: close inside a transaction") (fun () ->
-          Engine.close e);
       Engine.abort e;
       check Alcotest.bool "not in txn" false (Engine.in_txn e))
+
+(* Close with a transaction still open (typically: an exception unwound
+   through a [Fun.protect] whose finalizer closes the store) rolls the
+   transaction back instead of raising — the uncommitted writes must
+   not survive a reopen. *)
+let test_close_rolls_back_open_txn () =
+  with_engine "close_rollback" (fun e path ->
+      let pool = Engine.pool e in
+      Engine.begin_txn e;
+      let id = Buffer_pool.allocate pool in
+      Buffer_pool.with_page_w pool id (fun p -> Bytes.fill p 0 8 'c');
+      Engine.commit e;
+      Engine.begin_txn e;
+      Buffer_pool.with_page_w pool id (fun p -> Bytes.fill p 0 8 'u');
+      Engine.close e;
+      let e2 = Engine.open_ ~path ~pool_pages:8 () in
+      Fun.protect
+        ~finally:(fun () -> Engine.close e2)
+        (fun () ->
+          Buffer_pool.with_page (Engine.pool e2) id (fun p ->
+              check Alcotest.char "uncommitted write rolled back" 'c'
+                (Bytes.get p 0))))
 
 let test_commit_then_visible_after_drop () =
   with_engine "commit" (fun e _ ->
@@ -260,6 +279,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "bracketing errors" `Quick test_bracketing_errors;
+          Alcotest.test_case "close rolls back open txn" `Quick
+            test_close_rolls_back_open_txn;
           Alcotest.test_case "commit durable through drop" `Quick
             test_commit_then_visible_after_drop;
           Alcotest.test_case "abort restores stolen pages" `Quick

@@ -41,6 +41,7 @@ let expected_violations =
     ("pin-balance", 19);
     ("no-poly-compare-on-oid", 22);
     ("deterministic-iteration", 26);
+    ("monotonic-time", 29);
   ]
 
 let test_violations () =
@@ -62,7 +63,7 @@ let test_suppressed () =
   in
   check
     Alcotest.(list string)
-    "all five rules were suppressed, not missed"
+    "every rule was suppressed, not missed"
     (List.sort String.compare (List.map fst Hyper_lint.Rules.all))
     rules
 

@@ -1,0 +1,180 @@
+(* Hyper_obs unit tests: counter/histogram correctness, registry
+   identity, the disabled-sink no-op guarantee, span nesting and
+   exception safety, and the Prometheus text rendering.
+
+   The registry is process-global, so every test re-establishes the
+   sink state it needs and metric names are unique per test. *)
+
+module Obs = Hyper_obs.Obs
+
+let check = Alcotest.check
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_contains what haystack needle =
+  if not (contains haystack needle) then
+    Alcotest.failf "%s: %S not found in:\n%s" what needle haystack
+
+(* --- counters --- *)
+
+let test_counter_gating () =
+  Obs.disable ();
+  let c = Obs.Counter.make "test_gate_total" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 5;
+  check Alcotest.int "disabled sink is a true no-op" 0 (Obs.Counter.value c);
+  Obs.enable ();
+  Obs.Counter.incr c;
+  Obs.Counter.add c 2;
+  check Alcotest.int "enabled sink accumulates" 3 (Obs.Counter.value c);
+  Obs.reset ();
+  check Alcotest.int "reset zeroes in place" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  check Alcotest.int "handle survives reset" 1 (Obs.Counter.value c);
+  Obs.disable ()
+
+let test_registry_identity () =
+  Obs.enable ();
+  let a = Obs.Counter.labeled "test_faults_total" [ ("kind", "eio") ] in
+  let b = Obs.Counter.labeled "test_faults_total" [ ("kind", "eio") ] in
+  let other = Obs.Counter.labeled "test_faults_total" [ ("kind", "enospc") ] in
+  Obs.Counter.incr a;
+  check Alcotest.int "same name+labels shares the cell" 1
+    (Obs.Counter.value b);
+  check Alcotest.int "distinct label set is a distinct metric" 0
+    (Obs.Counter.value other);
+  (match Obs.Gauge.make "test_faults_total{kind=\"eio\"}" with
+  | _ -> Alcotest.fail "kind mismatch must raise"
+  | exception Invalid_argument _ -> ());
+  Obs.disable ()
+
+(* --- gauges --- *)
+
+let test_gauge () =
+  Obs.enable ();
+  let g = Obs.Gauge.make "test_size_bytes" in
+  Obs.Gauge.set g 10.5;
+  Obs.Gauge.add g 2.0;
+  check (Alcotest.float 1e-9) "set then add" 12.5 (Obs.Gauge.value g);
+  Obs.disable ();
+  Obs.Gauge.set g 99.0;
+  check (Alcotest.float 1e-9) "disabled set is a no-op" 12.5
+    (Obs.Gauge.value g)
+
+(* --- histograms --- *)
+
+let test_histogram () =
+  Obs.enable ();
+  let h = Obs.Histogram.make "test_latency_ns" in
+  List.iter (Obs.Histogram.observe h) [ 1.0; 3.0; 100.0 ];
+  Obs.Histogram.observe h (-5.0) (* clamps to 0 *);
+  Obs.Histogram.observe h Float.nan (* dropped *);
+  check Alcotest.int "count (NaN dropped)" 4 (Obs.Histogram.count h);
+  check (Alcotest.float 1e-9) "sum (negative clamped)" 104.0
+    (Obs.Histogram.sum h);
+  (* Log2 buckets: 0 and 1 land in le=1, 3 in le=4, 100 in le=128. *)
+  check (Alcotest.float 0.0) "q=0.5 bucket bound" 1.0
+    (Obs.Histogram.quantile h 0.5);
+  check (Alcotest.float 0.0) "q=0.75 bucket bound" 4.0
+    (Obs.Histogram.quantile h 0.75);
+  check (Alcotest.float 0.0) "q=1 bucket bound" 128.0
+    (Obs.Histogram.quantile h 1.0);
+  check (Alcotest.float 0.0) "empty histogram quantile" 0.0
+    (Obs.Histogram.quantile (Obs.Histogram.make "test_empty_ns") 0.5);
+  (* The exported family must carry cumulative buckets ending at +Inf. *)
+  let fam =
+    List.find_map
+      (function
+        | Obs.F_histogram { name = "test_latency_ns"; buckets; _ } ->
+            Some buckets
+        | _ -> None)
+      (Obs.families ())
+  in
+  (match fam with
+  | None -> Alcotest.fail "histogram family missing from families ()"
+  | Some buckets ->
+      let les, cums = List.split buckets in
+      check Alcotest.bool "last bucket is +Inf" true
+        (List.nth les (List.length les - 1) = infinity);
+      check Alcotest.int "cumulative count closes at total" 4
+        (List.nth cums (List.length cums - 1));
+      check Alcotest.bool "cumulative counts are monotone" true
+        (List.for_all2 ( <= ) (0 :: cums) (cums @ [ max_int ])));
+  Obs.disable ()
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  Obs.Span.set_tracing true;
+  let r =
+    Obs.Span.with_span "outer" (fun () ->
+        Obs.Span.with_span "inner" (fun () -> 7))
+  in
+  check Alcotest.int "thunk result passes through" 7 r;
+  (try Obs.Span.with_span "boom" (fun () -> failwith "x") with
+  | Failure _ -> ());
+  let roots = Obs.Span.take_roots () in
+  check
+    Alcotest.(list string)
+    "roots in completion order" [ "outer"; "boom" ]
+    (List.map Obs.Span.name roots);
+  let outer = List.hd roots in
+  check
+    Alcotest.(list string)
+    "nested span attaches to parent" [ "inner" ]
+    (List.map Obs.Span.name (Obs.Span.children outer));
+  check Alcotest.bool "duration non-negative" true
+    (Obs.Span.duration_ms outer >= 0.0);
+  check Alcotest.int "take_roots drains" 0
+    (List.length (Obs.Span.take_roots ()));
+  let rendered = Obs.Span.to_string roots in
+  check_contains "rendering names the root" rendered "outer";
+  check_contains "rendering indents the child" rendered "\n  inner";
+  Obs.Span.set_tracing false
+
+let test_span_disabled () =
+  Obs.Span.set_tracing false;
+  check Alcotest.int "disabled tracing is a passthrough" 3
+    (Obs.Span.with_span "off" (fun () -> 3));
+  check Alcotest.int "nothing recorded while off" 0
+    (List.length (Obs.Span.take_roots ()))
+
+(* --- Prometheus text exposition --- *)
+
+let test_prometheus () =
+  Obs.enable ();
+  let c = Obs.Counter.make ~help:"ops so far" "test_prom_total" in
+  Obs.Counter.add c 3;
+  let h = Obs.Histogram.make "test_prom_ns" in
+  Obs.Histogram.observe h 3.0;
+  let s = Obs.to_prometheus () in
+  check_contains "HELP line" s "# HELP test_prom_total ops so far";
+  check_contains "TYPE line" s "# TYPE test_prom_total counter";
+  check_contains "counter sample" s "test_prom_total 3\n";
+  check_contains "histogram TYPE" s "# TYPE test_prom_ns histogram";
+  check_contains "cumulative bucket" s "test_prom_ns_bucket{le=\"4\"} 1";
+  check_contains "+Inf bucket" s "test_prom_ns_bucket{le=\"+Inf\"} 1";
+  check_contains "histogram count" s "test_prom_ns_count 1";
+  Obs.disable ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter gating" `Quick test_counter_gating;
+          Alcotest.test_case "registry identity" `Quick test_registry_identity;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and exceptions" `Quick test_span_nesting;
+          Alcotest.test_case "disabled passthrough" `Quick test_span_disabled;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "prometheus text" `Quick test_prometheus ] );
+    ]

@@ -1,0 +1,112 @@
+(* Stats regression suite for the PR-5 fixes: Float.compare-based
+   percentile sorting, NaN rejection at [add], empty-series guards on
+   min/max/percentile, and Welford's update keeping stddev accurate
+   when the mean dwarfs the spread. *)
+
+module Stats = Hyper_util.Stats
+
+let check = Alcotest.check
+let close = Alcotest.float 1e-9
+
+let of_list xs =
+  let t = Stats.create () in
+  List.iter (Stats.add t) xs;
+  t
+
+let raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* --- percentile: linear interpolation over sorted samples --- *)
+
+let test_percentile () =
+  (* Insertion order deliberately scrambled: percentile must sort. *)
+  let t = of_list [ 30.0; 10.0; 40.0; 20.0 ] in
+  check close "p0 is the minimum" 10.0 (Stats.percentile t 0.0);
+  check close "p100 is the maximum" 40.0 (Stats.percentile t 100.0);
+  check close "p50 interpolates between middle samples" 25.0
+    (Stats.percentile t 50.0);
+  check close "p25 interpolates with fractional rank" 17.5
+    (Stats.percentile t 25.0);
+  check close "median is p50" (Stats.percentile t 50.0) (Stats.median t);
+  let one = of_list [ 7.0 ] in
+  check close "single sample at any p" 7.0 (Stats.percentile one 33.0)
+
+let test_percentile_negative () =
+  (* Float.compare must order negatives correctly (the old polymorphic
+     compare happened to as well, but this pins the behaviour). *)
+  let t = of_list [ -3.0; 5.0; -10.0; 0.0 ] in
+  check close "p0 over mixed signs" (-10.0) (Stats.percentile t 0.0);
+  check close "p50 over mixed signs" (-1.5) (Stats.percentile t 50.0)
+
+let test_percentile_errors () =
+  let t = of_list [ 1.0; 2.0 ] in
+  raises_invalid "p < 0" (fun () -> Stats.percentile t (-1.0));
+  raises_invalid "p > 100" (fun () -> Stats.percentile t 100.5);
+  raises_invalid "empty series" (fun () ->
+      Stats.percentile (Stats.create ()) 50.0)
+
+(* --- NaN rejection --- *)
+
+let test_nan_rejected () =
+  let t = of_list [ 1.0 ] in
+  raises_invalid "NaN sample" (fun () -> Stats.add t Float.nan);
+  (* The failed add must not have corrupted the series. *)
+  check Alcotest.int "count unchanged" 1 (Stats.count t);
+  check close "mean unchanged" 1.0 (Stats.mean t)
+
+(* --- empty-series guards --- *)
+
+let test_empty_guards () =
+  let t = Stats.create () in
+  raises_invalid "min of empty" (fun () -> Stats.min t);
+  raises_invalid "max of empty" (fun () -> Stats.max t);
+  check Alcotest.int "count" 0 (Stats.count t);
+  check close "mean of empty is 0" 0.0 (Stats.mean t);
+  check close "stddev of empty is 0" 0.0 (Stats.stddev t)
+
+let test_min_max () =
+  let t = of_list [ 3.0; -2.0; 9.0 ] in
+  check close "min" (-2.0) (Stats.min t);
+  check close "max" 9.0 (Stats.max t)
+
+(* --- stddev numerical robustness --- *)
+
+let test_stddev_basic () =
+  let t = of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  (* Classic fixture: population variance 4, sample variance 32/7. *)
+  check (Alcotest.float 1e-9) "sample stddev" (sqrt (32.0 /. 7.0))
+    (Stats.stddev t);
+  check close "stddev of a single sample is 0" 0.0
+    (Stats.stddev (of_list [ 42.0 ]))
+
+let test_stddev_large_offset () =
+  (* Samples {1, 2, 3} offset by 1e9 — sample stddev is exactly 1.
+     The old sum-of-squares formula loses every significant digit at
+     this offset (and could go negative under the sqrt). *)
+  let t = of_list [ 1e9 +. 1.0; 1e9 +. 2.0; 1e9 +. 3.0 ] in
+  check (Alcotest.float 1e-6) "Welford survives a 1e9 offset" 1.0
+    (Stats.stddev t)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "percentile",
+        [
+          Alcotest.test_case "interpolation fixtures" `Quick test_percentile;
+          Alcotest.test_case "negative samples" `Quick test_percentile_negative;
+          Alcotest.test_case "domain errors" `Quick test_percentile_errors;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+          Alcotest.test_case "empty series" `Quick test_empty_guards;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+        ] );
+      ( "stddev",
+        [
+          Alcotest.test_case "textbook fixture" `Quick test_stddev_basic;
+          Alcotest.test_case "large offset" `Quick test_stddev_large_offset;
+        ] );
+    ]
