@@ -9,6 +9,8 @@
 
 open Cmdliner
 module Check = Hyper_check.Differential
+module Fail = Hyper_check.Failover
+module Repl = Hyper_repl.Repl
 module Trace = Hyper_core.Trace
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
@@ -115,6 +117,82 @@ let run_replay path subjects =
     subjects;
   if !failures > 0 then exit 1
 
+(* --------------------------------------------------------------- *)
+(* failover mode: replicated primary, crash/partition/promote, diff
+   the survivor against the oracle replay of its committed prefix. *)
+
+(* Deterministic case schedule: cycle the ack policies, stratify the
+   primary crash point, alternate link faults, and periodically throw in
+   a replica kill/restart and a tiny retention window (the latter forces
+   the snapshot catch-up path). *)
+let failover_case ~base ~steps ~level ~replicas i =
+  let seed = Int64.add base (Int64.of_int i) in
+  let policy =
+    match i mod 3 with 0 -> Repl.Async | 1 -> Repl.Sync_one | _ -> Repl.Quorum
+  in
+  let crash_after = [| 0; 40; 150; 600 |].(i / 3 mod 4) in
+  let kill =
+    if i mod 5 = 3 then Some (i mod replicas, steps / 4) else None
+  in
+  let restart =
+    if kill <> None && i mod 2 = 1 then Some (steps * 3 / 4) else None
+  in
+  let retain, snapshot_lag = if i mod 7 = 2 then (8, 16) else (4096, 1024) in
+  { Fail.fo_seed = seed; fo_gen_seed = 42L; fo_level = level;
+    fo_steps = steps; fo_policy = policy; fo_replicas = replicas;
+    fo_crash_after = crash_after; fo_net_faults = i mod 2 = 0;
+    fo_kill_at = kill; fo_restart_at = restart; fo_retain = retain;
+    fo_snapshot_lag = snapshot_lag }
+
+let failover_repro_path ~dir ~seed =
+  Filename.concat dir (Printf.sprintf "failover-repro-%Ld.repro" seed)
+
+let run_failover seed cases steps level budget_s replicas dir replay =
+  match replay with
+  | Some path ->
+    let c = Fail.load_repro ~path in
+    let r = Fail.failover_check c in
+    Format.printf "%a@." Fail.pp_report r;
+    if not (Fail.ok r) then exit 1
+  | None ->
+    let now_s () = Int64.to_float (Hyper_util.Mtime_stub.now_ns ()) /. 1e9 in
+    let deadline =
+      if budget_s > 0.0 then Some (now_s () +. budget_s) else None
+    in
+    let expired () =
+      match deadline with Some t -> now_s () > t | None -> false
+    in
+    let failures = ref 0 in
+    let ran = ref 0 in
+    let crashed = ref 0 in
+    let snapshots = ref 0 in
+    let replays = ref 0 in
+    (try
+       for i = 0 to cases - 1 do
+         if expired () then raise Exit;
+         let c = failover_case ~base:seed ~steps ~level ~replicas i in
+         incr ran;
+         let r = Fail.failover_check c in
+         if r.Fail.r_crashed then incr crashed;
+         snapshots := !snapshots + r.Fail.r_snapshots;
+         replays := !replays + r.Fail.r_replays;
+         if not (Fail.ok r) then begin
+           incr failures;
+           let path = failover_repro_path ~dir ~seed:c.Fail.fo_seed in
+           Fail.save_repro ~path c;
+           say "FAILOVER VIOLATION:";
+           Format.printf "%a@." Fail.pp_report r;
+           say "replay: hyperfuzz failover --replay %s" path
+         end
+       done
+     with Exit -> ());
+    say
+      "failover: %d case(s), %d violation(s) [%d primary crash(es), %d \
+       snapshot / %d replay catch-up(s); seed base %Ld, level %d, steps %d, \
+       %d replicas]"
+      !ran !failures !crashed !snapshots !replays seed level steps replicas;
+    if !failures > 0 then exit 1
+
 let seed_arg =
   Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"N" ~doc:"Base trace seed; trace $(i,i) uses seed+$(i,i).")
 
@@ -159,6 +237,34 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay a saved repro trace against the subjects")
     Term.(const run_replay $ trace_arg $ subjects_arg)
 
+let cases_arg =
+  Arg.(value & opt int 10_000 & info [ "cases" ] ~docv:"N"
+         ~doc:"Maximum number of failover cases (the budget usually stops \
+               first).")
+
+let fo_steps_arg =
+  Arg.(value & opt int 60 & info [ "steps" ] ~docv:"N" ~doc:"Ops per case.")
+
+let replicas_arg =
+  Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"N"
+         ~doc:"Replicas behind the primary.")
+
+let fo_replay_arg =
+  Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE"
+         ~doc:"Re-run a single saved failover repro instead of fuzzing.")
+
+let failover_cmd =
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Crash-fuzz the replication layer: replicate, fail, promote, \
+             diff the survivor")
+    Term.(const run_failover $ seed_arg $ cases_arg $ fo_steps_arg
+          $ level_arg $ budget_arg $ replicas_arg $ dir_arg $ fo_replay_arg)
+
 let () =
   let doc = "differential oracle fuzzer for the HyperModel backends" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "hyperfuzz" ~doc) [ run_cmd; replay_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "hyperfuzz" ~doc)
+          [ run_cmd; replay_cmd; failover_cmd ]))

@@ -167,11 +167,91 @@ let cmd_verify =
 
 (* --- run --- *)
 
+(* Replicated run (diskdb only): the whole store lives on an in-memory
+   fault-injection VFS so the cluster can snapshot its files; every
+   commit ships through the WAL stream under the chosen ack policy.
+   After the timed ops the primary is failed over and a read-only
+   operation is served from the promoted replica. *)
+let run_replicated ~level ~seed ~pool_pages ~cluster ~reps ~ops ~fanout
+    ~replicas ~durability =
+  let module D = Hyper_diskdb.Diskdb in
+  let module Vfs = Hyper_storage.Vfs in
+  let module Repl = Hyper_repl.Repl in
+  let policy =
+    match Repl.policy_of_string durability with
+    | Some p -> p
+    | None ->
+      failwith
+        (Printf.sprintf "unknown durability %S (async, sync-one, quorum)"
+           durability)
+  in
+  let env = Vfs.Faulty.create Vfs.Faulty.quiet in
+  let vfs = Vfs.Faulty.vfs env in
+  let dbpath = "/bench/disk.db" in
+  let config =
+    { (D.default_config ~path:dbpath) with D.pool_pages; vfs = Some vfs }
+  in
+  let db = D.open_db config in
+  let layout, _ = generate_into (module D) db ~level ~seed ~cluster ~fanout in
+  let rs =
+    List.init replicas (fun i ->
+        Repl.Replica.create ~name:(Printf.sprintf "bench-r%d" i) ())
+  in
+  let cl =
+    Repl.Cluster.create
+      ~cfg:{ Repl.Cluster.default_config with Repl.Cluster.policy }
+      ~engine:(D.engine db) ~vfs ~path:dbpath ~replicas:rs ()
+  in
+  let module P = Protocol.Make (D) in
+  let pconfig = { Protocol.default_config with reps } in
+  let ids = if ops = [] then Protocol.op_ids else ops in
+  let ms = List.map (P.run_op ~config:pconfig db layout) ids in
+  Repl.Cluster.heartbeat cl;
+  print_string
+    (Report.operation_table
+       ~title:
+         (Printf.sprintf
+            "HyperModel operations (diskdb + %d replica(s), %s, level %d, \
+             %d reps, ms/node)"
+            replicas
+            (Repl.policy_to_string policy)
+            level reps)
+       ~levels:[ level ] [ (level, ms) ]);
+  Printf.printf "io: %s\n" (D.io_description db);
+  Printf.printf "replication: %s\n" (Repl.Cluster.report cl);
+  (* Failover: promote the most-caught-up replica and serve a warm
+     read-only operation from it. *)
+  let idx, survivor = Repl.Cluster.promote cl in
+  Repl.Cluster.detach cl;
+  let rdb =
+    D.open_db
+      { (D.default_config ~path:(Repl.Replica.path survivor)) with
+        D.pool_pages;
+        vfs = Some (Repl.Replica.vfs survivor) }
+  in
+  Fun.protect
+    ~finally:(fun () -> D.close rdb)
+    (fun () ->
+      let m = P.run_op ~config:pconfig rdb layout "01" in
+      Printf.printf
+        "failover: promoted r%d (%d commits); op 01 from the replica: \
+         %.3f/%.3f ms/node cold/warm\n"
+        idx
+        (Repl.Replica.applied_commits survivor)
+        (Protocol.cold_ms_per_node m)
+        (Protocol.warm_ms_per_node m))
+
 let cmd_run =
   let run backend level path seed pool_pages remote cluster reps ops fanout
-      trace metrics =
+      trace metrics replicas durability =
     let module Obs = Hyper_obs.Obs in
     if metrics <> None then Obs.enable ();
+    if replicas > 0 && backend <> Disk then
+      failwith "--replicas requires -b diskdb";
+    if replicas > 0 then
+      run_replicated ~level ~seed ~pool_pages ~cluster ~reps ~ops ~fanout
+        ~replicas ~durability
+    else begin
     if backend <> Mem then remove_store path;
     with_backend backend ~path ~pool_pages ~remote
       { act =
@@ -211,6 +291,7 @@ let cmd_run =
                       B.name level reps)
                  ~levels:[ level ] [ (level, ms) ]);
             Printf.printf "io: %s\n" (B.io_description b)) }
+    end
   in
   let ops_arg =
     Arg.(value & opt (list string) [] & info [ "ops" ] ~docv:"IDS"
@@ -226,13 +307,25 @@ let cmd_run =
            ~doc:"Enable the metrics sink and write a Prometheus-style \
                  dump to $(docv) after the run.")
   in
+  let replicas_arg =
+    Arg.(value & opt int 0 & info [ "replicas" ] ~docv:"N"
+           ~doc:"Replicate every commit to $(docv) WAL-shipping replicas \
+                 (diskdb only; the store then runs on an in-memory VFS). \
+                 After the timed ops the primary is failed over and op 01 \
+                 is served from the promoted replica.")
+  in
+  let durability_arg =
+    Arg.(value & opt string "async" & info [ "durability" ] ~docv:"MODE"
+           ~doc:"Commit ack policy with --replicas: async, sync-one or \
+                 quorum.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Generate a database and run benchmark operations (paper §6).")
     Term.(
       const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
       $ remote_arg $ cluster_arg $ reps_arg $ ops_arg $ fanout_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ replicas_arg $ durability_arg)
 
 (* --- query --- *)
 

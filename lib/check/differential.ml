@@ -368,6 +368,7 @@ let compare_probes ~layout ~backend oracle_inst subject_inst probes =
 (* Crash-mode subject: local diskdb, durable_sync on (an acked commit
    must survive the power failure by its own fsync, not by luck). *)
 let crash_cfg vfs = disk_config ~durable_sync:true ~remote:None ~prefetch:false vfs
+let crash_config = crash_cfg
 
 let crash_writes ~gen_seed ~level ops =
   let env = Vfs.Faulty.create Vfs.Faulty.quiet in

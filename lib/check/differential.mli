@@ -124,6 +124,34 @@ val crash_writes : gen_seed:int64 -> level:int -> Trace.op list -> int
 val crash_check :
   gen_seed:int64 -> level:int -> crash_after:int -> Trace.op list -> crash_report
 
+(** {2 Probe machinery} — exported for the failover harness
+    ({!Failover}), which compares a promoted replica against an oracle
+    replay of the acked prefix using the same exhaustive probes. *)
+
+val crash_config : Hyper_storage.Vfs.t -> Hyper_diskdb.Diskdb.config
+(** The crash-mode diskdb configuration ([durable_sync], local, no
+    prefetch, path ["/fuzz/disk.db"]) over the given VFS. *)
+
+val probe_trace : Layout.t -> Trace.op list -> Trace.op list
+(** Exhaustive read-only probe of every OID the layout or the trace
+    mentions, plus the scans, ranges and a final [Verify_checks]. *)
+
+val prefix_through_commit : Trace.op list -> int -> Trace.op list
+(** The trace prefix covering the first [n] commits (inclusive). *)
+
+val fresh_oracle_at :
+  gen_seed:int64 -> level:int -> Trace.op list -> Backend.instance * Layout.t
+(** A fresh memdb oracle over the generated database with the given
+    trace prefix applied. *)
+
+val compare_probes :
+  layout:Layout.t ->
+  backend:string ->
+  Backend.instance ->
+  Backend.instance ->
+  Trace.op list ->
+  divergence option
+
 (** {2 Repro files} — printed by the fuzzer, replayed by tests. *)
 
 val save_repro :

@@ -272,6 +272,7 @@ let close t =
 
 let last_recovery t = Engine.recovery t.engine
 let read_only t = Engine.read_only t.engine
+let engine t = t.engine
 
 (* --- node access --- *)
 

@@ -81,6 +81,11 @@ val read_only : t -> bool
     appended (e.g. [ENOSPC]).  Committed data remains readable; mutating
     operations raise {!Hyper_storage.Storage_error.Error} [Read_only]. *)
 
+val engine : t -> Hyper_storage.Engine.t
+(** The underlying transactional engine — the attachment point for
+    replication ([Hyper_repl.Cluster.create]) and other layers that
+    need the WAL stream or commit hooks. *)
+
 type io_counters = {
   pager_reads : int;
   pager_writes : int;

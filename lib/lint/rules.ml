@@ -16,6 +16,7 @@ let v3 = "pin-balance"
 let v4 = "no-poly-compare-on-oid"
 let v5 = "deterministic-iteration"
 let v6 = "monotonic-time"
+let v7 = "epoch-check"
 
 let all =
   [
@@ -25,6 +26,7 @@ let all =
     (v4, "polymorphic =/<>/compare/Hashtbl.hash instantiated at Oid.t");
     (v5, "Hashtbl iteration order flowing into an unsorted list result");
     (v6, "Unix.gettimeofday (wall clock) outside lib/util");
+    (v7, "replication frame pattern that wildcards the frame or its epoch");
   ]
 
 type result = { findings : Finding.t list; suppressed : Finding.t list }
@@ -67,6 +69,16 @@ let is_list_type ty =
   match head_constr_parts ty with
   | Some [ "list" ] -> true
   | Some _ | None -> false
+
+(* A replication frame: any type [t] owned by a module whose name (or
+   wrapped-unit suffix) is [Frame]. *)
+let is_frame_type ty =
+  match head_constr_parts ty with
+  | Some parts -> (
+      match List.rev parts with
+      | "t" :: owner :: _ -> part_matches "Frame" owner
+      | _ -> false)
+  | None -> false
 
 (* {2 [@lint.allow] attributes} *)
 
@@ -357,7 +369,68 @@ let check_structure ~scope_all ~source (str : structure) =
         | None -> ())
     | _ -> ()
   in
+  (* V7: epoch fencing.  Every protocol decision starts from the frame's
+     epoch — a handler that matches a whole [Frame.t] with a wildcard,
+     or wildcards/omits the [epoch] field of a frame constructor, will
+     happily act on a stale-epoch frame from a deposed primary.  Named
+     binders (including [_epoch]) pass: they keep the field visible at
+     the match site. *)
+  let v7_hint =
+    "enumerate the frame constructors and bind their epoch field (a \
+     named binder like _epoch is fine)"
+  in
+  let check_frame_pat (p : pattern) =
+    match p.pat_desc with
+    | Tpat_any when is_frame_type p.pat_type ->
+        flag v7 ~extra_allows:(allow_strings p.pat_attributes) p.pat_loc
+          "wildcard pattern at Frame.t matches frames of any epoch"
+          v7_hint
+    | Tpat_construct (_, cstr, args, _) when is_frame_type p.pat_type ->
+        List.iter
+          (fun (arg : pattern) ->
+            let flag_arg msg =
+              flag v7 ~extra_allows:(allow_strings arg.pat_attributes)
+                arg.pat_loc msg v7_hint
+            in
+            match arg.pat_desc with
+            | Tpat_record (fields, closed) ->
+                let epoch_field =
+                  List.find_opt
+                    (fun (_, lbl, _) -> lbl.Types.lbl_name = "epoch")
+                    fields
+                in
+                (match epoch_field with
+                | Some (_, _, { pat_desc = Tpat_any; _ }) ->
+                    flag_arg
+                      (Printf.sprintf
+                         "frame handler for `%s` wildcards the epoch field"
+                         cstr.Types.cstr_name)
+                | Some _ -> ()
+                | None ->
+                    if closed = Asttypes.Open then
+                      flag_arg
+                        (Printf.sprintf
+                           "frame handler for `%s` never binds the epoch \
+                            field"
+                           cstr.Types.cstr_name))
+            | Tpat_any when cstr.Types.cstr_inlined <> None ->
+                flag_arg
+                  (Printf.sprintf
+                     "frame handler for `%s` wildcards the whole payload, \
+                      epoch included"
+                     cstr.Types.cstr_name)
+            | _ -> ())
+          args
+    | _ -> ()
+  in
   let default = Tast_iterator.default_iterator in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun sub p ->
+    (match classify_pattern p with
+    | Value -> check_frame_pat (p : value general_pattern)
+    | Computation -> ());
+    default.pat sub p
+  in
   let expr sub e =
     let saved = ctx.active_allows in
     ctx.active_allows <- allow_strings e.exp_attributes @ ctx.active_allows;
@@ -396,6 +469,6 @@ let check_structure ~scope_all ~source (str : structure) =
       s.str_items;
     ctx.active_allows <- saved
   in
-  let it = { default with expr; value_binding; structure } in
+  let it = { default with expr; value_binding; structure; pat } in
   it.structure it str;
   { findings = List.rev ctx.findings; suppressed = List.rev ctx.suppressed }

@@ -144,3 +144,130 @@ let reset_counters t =
   t.counters.server_misses <- 0
 
 let warm_server t = t.all_resident <- true
+
+(* Message-level fault injection, mirroring Vfs.Faulty one layer up: the
+   VFS can tear writes, a network can lose, repeat, reorder and delay
+   whole messages.  Deterministic under a seed, independent of
+   replication (anything pushing bytes point-to-point can use it). *)
+module Link = struct
+  let m_dropped =
+    Obs.Counter.make "hyper_link_dropped_total"
+      ~help:"messages discarded by link fault injection"
+
+  let m_duplicated =
+    Obs.Counter.make "hyper_link_duplicated_total"
+      ~help:"messages delivered twice by link fault injection"
+
+  type plan = {
+    seed : int64;
+    drop_1_in : int; (* 0 disables, n means 1-in-n *)
+    dup_1_in : int;
+    reorder_1_in : int;
+    delay_1_in : int;
+    delay_polls : int; (* how many polls a delayed message sits out *)
+  }
+
+  let reliable =
+    { seed = 0L; drop_1_in = 0; dup_1_in = 0; reorder_1_in = 0;
+      delay_1_in = 0; delay_polls = 2 }
+
+  let faulty ~seed =
+    { seed; drop_1_in = 10; dup_1_in = 12; reorder_1_in = 8; delay_1_in = 9;
+      delay_polls = 2 }
+
+  type stats = {
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable duplicated : int;
+    mutable reordered : int;
+    mutable delayed : int;
+  }
+
+  type t = {
+    mutable plan : plan;
+    mutable prng : Hyper_util.Prng.t;
+    queue : bytes Queue.t;
+    (* delayed messages: (polls remaining, payload) *)
+    mutable parked : (int * bytes) list;
+    mutable down : bool;
+    stats : stats;
+  }
+
+  let create ?(plan = reliable) () =
+    { plan; prng = Hyper_util.Prng.create plan.seed; queue = Queue.create ();
+      parked = []; down = false;
+      stats =
+        { sent = 0; delivered = 0; dropped = 0; duplicated = 0;
+          reordered = 0; delayed = 0 } }
+
+  let set_plan t plan =
+    t.plan <- plan;
+    t.prng <- Hyper_util.Prng.create plan.seed
+
+  let set_down t down = t.down <- down
+  let down t = t.down
+  let stats t = t.stats
+
+  let hit t one_in = one_in > 0 && Hyper_util.Prng.int t.prng one_in = 0
+
+  (* Reordering swaps the newcomer with the current queue head — enough
+     to break any receiver that assumes arrival order, without needing
+     an arbitrary permutation. *)
+  let enqueue t msg =
+    if hit t t.plan.reorder_1_in && not (Queue.is_empty t.queue) then begin
+      t.stats.reordered <- t.stats.reordered + 1;
+      let head = Queue.pop t.queue in
+      let rest = Queue.copy t.queue in
+      Queue.clear t.queue;
+      Queue.push msg t.queue;
+      Queue.push head t.queue;
+      Queue.transfer rest t.queue
+    end
+    else Queue.push msg t.queue
+
+  let send t msg =
+    t.stats.sent <- t.stats.sent + 1;
+    if t.down || hit t t.plan.drop_1_in then begin
+      t.stats.dropped <- t.stats.dropped + 1;
+      Obs.Counter.incr m_dropped
+    end
+    else begin
+      let copies =
+        if hit t t.plan.dup_1_in then begin
+          t.stats.duplicated <- t.stats.duplicated + 1;
+          Obs.Counter.incr m_duplicated;
+          2
+        end
+        else 1
+      in
+      for _ = 1 to copies do
+        if hit t t.plan.delay_1_in then begin
+          t.stats.delayed <- t.stats.delayed + 1;
+          t.parked <- t.parked @ [ (t.plan.delay_polls, Bytes.copy msg) ]
+        end
+        else enqueue t (Bytes.copy msg)
+      done
+    end
+
+  (* Age the parked messages by one poll; release the due ones. *)
+  let tick_parked t =
+    let due, still =
+      List.partition (fun (polls, _) -> polls <= 1) t.parked
+    in
+    t.parked <- List.map (fun (polls, m) -> (polls - 1, m)) still;
+    List.iter (fun (_, m) -> enqueue t m) due
+
+  let poll t =
+    if t.down then None
+    else begin
+      tick_parked t;
+      match Queue.take_opt t.queue with
+      | Some m ->
+        t.stats.delivered <- t.stats.delivered + 1;
+        Some m
+      | None -> None
+    end
+
+  let pending t = Queue.length t.queue + List.length t.parked
+end

@@ -73,3 +73,64 @@ val reset_counters : t -> unit
 val warm_server : t -> unit
 (** Preload the server cache notionally (marks everything resident), for
     experiments that isolate network cost from server disk cost. *)
+
+(** Point-to-point message link with seeded fault injection — the
+    network-layer mirror of [Vfs.Faulty].  A link is a unidirectional
+    queue of byte messages; faults are decided deterministically at
+    {!Link.send} time from the plan's PRNG, so a (plan, send sequence)
+    pair always yields the same delivery schedule.  Usable by anything
+    that pushes messages point-to-point; replication drives its WAL
+    shipping over a pair of these per replica. *)
+module Link : sig
+  type plan = {
+    seed : int64;
+    drop_1_in : int;  (** 0 disables; [n] means 1-in-[n] sends vanish *)
+    dup_1_in : int;  (** 1-in-[n] sends are delivered twice *)
+    reorder_1_in : int;  (** 1-in-[n] sends jump the queue head *)
+    delay_1_in : int;  (** 1-in-[n] sends are parked for some polls *)
+    delay_polls : int;  (** polls a delayed message sits out *)
+  }
+
+  val reliable : plan
+  (** No faults: in-order, exactly-once. *)
+
+  val faulty : seed:int64 -> plan
+  (** An aggressive default mix (roughly one fault per ten sends of each
+      kind) for fuzzing. *)
+
+  type stats = {
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable duplicated : int;
+    mutable reordered : int;
+    mutable delayed : int;
+  }
+
+  type t
+
+  val create : ?plan:plan -> unit -> t
+  (** Default plan: {!reliable}. *)
+
+  val set_plan : t -> plan -> unit
+  (** Replace the plan and reseed the PRNG. *)
+
+  val set_down : t -> bool -> unit
+  (** A down link drops every send and delivers nothing — a partition,
+      as opposed to the probabilistic faults of the plan. *)
+
+  val down : t -> bool
+
+  val send : t -> bytes -> unit
+  (** Queue a message (the link keeps its own copy).  Faults are applied
+      here. *)
+
+  val poll : t -> bytes option
+  (** Next deliverable message, if any.  Each poll also ages parked
+      (delayed) messages by one step. *)
+
+  val pending : t -> int
+  (** Messages queued or parked, i.e. sent but not yet delivered. *)
+
+  val stats : t -> stats
+end

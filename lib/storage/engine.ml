@@ -31,6 +31,7 @@ type t = {
   mutable txn_counter : int;
   mutable read_only : bool;
   mutable closed : bool;
+  mutable commit_hook : (int -> unit) option;
 }
 
 (* A WAL append/flush failing with ENOSPC means the log can no longer
@@ -66,11 +67,15 @@ let open_ ?(vfs = Vfs.real) ~path ~pool_pages ?(durable_sync = false)
   { pager; wal; pool; durable_sync; checkpoint_wal_bytes;
     is_fresh = Pager.page_count pager = 0; recovery_report;
     on_save = (fun () -> ()); on_reload = (fun () -> ()); txn = None;
-    txn_counter = 0; read_only = false; closed = false }
+    txn_counter = 0; read_only = false; closed = false; commit_hook = None }
 
 let fresh t = t.is_fresh
 let recovery t = t.recovery_report
 let read_only t = t.read_only
+let wal t = t.wal
+let set_commit_hook t hook = t.commit_hook <- hook
+
+let demote_read_only t = t.read_only <- true
 
 let set_hooks t ~on_save ~on_reload =
   t.on_save <- on_save;
@@ -157,6 +162,10 @@ let commit t =
   Buffer_pool.flush_all t.pool;
   Buffer_pool.clear_txn_hooks t.pool;
   t.txn <- None;
+  (* The transaction is locally durable by this point; the hook (e.g.
+     replication shipping, which may raise to signal quorum loss) runs
+     with the engine back in a clean non-transactional state. *)
+  (match t.commit_hook with None -> () | Some f -> f txn.id);
   maybe_checkpoint t
 
 let abort t = rollback t (current_txn t)

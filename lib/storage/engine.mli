@@ -53,6 +53,23 @@ val set_hooks : t -> on_save:(unit -> unit) -> on_reload:(unit -> unit) -> unit
 val pool : t -> Buffer_pool.t
 val pager : t -> Pager.t
 
+val wal : t -> Wal.t
+(** The engine's write-ahead log — replication installs its stream
+    cursor ({!Wal.set_on_append}) here. *)
+
+val set_commit_hook : t -> (int -> unit) option -> unit
+(** Called with the transaction id after each successful [commit], once
+    the transaction is locally durable and the engine is back in a
+    clean non-transactional state.  Replication gates the commit on its
+    ack policy here; the hook may raise (e.g. quorum loss) and the
+    exception propagates to the committer with local durability
+    already established. *)
+
+val demote_read_only : t -> unit
+(** Degrade to read-only: committed data stays readable, [begin_txn]
+    raises {!Storage_error.Error} [Read_only].  Replication uses this
+    when the primary loses its quorum or is fenced by a newer epoch. *)
+
 val begin_txn : t -> unit
 val commit : t -> unit
 val abort : t -> unit

@@ -26,6 +26,52 @@ let after_last_checkpoint entries =
   in
   strip [] entries
 
+(* Resolve each page to its latest image in LOG ORDER: committed
+   transactions contribute their redo (After) images, transactions
+   without a commit record contribute their undo (Before) images, and
+   whichever record came later in the log supersedes the earlier one.
+   Separate redo-then-undo passes are wrong here: a transaction that
+   aborted cleanly long before the crash also has no commit record,
+   and replaying its before-images *after* the redo pass would clobber
+   pages that later committed transactions rewrote — its images are
+   only current up to the point in the log where it ran.  Applying in
+   log order makes a later committed After win over a stale Before,
+   while a transaction still in flight at the crash (whose records end
+   the log) is undone exactly as before.
+
+   Shared with replication: a replica replaying its received log is
+   exactly this resolution over a log whose tail may lack a commit. *)
+let apply_log entries ~write =
+  let committed = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Wal.Commit t -> Hashtbl.replace committed t ()
+      | Wal.Begin _ | Wal.Before _ | Wal.After _ | Wal.Checkpoint -> ())
+    entries;
+  let final = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Wal.After (t, p, img) when Hashtbl.mem committed t ->
+        Hashtbl.replace final p (`Redo img)
+      | Wal.Before (t, p, img) when not (Hashtbl.mem committed t) ->
+        Hashtbl.replace final p (`Undo img)
+      | Wal.Begin _ | Wal.Commit _ | Wal.Checkpoint | Wal.Before _
+      | Wal.After _ -> ())
+    entries;
+  let redone = ref 0 in
+  let undone = ref 0 in
+  Hashtbl.iter
+    (fun p action ->
+      match action with
+      | `Redo img ->
+        write p img;
+        incr redone
+      | `Undo img ->
+        write p img;
+        incr undone)
+    final;
+  (!redone, !undone)
+
 let recover ?(vfs = Vfs.real) ~wal_path pager =
   let entries = after_last_checkpoint (Wal.read_all ~vfs wal_path) in
   let committed = Hashtbl.create 8 in
@@ -41,52 +87,22 @@ let recover ?(vfs = Vfs.real) ~wal_path pager =
       ignore (Pager.allocate pager)
     done
   in
-  (* Resolve each page to its latest image in LOG ORDER: committed
-     transactions contribute their redo (After) images, transactions
-     without a commit record contribute their undo (Before) images, and
-     whichever record came later in the log supersedes the earlier one.
-     Separate redo-then-undo passes are wrong here: a transaction that
-     aborted cleanly long before the crash also has no commit record,
-     and replaying its before-images *after* the redo pass would clobber
-     pages that later committed transactions rewrote — its images are
-     only current up to the point in the log where it ran.  Applying in
-     log order makes a later committed After win over a stale Before,
-     while a transaction still in flight at the crash (whose records end
-     the log) is undone exactly as before. *)
-  let final = Hashtbl.create 64 in
-  List.iter
-    (function
-      | Wal.After (t, p, img) when Hashtbl.mem committed t ->
-        Hashtbl.replace final p (`Redo img)
-      | Wal.Before (t, p, img) when not (Hashtbl.mem committed t) ->
-        Hashtbl.replace final p (`Undo img)
-      | Wal.Begin _ | Wal.Commit _ | Wal.Checkpoint | Wal.Before _
-      | Wal.After _ -> ())
-    entries;
-  let redone = ref 0 in
-  let undone = ref 0 in
-  Hashtbl.iter
-    (fun p action ->
-      ensure_page p;
-      match action with
-      | `Redo img ->
-        Pager.write pager p img;
-        incr redone
-      | `Undo img ->
-        Pager.write pager p img;
-        incr undone)
-    final;
+  let redone, undone =
+    apply_log entries ~write:(fun p img ->
+        ensure_page p;
+        Pager.write pager p img)
+  in
   Obs.Counter.incr m_runs;
-  Obs.Counter.add m_redone !redone;
-  Obs.Counter.add m_undone !undone;
+  Obs.Counter.add m_redone redone;
+  Obs.Counter.add m_undone undone;
   let ids tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
   let rolled_back =
     List.filter (fun t -> not (Hashtbl.mem committed t)) (ids started)
   in
   { committed = List.sort compare (ids committed);
     rolled_back = List.sort compare rolled_back;
-    pages_redone = !redone;
-    pages_undone = !undone }
+    pages_redone = redone;
+    pages_undone = undone }
 
 let needs_recovery ?(vfs = Vfs.real) wal_path =
   after_last_checkpoint (Wal.read_all ~vfs wal_path) <> []

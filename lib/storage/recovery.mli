@@ -13,6 +13,14 @@ type report = {
   pages_undone : int;
 }
 
+val apply_log : Wal.entry list -> write:(int -> bytes -> unit) -> int * int
+(** Log-order image resolution over a decoded entry list: committed
+    transactions' After images and uncommitted transactions' Before
+    images, later record winning per page, emitted through [write].
+    Returns [(pages_redone, pages_undone)].  This is the core of
+    {!recover} exposed so a replication replica can redo its received
+    log without owning a WAL file. *)
+
 val recover : ?vfs:Vfs.t -> wal_path:string -> Pager.t -> report
 (** Replay [wal_path] into the pager.  Pages referenced by the log but
     beyond the current end of file are allocated first (a torn log can

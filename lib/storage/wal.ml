@@ -34,6 +34,8 @@ type t = {
   file : Vfs.file;
   buf : Buffer.t; (* appended entries not yet issued to the vfs *)
   mutable issued : int; (* bytes already written to the file *)
+  mutable next_lsn : int; (* sequence number of the next appended entry *)
+  mutable on_append : (int -> entry -> unit) option; (* stream cursor *)
 }
 
 let entry_magic = 0xA7
@@ -51,10 +53,6 @@ let checksum b =
   Bytes.iter (fun c -> h := (((!h lsl 5) + !h) + Char.code c) land 0x3FFFFFFF) b;
   !h
 
-let open_ ?(vfs = Vfs.real) path =
-  let file = vfs.Vfs.open_rw path in
-  { path; file; buf = Buffer.create 4096; issued = file.Vfs.size () }
-
 let payload_of = function
   | Begin _ | Commit _ | Checkpoint -> Bytes.empty
   | Before (_, _, img) | After (_, _, img) -> img
@@ -66,22 +64,102 @@ let ids_of = function
   | Before (t, p, _) -> (t, p)
   | After (t, p, _) -> (t, p)
 
-let append t e =
+(* The exact on-disk (and on-wire) representation of one record:
+   header, payload, record CRC.  Replication ships these bytes verbatim,
+   so a shipped frame carries the same per-record checksum the log file
+   does. *)
+let encode_entry e =
   let payload = payload_of e in
   let txn, page = ids_of e in
-  let header = Bytes.create 14 in
-  Page.set_u8 header 0 entry_magic;
-  Page.set_u8 header 1 (kind_of e);
-  Page.set_u32 header 2 txn;
-  Page.set_u32 header 6 page;
-  Page.set_u32 header 10 (Bytes.length payload);
-  Buffer.add_bytes t.buf header;
-  Buffer.add_bytes t.buf payload;
-  let crc = Bytes.create 4 in
-  Page.set_u32 crc 0 (checksum payload lxor checksum header);
-  Buffer.add_bytes t.buf crc;
+  let b = Bytes.create (14 + Bytes.length payload + 4) in
+  Page.set_u8 b 0 entry_magic;
+  Page.set_u8 b 1 (kind_of e);
+  Page.set_u32 b 2 txn;
+  Page.set_u32 b 6 page;
+  Page.set_u32 b 10 (Bytes.length payload);
+  Bytes.blit payload 0 b 14 (Bytes.length payload);
+  Page.set_u32 b (14 + Bytes.length payload)
+    (checksum payload lxor checksum (Bytes.sub b 0 14));
+  b
+
+(* Decode the clean prefix of [data.(0 .. len)]: entries plus the byte
+   offset where decoding stopped; [pos < len] means a torn or garbled
+   tail. *)
+let decode_prefix data len =
+  let entries = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok && !pos + 18 <= len do
+    let hdr = !pos in
+    if Page.get_u8 data hdr <> entry_magic then ok := false
+    else begin
+      let kind = Page.get_u8 data (hdr + 1) in
+      let txn = Page.get_u32 data (hdr + 2) in
+      let page = Page.get_u32 data (hdr + 6) in
+      let plen = Page.get_u32 data (hdr + 10) in
+      if hdr + 14 + plen + 4 > len then ok := false
+      else begin
+        let payload = Bytes.sub data (hdr + 14) plen in
+        let crc = Page.get_u32 data (hdr + 14 + plen) in
+        if crc <> checksum payload lxor checksum (Bytes.sub data hdr 14) then
+          ok := false
+        else
+          let entry =
+            match kind with
+            | 1 -> Some (Begin txn)
+            | 2 -> Some (Before (txn, page, payload))
+            | 3 -> Some (After (txn, page, payload))
+            | 4 -> Some (Commit txn)
+            | 5 -> Some Checkpoint
+            | _ -> None
+          in
+          match entry with
+          | Some e ->
+            entries := e :: !entries;
+            pos := hdr + 14 + plen + 4
+          | None -> ok := false
+      end
+    end
+  done;
+  (List.rev !entries, !pos)
+
+let decode_entries b =
+  let entries, pos = decode_prefix b (Bytes.length b) in
+  (entries, pos < Bytes.length b)
+
+(* A torn final record — a crash mid-append — must be truncated away at
+   open: appending past it would bury live records behind garbage that
+   every subsequent read stops at.  This is load-bearing for replication
+   (a replica's received log is reopened after a replica crash and then
+   appended to), and harmless for the engine (which truncates the log
+   right after recovery anyway). *)
+let open_ ?(vfs = Vfs.real) path =
+  let file = vfs.Vfs.open_rw path in
+  let len = file.Vfs.size () in
+  let clean =
+    if len = 0 then 0
+    else begin
+      let data = Bytes.create len in
+      file.Vfs.pread ~buf:data ~off:0;
+      let _, pos = decode_prefix data len in
+      pos
+    end
+  in
+  if clean < len then file.Vfs.truncate clean;
+  { path; file; buf = Buffer.create 4096; issued = clean; next_lsn = 0;
+    on_append = None }
+
+let lsn t = t.next_lsn
+let set_on_append t hook = t.on_append <- hook
+
+let append t e =
+  let b = encode_entry e in
+  Buffer.add_bytes t.buf b;
   Obs.Counter.incr m_appends;
-  Obs.Counter.add m_append_bytes (14 + Bytes.length payload + 4)
+  Obs.Counter.add m_append_bytes (Bytes.length b);
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  match t.on_append with None -> () | Some f -> f lsn e
 
 (* Issue the buffered suffix to the vfs.  This is the point where WAL
    bytes enter the (possibly simulated) OS — write-ahead ordering is
@@ -115,52 +193,22 @@ let close t =
   (try flush t with Storage_error.Error _ -> Buffer.clear t.buf);
   t.file.Vfs.close ()
 
-let read_all ?(vfs = Vfs.real) path =
-  if not (vfs.Vfs.exists path) then []
+type scan_result = { entries : entry list; clean_bytes : int; torn : bool }
+
+let scan ?(vfs = Vfs.real) path =
+  if not (vfs.Vfs.exists path) then
+    { entries = []; clean_bytes = 0; torn = false }
   else begin
     let file = vfs.Vfs.open_rw path in
     let len = file.Vfs.size () in
     let data = Bytes.create len in
     if len > 0 then file.Vfs.pread ~buf:data ~off:0;
     file.Vfs.close ();
-    let entries = ref [] in
-    let pos = ref 0 in
-    let ok = ref true in
-    while !ok && !pos + 18 <= len do
-      let hdr = !pos in
-      if Page.get_u8 data hdr <> entry_magic then ok := false
-      else begin
-        let kind = Page.get_u8 data (hdr + 1) in
-        let txn = Page.get_u32 data (hdr + 2) in
-        let page = Page.get_u32 data (hdr + 6) in
-        let plen = Page.get_u32 data (hdr + 10) in
-        if hdr + 14 + plen + 4 > len then ok := false
-        else begin
-          let payload = Bytes.sub data (hdr + 14) plen in
-          let crc = Page.get_u32 data (hdr + 14 + plen) in
-          if crc <> checksum payload
-                    lxor checksum (Bytes.sub data hdr 14)
-          then ok := false
-          else
-            let entry =
-              match kind with
-              | 1 -> Some (Begin txn)
-              | 2 -> Some (Before (txn, page, payload))
-              | 3 -> Some (After (txn, page, payload))
-              | 4 -> Some (Commit txn)
-              | 5 -> Some Checkpoint
-              | _ -> None
-            in
-            match entry with
-            | Some e ->
-              entries := e :: !entries;
-              pos := hdr + 14 + plen + 4
-            | None -> ok := false
-        end
-      end
-    done;
-    List.rev !entries
+    let entries, pos = decode_prefix data len in
+    { entries; clean_bytes = pos; torn = pos < len }
   end
+
+let read_all ?(vfs = Vfs.real) path = (scan ~vfs path).entries
 
 let entry_to_string = function
   | Begin t -> Printf.sprintf "begin(%d)" t

@@ -26,11 +26,36 @@ type t
 
 val open_ : ?vfs:Vfs.t -> string -> t
 (** Opens for appending (creates when absent) through [vfs] (default
-    {!Vfs.real}).  Appends are buffered in memory; {!flush} issues them
-    to the vfs, which is what establishes write-ahead ordering relative
-    to page writes. *)
+    {!Vfs.real}).  A torn or garbled tail left by a crash is truncated
+    away so subsequent appends extend the clean prefix.  Appends are
+    buffered in memory; {!flush} issues them to the vfs, which is what
+    establishes write-ahead ordering relative to page writes. *)
 
 val append : t -> entry -> unit
+
+val lsn : t -> int
+(** Sequence number the next {!append} will be assigned.  LSNs count
+    appends since [open_] — they are not byte offsets, and survive
+    {!truncate} (replication keys its shipping cursor on them). *)
+
+val set_on_append : t -> (int -> entry -> unit) option -> unit
+(** Stream cursor: called synchronously on every append with the
+    assigned LSN.  At most one observer; [None] detaches. *)
+
+val encode_entry : entry -> bytes
+(** Wire/on-disk image of one record: header, payload and the record
+    CRC — the exact bytes {!append} buffers.  Shipped replication
+    frames carry these verbatim so the per-record checksum travels. *)
+
+val decode_entries : bytes -> entry list * bool
+(** Decode a clean prefix of concatenated records; the flag is [true]
+    when trailing bytes were torn or garbled. *)
+
+type scan_result = { entries : entry list; clean_bytes : int; torn : bool }
+
+val scan : ?vfs:Vfs.t -> string -> scan_result
+(** Like {!read_all} but also reports where the clean prefix ends. *)
+
 val flush : t -> unit
 val sync : t -> unit
 (** [flush] then fsync — the commit durability point. *)

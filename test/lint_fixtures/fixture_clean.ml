@@ -30,3 +30,10 @@ let doc_ids (tbl : (int, string) Hashtbl.t) =
 
 (* Durations come from the monotonic clock, not the wall clock. *)
 let stamp () = Hyper_util.Mtime_stub.now_ns ()
+
+(* Frame handlers enumerate the constructors and bind the epoch. *)
+module Frame = struct
+  type t = Ping of { epoch : int; lsn : int }
+end
+
+let good_epoch = function Frame.Ping { epoch; lsn } -> epoch + lsn

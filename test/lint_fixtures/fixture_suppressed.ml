@@ -28,3 +28,10 @@ let doc_ids (tbl : (int, string) Hashtbl.t) =
    [@lint.allow "deterministic-iteration"])
 
 let stamp () = (Unix.gettimeofday () [@lint.allow "monotonic-time"])
+
+module Frame = struct
+  type t = Ping of { epoch : int; lsn : int }
+end
+
+let bad_epoch = function Frame.Ping { epoch = _; lsn } -> lsn
+  [@@lint.allow "epoch-check"]

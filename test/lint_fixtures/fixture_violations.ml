@@ -27,3 +27,12 @@ let doc_ids (tbl : (int, string) Hashtbl.t) =
 
 (* monotonic-time: wall-clock reads outside lib/util. *)
 let stamp () = Unix.gettimeofday ()
+
+(* epoch-check: a frame handler that wildcards the epoch field acts on
+   stale-epoch frames from a deposed primary. *)
+module Frame = struct
+  type t = Ping of { epoch : int; lsn : int }
+end
+
+let bad_epoch = function
+  | Frame.Ping { epoch = _; lsn } -> lsn

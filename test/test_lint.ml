@@ -42,6 +42,7 @@ let expected_violations =
     ("no-poly-compare-on-oid", 22);
     ("deterministic-iteration", 26);
     ("monotonic-time", 29);
+    ("epoch-check", 38);
   ]
 
 let test_violations () =

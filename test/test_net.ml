@@ -125,6 +125,99 @@ let test_profile_1988 () =
   if cost < 1e6 || cost > 1e8 then
     Alcotest.failf "1988 page fetch cost %.0f ns out of expected range" cost
 
+(* --- Link: message-level fault injection --- *)
+
+let msg i = Bytes.of_string (Printf.sprintf "m%03d" i)
+
+let drain link =
+  let rec go acc =
+    match Channel.Link.poll link with
+    | Some b -> go (Bytes.to_string b :: acc)
+    | None -> if Channel.Link.pending link > 0 then go acc else List.rev acc
+  in
+  go []
+
+let test_link_reliable_fifo () =
+  let l = Channel.Link.create () in
+  for i = 0 to 9 do
+    Channel.Link.send l (msg i)
+  done;
+  let got = drain l in
+  check Alcotest.int "all delivered" 10 (List.length got);
+  List.iteri
+    (fun i s -> check Alcotest.string "in order" (Bytes.to_string (msg i)) s)
+    got;
+  let st = Channel.Link.stats l in
+  check Alcotest.int "sent" 10 st.Channel.Link.sent;
+  check Alcotest.int "delivered" 10 st.Channel.Link.delivered;
+  check Alcotest.int "no drops" 0 st.Channel.Link.dropped
+
+let test_link_deterministic () =
+  let run () =
+    let l =
+      Channel.Link.create ~plan:(Channel.Link.faulty ~seed:99L) ()
+    in
+    for i = 0 to 199 do
+      Channel.Link.send l (msg i)
+    done;
+    (drain l, Channel.Link.stats l)
+  in
+  let got1, st1 = run () in
+  let got2, st2 = run () in
+  check Alcotest.bool "same delivery schedule" true (got1 = got2);
+  check Alcotest.int "same drop count" st1.Channel.Link.dropped
+    st2.Channel.Link.dropped;
+  check Alcotest.int "same dup count" st1.Channel.Link.duplicated
+    st2.Channel.Link.duplicated;
+  (* The aggressive plan must actually exercise every fault kind over
+     200 sends. *)
+  check Alcotest.bool "drops happened" true (st1.Channel.Link.dropped > 0);
+  check Alcotest.bool "dups happened" true (st1.Channel.Link.duplicated > 0);
+  check Alcotest.bool "reorders happened" true
+    (st1.Channel.Link.reordered > 0);
+  check Alcotest.bool "delays happened" true (st1.Channel.Link.delayed > 0);
+  check Alcotest.int "accounting closes" st1.Channel.Link.delivered
+    (st1.Channel.Link.sent - st1.Channel.Link.dropped
+    + st1.Channel.Link.duplicated)
+
+let test_link_seed_changes_schedule () =
+  let run seed =
+    let l = Channel.Link.create ~plan:(Channel.Link.faulty ~seed) () in
+    for i = 0 to 199 do
+      Channel.Link.send l (msg i)
+    done;
+    drain l
+  in
+  check Alcotest.bool "different seeds, different schedules" true
+    (run 1L <> run 2L)
+
+let test_link_partition () =
+  let l = Channel.Link.create () in
+  Channel.Link.send l (msg 0);
+  Channel.Link.set_down l true;
+  Channel.Link.send l (msg 1);
+  check Alcotest.bool "down link delivers nothing" true
+    (Channel.Link.poll l = None);
+  Channel.Link.set_down l false;
+  Channel.Link.send l (msg 2);
+  let got = drain l in
+  (* The pre-partition message survived queued; the in-partition one is
+     gone for good. *)
+  check Alcotest.bool "partition drops, queue survives" true
+    (got = [ "m000"; "m002" ])
+
+let test_link_isolation () =
+  (* The link must copy: mutating the sent buffer afterwards cannot
+     corrupt the queued message. *)
+  let l = Channel.Link.create () in
+  let b = Bytes.of_string "fragile" in
+  Channel.Link.send l b;
+  Bytes.fill b 0 (Bytes.length b) 'X';
+  match Channel.Link.poll l with
+  | Some got -> check Alcotest.string "copied on send" "fragile"
+      (Bytes.to_string got)
+  | None -> Alcotest.fail "message lost"
+
 let () =
   Alcotest.run "hyper_net"
     [
@@ -148,5 +241,15 @@ let () =
           Alcotest.test_case "warm server" `Quick test_warm_server;
           Alcotest.test_case "detach" `Quick test_detach_stops_charging;
           Alcotest.test_case "1988 profile" `Quick test_profile_1988;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "reliable fifo" `Quick test_link_reliable_fifo;
+          Alcotest.test_case "deterministic faults" `Quick
+            test_link_deterministic;
+          Alcotest.test_case "seed matters" `Quick
+            test_link_seed_changes_schedule;
+          Alcotest.test_case "partition" `Quick test_link_partition;
+          Alcotest.test_case "send copies" `Quick test_link_isolation;
         ] );
     ]
