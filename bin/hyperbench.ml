@@ -1,7 +1,7 @@
 (* hyperbench — command-line driver for the HyperModel benchmark.
 
-   Subcommands: generate, verify, run, query, multiuser, info.
-   `hyperbench SUBCOMMAND --help` documents each. *)
+   Subcommands: generate, verify, run, query, multiuser, bench, diff,
+   gc, info.  `hyperbench SUBCOMMAND --help` documents each. *)
 
 open Hyper_core
 open Cmdliner
@@ -241,9 +241,27 @@ let run_replicated ~level ~seed ~pool_pages ~cluster ~reps ~ops ~fanout
         (Protocol.cold_ms_per_node m)
         (Protocol.warm_ms_per_node m))
 
+(* JSON rendering of a measurement list, shared by `run --json` and
+   `bench`. *)
+let measurements_json ms =
+  let module J = Hyper_util.Sjson in
+  J.List
+    (List.map
+       (fun m ->
+         J.Obj
+           [ ("op", J.Str m.Protocol.op);
+             ("cold_ms_per_node", J.Num (Protocol.cold_ms_per_node m));
+             ("warm_ms_per_node", J.Num (Protocol.warm_ms_per_node m)) ])
+       ms)
+
+let write_file file s =
+  let oc = open_out file in
+  output_string oc s;
+  close_out oc
+
 let cmd_run =
   let run backend level path seed pool_pages remote cluster reps ops fanout
-      trace metrics replicas durability =
+      trace metrics replicas durability json =
     let module Obs = Hyper_obs.Obs in
     if metrics <> None then Obs.enable ();
     if replicas > 0 && backend <> Disk then
@@ -283,6 +301,20 @@ let cmd_run =
               output_string oc (Obs.to_prometheus ());
               close_out oc;
               Printf.printf "metrics -> %s\n" file);
+            (match json with
+            | None -> ()
+            | Some file ->
+              let module J = Hyper_util.Sjson in
+              write_file file
+                (J.to_string
+                   (J.Obj
+                      [ ( "meta",
+                          J.Obj
+                            [ ("backend", J.Str B.name);
+                              ("level", J.Num (float_of_int level));
+                              ("reps", J.Num (float_of_int reps)) ] );
+                        ("operations", measurements_json ms) ]));
+              Printf.printf "json -> %s\n" file);
             print_string
               (Report.operation_table
                  ~title:
@@ -319,13 +351,18 @@ let cmd_run =
            ~doc:"Commit ack policy with --replicas: async, sync-one or \
                  quorum.")
   in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the per-operation measurements as JSON to \
+                 $(docv) (non-replicated runs).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Generate a database and run benchmark operations (paper §6).")
     Term.(
       const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
       $ remote_arg $ cluster_arg $ reps_arg $ ops_arg $ fanout_arg
-      $ trace_arg $ metrics_arg $ replicas_arg $ durability_arg)
+      $ trace_arg $ metrics_arg $ replicas_arg $ durability_arg $ json_arg)
 
 (* --- query --- *)
 
@@ -404,6 +441,309 @@ let cmd_multiuser =
       const run $ level_arg $ seed_arg $ users_arg $ txns_arg $ hot_arg
       $ mode_arg)
 
+(* --- bench --- *)
+
+(* The committed benchmark trajectory (BENCH_*.json): a fixed diskdb
+   workload measured two ways —
+
+   - per-operation cold/warm ms/node plus minor-heap words allocated
+     per node returned (the zero-copy read path shows up here), and
+   - a durable multi-user leg on a real file: committed txns against
+     real WAL fsyncs (group commit shows up here as fsyncs/commit < 1).
+
+   `--baseline` re-measures with the pre-group-commit, pre-zero-copy
+   behaviour ({!Hyper_storage.Storage_tuning.legacy_copies} plus no
+   group scheduler) so the trajectory can be regenerated from one
+   binary. *)
+
+let bench_group_config =
+  { Hyper_storage.Group_commit.max_batch = 8; max_hold_ns = 5e6 }
+
+let bench_operations ~path ~level ~seed ~reps ~ops =
+  let module D = Hyper_diskdb.Diskdb in
+  remove_store path;
+  let db = D.open_db (D.default_config ~path) in
+  Fun.protect
+    ~finally:(fun () -> D.close db)
+    (fun () ->
+      let layout, _ =
+        generate_into (module D) db ~level ~seed ~cluster:true ~fanout:5
+      in
+      let module P = Protocol.Make (D) in
+      let config = { Protocol.default_config with reps } in
+      List.map
+        (fun id ->
+          let w0 = Gc.minor_words () in
+          let m = P.run_op ~config db layout id in
+          let words = Gc.minor_words () -. w0 in
+          let nodes = m.Protocol.nodes_cold + m.Protocol.nodes_warm in
+          (m, if nodes = 0 then 0.0 else words /. float_of_int nodes))
+        ops)
+
+let bench_multiuser ~path ~level ~seed ~users ~txns ~baseline =
+  let module D = Hyper_diskdb.Diskdb in
+  let module E = Hyper_storage.Engine in
+  remove_store path;
+  let config =
+    { (D.default_config ~path) with
+      D.durable_sync = true;
+      group_commit = (if baseline then None else Some bench_group_config) }
+  in
+  let db = D.open_db config in
+  Fun.protect
+    ~finally:(fun () -> D.close db)
+    (fun () ->
+      let layout, _ =
+        generate_into (module D) db ~level ~seed ~cluster:true ~fanout:5
+      in
+      let engine = D.engine db in
+      let syncs0 = E.wal_sync_count engine in
+      (* Generation also committed through the scheduler — subtract its
+         groups so the leg reports the multiuser run alone. *)
+      let groups0 = E.group_commit_stats engine in
+      (* The group-commit seam: commit point inside the db mutex, the
+         durability wait outside it, so concurrent committers coalesce
+         into one fsync barrier. *)
+      let commit =
+        if baseline then None
+        else
+          Some
+            (fun () ->
+              let tk = E.commit_ticket engine in
+              fun () -> E.await_durable engine tk)
+      in
+      let module M = Multiuser.Make (D) in
+      let r =
+        M.run ?commit db layout ~mode:Multiuser.Two_phase_locking ~users
+          ~txns_per_user:txns ~hot_fraction:0.0 ~seed
+      in
+      let fsyncs = E.wal_sync_count engine - syncs0 in
+      let groups =
+        match (E.group_commit_stats engine, groups0) with
+        | Some (g, m), Some (g0, m0) -> Some (g - g0, m - m0)
+        | g, _ -> g
+      in
+      (r, fsyncs, groups))
+
+let bench_json ~mode ~level ~seed ~reps ~users ~txns ~op_results
+    ~(mu : Multiuser.result) ~fsyncs ~groups =
+  let module J = Hyper_util.Sjson in
+  let ops_json =
+    J.List
+      (List.map
+         (fun (m, alloc_per_node) ->
+           J.Obj
+             [ ("op", J.Str m.Protocol.op);
+               ("cold_ms_per_node", J.Num (Protocol.cold_ms_per_node m));
+               ("warm_ms_per_node", J.Num (Protocol.warm_ms_per_node m));
+               ("alloc_words_per_node", J.Num alloc_per_node) ])
+         op_results)
+  in
+  let group_fields =
+    match groups with
+    | None -> [ ("group_commit", J.Bool false) ]
+    | Some (g, members) ->
+      [ ("group_commit", J.Bool true);
+        ("groups", J.Num (float_of_int g));
+        ("group_members", J.Num (float_of_int members));
+        ( "mean_group_size",
+          J.Num
+            (if g = 0 then 0.0 else float_of_int members /. float_of_int g) )
+      ]
+  in
+  J.Obj
+    [ ( "meta",
+        J.Obj
+          [ ("schema", J.Num 1.0);
+            ("mode", J.Str mode);
+            ("backend", J.Str "diskdb");
+            ("level", J.Num (float_of_int level));
+            ("reps", J.Num (float_of_int reps));
+            ("seed", J.Num (Int64.to_float seed));
+            ("users", J.Num (float_of_int users));
+            ("txns_per_user", J.Num (float_of_int txns)) ] );
+      ("operations", ops_json);
+      ( "multiuser",
+        J.Obj
+          ([ ("mode", J.Str (Multiuser.mode_to_string mu.Multiuser.mode));
+             ("committed", J.Num (float_of_int mu.Multiuser.committed));
+             ("aborted", J.Num (float_of_int mu.Multiuser.aborted));
+             ("wal_fsyncs", J.Num (float_of_int fsyncs));
+             ( "fsyncs_per_commit",
+               J.Num
+                 (if mu.Multiuser.committed = 0 then 0.0
+                  else float_of_int fsyncs /. float_of_int mu.Multiuser.committed)
+             );
+             ("throughput_tps", J.Num mu.Multiuser.throughput_tps) ]
+          @ group_fields) ) ]
+
+let cmd_bench =
+  let run level seed reps ops users txns baseline json =
+    let module Tuning = Hyper_storage.Storage_tuning in
+    Tuning.legacy_copies := baseline;
+    Fun.protect
+      ~finally:(fun () -> Tuning.legacy_copies := false)
+      (fun () ->
+        let path = Filename.temp_file "hyperbench_bench" ".db" in
+        Fun.protect
+          ~finally:(fun () -> remove_store path)
+          (fun () ->
+            let ops = if ops = [] then [ "01"; "05A"; "10"; "16" ] else ops in
+            let op_results = bench_operations ~path ~level ~seed ~reps ~ops in
+            let mu, fsyncs, groups =
+              bench_multiuser ~path ~level ~seed ~users ~txns ~baseline
+            in
+            let mode = if baseline then "baseline" else "current" in
+            let doc =
+              bench_json ~mode ~level ~seed ~reps ~users ~txns ~op_results ~mu
+                ~fsyncs ~groups
+            in
+            let s = Hyper_util.Sjson.to_string doc in
+            (match json with
+            | None -> print_string s
+            | Some file ->
+              write_file file s;
+              Printf.printf "bench (%s) -> %s\n" mode file);
+            Printf.printf
+              "multiuser: committed=%d fsyncs=%d (%.3f/commit)%s\n"
+              mu.Multiuser.committed fsyncs
+              (if mu.Multiuser.committed = 0 then 0.0
+               else float_of_int fsyncs /. float_of_int mu.Multiuser.committed)
+              (match groups with
+              | None -> ""
+              | Some (g, members) ->
+                Printf.sprintf " groups=%d members=%d" g members)))
+  in
+  let ops_arg =
+    Arg.(value & opt (list string) [] & info [ "ops" ] ~docv:"IDS"
+           ~doc:"Op ids to measure; default 01,05A,10,16.")
+  in
+  let users_arg =
+    Arg.(value & opt int 8 & info [ "users" ] ~docv:"N"
+           ~doc:"User threads for the durable multiuser leg.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 25 & info [ "txns" ] ~docv:"N"
+           ~doc:"Transactions per user for the durable multiuser leg.")
+  in
+  let baseline_arg =
+    Arg.(value & flag & info [ "baseline" ]
+           ~doc:"Measure with legacy copies and without group commit — \
+                 the pre-optimisation reference point of the committed \
+                 trajectory.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the result to $(docv) instead of stdout.")
+  in
+  let reps_small =
+    Arg.(value & opt int 5 & info [ "reps" ] ~docv:"N"
+           ~doc:"Repetitions per operation sequence.")
+  in
+  let level_small =
+    Arg.(value & opt int 3 & info [ "l"; "level" ] ~docv:"LEVEL"
+           ~doc:"Leaf level of the test database.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure the committed benchmark trajectory (operations + durable \
+          multiuser leg) and emit JSON for $(b,hyperbench diff).")
+    Term.(
+      const run $ level_small $ seed_arg $ reps_small $ ops_arg $ users_arg
+      $ txns_arg $ baseline_arg $ json_arg)
+
+(* --- diff --- *)
+
+(* Lower-is-better metrics compared between two bench files. *)
+let diff_op_metrics =
+  [ "cold_ms_per_node"; "warm_ms_per_node"; "alloc_words_per_node" ]
+
+let cmd_diff =
+  let run file_a file_b threshold warn_only =
+    let module J = Hyper_util.Sjson in
+    let load f =
+      let ic = open_in f in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      try J.of_string s
+      with J.Parse_error msg -> failwith (Printf.sprintf "%s: %s" f msg)
+    in
+    let a = load file_a and b = load file_b in
+    let num path v =
+      match Option.bind v (J.member path) |> Option.map J.to_num with
+      | Some (Some f) -> Some f
+      | _ -> None
+    in
+    let regressions = ref 0 in
+    let compare_metric ~what old_v new_v =
+      match (old_v, new_v) with
+      | Some o, Some n ->
+        let delta = if o = 0.0 then 0.0 else (n -. o) /. o *. 100.0 in
+        let regressed = o > 0.0 && n > o *. (1.0 +. threshold) in
+        if regressed then incr regressions;
+        Printf.printf "%-40s %12.4f -> %12.4f  %+7.1f%%%s\n" what o n delta
+          (if regressed then "  REGRESSION" else "")
+      | _ -> Printf.printf "%-40s (missing; skipped)\n" what
+    in
+    (* Per-operation metrics, matched by op name. *)
+    let ops_of doc =
+      match Option.bind (J.member "operations" doc) J.to_list with
+      | Some l -> l
+      | None -> []
+    in
+    let find_op name doc =
+      List.find_opt
+        (fun o -> J.member "op" o |> Option.map J.to_str = Some (Some name))
+        (ops_of doc)
+    in
+    List.iter
+      (fun op_a ->
+        match J.member "op" op_a |> Option.map J.to_str with
+        | Some (Some name) ->
+          let op_b = find_op name b in
+          List.iter
+            (fun metric ->
+              compare_metric
+                ~what:(Printf.sprintf "%s %s" name metric)
+                (num metric (Some op_a))
+                (num metric op_b))
+            diff_op_metrics
+        | _ -> ())
+      (ops_of a);
+    (* Multiuser durability cost. *)
+    compare_metric ~what:"multiuser fsyncs_per_commit"
+      (num "fsyncs_per_commit" (J.member "multiuser" a))
+      (num "fsyncs_per_commit" (J.member "multiuser" b));
+    if !regressions > 0 then begin
+      Printf.printf "%d metric(s) regressed more than %.0f%%\n" !regressions
+        (threshold *. 100.0);
+      if not warn_only then exit 1
+    end
+    else print_endline "no regressions"
+  in
+  let file_a =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"F"
+           ~doc:"Relative regression tolerance (0.10 = 10%).")
+  in
+  let warn_arg =
+    Arg.(value & flag & info [ "warn-only" ]
+           ~doc:"Report regressions but exit 0 (CI on noisy runners).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two $(b,hyperbench bench) JSON files; exit non-zero when \
+          any per-op metric regresses past the threshold.")
+    Term.(const run $ file_a $ file_b $ threshold_arg $ warn_arg)
+
 (* --- gc --- *)
 
 let cmd_gc =
@@ -462,4 +802,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "hyperbench" ~doc)
           [ cmd_generate; cmd_verify; cmd_run; cmd_query; cmd_multiuser;
-            cmd_gc; cmd_info ]))
+            cmd_bench; cmd_diff; cmd_gc; cmd_info ]))

@@ -366,8 +366,17 @@ let compare_probes ~layout ~backend oracle_inst subject_inst probes =
   go 0 probes
 
 (* Crash-mode subject: local diskdb, durable_sync on (an acked commit
-   must survive the power failure by its own fsync, not by luck). *)
-let crash_cfg vfs = disk_config ~durable_sync:true ~remote:None ~prefetch:false vfs
+   must survive the power failure by its own fsync, not by luck).  Group
+   commit is enabled with a zero hold window: the fuzzers are
+   single-threaded, so every group has one member and the barrier fires
+   immediately — same fsync-per-commit semantics, but the whole
+   scheduler path (register/lead/poison) runs under crash injection. *)
+let crash_cfg vfs =
+  {
+    (disk_config ~durable_sync:true ~remote:None ~prefetch:false vfs) with
+    D.group_commit =
+      Some { Hyper_storage.Group_commit.max_batch = 8; max_hold_ns = 0.0 };
+  }
 let crash_config = crash_cfg
 
 let crash_writes ~gen_seed ~level ops =

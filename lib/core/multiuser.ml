@@ -33,7 +33,7 @@ module Make (B : Backend.S) = struct
     visit start;
     List.rev !acc
 
-  let run b layout ~mode ~users ~txns_per_user ~hot_fraction ~seed =
+  let run ?commit b layout ~mode ~users ~txns_per_user ~hot_fraction ~seed =
     if users < 1 then invalid_arg "Multiuser.run: users < 1";
     if txns_per_user < 1 then invalid_arg "Multiuser.run: txns_per_user < 1";
     if hot_fraction < 0.0 || hot_fraction > 1.0 then
@@ -68,13 +68,32 @@ module Make (B : Backend.S) = struct
       Mutex.unlock counter_mutex
     in
 
+    (* The commit seam: the default commits (and, on a durable backend,
+       fsyncs) inside the database mutex.  A group-commit caller supplies
+       [?commit] returning a wait closure — the commit point stays inside
+       the mutex, the durability wait runs outside it, which is what lets
+       concurrent committers land in one fsync batch (otherwise the mutex
+       serialises the fsyncs and batching never materialises). *)
+    let commit_fn =
+      match commit with
+      | Some f -> f
+      | None ->
+        fun () ->
+          B.commit b;
+          fun () -> ()
+    in
     (* One transaction body: read the subtree's hundred values, write the
-       complemented values back.  Returns true on commit. *)
+       complemented values back. *)
     let apply_writes oids =
-      with_db (fun () ->
-          B.begin_txn b;
-          List.iter (fun oid -> B.set_hundred b oid (99 - B.hundred b oid)) oids;
-          B.commit b)
+      let wait =
+        with_db (fun () ->
+            B.begin_txn b;
+            List.iter
+              (fun oid -> B.set_hundred b oid (99 - B.hundred b oid))
+              oids;
+            commit_fn ())
+      in
+      wait ()
     in
     let attempt_occ start =
       let txn = Hyper_txn.Occ.begin_txn occ in

@@ -37,6 +37,7 @@ type result = {
 
 module Make (B : Backend.S) : sig
   val run :
+    ?commit:(unit -> unit -> unit) ->
     B.t ->
     Layout.t ->
     mode:mode ->
@@ -45,6 +46,16 @@ module Make (B : Backend.S) : sig
     hot_fraction:float ->
     seed:int64 ->
     result
-  (** @raise Invalid_argument when [users < 1], [txns_per_user < 1] or
+  (** [commit] overrides how a transaction's commit point is driven: it
+      runs {e inside} the database mutex in place of [B.commit] and
+      returns a wait closure the worker runs {e outside} the mutex
+      before counting the transaction committed.  This is the seam for
+      WAL group commit on a durable disk backend — commit and register
+      under the mutex ({!Hyper_storage.Engine.commit_ticket}), await the
+      shared fsync outside it ({!Hyper_storage.Engine.await_durable}) so
+      concurrent committers coalesce into one barrier.  Default:
+      [B.commit] with a no-op wait.
+
+      @raise Invalid_argument when [users < 1], [txns_per_user < 1] or
       [hot_fraction] outside [0, 1]. *)
 end

@@ -101,11 +101,12 @@ let encode n =
 
 (* --- decode with a cursor --- *)
 
-type cursor = { data : bytes; mutable pos : int }
+(* [limit] bounds the record inside [data], so a cursor can decode in
+   place from a page buffer without extracting the record first. *)
+type cursor = { data : bytes; mutable pos : int; limit : int }
 
 let need c n =
-  if c.pos + n > Bytes.length c.data then
-    invalid_arg "Codec.decode: truncated record"
+  if c.pos + n > c.limit then invalid_arg "Codec.decode: truncated record"
 
 let read_u8 c =
   need c 1;
@@ -153,8 +154,10 @@ let read_bytes c =
   c.pos <- c.pos + n;
   b
 
-let decode data =
-  let c = { data; pos = 0 } in
+let decode_at data ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Codec.decode_at: range outside buffer";
+  let c = { data; pos = off; limit = off + len } in
   let doc = read_u32 c in
   let unique_id = read_u32 c in
   let kind = kind_of_tag (read_u8 c) in
@@ -182,6 +185,8 @@ let decode data =
   { doc; unique_id; kind; ten; hundred; million; parent; children; parts;
     part_of; refs_to; refs_from; dyn; text; form }
 
+let decode data = decode_at data ~off:0 ~len:(Bytes.length data)
+
 let encoded_size n = Bytes.length (encode n)
 
 let encode_oid_list oids =
@@ -191,6 +196,6 @@ let encode_oid_list oids =
   Buffer.to_bytes buf
 
 let decode_oid_list data =
-  let c = { data; pos = 0 } in
+  let c = { data; pos = 0; limit = Bytes.length data } in
   let n = read_u32 c in
   List.init n (fun _ -> read_u32 c)

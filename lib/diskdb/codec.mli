@@ -35,6 +35,15 @@ val encode : node -> bytes
 val decode : bytes -> node
 (** @raise Invalid_argument on a corrupt record. *)
 
+val decode_at : bytes -> off:int -> len:int -> node
+(** Decode the record occupying [off, off+len) of [data] in place —
+    e.g. directly from a pinned page buffer via
+    {!Hyper_storage.Heap.read_with}, without extracting it first.  The
+    decoded node shares nothing with [data] (strings and payloads are
+    copied out), so it stays valid after the buffer is unpinned.
+    @raise Invalid_argument on a corrupt record or a range outside the
+    buffer. *)
+
 val encoded_size : node -> int
 
 val encode_oid_list : int list -> bytes

@@ -15,6 +15,9 @@ type config = {
   path : string;
   pool_pages : int;
   durable_sync : bool;
+  group_commit : Group_commit.config option;
+      (* batch concurrent committers' fsyncs; only meaningful together
+         with durable_sync (see Engine.open_) *)
   checkpoint_wal_bytes : int;
   remote : remote option;
   object_cache : int;
@@ -33,7 +36,7 @@ type config = {
 }
 
 let default_config ~path =
-  { path; pool_pages = 2048; durable_sync = false;
+  { path; pool_pages = 2048; durable_sync = false; group_commit = None;
     checkpoint_wal_bytes = 64 * 1024 * 1024; remote = None;
     object_cache = 0; uid_hash_index = false; prefetch = false; vfs = None }
 
@@ -170,6 +173,7 @@ let open_db config =
   let engine =
     Engine.open_ ?vfs:config.vfs ~path:config.path
       ~pool_pages:config.pool_pages ~durable_sync:config.durable_sync
+      ?group_commit:config.group_commit
       ~checkpoint_wal_bytes:config.checkpoint_wal_bytes ()
   in
   let pool = Engine.pool engine in
@@ -303,7 +307,12 @@ let read_node t oid =
     node
   | None ->
     if t.object_cache_capacity > 0 then t.cache_misses <- t.cache_misses + 1;
-    let node = Codec.decode (Heap.read t.heap (rid_of t oid)) in
+    (* Decode in place from the pinned page buffer — the per-node hot
+       path of every closure traversal, so the extraction copy matters. *)
+    let node =
+      Heap.read_with t.heap (rid_of t oid) (fun b ~off ~len ->
+          Codec.decode_at b ~off ~len)
+    in
     cache_put t oid node;
     node
 

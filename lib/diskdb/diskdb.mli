@@ -24,6 +24,14 @@ type config = {
   path : string; (** data file; the WAL lives at [path ^ ".wal"] *)
   pool_pages : int; (** client buffer-pool capacity *)
   durable_sync : bool; (** fsync the WAL at commit *)
+  group_commit : Hyper_storage.Group_commit.config option;
+      (** batch concurrent committers' WAL fsyncs through one
+          {!Hyper_storage.Group_commit} scheduler.  Only meaningful
+          together with [durable_sync]; see
+          {!Hyper_storage.Engine.open_}.  Commits still fsync before
+          returning — a caller that wants to overlap the wait takes the
+          engine's commit ticket directly
+          ({!Hyper_storage.Engine.commit_ticket}). *)
   checkpoint_wal_bytes : int; (** checkpoint threshold *)
   remote : remote option; (** workstation/server simulation *)
   object_cache : int;

@@ -17,6 +17,7 @@ let v4 = "no-poly-compare-on-oid"
 let v5 = "deterministic-iteration"
 let v6 = "monotonic-time"
 let v7 = "epoch-check"
+let v8 = "no-page-copy"
 
 let all =
   [
@@ -27,6 +28,7 @@ let all =
     (v5, "Hashtbl iteration order flowing into an unsorted list result");
     (v6, "Unix.gettimeofday (wall clock) outside lib/util");
     (v7, "replication frame pattern that wildcards the frame or its epoch");
+    (v8, "Bytes.copy/Bytes.sub of a page buffer outside lib/storage");
   ]
 
 type result = { findings : Finding.t list; suppressed : Finding.t list }
@@ -318,10 +320,43 @@ let check_structure ~scope_all ~source (str : structure) =
         "match explicit exception constructors, add a `when` guard that \
          re-raises crash faults, or re-raise"
   in
+  (* V8: page-buffer copies above the storage layer.  The zero-copy read
+     path (Pager.read_view → Buffer_pool → Slotted.view → Heap.read_with)
+     exists so consumers decode records in place; a [Bytes.copy page] or
+     [Bytes.sub page ...] outside lib/storage reintroduces the per-read
+     allocation the path was built to remove.  "Page buffer" is
+     approximated by the argument's name — [page] or [*_page], the
+     binder every pinned-frame callback in this codebase uses. *)
+  let is_page_name n = n = "page" || String.ends_with ~suffix:"_page" n in
+  let check_page_copy e =
+    if not (source_under "lib/storage" ctx.source) then
+      match e.exp_desc with
+      | Texp_apply (fn, (_, Some arg) :: _) -> (
+          match ident_path fn with
+          | Some p -> (
+              match List.rev (path_parts p) with
+              | (("copy" | "sub") as op) :: owner :: _
+                when part_matches "Bytes" owner -> (
+                  match arg.exp_desc with
+                  | Texp_ident (ap, _, _) when is_page_name (Path.last ap) ->
+                      flag v8 e.exp_loc
+                        (Printf.sprintf
+                           "Bytes.%s of page buffer `%s` copies what the \
+                            zero-copy read path pins in place"
+                           op (Path.last ap))
+                        "decode in place via Slotted.view / Heap.read_with \
+                         (Codec.decode_at takes ~off/~len); copy only what \
+                         outlives the pin"
+                  | _ -> ())
+              | _ -> ())
+          | None -> ())
+      | _ -> ()
+  in
   let check_expr e =
     (match ident_path e with
     | Some p -> check_ident e p
     | None -> ());
+    check_page_copy e;
     match e.exp_desc with
     | Texp_try (_, cases) ->
         List.iter

@@ -23,6 +23,11 @@
       any contract and already caused a real cross-backend ordering
       divergence (see DESIGN.md §11).  Scoped to [lib/reldb], [lib/txn]
       and [lib/check] unless [scope_all] is set.
+    - [no-page-copy] — [Bytes.copy]/[Bytes.sub] applied to a page
+      buffer (an argument named [page] or [*_page]) outside
+      [lib/storage]: the zero-copy read path (see DESIGN.md §15) exists
+      so record consumers decode in place; copying the page reintroduces
+      the allocation it removed.
 
     Suppression: a [\[@lint.allow "rule-id"\]] attribute on the
     expression, on the enclosing [let] binding, or floating

@@ -26,7 +26,10 @@ type stats = {
 
 type frame = {
   page_id : int;
-  data : bytes;
+  mutable data : bytes;
+  mutable owned : bool;
+      (* false: [data] is a zero-copy view aliasing the pager's backing
+         store — read-only until [unshare] copies it (copy-on-write) *)
   mutable dirty : bool;
   mutable pins : int;
   mutable tick : int; (* last-use stamp for LRU *)
@@ -106,10 +109,10 @@ let load t page_id =
     t.stats.misses <- t.stats.misses + 1;
     Obs.Counter.incr m_misses;
     ensure_room t;
-    let data =
-      Obs.Span.with_span "pool.miss" (fun () -> Pager.read t.pager page_id)
+    let data, owned =
+      Obs.Span.with_span "pool.miss" (fun () -> Pager.read_view t.pager page_id)
     in
-    let f = { page_id; data; dirty = false; pins = 0; tick = 0 } in
+    let f = { page_id; data; owned; dirty = false; pins = 0; tick = 0 } in
     touch t f;
     Hashtbl.add t.frames page_id f;
     f
@@ -130,13 +133,28 @@ let with_pinned t page_id k =
 
 let with_page t page_id k = with_pinned t page_id (fun f -> k f.data)
 
+(* Copy-on-write: give the frame its own buffer before the first
+   mutation, so a zero-copy view never writes through to the pager's
+   backing store. *)
+let unshare f =
+  if not f.owned then begin
+    f.data <- Bytes.copy f.data;
+    f.owned <- true
+  end
+
 (* The before-image is the frame content prior to the first write in the
-   current txn window — snapshot it before the caller mutates the page. *)
+   current txn window.  The hook receives the LIVE buffer — it must
+   serialize or copy what it retains before returning, because the
+   caller mutates the page next.  [legacy_copies] restores the historic
+   defensive copy for baseline benchmarking. *)
 let mark_dirty t f =
   if not (Hashtbl.mem t.first_dirty_seen f.page_id) then begin
     Hashtbl.add t.first_dirty_seen f.page_id ();
-    t.on_first_dirty f.page_id (Bytes.copy f.data)
+    if !Storage_tuning.legacy_copies then
+      t.on_first_dirty f.page_id (Bytes.copy f.data)
+    else t.on_first_dirty f.page_id f.data
   end;
+  unshare f;
   f.dirty <- true
 
 let with_page_w t page_id k =
@@ -178,12 +196,12 @@ let prefetch t page_ids =
     done;
     let pages =
       Obs.Span.with_span "pool.prefetch" (fun () ->
-          Pager.read_many t.pager batch)
+          Pager.read_many_views t.pager batch)
     in
     Obs.Counter.add m_prefetches want;
     List.iter2
-      (fun page_id data ->
-        let f = { page_id; data; dirty = false; pins = 0; tick = 0 } in
+      (fun page_id (data, owned) ->
+        let f = { page_id; data; owned; dirty = false; pins = 0; tick = 0 } in
         touch t f;
         Hashtbl.add t.frames page_id f;
         t.stats.prefetches <- t.stats.prefetches + 1)
@@ -211,17 +229,24 @@ let with_pages t page_ids k =
       in
       k (List.map (fun f -> f.data) frames))
 
+(* The before-image of any freshly allocated page is all zeroes; one
+   shared buffer serves every allocation (read-only by the hook
+   contract — the hook copies what it retains). *)
+let zero_page = lazy (Page.alloc ())
+
 let allocate t =
   let page_id = Pager.allocate t.pager in
   ensure_room t;
   let f =
-    { page_id; data = Page.alloc (); dirty = true; pins = 0; tick = 0 }
+    { page_id; data = Page.alloc (); owned = true; dirty = true; pins = 0;
+      tick = 0 }
   in
   touch t f;
   Hashtbl.add t.frames page_id f;
   if not (Hashtbl.mem t.first_dirty_seen page_id) then begin
     Hashtbl.add t.first_dirty_seen page_id ();
-    t.on_first_dirty page_id (Page.alloc ())
+    if !Storage_tuning.legacy_copies then t.on_first_dirty page_id (Page.alloc ())
+    else t.on_first_dirty page_id (Lazy.force zero_page)
   end;
   page_id
 
@@ -253,10 +278,19 @@ let clear_txn_hooks t =
   t.on_first_dirty <- no_hook;
   t.on_evict_dirty <- no_hook
 
+(* Live buffers: a dirty frame always owns its data (COW in mark_dirty),
+   so the returned bytes are the frame contents themselves, valid until
+   the page is next mutated.  Callers serialize immediately (the engine
+   appends After images to the WAL before returning to user code) and
+   must not retain them. *)
 let take_dirty_set t =
   let dirty =
     Hashtbl.fold
-      (fun id f acc -> if f.dirty then (id, Bytes.copy f.data) :: acc else acc)
+      (fun id f acc ->
+        if f.dirty then
+          (id, if !Storage_tuning.legacy_copies then Bytes.copy f.data else f.data)
+          :: acc
+        else acc)
       t.frames []
   in
   Hashtbl.reset t.first_dirty_seen;

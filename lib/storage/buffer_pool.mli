@@ -69,13 +69,23 @@ val set_txn_hooks :
   on_first_dirty:(int -> bytes -> unit) ->
   on_evict_dirty:(int -> bytes -> unit) ->
   unit
+(** Both hooks receive {e live} page buffers: [on_first_dirty] the
+    page's clean before-image (mutated by the caller as soon as the
+    hook returns), [on_evict_dirty] the dirty after-image about to be
+    written back.  A hook must serialize or copy what it retains before
+    returning — appending to the WAL counts as serializing. *)
 
 val clear_txn_hooks : t -> unit
 
 val take_dirty_set : t -> (int * bytes) list
 (** Current dirty pages and contents (after-images for commit), and reset
     the first-dirty tracking so subsequent writes fire [on_first_dirty]
-    again. Frames remain cached and dirty until flushed. *)
+    again. Frames remain cached and dirty until flushed.
+
+    The buffers are the live frame contents (dirty frames always own
+    their buffer), valid until the page is next mutated: serialize them
+    before returning control to code that can write pages, and do not
+    retain them. *)
 
 type stats = {
   mutable hits : int;

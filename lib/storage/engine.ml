@@ -22,6 +22,7 @@ type t = {
   wal : Wal.t;
   pool : Buffer_pool.t;
   durable_sync : bool;
+  group : Group_commit.t option; (* Some iff durable_sync and configured *)
   checkpoint_wal_bytes : int;
   is_fresh : bool;
   recovery_report : Recovery.report option;
@@ -44,7 +45,7 @@ let is_wal_full = function
   | _ -> false
 
 let open_ ?(vfs = Vfs.real) ~path ~pool_pages ?(durable_sync = false)
-    ?(checkpoint_wal_bytes = 64 * 1024 * 1024) () =
+    ?group_commit ?(checkpoint_wal_bytes = 64 * 1024 * 1024) () =
   (* One retry policy for every storage path: transient faults are
      absorbed here, so Pager/Wal/Recovery only ever see hard errors.
      The observer sits outside the retry layer so each logical
@@ -64,7 +65,15 @@ let open_ ?(vfs = Vfs.real) ~path ~pool_pages ?(durable_sync = false)
   let wal = Wal.open_ ~vfs wal_path in
   Wal.truncate wal;
   let pool = Buffer_pool.create pager ~capacity:pool_pages in
-  { pager; wal; pool; durable_sync; checkpoint_wal_bytes;
+  (* Without durable_sync there is no per-commit fsync to batch, so a
+     group-commit config is inert rather than an error — callers can set
+     both unconditionally and flip durability alone. *)
+  let group =
+    match group_commit with
+    | Some cfg when durable_sync -> Some (Group_commit.create cfg wal)
+    | _ -> None
+  in
+  { pager; wal; pool; durable_sync; group; checkpoint_wal_bytes;
     is_fresh = Pager.page_count pager = 0; recovery_report;
     on_save = (fun () -> ()); on_reload = (fun () -> ()); txn = None;
     txn_counter = 0; read_only = false; closed = false; commit_hook = None }
@@ -105,6 +114,11 @@ let begin_txn t =
   Buffer_pool.set_txn_hooks t.pool
     ~on_first_dirty:(fun page img ->
       if not (Hashtbl.mem txn.undo page) then begin
+        (* [img] is the live frame buffer (pool hook contract): the undo
+           set outlives this call, so snapshot it.  The WAL append
+           serializes the same snapshot before the caller mutates the
+           page. *)
+        let img = Bytes.copy img in
         Hashtbl.add txn.undo page img;
         Wal.append t.wal (Wal.Before (txn.id, page, img))
       end)
@@ -140,7 +154,23 @@ let maybe_checkpoint t =
     Wal.truncate t.wal
   end
 
-let commit t =
+type ticket = { txn_id : int; wait : unit -> unit }
+
+(* First phase of commit: log the after-images and the commit record,
+   issue (and, without a group scheduler, fsync) the log, flush the pool
+   and leave the engine in a clean non-transactional state.  With a
+   group scheduler the durability barrier is deferred: the returned
+   ticket's [wait] blocks until a group fsync covers the commit record.
+   The flush-before-register ordering the scheduler relies on holds
+   because both happen here, under whatever serialization the caller
+   already imposes on engine calls.
+
+   Note the pool write-back can reach the data file before the group
+   fsync.  That is safe under the FIFO write-back model (DESIGN.md §15):
+   the before/after images were issued to the log first, so any
+   persisted prefix that includes a page write also includes the undo
+   records recovery needs to roll an unacked transaction back. *)
+let commit_ticket t =
   let txn = current_txn t in
   t.on_save ();
   let dirty = Buffer_pool.take_dirty_set t.pool in
@@ -149,7 +179,9 @@ let commit t =
        (fun (page, img) -> Wal.append t.wal (Wal.After (txn.id, page, img)))
        dirty;
      Wal.append t.wal (Wal.Commit txn.id);
-     if t.durable_sync then Wal.sync t.wal else Wal.flush t.wal
+     (match t.group with
+     | Some _ -> Wal.flush t.wal
+     | None -> if t.durable_sync then Wal.sync t.wal else Wal.flush t.wal)
    with e when is_wal_full e ->
      (* The commit record never reached the log, so the transaction is
         not committed: undo it in memory and degrade to read-only.  All
@@ -162,11 +194,36 @@ let commit t =
   Buffer_pool.flush_all t.pool;
   Buffer_pool.clear_txn_hooks t.pool;
   t.txn <- None;
+  let wait =
+    match t.group with
+    | Some g ->
+      let tk = Group_commit.register g in
+      fun () -> Group_commit.await g tk
+    | None -> fun () -> ()
+  in
+  { txn_id = txn.id; wait }
+
+let await_durable t tk =
+  try tk.wait ()
+  with e ->
+    (* The group's durability barrier failed after the transaction state
+       was already torn down, so there is nothing left to roll back and
+       the commit record may or may not survive a restart.  The caller
+       must not ack; the engine stops accepting writes. *)
+    demote_read_only t;
+    raise e
+
+let commit t =
+  let tk = commit_ticket t in
+  await_durable t tk;
   (* The transaction is locally durable by this point; the hook (e.g.
      replication shipping, which may raise to signal quorum loss) runs
      with the engine back in a clean non-transactional state. *)
-  (match t.commit_hook with None -> () | Some f -> f txn.id);
+  (match t.commit_hook with None -> () | Some f -> f tk.txn_id);
   maybe_checkpoint t
+
+let group_commit_stats t = Option.map Group_commit.stats t.group
+let wal_sync_count t = Wal.sync_count t.wal
 
 let abort t = rollback t (current_txn t)
 

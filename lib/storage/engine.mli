@@ -32,11 +32,18 @@ val open_ :
   path:string ->
   pool_pages:int ->
   ?durable_sync:bool ->
+  ?group_commit:Group_commit.config ->
   ?checkpoint_wal_bytes:int ->
   unit ->
   t
-(** Defaults: {!Vfs.real}, no fsync, 64 MiB checkpoint threshold.  The
-    WAL lives at [path ^ ".wal"], page checksums at [path ^ ".sum"]. *)
+(** Defaults: {!Vfs.real}, no fsync, no group commit, 64 MiB checkpoint
+    threshold.  The WAL lives at [path ^ ".wal"], page checksums at
+    [path ^ ".sum"].  [group_commit] batches the per-commit fsyncs of
+    concurrent committers through a {!Group_commit} scheduler; it only
+    takes effect together with [durable_sync] (without it there is no
+    fsync to batch) and changes nothing for a single-threaded caller
+    except that the fsync happens in {!await_durable} (inside {!commit}
+    for most callers). *)
 
 val fresh : t -> bool
 (** Whether the store was empty at [open_] (owner must format it). *)
@@ -74,6 +81,38 @@ val begin_txn : t -> unit
 val commit : t -> unit
 val abort : t -> unit
 val in_txn : t -> bool
+
+type ticket
+(** A committed-but-not-yet-durable transaction (group commit). *)
+
+val commit_ticket : t -> ticket
+(** First phase of {!commit}: everything up to (but not including) the
+    group durability barrier — after-images and the commit record are
+    logged and issued, the pool is flushed, the engine is back in a
+    clean non-transactional state.  Without a group scheduler the fsync
+    (or plain flush) already happened and the ticket is trivially
+    durable.  The point of the split is concurrency: a caller that
+    serializes engine access through a lock can take the ticket inside
+    the lock and {!await_durable} outside it, which is what lets
+    concurrent committers share one fsync.  A transaction must not be
+    acked before its ticket is awaited. *)
+
+val await_durable : t -> ticket -> unit
+(** Block until the ticket's commit record is covered by a durability
+    barrier.  On barrier failure the engine demotes itself to
+    {!read_only} and re-raises: the transaction state is already torn
+    down, so there is nothing to roll back, and whether the commit
+    record survives a restart is unknown — the caller must not ack.
+    Unlike {!commit}, the split never runs the commit hook or the
+    checkpoint check; use the split only on engines without a
+    replication hook (the multiuser harness, benchmarks). *)
+
+val group_commit_stats : t -> (int * int) option
+(** [(groups, members)] from the {!Group_commit} scheduler, or [None]
+    when group commit is off. *)
+
+val wal_sync_count : t -> int
+(** {!Wal.sync_count} of the engine's log. *)
 
 val require_txn : t -> unit
 (** @raise Invalid_argument outside a transaction. *)

@@ -1,0 +1,116 @@
+module Obs = Hyper_obs.Obs
+module Vclock = Hyper_util.Vclock
+
+let h_group_size =
+  Obs.Histogram.make "hyper_wal_group_size"
+    ~help:"committers covered per group fsync"
+
+let h_group_wait_ns =
+  Obs.Histogram.make "hyper_wal_group_wait_ns"
+    ~help:"virtual-clock ns from a group's first registration to its fsync"
+
+type config = { max_batch : int; max_hold_ns : float }
+
+let default_config = { max_batch = 8; max_hold_ns = 2e6 }
+
+type t = {
+  wal : Wal.t;
+  cfg : config;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable next_seq : int; (* ticket the next register hands out *)
+  mutable durable_seq : int; (* highest ticket covered by an fsync *)
+  mutable leader_active : bool;
+  mutable window_start : float; (* registration time of the group's first member *)
+  mutable poisoned : exn option;
+  mutable groups : int;
+  mutable members : int;
+}
+
+type ticket = int
+
+let create cfg wal =
+  if cfg.max_batch < 1 then invalid_arg "Group_commit: max_batch < 1";
+  if cfg.max_hold_ns < 0.0 then invalid_arg "Group_commit: max_hold_ns < 0";
+  { wal; cfg; m = Mutex.create (); cv = Condition.create (); next_seq = 1;
+    durable_seq = 0; leader_active = false; window_start = 0.0;
+    poisoned = None; groups = 0; members = 0 }
+
+let register t =
+  Mutex.lock t.m;
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  if s = t.durable_seq + 1 then t.window_start <- Vclock.now_ns ();
+  Mutex.unlock t.m;
+  s
+
+let stats t = (t.groups, t.members)
+
+let check_poison t =
+  match t.poisoned with
+  | Some e ->
+    Mutex.unlock t.m;
+    raise e
+  | None -> ()
+
+let rec await t (s : ticket) =
+  Mutex.lock t.m;
+  check_poison t;
+  if t.durable_seq >= s then Mutex.unlock t.m
+  else if t.leader_active then begin
+    (* A leader is already driving a barrier; park until it broadcasts.
+       Its snapshot may predate us, in which case we re-enter and the
+       next round's leader (possibly us) covers our ticket. *)
+    Condition.wait t.cv t.m;
+    Mutex.unlock t.m;
+    await t s
+  end
+  else lead t s
+
+and lead t (_s : ticket) =
+  (* Called with [t.m] held and [_s] not yet durable; the snapshot below
+     always covers it ([_s <= upto]), so [lead] never needs to loop. *)
+  t.leader_active <- true;
+  (* Hold window: no timed [Condition] wait on 4.14, so yield against a
+     virtual-clock deadline; joiners register between yields.  With a
+     zero hold the barrier fires immediately for whoever is pending. *)
+  let deadline = Vclock.now_ns () +. t.cfg.max_hold_ns in
+  let rec hold () =
+    if
+      t.next_seq - 1 - t.durable_seq < t.cfg.max_batch
+      && Vclock.now_ns () < deadline
+    then begin
+      Mutex.unlock t.m;
+      Thread.yield ();
+      Mutex.lock t.m;
+      hold ()
+    end
+  in
+  if t.cfg.max_hold_ns > 0.0 then hold ();
+  let upto = t.next_seq - 1 in
+  let started = t.window_start in
+  Mutex.unlock t.m;
+  (* The fsync runs outside the lock: every member <= [upto] flushed its
+     bytes before registering, so the file already carries them; a
+     committer registering during the fsync simply misses this barrier
+     and is picked up by the next leader.  [s <= upto] always, so the
+     caller's own ticket is covered. *)
+  match Wal.sync_file t.wal with
+  | () ->
+    Mutex.lock t.m;
+    let size = upto - t.durable_seq in
+    t.durable_seq <- upto;
+    t.groups <- t.groups + 1;
+    t.members <- t.members + size;
+    t.leader_active <- false;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    Obs.Histogram.observe h_group_size (float_of_int size);
+    Obs.Histogram.observe h_group_wait_ns (Vclock.now_ns () -. started)
+  | exception e ->
+    Mutex.lock t.m;
+    t.poisoned <- Some e;
+    t.leader_active <- false;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    raise e

@@ -31,7 +31,17 @@ val first_page : t -> int
 val insert : ?near:rid -> t -> bytes -> rid
 
 val read : t -> rid -> bytes
-(** @raise Invalid_argument on a dangling rid. *)
+(** A fresh copy of the record contents.
+    @raise Invalid_argument on a dangling rid. *)
+
+val read_with : t -> rid -> (bytes -> off:int -> len:int -> 'a) -> 'a
+(** Zero-copy read: [k buf ~off ~len] receives the record as a range of
+    [buf].  For an inline record [buf] is the pinned page buffer itself
+    — valid only for the duration of [k], which must not retain it nor
+    write to the heap.  For a record that spilled into overflow pages,
+    [buf] is a freshly assembled buffer ([off = 0]).  Decoding in place
+    through this avoids the per-record extraction copy of {!read}.
+    @raise Invalid_argument on a dangling rid. *)
 
 val update : t -> rid -> bytes -> rid
 (** Update in place when possible; otherwise relocate and return the new

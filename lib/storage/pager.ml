@@ -97,7 +97,11 @@ let allocate t =
     m.pages.(id) <- Page.alloc ());
   id
 
-let read t id =
+(* A view is the page bytes plus an ownership flag.  [true] = freshly
+   allocated, the caller may keep and mutate it.  [false] = the buffer
+   aliases the backing store (Memory backend) — read-only, copy before
+   mutating, never retain past the next [write]/[allocate]. *)
+let read_view t id =
   check_open t;
   check_id t id;
   t.stats.reads <- t.stats.reads + 1;
@@ -107,15 +111,21 @@ let read t id =
     let buf = Bytes.create Page.size in
     data.Vfs.pread ~buf ~off:(id * Page.size);
     verify_sum ~data ~sums id buf;
-    buf
-  | Memory m -> Bytes.copy m.pages.(id)
+    (buf, true)
+  | Memory m ->
+    if !Storage_tuning.legacy_copies then (Bytes.copy m.pages.(id), true)
+    else (m.pages.(id), false)
+
+let read t id =
+  let buf, owned = read_view t id in
+  if owned then buf else Bytes.copy buf
 
 (* Vectored read: one [pread_multi] for the page contents and one for
    their checksum slots, then per-page verification.  Statistics count
    every page; the batched hook (when installed) fires once for the
    whole group — that is what lets a remote channel charge a single
    round trip for a group fetch. *)
-let read_many t ids =
+let read_many_views t ids =
   check_open t;
   List.iter (fun id -> check_id t id) ids;
   if ids = [] then []
@@ -141,9 +151,19 @@ let read_many t ids =
         | _ -> assert false
       in
       verify ids bufs sum_bufs;
-      bufs
-    | Memory m -> List.map (fun id -> Bytes.copy m.pages.(id)) ids
+      List.map (fun buf -> (buf, true)) bufs
+    | Memory m ->
+      List.map
+        (fun id ->
+          if !Storage_tuning.legacy_copies then (Bytes.copy m.pages.(id), true)
+          else (m.pages.(id), false))
+        ids
   end
+
+let read_many t ids =
+  List.map
+    (fun (buf, owned) -> if owned then buf else Bytes.copy buf)
+    (read_many_views t ids)
 
 let read_unverified t id =
   check_open t;
@@ -166,6 +186,11 @@ let write t id data_buf =
   | File { data; sums } ->
     data.Vfs.pwrite ~buf:data_buf ~off:(id * Page.size);
     write_sum sums id data_buf
+  (* The copy keeps the store disjoint from the caller's buffer (a pool
+     frame keeps mutating its own copy after write-back).  The previous
+     store buffer is replaced, not mutated — an outstanding read view
+     keeps seeing the pre-write bytes, which is why views must not be
+     retained across a write. *)
   | Memory m -> m.pages.(id) <- Bytes.copy data_buf
 
 let sync t =

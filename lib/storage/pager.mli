@@ -43,6 +43,17 @@ val read : t -> int -> bytes
 (** A fresh copy of the page contents.
     @raise Invalid_argument for an id that was never allocated. *)
 
+val read_view : t -> int -> bytes * bool
+(** Zero-copy read: the page contents plus an ownership flag.  [(buf,
+    true)] — [buf] is freshly allocated and the caller may keep and
+    mutate it (File backing, or any backing with
+    {!Storage_tuning.legacy_copies} set).  [(buf, false)] — [buf]
+    aliases the pager's in-memory backing store: treat it as read-only,
+    copy before mutating, and do not retain it past the next {!write}
+    or {!allocate} of the same page (the store then swaps the buffer
+    out and the view goes stale).  Hooks and statistics fire exactly
+    like {!read}. *)
+
 val read_many : t -> int list -> bytes list
 (** [read_many t ids] reads the pages as one vectored
     {!Vfs.file.pread_multi} (data and checksum sidecar each get a single
@@ -53,6 +64,11 @@ val read_many : t -> int list -> bytes list
     hook, [on_read] fires per page as usual.  Duplicate ids are read
     twice; order of the result matches [ids].
     @raise Invalid_argument if any id was never allocated. *)
+
+val read_many_views : t -> int list -> (bytes * bool) list
+(** {!read_many} without the defensive copies: each page comes back as
+    a {!read_view}-style [(buf, owned)] pair.  Same vectored I/O,
+    verification, hook and statistics behaviour as {!read_many}. *)
 
 val read_unverified : t -> int -> bytes
 (** Like {!read} but skips checksum verification, fires no hooks and

@@ -109,6 +109,11 @@ let read page i =
   check_slot page i;
   Bytes.sub page (slot_offset page i) (slot_length page i)
 
+(* Zero-copy access: where the record lives inside the page buffer. *)
+let view page i =
+  check_slot page i;
+  (slot_offset page i, slot_length page i)
+
 let delete page i =
   check_slot page i;
   set_slot page i ~offset:0 ~length:0

@@ -40,6 +40,12 @@ val insert : bytes -> bytes -> int option
 val read : bytes -> int -> bytes
 (** @raise Invalid_argument on a free or out-of-range slot. *)
 
+val view : bytes -> int -> int * int
+(** [(offset, length)] of the record inside the page buffer — the
+    zero-copy counterpart of {!read}.  The range is only stable until
+    the page is next mutated (an insert or update may compact the
+    page).  @raise Invalid_argument like {!read}. *)
+
 val delete : bytes -> int -> unit
 (** Tombstone the slot.  @raise Invalid_argument on a free slot. *)
 

@@ -1,0 +1,1 @@
+let legacy_copies = ref false

@@ -1,0 +1,19 @@
+(** Runtime switches for the storage fast paths.
+
+    [legacy_copies] restores the pre-zero-copy behaviour everywhere it
+    was optimized away: the Memory pager hands out fresh page copies,
+    the buffer pool snapshots before-images and the commit dirty set,
+    {!Heap} record reads materialise an intermediate payload, and
+    {!Wal.append} encodes each record into a scratch buffer before
+    copying it into the log's append buffer.
+
+    The flag exists so the committed benchmark baseline
+    ([BENCH_baseline.json]) stays reproducible from the current tree:
+    [hyperbench bench --baseline] flips it on and measures the old
+    allocation profile without needing an old checkout.  It is read at
+    every call site rather than captured at open, so it must be set
+    before the measured work starts and is not meant to be toggled
+    mid-transaction. *)
+
+val legacy_copies : bool ref
+(** Default [false] (zero-copy read paths active). *)

@@ -35,6 +35,7 @@ type t = {
   buf : Buffer.t; (* appended entries not yet issued to the vfs *)
   mutable issued : int; (* bytes already written to the file *)
   mutable next_lsn : int; (* sequence number of the next appended entry *)
+  mutable syncs : int; (* durability barriers since open (not Obs-gated) *)
   mutable on_append : (int -> entry -> unit) option; (* stream cursor *)
 }
 
@@ -64,22 +65,30 @@ let ids_of = function
   | Before (t, p, _) -> (t, p)
   | After (t, p, _) -> (t, p)
 
+let header_bytes = 14
+
+let encode_header e plen =
+  let txn, page = ids_of e in
+  let b = Bytes.create header_bytes in
+  Page.set_u8 b 0 entry_magic;
+  Page.set_u8 b 1 (kind_of e);
+  Page.set_u32 b 2 txn;
+  Page.set_u32 b 6 page;
+  Page.set_u32 b 10 plen;
+  b
+
 (* The exact on-disk (and on-wire) representation of one record:
    header, payload, record CRC.  Replication ships these bytes verbatim,
    so a shipped frame carries the same per-record checksum the log file
    does. *)
 let encode_entry e =
   let payload = payload_of e in
-  let txn, page = ids_of e in
-  let b = Bytes.create (14 + Bytes.length payload + 4) in
-  Page.set_u8 b 0 entry_magic;
-  Page.set_u8 b 1 (kind_of e);
-  Page.set_u32 b 2 txn;
-  Page.set_u32 b 6 page;
-  Page.set_u32 b 10 (Bytes.length payload);
-  Bytes.blit payload 0 b 14 (Bytes.length payload);
-  Page.set_u32 b (14 + Bytes.length payload)
-    (checksum payload lxor checksum (Bytes.sub b 0 14));
+  let plen = Bytes.length payload in
+  let hdr = encode_header e plen in
+  let b = Bytes.create (header_bytes + plen + 4) in
+  Bytes.blit hdr 0 b 0 header_bytes;
+  Bytes.blit payload 0 b header_bytes plen;
+  Page.set_u32 b (header_bytes + plen) (checksum payload lxor checksum hdr);
   b
 
 (* Decode the clean prefix of [data.(0 .. len)]: entries plus the byte
@@ -147,16 +156,35 @@ let open_ ?(vfs = Vfs.real) path =
   in
   if clean < len then file.Vfs.truncate clean;
   { path; file; buf = Buffer.create 4096; issued = clean; next_lsn = 0;
-    on_append = None }
+    syncs = 0; on_append = None }
 
 let lsn t = t.next_lsn
 let set_on_append t hook = t.on_append <- hook
 
 let append t e =
-  let b = encode_entry e in
-  Buffer.add_bytes t.buf b;
+  let size =
+    if !Storage_tuning.legacy_copies then begin
+      let b = encode_entry e in
+      Buffer.add_bytes t.buf b;
+      Bytes.length b
+    end
+    else begin
+      (* Encode straight into the append buffer: one blit of the payload
+         instead of encode-into-scratch plus a second whole-record copy.
+         Byte-for-byte identical to [encode_entry]. *)
+      let payload = payload_of e in
+      let plen = Bytes.length payload in
+      let hdr = encode_header e plen in
+      Buffer.add_bytes t.buf hdr;
+      Buffer.add_bytes t.buf payload;
+      let crc = Bytes.create 4 in
+      Page.set_u32 crc 0 (checksum payload lxor checksum hdr);
+      Buffer.add_bytes t.buf crc;
+      header_bytes + plen + 4
+    end
+  in
   Obs.Counter.incr m_appends;
-  Obs.Counter.add m_append_bytes (Bytes.length b);
+  Obs.Counter.add m_append_bytes size;
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   match t.on_append with None -> () | Some f -> f lsn e
@@ -177,8 +205,20 @@ let flush t =
 
 let sync t =
   flush t;
+  t.syncs <- t.syncs + 1;
   Obs.Counter.incr m_syncs;
   t.file.Vfs.sync ()
+
+(* Durability barrier only, no buffer access: the group-commit leader
+   fsyncs on behalf of committers that each flushed their own bytes
+   before registering, so this must not touch [t.buf] (another thread
+   may be appending its next transaction concurrently). *)
+let sync_file t =
+  t.syncs <- t.syncs + 1;
+  Obs.Counter.incr m_syncs;
+  t.file.Vfs.sync ()
+
+let sync_count t = t.syncs
 
 let truncate t =
   Buffer.clear t.buf;

@@ -60,6 +60,20 @@ val flush : t -> unit
 val sync : t -> unit
 (** [flush] then fsync — the commit durability point. *)
 
+val sync_file : t -> unit
+(** Fsync {e without} flushing: the group-commit durability barrier.
+    Every committer covered by the barrier must have {!flush}ed its own
+    bytes before the call (the {!Group_commit} scheduler enforces this
+    by construction).  Unlike {!sync} this never touches the append
+    buffer, so the group leader may call it while other threads are
+    appending their next transactions. *)
+
+val sync_count : t -> int
+(** Durability barriers ({!sync} + {!sync_file}) since [open_] — a
+    plain per-log counter, counted whether or not the metrics sink is
+    enabled (the benchmark reports fsyncs per committed transaction
+    from this). *)
+
 val truncate : t -> unit
 (** Discard the log contents (after a checkpoint). *)
 

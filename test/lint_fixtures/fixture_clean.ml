@@ -37,3 +37,6 @@ module Frame = struct
 end
 
 let good_epoch = function Frame.Ping { epoch; lsn } -> epoch + lsn
+
+(* Page contents are read in place through the pin, not copied out. *)
+let first_byte (page : bytes) = Bytes.get page 0

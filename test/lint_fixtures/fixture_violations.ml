@@ -36,3 +36,6 @@ end
 
 let bad_epoch = function
   | Frame.Ping { epoch = _; lsn } -> lsn
+
+(* no-page-copy: copying a pinned page buffer outside lib/storage. *)
+let copy_page (page : bytes) = Bytes.copy page

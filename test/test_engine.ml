@@ -182,6 +182,182 @@ let test_wal_before_after_ordering () =
     (fun p -> if Sys.file_exists p then Sys.remove p)
     [ path; path ^ ".sum"; path ^ ".wal" ]
 
+(* --- group commit --- *)
+
+(* A single-threaded committer through a group scheduler must behave
+   exactly like plain durable commit: every commit forms its own group
+   of one, and the data survives a cache drop. *)
+let test_group_commit_single () =
+  let path = temp_path "group1" in
+  let e =
+    Engine.open_ ~path ~pool_pages:8 ~durable_sync:true
+      ~group_commit:{ Group_commit.max_batch = 8; max_hold_ns = 0.0 }
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Engine.close e with _ -> ());
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".sum"; path ^ ".wal" ])
+    (fun () ->
+      let pool = Engine.pool e in
+      let syncs0 = Engine.wal_sync_count e in
+      Engine.begin_txn e;
+      let id = Buffer_pool.allocate pool in
+      Buffer_pool.with_page_w pool id (fun p -> Bytes.fill p 0 8 'g');
+      Engine.commit e;
+      Engine.begin_txn e;
+      Buffer_pool.with_page_w pool id (fun p -> Bytes.fill p 4 4 'h');
+      Engine.commit e;
+      check Alcotest.int "one fsync per solo commit" 2
+        (Engine.wal_sync_count e - syncs0);
+      (match Engine.group_commit_stats e with
+      | Some (groups, members) ->
+        check Alcotest.int "groups" 2 groups;
+        check Alcotest.int "members" 2 members
+      | None -> Alcotest.fail "group commit not enabled");
+      Engine.clear_caches e;
+      Buffer_pool.with_page pool id (fun p ->
+          check Alcotest.char "durable" 'g' (Bytes.get p 0)))
+
+(* Two transactions committed through tickets before either waits: the
+   first award covers both (one barrier, two members), and both survive
+   a power failure. *)
+let test_group_commit_batches_tickets () =
+  let env = Vfs.Faulty.create Vfs.Faulty.quiet in
+  let vfs = Vfs.Faulty.vfs env in
+  let path = "/t/group.db" in
+  let open_engine () =
+    Engine.open_ ~vfs ~path ~pool_pages:8 ~durable_sync:true
+      ~group_commit:{ Group_commit.max_batch = 8; max_hold_ns = 0.0 }
+      ()
+  in
+  let e = open_engine () in
+  let pool = Engine.pool e in
+  Engine.begin_txn e;
+  let a = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_w pool a (fun p -> Bytes.fill p 0 8 'a');
+  let tk1 = Engine.commit_ticket e in
+  Engine.begin_txn e;
+  let b = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_w pool b (fun p -> Bytes.fill p 0 8 'b');
+  let tk2 = Engine.commit_ticket e in
+  let syncs0 = Engine.wal_sync_count e in
+  Engine.await_durable e tk1;
+  Engine.await_durable e tk2;
+  check Alcotest.int "one shared fsync" 1 (Engine.wal_sync_count e - syncs0);
+  (match Engine.group_commit_stats e with
+  | Some (groups, members) ->
+    check Alcotest.int "one group" 1 groups;
+    check Alcotest.int "two members" 2 members
+  | None -> Alcotest.fail "group commit not enabled");
+  (* Both acked commits must survive losing power. *)
+  Vfs.Faulty.power_fail env;
+  let e2 = open_engine () in
+  let pool2 = Engine.pool e2 in
+  Buffer_pool.with_page pool2 a (fun p ->
+      check Alcotest.char "txn 1 durable" 'a' (Bytes.get p 0));
+  Buffer_pool.with_page pool2 b (fun p ->
+      check Alcotest.char "txn 2 durable" 'b' (Bytes.get p 0));
+  Engine.close e2
+
+(* Crash during the group fsync: the barrier fails, the waiter sees the
+   failure (so the commit is never acked) and the engine demotes itself.
+   After the power failure the store recovers to an atomic state: the
+   previously acked transaction is intact, and the unacked one is either
+   fully present or fully rolled back — never half-applied. *)
+let test_group_commit_crash_mid_barrier () =
+  let env = Vfs.Faulty.create Vfs.Faulty.quiet in
+  let vfs = Vfs.Faulty.vfs env in
+  let path = "/t/crash.db" in
+  let cfg = { Group_commit.max_batch = 8; max_hold_ns = 0.0 } in
+  let e =
+    Engine.open_ ~vfs ~path ~pool_pages:8 ~durable_sync:true ~group_commit:cfg
+      ()
+  in
+  let pool = Engine.pool e in
+  Engine.begin_txn e;
+  let a = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_w pool a (fun p -> Bytes.fill p 0 8 'a');
+  Engine.commit e;
+  (* Unacked transaction: ticket taken, barrier armed to crash. *)
+  Engine.begin_txn e;
+  Buffer_pool.with_page_w pool a (fun p -> Bytes.fill p 0 8 'x');
+  let tk = Engine.commit_ticket e in
+  Vfs.Faulty.arm_crash env ~after_syncs:1 ~power_loss:true ();
+  (match Engine.await_durable e tk with
+  | () -> Alcotest.fail "barrier should have crashed"
+  | exception _ -> ());
+  check Alcotest.bool "engine demoted" true (Engine.read_only e);
+  Vfs.Faulty.power_fail env;
+  (* Disarm the crash plan: the reopen below models the post-reboot run. *)
+  Vfs.Faulty.set_plan env Vfs.Faulty.quiet;
+  let e2 =
+    Engine.open_ ~vfs ~path ~pool_pages:8 ~durable_sync:true ~group_commit:cfg
+      ()
+  in
+  let c =
+    Buffer_pool.with_page (Engine.pool e2) a (fun p -> Bytes.get p 0)
+  in
+  if c <> 'a' && c <> 'x' then
+    Alcotest.failf "page neither old nor new state: %C" c;
+  (* Whatever recovery decided must match the page contents. *)
+  (match Engine.recovery e2 with
+  | Some r ->
+    let committed = List.mem 2 r.Recovery.committed in
+    check Alcotest.char "page matches recovery verdict"
+      (if committed then 'x' else 'a')
+      c
+  | None -> check Alcotest.char "no recovery: acked state only" 'a' c);
+  Engine.close e2
+
+(* The fsync-sharing seam end to end: concurrent committers on a real
+   file coalesce into fewer fsyncs than commits. *)
+let test_group_commit_multiuser_shares_fsyncs () =
+  let module D = Hyper_diskdb.Diskdb in
+  let path = temp_path "mu_group" in
+  let config =
+    { (D.default_config ~path) with
+      D.durable_sync = true;
+      pool_pages = 256;
+      group_commit = Some { Group_commit.max_batch = 8; max_hold_ns = 5e6 } }
+  in
+  let db = D.open_db config in
+  Fun.protect
+    ~finally:(fun () ->
+      (try D.close db with _ -> ());
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".sum"; path ^ ".wal" ])
+    (fun () ->
+      let module G = Hyper_core.Generator.Make (D) in
+      let layout, _ = G.generate db ~doc:1 ~leaf_level:3 ~seed:7L in
+      let engine = D.engine db in
+      let syncs0 = Engine.wal_sync_count engine in
+      let groups0 = Engine.group_commit_stats engine in
+      let commit () =
+        let tk = Engine.commit_ticket engine in
+        fun () -> Engine.await_durable engine tk
+      in
+      let module M = Hyper_core.Multiuser.Make (D) in
+      let r =
+        M.run ~commit db layout ~mode:Hyper_core.Multiuser.Two_phase_locking
+          ~users:8 ~txns_per_user:25 ~hot_fraction:0.0 ~seed:7L
+      in
+      let fsyncs = Engine.wal_sync_count engine - syncs0 in
+      let committed = r.Hyper_core.Multiuser.committed in
+      if committed < 100 then
+        Alcotest.failf "too few committed transactions: %d" committed;
+      if fsyncs >= committed then
+        Alcotest.failf "no fsync sharing: %d fsyncs for %d commits" fsyncs
+          committed;
+      match (Engine.group_commit_stats engine, groups0) with
+      | Some (g, m), Some (g0, m0) ->
+        check Alcotest.int "every commit got a ticket" committed (m - m0);
+        check Alcotest.int "one fsync per group" fsyncs (g - g0)
+      | _ -> Alcotest.fail "group commit not enabled")
+
 (* --- codec properties --- *)
 
 let link_gen =
@@ -290,6 +466,17 @@ let () =
             test_checkpoint_truncates_wal;
           Alcotest.test_case "wal entry ordering" `Quick
             test_wal_before_after_ordering;
+        ] );
+      ( "group_commit",
+        [
+          Alcotest.test_case "solo committer unchanged" `Quick
+            test_group_commit_single;
+          Alcotest.test_case "tickets share one fsync" `Quick
+            test_group_commit_batches_tickets;
+          Alcotest.test_case "crash mid-barrier" `Quick
+            test_group_commit_crash_mid_barrier;
+          Alcotest.test_case "multiuser shares fsyncs" `Quick
+            test_group_commit_multiuser_shares_fsyncs;
         ] );
       ( "codecs",
         [

@@ -43,6 +43,7 @@ let expected_violations =
     ("deterministic-iteration", 26);
     ("monotonic-time", 29);
     ("epoch-check", 38);
+    ("no-page-copy", 41);
   ]
 
 let test_violations () =

@@ -253,6 +253,32 @@ let test_quorum_loss_degraded () =
   | out ->
     Alcotest.failf "degraded read failed: %s" (Trace.outcome_to_string out)
 
+(* --- group commit composes with quorum acks --- *)
+
+(* The group durability barrier sits before the ship-and-ack commit
+   hook, so a quorum ack must still mean the transaction is applied on
+   a quorum of replicas — batching fsyncs must not weaken the ack. *)
+let test_group_commit_quorum_durable () =
+  let _env, vfs, db = build_primary () in
+  (match Hyper_storage.Engine.group_commit_stats (D.engine db) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "primary must run with group commit enabled");
+  let layout = layout_of () in
+  let cfg = { Cluster.default_config with Cluster.policy = Repl.Quorum } in
+  let cluster = cluster_of ~cfg ~vfs ~db 3 in
+  let acked = run_ops ~layout db (trace 60 509L) in
+  check Alcotest.bool "commits acked" true (acked > 0);
+  (* Deliberately no heartbeat: whatever the replicas hold now, they
+     held when the ack was returned. *)
+  let applied =
+    List.init 3 (fun i -> Replica.applied_commits (Cluster.replica cluster i))
+  in
+  let have = List.length (List.filter (fun a -> a >= acked) applied) in
+  check Alcotest.bool "a majority holds every acked commit" true (have >= 2);
+  let _idx, survivor = Cluster.promote cluster in
+  check Alcotest.bool "survivor has every acked commit" true
+    (Replica.applied_commits survivor >= acked)
+
 (* --- sync-one: the laggard is demoted to async, commits continue --- *)
 
 let test_sync_laggard_demoted () =
@@ -387,6 +413,11 @@ let () =
           Alcotest.test_case "replica crash mid-trace" `Slow
             test_failover_with_replica_crash;
           Alcotest.test_case "repro round-trip" `Quick test_repro_roundtrip;
+        ] );
+      ( "group-commit",
+        [
+          Alcotest.test_case "quorum ack implies replica-durable" `Quick
+            test_group_commit_quorum_durable;
         ] );
       ( "degradation",
         [

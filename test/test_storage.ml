@@ -173,6 +173,49 @@ let test_pool_first_dirty_hook () =
       let _, snd_byte = List.hd !captured in
       check Alcotest.char "second before image sees b" 'b' snd_byte)
 
+(* A clean frame over a Memory pager is a zero-copy view of the store
+   page; the first write must copy-on-write so the store stays isolated
+   until flush. *)
+let test_pool_cow_memory_isolation () =
+  let pager = Pager.in_memory () in
+  let pool = Buffer_pool.create pager ~capacity:4 in
+  let id = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_w pool id (fun p -> Bytes.fill p 0 8 'a');
+  Buffer_pool.flush_all pool;
+  Buffer_pool.drop_all pool;
+  Buffer_pool.with_page pool id (fun p ->
+      check Alcotest.char "view sees store" 'a' (Bytes.get p 0));
+  Buffer_pool.with_page_w pool id (fun p -> Bytes.fill p 0 8 'b');
+  check Alcotest.char "store isolated from dirty frame" 'a'
+    (Bytes.get (Pager.read pager id) 0);
+  Buffer_pool.flush_all pool;
+  check Alcotest.char "store updated on flush" 'b'
+    (Bytes.get (Pager.read pager id) 0);
+  Pager.close pager
+
+(* Pin-safety with borrowed (un-owned) frames: churning every page
+   through a 4-frame pool while one view is pinned must neither evict
+   the pinned frame nor corrupt its contents. *)
+let test_pool_view_pin_safety () =
+  let pager = Pager.in_memory () in
+  let pool = Buffer_pool.create pager ~capacity:4 in
+  let ids = List.init 12 (fun _ -> Buffer_pool.allocate pool) in
+  List.iteri
+    (fun i id -> Buffer_pool.with_page_w pool id (fun p -> Page.set_u16 p 0 i))
+    ids;
+  Buffer_pool.flush_all pool;
+  Buffer_pool.drop_all pool;
+  Buffer_pool.with_page pool (List.hd ids) (fun p ->
+      List.iteri
+        (fun i id ->
+          if i > 0 then
+            Buffer_pool.with_page pool id (fun q ->
+                check Alcotest.int (Printf.sprintf "page %d" i) i
+                  (Page.get_u16 q 0)))
+        ids;
+      check Alcotest.int "pinned view intact" 0 (Page.get_u16 p 0));
+  Pager.close pager
+
 (* --- Slotted pages --- *)
 
 let test_slotted_insert_read () =
@@ -361,6 +404,45 @@ let test_heap_clustering_hint () =
       let near = Heap.insert ~near:anchor heap (Bytes.make 40 'c') in
       check Alcotest.int "same page as anchor" (Heap.rid_page anchor)
         (Heap.rid_page near))
+
+(* [read_with] hands inline records out as a window into the pinned
+   page (no intermediate copy); overflow records are assembled and
+   presented at offset zero. *)
+let test_heap_read_with_views () =
+  with_heap (fun _pool heap ->
+      let small = Bytes.of_string "zero-copy-inline-record" in
+      let rid = Heap.insert heap small in
+      let got =
+        Heap.read_with heap rid (fun b ~off ~len -> Bytes.sub b off len)
+      in
+      check Alcotest.bytes "inline via view" small got;
+      Heap.read_with heap rid (fun b ~off ~len ->
+          check Alcotest.bool "in-place window, not a fresh buffer" true
+            (off > 0 || Bytes.length b > len));
+      let big = Bytes.init 20_000 (fun i -> Char.chr (i mod 251)) in
+      let rid2 = Heap.insert heap big in
+      Heap.read_with heap rid2 (fun b ~off ~len ->
+          check Alcotest.int "overflow at offset zero" 0 off;
+          check Alcotest.int "overflow length" 20_000 len;
+          check Alcotest.bytes "overflow assembled" big (Bytes.sub b off len)))
+
+(* The [legacy_copies] tuning knob must change allocation behaviour
+   only, never results. *)
+let test_heap_legacy_copies_equivalence () =
+  with_heap (fun _pool heap ->
+      let small = Bytes.of_string "legacy-vs-zero-copy" in
+      let big = Bytes.init 9_000 (fun i -> Char.chr (i * 3 mod 256)) in
+      let r1 = Heap.insert heap small in
+      let r2 = Heap.insert heap big in
+      let read_all () = (Heap.read heap r1, Heap.read heap r2) in
+      let fast = read_all () in
+      Fun.protect
+        ~finally:(fun () -> Storage_tuning.legacy_copies := false)
+        (fun () ->
+          Storage_tuning.legacy_copies := true;
+          let legacy = read_all () in
+          check Alcotest.bytes "small record equal" (fst fast) (fst legacy);
+          check Alcotest.bytes "big record equal" (snd fast) (snd legacy)))
 
 let test_heap_iter_order_and_attach () =
   with_file_pager "heap2" (fun pager _ ->
@@ -601,6 +683,9 @@ let () =
           Alcotest.test_case "pin protects" `Quick test_pool_pin_protects;
           Alcotest.test_case "discard dirty (abort)" `Quick test_pool_discard_dirty;
           Alcotest.test_case "first-dirty hook" `Quick test_pool_first_dirty_hook;
+          Alcotest.test_case "copy-on-write isolation" `Quick
+            test_pool_cow_memory_isolation;
+          Alcotest.test_case "view pin safety" `Quick test_pool_view_pin_safety;
         ] );
       ( "slotted",
         [
@@ -621,6 +706,9 @@ let () =
             test_heap_overflow_pages_recycled;
           Alcotest.test_case "clustering hint" `Quick test_heap_clustering_hint;
           Alcotest.test_case "iter and attach" `Quick test_heap_iter_order_and_attach;
+          Alcotest.test_case "read_with views" `Quick test_heap_read_with_views;
+          Alcotest.test_case "legacy copies equivalence" `Quick
+            test_heap_legacy_copies_equivalence;
         ] );
       ( "freelist",
         [ Alcotest.test_case "lifo push/pop" `Quick test_freelist_lifo ] );
