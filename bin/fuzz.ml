@@ -118,6 +118,62 @@ let run_replay path subjects =
   if !failures > 0 then exit 1
 
 (* --------------------------------------------------------------- *)
+(* net mode: the same differential traces, but the subject sits behind
+   the real socket stack (wire codec + server sessions + client), and
+   crash interleavings kill the server mid-request: the acked prefix
+   must survive recovery and be visible through a fresh wire client. *)
+
+let run_net seed traces steps level budget_s npoints dir =
+  let module NC = Hyper_check.Netcheck in
+  let gen_seed = 42L in
+  let now_s () = Int64.to_float (Hyper_util.Mtime_stub.now_ns ()) /. 1e9 in
+  let deadline = if budget_s > 0.0 then Some (now_s () +. budget_s) else None in
+  let expired () =
+    match deadline with Some t -> now_s () > t | None -> false
+  in
+  let failures = ref 0 in
+  let ran = ref 0 in
+  (try
+     for i = 0 to traces - 1 do
+       if expired () then raise Exit;
+       let seed = Int64.add seed (Int64.of_int i) in
+       let ops = Hyper_check.Gen.trace ~seed ~gen_seed ~level ~steps in
+       incr ran;
+       (match NC.check ~gen_seed ~level ops with
+       | None -> ()
+       | Some d ->
+           incr failures;
+           let path = repro_path ~dir ~seed in
+           Check.save_repro ~path ~gen_seed ~level ops;
+           say "WIRE DIVERGENCE (seed %Ld, %d ops):" seed (List.length ops);
+           Format.printf "%a@." Check.pp_divergence d;
+           say "replay: hyperfuzz replay %s" path);
+       if (not (expired ())) && npoints > 0 then begin
+         let writes = Check.crash_writes ~gen_seed ~level ops in
+         List.iter
+           (fun k ->
+             match NC.crash_check ~gen_seed ~level ~crash_after:k ops with
+             | Check.Crash_clean _ -> ()
+             | Check.Crash_diverged { crash_step; acked; in_flight; divergence }
+               ->
+                 incr failures;
+                 say
+                   "WIRE CRASH DIVERGENCE (seed %Ld, crash after %d writes, \
+                    step %d, %d acked commits%s):"
+                   seed k crash_step acked
+                   (if in_flight then ", commit in flight" else "");
+                 Format.printf "%a@." Check.pp_divergence divergence)
+           (crash_points ~writes npoints)
+       end
+     done
+   with Exit -> ());
+  say
+    "net: %d trace(s), %d divergence(s) [seed base %Ld, level %d, steps %d, \
+     %d crash point(s)/trace]"
+    !ran !failures seed level steps npoints;
+  if !failures > 0 then exit 1
+
+(* --------------------------------------------------------------- *)
 (* failover mode: replicated primary, crash/partition/promote, diff
    the survivor against the oracle replay of its committed prefix. *)
 
@@ -237,6 +293,15 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay a saved repro trace against the subjects")
     Term.(const run_replay $ trace_arg $ subjects_arg)
 
+let net_cmd =
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Fuzz the socket stack: differential traces through a wire \
+          client + server, plus server-crash acked-prefix recovery checks")
+    Term.(const run_net $ seed_arg $ traces_arg $ steps_arg $ level_arg
+          $ budget_arg $ crash_points_arg $ dir_arg)
+
 let cases_arg =
   Arg.(value & opt int 10_000 & info [ "cases" ] ~docv:"N"
          ~doc:"Maximum number of failover cases (the budget usually stops \
@@ -267,4 +332,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "hyperfuzz" ~doc)
-          [ run_cmd; replay_cmd; failover_cmd ]))
+          [ run_cmd; replay_cmd; net_cmd; failover_cmd ]))

@@ -259,14 +259,103 @@ let write_file file s =
   output_string oc s;
   close_out oc
 
+(* Wire serving: `--serve ADDR` generates the database into the chosen
+   backend and serves it over the socket protocol; `--connect ADDR`
+   runs the op suite through a {!Hyper_net.Client_backend}, so
+   [Protocol.Make] measures wire round-trips without knowing it left
+   the process.  Both together make a single-process smoke test:
+   in-process server, real socket in between. *)
+let run_net ~backend ~level ~path ~seed ~pool_pages ~remote ~cluster ~reps
+    ~ops ~fanout ~serve ~connect ~json =
+  let module Net = Hyper_net in
+  let run_client addr_s =
+    let addr = Net.Netaddr.of_string addr_s in
+    let layout = layout_of ~fanout level in
+    let module CB = Net.Client_backend in
+    let cb = CB.make (Net.Client.connect addr) in
+    Fun.protect
+      ~finally:(fun () -> Net.Client.close (CB.conn cb))
+      (fun () ->
+        let module P = Protocol.Make (CB) in
+        let config = { Protocol.default_config with reps } in
+        let ids = if ops = [] then Protocol.op_ids else ops in
+        let ms = List.map (P.run_op ~config cb layout) ids in
+        (match json with
+        | None -> ()
+        | Some file ->
+          let module J = Hyper_util.Sjson in
+          write_file file
+            (J.to_string
+               (J.Obj
+                  [ ( "meta",
+                      J.Obj
+                        [ ("backend", J.Str "wire");
+                          ("address", J.Str addr_s);
+                          ("level", J.Num (float_of_int level));
+                          ("reps", J.Num (float_of_int reps)) ] );
+                    ("operations", measurements_json ms) ]));
+          Printf.printf "json -> %s\n" file);
+        print_string
+          (Report.operation_table
+             ~title:
+               (Printf.sprintf
+                  "HyperModel operations (wire %s, level %d, %d reps, ms/node)"
+                  addr_s level reps)
+             ~levels:[ level ] [ (level, ms) ]);
+        Printf.printf "io: %s\n" (CB.io_description cb))
+  in
+  match (serve, connect) with
+  | None, Some addr_s -> run_client addr_s
+  | None, None -> assert false
+  | Some addr_s, _ ->
+    if backend <> Mem then remove_store path;
+    with_backend backend ~path ~pool_pages ~remote
+      { act =
+          (fun (type a) (module B : Backend.S with type t = a) (b : a) ->
+            let layout, _ =
+              generate_into (module B) b ~level ~seed ~cluster ~fanout
+            in
+            let addr = Net.Netaddr.of_string addr_s in
+            let instance =
+              Backend.Instance ((module B : Backend.S with type t = a), b)
+            in
+            let srv = Net.Server.start ~layout instance addr in
+            Printf.printf "serving %s level %d at %s\n%!" B.name level addr_s;
+            (match connect with
+            | Some caddr_s ->
+              (* single-process smoke: client over a real socket *)
+              run_client caddr_s
+            | None ->
+              (* serve until interrupted, then drain *)
+              let stop = ref false in
+              let arm s =
+                match Sys.signal s (Sys.Signal_handle (fun _ -> stop := true))
+                with
+                | _ -> ()
+                | exception Invalid_argument _ -> ()
+                | exception Sys_error _ -> ()
+              in
+              arm Sys.sigint;
+              arm Sys.sigterm;
+              while not !stop do
+                Thread.delay 0.2
+              done;
+              Printf.printf "draining...\n%!");
+            Net.Server.drain ~grace_s:5.0 srv) }
+
 let cmd_run =
   let run backend level path seed pool_pages remote cluster reps ops fanout
-      trace metrics replicas durability json =
+      trace metrics replicas durability json serve connect =
     let module Obs = Hyper_obs.Obs in
     if metrics <> None then Obs.enable ();
     if replicas > 0 && backend <> Disk then
       failwith "--replicas requires -b diskdb";
-    if replicas > 0 then
+    if (serve <> None || connect <> None) && replicas > 0 then
+      failwith "--serve/--connect and --replicas are exclusive";
+    if serve <> None || connect <> None then
+      run_net ~backend ~level ~path ~seed ~pool_pages ~remote ~cluster ~reps
+        ~ops ~fanout ~serve ~connect ~json
+    else if replicas > 0 then
       run_replicated ~level ~seed ~pool_pages ~cluster ~reps ~ops ~fanout
         ~replicas ~durability
     else begin
@@ -356,13 +445,26 @@ let cmd_run =
            ~doc:"Also write the per-operation measurements as JSON to \
                  $(docv) (non-replicated runs).")
   in
+  let serve_arg =
+    Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"ADDR"
+           ~doc:"Generate the database and serve it over the wire protocol \
+                 at $(docv) (unix:/path or host:port) until interrupted, \
+                 instead of timing ops locally.")
+  in
+  let connect_arg =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Run the ops through a socket client against the server at \
+                 $(docv).  Combined with --serve, starts an in-process \
+                 server and runs the client against it over a real socket.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Generate a database and run benchmark operations (paper §6).")
     Term.(
       const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
       $ remote_arg $ cluster_arg $ reps_arg $ ops_arg $ fanout_arg
-      $ trace_arg $ metrics_arg $ replicas_arg $ durability_arg $ json_arg)
+      $ trace_arg $ metrics_arg $ replicas_arg $ durability_arg $ json_arg
+      $ serve_arg $ connect_arg)
 
 (* --- query --- *)
 
@@ -655,9 +757,27 @@ let cmd_bench =
 
 (* --- diff --- *)
 
-(* Lower-is-better metrics compared between two bench files. *)
-let diff_op_metrics =
-  [ "cold_ms_per_node"; "warm_ms_per_node"; "alloc_words_per_node" ]
+(* The diff is generic over metrics: every numeric field shared by a
+   matched pair of objects is compared.  Polarity comes from the field
+   name — throughput-style metrics regress when they drop, everything
+   else (latencies, per-node costs, error counts) when it rises.
+   Identity, configuration and raw-count fields are not metrics. *)
+let diff_skip_fields =
+  [ "op"; "clients"; "requests"; "wall_s"; "schema"; "level"; "reps";
+    "seed"; "users"; "txns_per_user"; "fanout"; "write_fraction";
+    "think_ms"; "committed"; "aborted"; "groups"; "group_members";
+    "mean_group_size"; "wal_fsyncs" ]
+
+let diff_higher_is_better name =
+  let prefixed p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  let suffixed s =
+    let ln = String.length name and ls = String.length s in
+    ln >= ls && String.sub name (ln - ls) ls = s
+  in
+  prefixed "throughput" || suffixed "_rps" || suffixed "_tps"
 
 let cmd_diff =
   let run file_a file_b threshold warn_only =
@@ -671,51 +791,78 @@ let cmd_diff =
       with J.Parse_error msg -> failwith (Printf.sprintf "%s: %s" f msg)
     in
     let a = load file_a and b = load file_b in
-    let num path v =
-      match Option.bind v (J.member path) |> Option.map J.to_num with
-      | Some (Some f) -> Some f
-      | _ -> None
-    in
     let regressions = ref 0 in
-    let compare_metric ~what old_v new_v =
+    let compare_metric ~what ~higher_better old_v new_v =
       match (old_v, new_v) with
       | Some o, Some n ->
         let delta = if o = 0.0 then 0.0 else (n -. o) /. o *. 100.0 in
-        let regressed = o > 0.0 && n > o *. (1.0 +. threshold) in
+        let regressed =
+          o > 0.0
+          && (if higher_better then n < o *. (1.0 -. threshold)
+              else n > o *. (1.0 +. threshold))
+        in
         if regressed then incr regressions;
-        Printf.printf "%-40s %12.4f -> %12.4f  %+7.1f%%%s\n" what o n delta
+        Printf.printf "%-44s %12.4f -> %12.4f  %+7.1f%%%s\n" what o n delta
           (if regressed then "  REGRESSION" else "")
-      | _ -> Printf.printf "%-40s (missing; skipped)\n" what
+      | _ -> Printf.printf "%-44s (missing; skipped)\n" what
     in
-    (* Per-operation metrics, matched by op name. *)
-    let ops_of doc =
-      match Option.bind (J.member "operations" doc) J.to_list with
-      | Some l -> l
-      | None -> []
+    (* Numeric fields of a matched pair that count as metrics. *)
+    let metric_fields obj =
+      match obj with
+      | J.Obj fields ->
+        List.filter_map
+          (fun (k, v) ->
+            match J.to_num v with
+            | Some f when not (List.mem k diff_skip_fields) -> Some (k, f)
+            | _ -> None)
+          fields
+      | _ -> []
     in
-    let find_op name doc =
-      List.find_opt
-        (fun o -> J.member "op" o |> Option.map J.to_str = Some (Some name))
-        (ops_of doc)
+    let compare_objects ~label obj_a obj_b =
+      match obj_b with
+      | None -> Printf.printf "%-44s (missing in NEW; skipped)\n" label
+      | Some obj_b ->
+        List.iter
+          (fun (k, o) ->
+            compare_metric
+              ~what:(Printf.sprintf "%s %s" label k)
+              ~higher_better:(diff_higher_is_better k)
+              (Some o)
+              (Option.bind (J.member k obj_b) J.to_num))
+          (metric_fields obj_a)
     in
-    List.iter
-      (fun op_a ->
-        match J.member "op" op_a |> Option.map J.to_str with
-        | Some (Some name) ->
-          let op_b = find_op name b in
-          List.iter
-            (fun metric ->
-              compare_metric
-                ~what:(Printf.sprintf "%s %s" name metric)
-                (num metric (Some op_a))
-                (num metric op_b))
-            diff_op_metrics
-        | _ -> ())
-      (ops_of a);
-    (* Multiuser durability cost. *)
-    compare_metric ~what:"multiuser fsyncs_per_commit"
-      (num "fsyncs_per_commit" (J.member "multiuser" a))
-      (num "fsyncs_per_commit" (J.member "multiuser" b));
+    (* A section is a list of objects matched by an identity field.
+       Both `hyperbench bench` ("operations" keyed by "op") and
+       hyperload ("points" keyed by "clients") fit the shape. *)
+    let section ~name ~key =
+      let rows doc =
+        match Option.bind (J.member name doc) J.to_list with
+        | Some l -> l
+        | None -> []
+      in
+      let ident row =
+        match J.member key row with
+        | Some (J.Str s) -> Some s
+        | Some (J.Num f) -> Some (Printf.sprintf "%g" f)
+        | _ -> None
+      in
+      let find id = List.find_opt (fun r -> ident r = Some id) (rows b) in
+      List.iter
+        (fun row_a ->
+          match ident row_a with
+          | Some id ->
+            compare_objects
+              ~label:(Printf.sprintf "%s %s" name id)
+              row_a (find id)
+          | None -> ())
+        (rows a)
+    in
+    section ~name:"operations" ~key:"op";
+    section ~name:"points" ~key:"clients";
+    (match J.member "multiuser" a with
+    | Some mu_a ->
+      compare_objects ~label:"multiuser" mu_a (J.member "multiuser" b)
+    | None -> ());
     if !regressions > 0 then begin
       Printf.printf "%d metric(s) regressed more than %.0f%%\n" !regressions
         (threshold *. 100.0);
@@ -740,8 +887,10 @@ let cmd_diff =
   Cmd.v
     (Cmd.info "diff"
        ~doc:
-         "Compare two $(b,hyperbench bench) JSON files; exit non-zero when \
-          any per-op metric regresses past the threshold.")
+         "Compare two benchmark JSON files ($(b,hyperbench bench) or \
+          $(b,hyperload)); every shared numeric metric is compared, \
+          throughput-style fields as higher-is-better.  Exit non-zero when \
+          any metric regresses past the threshold.")
     Term.(const run $ file_a $ file_b $ threshold_arg $ warn_arg)
 
 (* --- gc --- *)

@@ -59,18 +59,27 @@ type op =
   | Closure_1n_pred of { start : Oid.t; x : int }
   | Closure_link_sum of { start : Oid.t; depth : int }
   | Verify_checks
+  (* primitives added for the wire protocol: a remote Backend.S
+     (Hyper_net.Client_backend) needs every backend capability to be
+     expressible as one reified op *)
+  | Doc_oids of int
+  | Store_results of Oid.t list
+  | Form_get of Oid.t
+  | Form_set of { oid : Oid.t; width : int; height : int; data : string }
 
 let is_mutation = function
   | Create _ | Add_child _ | Add_children _ | Add_part _ | Add_parts _
   | Add_ref _ | Remove_child _ | Remove_part _ | Remove_ref _ | Delete _
   | Set_hundred _ | Set_text _ | Set_dyn _ | Text_edit _ | Form_edit _
-  | Closure_1n _ | Closure_mn _ | Closure_mnatt _ | Closure_1n_att_set _ ->
+  | Closure_1n _ | Closure_mn _ | Closure_mnatt _ | Closure_1n_att_set _
+  | Store_results _ | Form_set _ ->
     true
   | Begin | Commit | Abort | Clear_caches | Lookup_unique _ | Range_unique _
   | Range_hundred _ | Range_million _ | Attrs _ | Dyn_attr _ | Children _
   | Parent _ | Parts _ | Part_of _ | Refs_to _ | Refs_from _ | Text _
   | Form_digest _ | Scan _ | Node_count _ | Closure_1n_att_sum _
-  | Closure_1n_pred _ | Closure_link_sum _ | Verify_checks ->
+  | Closure_1n_pred _ | Closure_link_sum _ | Verify_checks | Doc_oids _
+  | Form_get _ ->
     false
 
 type value =
@@ -83,6 +92,7 @@ type value =
   | V_pairs of (Oid.t * int) list
   | V_string of string
   | V_checks of (string * bool) list
+  | V_form of int * int * string  (* width, height, packed payload *)
 
 type outcome = Done of value | Raised of string
 
@@ -111,6 +121,9 @@ let value_to_string = function
     else Printf.sprintf "%S..(%d bytes)" (String.sub s 0 32) (String.length s)
   | V_checks l ->
     elide (fun (name, ok) -> Printf.sprintf "%s=%b" name ok) l
+  | V_form (w, h, data) ->
+    Printf.sprintf "form %dx%d (%d bytes, hash %d)" w h (String.length data)
+      (Hashtbl.hash data)
 
 let outcome_to_string = function
   | Done v -> value_to_string v
@@ -253,7 +266,27 @@ let apply ?(reraise = fun _ -> false) ~layout
         V_checks
           (List.map
              (fun c -> (c.Verify.name, c.Verify.ok))
-             (V.run ~reraise b layout)))
+             (V.run ~reraise b layout))
+      | Doc_oids doc ->
+        (* Visit order is an access-path artefact (cf. Scan); expose the
+           membership, sorted. *)
+        let acc = ref [] in
+        B.iter_doc b ~doc (fun oid -> acc := oid :: !acc);
+        V_oids (List.sort Oid.compare !acc)
+      | Store_results oids ->
+        B.store_result_list b oids;
+        V_unit
+      | Form_get oid ->
+        let f = B.form b oid in
+        V_form
+          (Bitmap.width f, Bitmap.height f,
+           Bytes.to_string (Bitmap.to_bytes f))
+      | Form_set { oid; width; height; data } ->
+        let f = Bitmap.of_bytes (Bytes.of_string data) in
+        if Bitmap.width f <> width || Bitmap.height f <> height then
+          invalid_arg "Trace: form-set dimensions disagree with payload";
+        B.set_form b oid f;
+        V_unit)
   with
   | e when reraise e -> raise e
   | Invalid_argument _ -> Raised "Invalid_argument"
@@ -334,6 +367,13 @@ let op_to_string = function
   | Closure_link_sum { start; depth } ->
     Printf.sprintf "closure-link-sum %d %d" start depth
   | Verify_checks -> "verify"
+  | Doc_oids doc -> Printf.sprintf "doc-oids %d" doc
+  | Store_results oids ->
+    Printf.sprintf "store-results %s"
+      (String.concat " " (List.map string_of_int oids))
+  | Form_get oid -> Printf.sprintf "form-get %d" oid
+  | Form_set { oid; width; height; data } ->
+    Printf.sprintf "form-set %d %d %d %S" oid width height data
 
 let bad line = failwith (Printf.sprintf "Trace.op_of_string: %S" line)
 
@@ -435,4 +475,11 @@ let op_of_string line =
   | [ "closure-link-sum"; s; d ] ->
     Closure_link_sum { start = int s; depth = int d }
   | [ "verify" ] -> Verify_checks
+  | [ "doc-oids"; doc ] -> Doc_oids (int doc)
+  | "store-results" :: oids -> Store_results (List.map int oids)
+  | [ "form-get"; oid ] -> Form_get (int oid)
+  | "form-set" :: oid :: width :: height :: _ ->
+    Form_set
+      { oid = int oid; width = int width; height = int height;
+        data = parse_quoted line (rest_after line 4) }
   | _ -> bad line

@@ -86,6 +86,13 @@ type op =
   | Closure_link_sum of { start : Oid.t; depth : int }
   (* structural verification (compared as (check name, pass) pairs) *)
   | Verify_checks
+  (* wire-protocol primitives: every {!Backend.S} capability a remote
+     client needs, reified (see {!Hyper_net.Client_backend}) *)
+  | Doc_oids of int  (** doc: sorted membership of one structure *)
+  | Store_results of Oid.t list  (** persist a closure result list *)
+  | Form_get of Oid.t  (** full bitmap: width, height, packed bytes *)
+  | Form_set of { oid : Oid.t; width : int; height : int; data : string }
+      (** replace a form's bitmap; [data] is {!Hyper_util.Bitmap.to_bytes} *)
 
 val is_mutation : op -> bool
 (** Whether the op may change database state (and therefore must run
@@ -103,6 +110,8 @@ type value =
   | V_pairs of (Oid.t * int) list
   | V_string of string
   | V_checks of (string * bool) list
+  | V_form of int * int * string
+      (** width, height, packed payload ({!Hyper_util.Bitmap.to_bytes}) *)
 
 type outcome =
   | Done of value

@@ -1,0 +1,274 @@
+open Hyper_core
+module Bitmap = Hyper_util.Bitmap
+
+type t = {
+  c : Client.t;
+  mutable requests : int;
+  mutable remote_ops : int;
+}
+
+let make c = { c; requests = 0; remote_ops = 0 }
+let conn t = t.c
+
+let name = "remote"
+
+let description =
+  "socket client: every backend call is a wire round-trip to a server"
+
+let reraise = function
+  | "Invalid_argument" -> invalid_arg "remote: server raised Invalid_argument"
+  | "Not_found" -> raise Not_found
+  | cls -> failwith ("remote: server raised " ^ cls)
+
+let batch t ops =
+  t.requests <- t.requests + 1;
+  t.remote_ops <- t.remote_ops + List.length ops;
+  let outcomes = Client.call t.c ops in
+  List.iter
+    (function Trace.Raised cls -> reraise cls | Trace.Done _ -> ())
+    outcomes;
+  outcomes
+
+let value t op =
+  match batch t [ op ] with
+  | [ Trace.Done v ] -> v
+  | _ -> failwith "remote: expected exactly one outcome"
+
+let unit_ t op =
+  match value t op with
+  | Trace.V_unit -> ()
+  | _ -> failwith "remote: expected unit outcome"
+
+let int_ t op =
+  match value t op with
+  | Trace.V_int n -> n
+  | _ -> failwith "remote: expected int outcome"
+
+let int_opt t op =
+  match value t op with
+  | Trace.V_int_opt v -> v
+  | _ -> failwith "remote: expected optional-int outcome"
+
+let oids t op =
+  match value t op with
+  | Trace.V_oids l -> l
+  | _ -> failwith "remote: expected oid-list outcome"
+
+let links t op =
+  match value t op with
+  | Trace.V_links l ->
+    Array.of_list
+      (List.map
+         (fun (target, offset_from, offset_to) ->
+           { Schema.target; offset_from; offset_to })
+         l)
+  | _ -> failwith "remote: expected link-list outcome"
+
+(* {2 Transactions and cache control} *)
+
+let begin_txn t = unit_ t Trace.Begin
+let commit t = unit_ t Trace.Commit
+let abort t = unit_ t Trace.Abort
+let clear_caches t = unit_ t Trace.Clear_caches
+
+(* {2 Creation and structure} *)
+
+let create_node ?near t (spec : Schema.node_spec) =
+  let payload, form_fix =
+    match spec.payload with
+    | Schema.P_internal -> (Trace.P_internal, None)
+    | Schema.P_text s -> (Trace.P_text s, None)
+    | Schema.P_draw -> (Trace.P_draw, None)
+    | Schema.P_form f ->
+      let w = Bitmap.width f and h = Bitmap.height f in
+      (* The reified create always makes a white form; a drawn bitmap
+         rides along as a second op in the same batch. *)
+      ( Trace.P_form (w, h),
+        if Bitmap.count_set f = 0 then None
+        else
+          Some
+            (Trace.Form_set
+               {
+                 oid = spec.oid;
+                 width = w;
+                 height = h;
+                 data = Bytes.to_string (Bitmap.to_bytes f);
+               }) )
+  in
+  let create =
+    Trace.Create
+      {
+        oid = spec.oid;
+        doc = spec.doc;
+        uid = spec.unique_id;
+        ten = spec.ten;
+        hundred = spec.hundred;
+        million = spec.million;
+        near;
+        payload;
+      }
+  in
+  ignore (batch t (create :: Option.to_list form_fix))
+
+let add_child t ~parent ~child = unit_ t (Trace.Add_child { parent; child })
+
+let add_children t ~parent children =
+  unit_ t (Trace.Add_children { parent; children = Array.to_list children })
+
+let add_part t ~whole ~part = unit_ t (Trace.Add_part { whole; part })
+
+let add_parts t ~whole parts =
+  unit_ t (Trace.Add_parts { whole; parts = Array.to_list parts })
+
+let add_ref t ~src ~dst ~offset_from ~offset_to =
+  unit_ t (Trace.Add_ref { src; dst; offset_from; offset_to })
+
+let remove_child t ~parent ~child =
+  unit_ t (Trace.Remove_child { parent; child })
+
+let remove_part t ~whole ~part = unit_ t (Trace.Remove_part { whole; part })
+let remove_ref t ~src ~dst = unit_ t (Trace.Remove_ref { src; dst })
+let delete_node t oid = unit_ t (Trace.Delete oid)
+
+(* {2 Attributes} *)
+
+let attrs t oid =
+  match value t (Trace.Attrs oid) with
+  | Trace.V_ints [ k; u; ten; hundred; million ] -> (k, u, ten, hundred, million)
+  | _ -> failwith "remote: malformed attrs outcome"
+
+let kind t oid =
+  match attrs t oid with
+  | 0, _, _, _, _ -> Schema.Internal
+  | 1, _, _, _, _ -> Schema.Text
+  | 2, _, _, _, _ -> Schema.Form
+  | 3, _, _, _, _ -> Schema.Draw
+  | k, _, _, _, _ -> failwith (Printf.sprintf "remote: unknown kind code %d" k)
+
+let unique_id t oid =
+  let _, u, _, _, _ = attrs t oid in
+  u
+
+let ten t oid =
+  let _, _, v, _, _ = attrs t oid in
+  v
+
+let hundred t oid =
+  let _, _, _, v, _ = attrs t oid in
+  v
+
+let million t oid =
+  let _, _, _, _, v = attrs t oid in
+  v
+
+let set_hundred t oid value = unit_ t (Trace.Set_hundred { oid; value })
+let set_dyn_attr t oid key value = unit_ t (Trace.Set_dyn { oid; key; value })
+let dyn_attr t oid key = int_opt t (Trace.Dyn_attr { oid; key })
+
+(* {2 Associative lookup} *)
+
+let lookup_unique t ~doc uid = int_opt t (Trace.Lookup_unique { doc; uid })
+let range_unique t ~doc ~lo ~hi = oids t (Trace.Range_unique { doc; lo; hi })
+let range_hundred t ~doc ~lo ~hi = oids t (Trace.Range_hundred { doc; lo; hi })
+let range_million t ~doc ~lo ~hi = oids t (Trace.Range_million { doc; lo; hi })
+
+(* {2 Traversal} *)
+
+let prefetch_nodes _t _oids = ()
+let children t oid = Array.of_list (oids t (Trace.Children oid))
+let parent t oid = int_opt t (Trace.Parent oid)
+let parts t oid = Array.of_list (oids t (Trace.Parts oid))
+let part_of t oid = Array.of_list (oids t (Trace.Part_of oid))
+let refs_to t oid = links t (Trace.Refs_to oid)
+let refs_from t oid = links t (Trace.Refs_from oid)
+
+(* {2 Content} *)
+
+let text t oid =
+  match value t (Trace.Text oid) with
+  | Trace.V_string s -> s
+  | _ -> failwith "remote: expected string outcome"
+
+let set_text t oid value = unit_ t (Trace.Set_text { oid; value })
+
+let form t oid =
+  match value t (Trace.Form_get oid) with
+  | Trace.V_form (_, _, data) -> Bitmap.of_bytes (Bytes.of_string data)
+  | _ -> failwith "remote: expected form outcome"
+
+let set_form t oid f =
+  unit_ t
+    (Trace.Form_set
+       {
+         oid;
+         width = Bitmap.width f;
+         height = Bitmap.height f;
+         data = Bytes.to_string (Bitmap.to_bytes f);
+       })
+
+(* {2 Scans and result storage} *)
+
+let iter_doc t ~doc f = List.iter f (oids t (Trace.Doc_oids doc))
+let node_count t ~doc = int_ t (Trace.Node_count doc)
+let store_result_list t l = unit_ t (Trace.Store_results l)
+
+(* {2 Introspection} *)
+
+let io_description t =
+  Printf.sprintf "wire: %d requests, %d remote ops" t.requests t.remote_ops
+
+let reset_io t =
+  t.requests <- 0;
+  t.remote_ops <- 0
+
+let instance t =
+  Backend.Instance
+    ( (module struct
+        type nonrec t = t
+
+        let name = name
+        let description = description
+        let begin_txn = begin_txn
+        let commit = commit
+        let abort = abort
+        let clear_caches = clear_caches
+        let create_node = create_node
+        let add_child = add_child
+        let add_part = add_part
+        let add_children = add_children
+        let add_parts = add_parts
+        let add_ref = add_ref
+        let remove_child = remove_child
+        let remove_part = remove_part
+        let remove_ref = remove_ref
+        let delete_node = delete_node
+        let kind = kind
+        let unique_id = unique_id
+        let ten = ten
+        let hundred = hundred
+        let million = million
+        let set_hundred = set_hundred
+        let set_dyn_attr = set_dyn_attr
+        let dyn_attr = dyn_attr
+        let lookup_unique = lookup_unique
+        let range_unique = range_unique
+        let range_hundred = range_hundred
+        let range_million = range_million
+        let prefetch_nodes = prefetch_nodes
+        let children = children
+        let parent = parent
+        let parts = parts
+        let part_of = part_of
+        let refs_to = refs_to
+        let refs_from = refs_from
+        let text = text
+        let set_text = set_text
+        let form = form
+        let set_form = set_form
+        let iter_doc = iter_doc
+        let node_count = node_count
+        let store_result_list = store_result_list
+        let io_description = io_description
+        let reset_io = reset_io
+      end : Backend.S with type t = t),
+      t )

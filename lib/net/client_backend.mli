@@ -1,0 +1,24 @@
+(** A {!Hyper_core.Backend.S} whose engine lives on the other side of a
+    socket: every call becomes a one-op {!Wire} batch (node creation
+    with a drawn form is the one two-op batch), so the unchanged
+    {!Hyper_core.Protocol} driver — and anything else written against
+    the backend signature — runs over a real connection.
+
+    Remote exception mapping: the wire carries exception {e classes}
+    only, so [Raised "Invalid_argument"] re-raises [Invalid_argument],
+    ["Not_found"] re-raises [Not_found], and anything else becomes
+    [Failure].  This preserves the classes the backend contract
+    specifies; exotic exception constructors flatten to [Failure].
+
+    [prefetch_nodes] is a deliberate no-op: the hint would cost a
+    round-trip, the opposite of its purpose.  [io_description] reports
+    wire counters (requests and ops sent since [reset_io]), not the
+    remote engine's page counters. *)
+
+type t
+
+val make : Client.t -> t
+val conn : t -> Client.t
+val instance : t -> Hyper_core.Backend.instance
+
+include Hyper_core.Backend.S with type t := t

@@ -1,0 +1,40 @@
+type t = Unix_sock of string | Tcp of string * int
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let of_string s =
+  match String.index_opt s ':' with
+  | Some 4 when String.length s > 5 && String.sub s 0 4 = "unix" ->
+    Unix_sock (String.sub s 5 (String.length s - 5))
+  | Some _ ->
+    let i = String.rindex s ':' in
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 ->
+      Tcp ((if host = "" then "127.0.0.1" else host), p)
+    | _ -> invalid_arg (Printf.sprintf "Netaddr.of_string: bad port in %S" s))
+  | None ->
+    (* A bare path serves a unix socket; anything else is a mistake. *)
+    if String.length s > 0 && (s.[0] = '/' || s.[0] = '.') then Unix_sock s
+    else invalid_arg (Printf.sprintf "Netaddr.of_string: %S" s)
+
+let domain = function
+  | Unix_sock _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let to_sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } ->
+          invalid_arg ("Netaddr: cannot resolve " ^ host)
+        | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+        | exception Not_found -> invalid_arg ("Netaddr: cannot resolve " ^ host))
+    in
+    Unix.ADDR_INET (addr, port)

@@ -1,0 +1,15 @@
+(** Server endpoint addresses: unix-domain sockets (the default for
+    benchmarking — no TCP stack noise in the latency numbers) or
+    TCP/IPv4. *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** ["unix:/path"] or a bare [/path] → {!Unix_sock}; ["host:port"] →
+    {!Tcp} (empty host means loopback).
+    @raise Invalid_argument on anything else. *)
+
+val domain : t -> Unix.socket_domain
+val to_sockaddr : t -> Unix.sockaddr

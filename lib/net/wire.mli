@@ -1,0 +1,120 @@
+(** The binary wire protocol of the socket server.
+
+    Frames are length-prefixed and CRC-framed:
+
+    {v
+    offset 0   magic      2 bytes  "HM"
+    offset 2   version    1 byte   {!protocol_version}
+    offset 3   kind       1 byte   frame tag (requests < 128 <= responses)
+    offset 4   body len   4 bytes  little-endian
+    offset 8   body CRC   4 bytes  CRC-32 (IEEE) of the body
+    offset 12  body
+    v}
+
+    Request bodies carry batches of reified {!Hyper_core.Trace.op} —
+    the same vocabulary the differential fuzzer replays, serialised in
+    its canonical one-line grammar — so anything expressible against
+    {!Hyper_core.Backend.S} is expressible on the wire, and a captured
+    byte stream doubles as a replayable trace.  Response bodies carry
+    {!Hyper_core.Trace.outcome} values in a binary codec (the text
+    rendering of outcomes elides long lists and is not re-readable).
+
+    Decoding is stream-oriented and partial-read resilient: bytes are
+    fed to a {!Decoder} in whatever chunks the transport produced
+    (including one byte at a time) and whole frames pop out as they
+    complete.  Every failure is a typed {!error}; no input, however
+    torn or corrupt, raises. *)
+
+open Hyper_core
+
+val protocol_version : int
+
+val max_frame_default : int
+(** Default decode-side frame cap (16 MiB): an [Ops] batch over a
+    level-6 store result or a snapshot-sized form fits; a corrupt
+    length field does not cause a multi-gigabyte allocation. *)
+
+(** {2 Frames} *)
+
+type request =
+  | Hello of { client : string; protocol : int }
+      (** First frame on a connection; the server replies [Welcome]. *)
+  | Ops of { rid : int; ops : Trace.op list }
+      (** One pipelined request: apply the batch in order, reply
+          [Results] with one outcome per op under the same [rid].
+          Clients assign [rid]s monotonically; the server replies in
+          request order. *)
+  | Ping of { rid : int }
+  | Bye  (** Orderly goodbye; the server closes after its in-flight
+             replies. *)
+
+type fault_code =
+  | F_bad_frame  (** framing/decoding error; the connection is dropped *)
+  | F_bad_op  (** an op line failed to parse *)
+  | F_draining  (** server is draining; no new requests accepted *)
+  | F_internal  (** unexpected server-side failure *)
+
+type response =
+  | Welcome of { session : int; server : string; protocol : int }
+  | Results of { rid : int; outcomes : Trace.outcome list }
+  | Fault of { rid : int; code : fault_code; message : string }
+      (** [rid = -1] means the fault is connection-level, not a reply
+          to a particular request. *)
+  | Pong of { rid : int }
+
+val fault_code_to_string : fault_code -> string
+
+(** {2 Encoding} *)
+
+val encode_request : request -> bytes
+val encode_response : response -> bytes
+
+(** {2 Decoding} *)
+
+type error =
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_crc of { expected : int; got : int }
+  | Oversized of { length : int; limit : int }
+  | Unknown_kind of int
+  | Malformed of string
+
+val error_to_string : error -> string
+
+module Decoder : sig
+  (** A streaming decoder for one direction of one connection.
+
+      [feed] {e copies} the given slice into the decoder's own buffer:
+      callers may (and the server does) reuse their read buffer for the
+      next [read] immediately — no decoded frame ever aliases transport
+      memory.
+
+      Any error poisons the stream: after a framing or body error,
+      every subsequent {!next} returns the same error.  Resynchronising
+      inside a corrupt byte stream is guesswork; the peer must drop the
+      connection, which is what both ends do. *)
+
+  type 'a t
+
+  val create_request : ?max_frame:int -> unit -> request t
+  val create_response : ?max_frame:int -> unit -> response t
+
+  val feed : _ t -> bytes -> off:int -> len:int -> unit
+  (** Append a received slice.  @raise Invalid_argument on an invalid
+      slice (not on any property of the bytes themselves). *)
+
+  val next : 'a t -> ('a, error) result option
+  (** The next complete frame, a typed error, or [None] when more
+      bytes are needed. *)
+
+  val buffered : _ t -> int
+  (** Bytes fed but not yet consumed by completed frames. *)
+end
+
+(** {2 Body codecs} — exposed for tests (round-trip every frame type
+    and fuzz the outcome codec directly). *)
+
+val encode_outcome : Buffer.t -> Trace.outcome -> unit
+val decode_outcome : bytes -> pos:int ref -> Trace.outcome
+(** @raise Failure on malformed input (wrapped into {!Malformed} by the
+    frame decoder). *)

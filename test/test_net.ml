@@ -218,6 +218,46 @@ let test_link_isolation () =
       (Bytes.to_string got)
   | None -> Alcotest.fail "message lost"
 
+let test_link_isolation_delayed () =
+  (* Buffer-reuse audit: the delay path parks its own copy too — a
+     sender reusing its buffer while a message sits parked must not
+     corrupt the eventual delivery. *)
+  let plan =
+    { Channel.Link.reliable with
+      Channel.Link.seed = 5L; delay_1_in = 1; delay_polls = 2 }
+  in
+  let l = Channel.Link.create ~plan () in
+  let b = Bytes.of_string "parked!" in
+  Channel.Link.send l b;
+  Bytes.fill b 0 (Bytes.length b) 'X';
+  (* first polls age the parked message; content must survive *)
+  let rec drain_until n =
+    if n = 0 then Alcotest.fail "delayed message never delivered"
+    else
+      match Channel.Link.poll l with
+      | Some got -> Bytes.to_string got
+      | None -> drain_until (n - 1)
+  in
+  check Alcotest.string "copied on park" "parked!" (drain_until 10)
+
+let test_link_isolation_duplicated () =
+  (* Buffer-reuse audit: duplicate deliveries are independent copies —
+     a receiver scribbling on the first copy must not change the
+     second. *)
+  let plan =
+    { Channel.Link.reliable with Channel.Link.seed = 5L; dup_1_in = 1 }
+  in
+  let l = Channel.Link.create ~plan () in
+  Channel.Link.send l (Bytes.of_string "twice");
+  (match Channel.Link.poll l with
+  | Some first -> Bytes.fill first 0 (Bytes.length first) 'X'
+  | None -> Alcotest.fail "first copy lost");
+  match Channel.Link.poll l with
+  | Some second ->
+    check Alcotest.string "copies are independent" "twice"
+      (Bytes.to_string second)
+  | None -> Alcotest.fail "duplicate copy lost"
+
 let () =
   Alcotest.run "hyper_net"
     [
@@ -251,5 +291,9 @@ let () =
             test_link_seed_changes_schedule;
           Alcotest.test_case "partition" `Quick test_link_partition;
           Alcotest.test_case "send copies" `Quick test_link_isolation;
+          Alcotest.test_case "delay path copies" `Quick
+            test_link_isolation_delayed;
+          Alcotest.test_case "duplicates are independent" `Quick
+            test_link_isolation_duplicated;
         ] );
     ]
