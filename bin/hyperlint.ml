@@ -11,13 +11,66 @@ open Cmdliner
 module Lint = Hyper_lint.Driver
 module Rules = Hyper_lint.Rules
 module Finding = Hyper_lint.Finding
+module Allowlist = Hyper_lint.Allowlist
+module Sjson = Hyper_util.Sjson
 
 let list_rules () =
   List.iter
     (fun (id, descr) -> Printf.printf "%-26s %s\n" id descr)
     Rules.all
 
-let run roots allowlist only all_paths verbose do_list =
+(* Machine-readable findings, one object per finding, stable field
+   order — the CI lint job archives this and diffs it across runs. *)
+let json_of_findings findings =
+  Sjson.List
+    (List.map
+       (fun (f : Finding.t) ->
+         Sjson.Obj
+           [
+             ("rule", Sjson.Str f.rule);
+             ("path", Sjson.Str f.file);
+             ("line", Sjson.Num (float_of_int f.line));
+             ("col", Sjson.Num (float_of_int f.col));
+             ("message", Sjson.Str f.message);
+           ])
+       findings)
+
+let write_json path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Sjson.to_string (json_of_findings findings));
+      output_char oc '\n')
+
+let check_allowlist ~allowlist_file (report : Lint.report) =
+  match allowlist_file with
+  | None ->
+      prerr_endline "hyperlint: --check-allowlist with no allowlist file";
+      2
+  | Some f -> (
+      let entries = Allowlist.load f in
+      let known_rules = List.map fst Rules.all in
+      match
+        Allowlist.stale entries ~sources:report.Lint.sources ~known_rules
+      with
+      | [] ->
+          Printf.eprintf "hyperlint: %d allowlist entr(y/ies), none stale\n"
+            (List.length entries);
+          0
+      | stale ->
+          List.iter
+            (fun (e : Allowlist.entry) ->
+              Printf.printf
+                "stale allowlist entry: %s %s (%s)\n" e.rule e.path_fragment
+                (if List.mem e.rule known_rules then
+                   "path fragment matches no linted source"
+                 else "unknown rule id"))
+            stale;
+          1)
+
+let run roots allowlist only all_paths verbose do_list json_out
+    do_check_allowlist =
   if do_list then begin
     list_rules ();
     0
@@ -45,7 +98,11 @@ let run roots allowlist only all_paths verbose do_list =
          and point hyperlint at the build directory";
       2
     end
+    else if do_check_allowlist then check_allowlist ~allowlist_file report
     else begin
+      (match json_out with
+      | Some path -> write_json path report.Lint.findings
+      | None -> ());
       List.iter
         (fun f -> print_endline (Finding.to_string_hinted f))
         report.Lint.findings;
@@ -102,12 +159,25 @@ let verbose_arg =
 let list_arg =
   Arg.(value & flag & info [ "list-rules" ] ~doc:"List rule ids and exit.")
 
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the findings to $(docv) as a JSON array of \
+                 {rule, path, line, col, message} objects.")
+
+let check_allowlist_arg =
+  Arg.(value & flag
+       & info [ "check-allowlist" ]
+           ~doc:"Instead of reporting findings, report stale allowlist \
+                 entries (unknown rule id, or path fragment matching no \
+                 linted source) and exit 1 if any.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hyperlint" ~version:"%%VERSION%%"
        ~doc:"Typedtree-based invariant linter for the hypermodel repo")
     Term.(
       const run $ roots_arg $ allowlist_arg $ only_arg $ all_paths_arg
-      $ verbose_arg $ list_arg)
+      $ verbose_arg $ list_arg $ json_arg $ check_allowlist_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,6 +24,7 @@ module Obs = Hyper_obs.Obs
 module Net = Hyper_net
 module Prng = Hyper_util.Prng
 module Stats = Hyper_util.Stats
+module Sync = Hyper_util.Sync
 
 let now_ns () = Hyper_util.Mtime_stub.now_ns ()
 
@@ -69,7 +70,8 @@ let run_request conn ops =
 
 let run_closed ~addr ~layout ~clients ~think_ms ~write_fraction ~seed
     ~deadline_ns ~requests_per_client =
-  let errors = ref 0 and lock = Mutex.create () in
+  let errors = ref 0
+  and lock = Sync.Mutex.create ~rank:40 "bin.hyperload.errors" in
   let worker i =
     let rng = Prng.create (Int64.add seed (Int64.of_int (i * 7919))) in
     let stats = Stats.create () in
@@ -90,9 +92,9 @@ let run_closed ~addr ~layout ~clients ~think_ms ~write_fraction ~seed
       Stats.add stats (Int64.to_float dt /. 1e6);
       if not ok then begin
         Obs.Counter.incr m_errors;
-        Mutex.lock lock;
+        Sync.Mutex.lock lock;
         incr errors;
-        Mutex.unlock lock
+        Sync.Mutex.unlock lock
       end;
       if think_ms > 0.0 then Thread.delay (think_ms /. 1000.0)
     done;
@@ -129,11 +131,11 @@ let run_open ~addr ~layout ~clients ~rate ~write_fraction ~seed ~duration_s =
       schedule := (!t, next_request rng layout ~write_fraction) :: !schedule
   done;
   let jobs = ref (List.rev !schedule) in
-  let lock = Mutex.create () in
+  let lock = Sync.Mutex.create ~rank:40 "bin.hyperload.jobs" in
   let errors = ref 0 in
   let t0 = now_ns () in
   let take () =
-    Mutex.lock lock;
+    Sync.Mutex.lock lock;
     let j =
       match !jobs with
       | [] -> None
@@ -141,7 +143,7 @@ let run_open ~addr ~layout ~clients ~rate ~write_fraction ~seed ~duration_s =
         jobs := rest;
         Some j
     in
-    Mutex.unlock lock;
+    Sync.Mutex.unlock lock;
     j
   in
   let worker i =
@@ -161,9 +163,9 @@ let run_open ~addr ~layout ~clients ~rate ~write_fraction ~seed ~duration_s =
         Stats.add stats (Int64.to_float dt /. 1e6);
         if not ok then begin
           Obs.Counter.incr m_errors;
-          Mutex.lock lock;
+          Sync.Mutex.lock lock;
           incr errors;
-          Mutex.unlock lock
+          Sync.Mutex.unlock lock
         end;
         loop ()
     in

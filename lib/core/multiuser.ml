@@ -38,11 +38,8 @@ module Make (B : Backend.S) = struct
     if txns_per_user < 1 then invalid_arg "Multiuser.run: txns_per_user < 1";
     if hot_fraction < 0.0 || hot_fraction > 1.0 then
       invalid_arg "Multiuser.run: hot_fraction outside [0, 1]";
-    let db_mutex = Mutex.create () in
-    let with_db f =
-      Mutex.lock db_mutex;
-      Fun.protect ~finally:(fun () -> Mutex.unlock db_mutex) f
-    in
+    let db_mutex = Sync.Mutex.create ~rank:10 "core.multiuser.db" in
+    let with_db f = Sync.Mutex.with_lock db_mutex f in
     let level3 = Schema.nodes_at_level 3 in
     let master = Prng.create seed in
     let hot_start = Layout.random_level layout (Prng.split master) 3 in
@@ -61,11 +58,11 @@ module Make (B : Backend.S) = struct
     and aborted = ref 0
     and retried_ok = ref 0
     and attempted = ref 0 in
-    let counter_mutex = Mutex.create () in
+    let counter_mutex = Sync.Mutex.create ~rank:40 "core.multiuser.counters" in
     let bump r n =
-      Mutex.lock counter_mutex;
+      Sync.Mutex.lock counter_mutex;
       r := !r + n;
-      Mutex.unlock counter_mutex
+      Sync.Mutex.unlock counter_mutex
     in
 
     (* The commit seam: the default commits (and, on a durable backend,

@@ -55,3 +55,16 @@ let allows entries (f : Finding.t) =
   List.exists
     (fun e -> e.rule = f.rule && contains ~needle:e.path_fragment f.file)
     entries
+
+(* A waiver earns its keep only while both halves still exist: a rule
+   id the linter knows and a path fragment some scanned source still
+   matches.  Anything else is a stale entry silently suppressing
+   nothing — report it so the file stays an honest inventory. *)
+let stale entries ~sources ~known_rules =
+  List.filter
+    (fun e ->
+      (not (List.mem e.rule known_rules))
+      || not
+           (List.exists (fun src -> contains ~needle:e.path_fragment src)
+              sources))
+    entries

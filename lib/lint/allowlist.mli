@@ -13,3 +13,9 @@ val load : string -> entry list
 
 val allows : entry list -> Finding.t -> bool
 (** Whether some entry matches the finding's rule and file. *)
+
+val stale : entry list -> sources:string list -> known_rules:string list -> entry list
+(** Entries whose rule id is unknown or whose path fragment matches
+    none of [sources] (the scanned units) — waivers that can no longer
+    suppress anything and should be deleted rather than silently
+    ignored. *)

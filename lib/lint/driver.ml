@@ -3,6 +3,7 @@ type report = {
   allowed : Finding.t list;
   attr_suppressed : Finding.t list;
   units : int;
+  sources : string list;
 }
 
 let default_only = [ "lib/"; "bin/" ]
@@ -24,9 +25,11 @@ let scan ?(only = default_only) ?allowlist_file ?(scope_all = false) roots =
   let allow_entries =
     match allowlist_file with None -> [] | Some f -> Allowlist.load f
   in
+  (* Phase one: load every in-scope unit.  The concurrency rules need
+     whole-project facts (lock ranks, callee summaries) before any
+     single unit can be judged. *)
   let seen = Hashtbl.create 64 in
-  let units = ref 0 in
-  let findings = ref [] and allowed = ref [] and suppressed = ref [] in
+  let units = ref [] in
   let consider cmt_path =
     match Cmt_format.read_cmt cmt_path with
     | exception
@@ -41,24 +44,31 @@ let scan ?(only = default_only) ?allowlist_file ?(scope_all = false) roots =
                && List.exists (fun p -> starts_with p source) only
                && not (Hashtbl.mem seen source) ->
             Hashtbl.add seen source ();
-            incr units;
-            let r = Rules.check_structure ~scope_all ~source str in
-            List.iter
-              (fun f ->
-                if Allowlist.allows allow_entries f then
-                  allowed := f :: !allowed
-                else findings := f :: !findings)
-              r.Rules.findings;
-            suppressed := List.rev_append r.Rules.suppressed !suppressed
+            units := (source, str) :: !units
         | _ -> ())
   in
   List.iter
     (fun root ->
       List.iter consider (List.sort String.compare (collect_cmts [] root)))
     roots;
+  let units = List.rev !units in
+  let pre = Rules.prepass units in
+  (* Phase two: the per-unit pass. *)
+  let findings = ref [] and allowed = ref [] and suppressed = ref [] in
+  List.iter
+    (fun (source, str) ->
+      let r = Rules.check_structure ~pre ~scope_all ~source str in
+      List.iter
+        (fun f ->
+          if Allowlist.allows allow_entries f then allowed := f :: !allowed
+          else findings := f :: !findings)
+        r.Rules.findings;
+      suppressed := List.rev_append r.Rules.suppressed !suppressed)
+    units;
   {
     findings = List.sort Finding.compare !findings;
     allowed = List.sort Finding.compare !allowed;
     attr_suppressed = List.sort Finding.compare !suppressed;
-    units = !units;
+    units = List.length units;
+    sources = List.map fst units;
   }

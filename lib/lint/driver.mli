@@ -12,6 +12,10 @@ type report = {
   allowed : Finding.t list;  (** waived by the allowlist file *)
   attr_suppressed : Finding.t list;  (** waived by [\[@lint.allow\]] *)
   units : int;  (** compilation units linted *)
+  sources : string list;
+      (** source path of every linted unit, in scan order — the
+          universe [hyperlint --check-allowlist] validates waivers
+          against *)
 }
 
 val default_only : string list

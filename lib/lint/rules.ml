@@ -18,6 +18,9 @@ let v5 = "deterministic-iteration"
 let v6 = "monotonic-time"
 let v7 = "epoch-check"
 let v8 = "no-page-copy"
+let v9 = "lock-order"
+let v10 = "no-blocking-under-mutex"
+let v11 = "sync-wrapper-only"
 
 let all =
   [
@@ -29,6 +32,9 @@ let all =
     (v6, "Unix.gettimeofday (wall clock) outside lib/util");
     (v7, "replication frame pattern that wildcards the frame or its epoch");
     (v8, "Bytes.copy/Bytes.sub of a page buffer outside lib/storage");
+    (v9, "Sync.Mutex acquisition against the declared rank order");
+    (v10, "blocking call lexically inside a Sync.Mutex critical section");
+    (v11, "raw Mutex.create/Condition.create outside lib/util");
   ]
 
 type result = { findings : Finding.t list; suppressed : Finding.t list }
@@ -103,6 +109,18 @@ let allow_strings (attrs : Parsetree.attributes) =
             | _ -> Option.to_list (string_const e))
         | _ -> [])
     attrs
+
+(* An allow payload is either a bare rule id or ["rule-id: reason"].
+   [no-blocking-under-mutex] demands the reasoned form: every waived
+   blocking call must say *why* it is safe, right in the payload. *)
+let allow_covers ~rule s =
+  if String.equal s rule then not (String.equal rule v10)
+  else
+    match String.index_opt s ':' with
+    | Some i ->
+        String.equal (String.trim (String.sub s 0 i)) rule
+        && String.trim (String.sub s (i + 1) (String.length s - i - 1)) <> ""
+    | None -> false
 
 (* {2 Sub-tree scans} *)
 
@@ -196,26 +214,274 @@ let v5_in_scope source =
   || source_under "lib/txn" source
   || source_under "lib/check" source
 
+(* {2 Concurrency prepass (V9/V10)}
+
+   A whole-project phase run before the per-unit pass.  It harvests:
+
+   - the declared lock-rank table, from every
+     [Sync.Mutex.create ?rank "name"] site whose arguments are
+     literals; the lock's {e binder} (the let-bound variable or record
+     field label it is stored in) is remembered per source file, so a
+     later [Sync.Mutex.lock t.m] can be resolved back to its class;
+   - one-level function summaries — for every [let f ... = body] in a
+     scanned unit, the lock classes [body] acquires directly and the
+     blocking calls it makes directly.  Callers check a callee's
+     summary against their own held set; the summaries are not closed
+     transitively (one level, as advertised). *)
+
+type summary = {
+  mutable s_acquires : (string * int option) list;  (* class, rank *)
+  mutable s_blocks : string list;  (* display names of blocking calls *)
+}
+
+type pre = {
+  ranks : (string, int option) Hashtbl.t;  (* lock class -> rank *)
+  binds : (string * string, string) Hashtbl.t;
+      (* (source basename, binder name) -> lock class *)
+  summaries : (string * string, summary) Hashtbl.t;
+      (* (module name, function name) -> summary *)
+}
+
+let empty_pre () =
+  { ranks = Hashtbl.create 16; binds = Hashtbl.create 16;
+    summaries = Hashtbl.create 64 }
+
+(* Strip the wrapped-unit prefix: "Hyper_storage__Group_commit" ->
+   "Group_commit". *)
+let norm_mod m =
+  let n = String.length m in
+  let rec last_sep i best =
+    if i + 1 >= n then best
+    else if m.[i] = '_' && m.[i + 1] = '_' then last_sep (i + 1) (Some (i + 1))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some i -> String.sub m (i + 1) (n - i - 1)
+  | None -> m
+
+let unit_module source =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename source))
+
+(* [Sync.Mutex.create]: the wrapper's own create, as opposed to a raw
+   [Stdlib.Mutex.create] (V11 flags the latter). *)
+let is_sync_create p =
+  match List.rev (path_parts p) with
+  | "create" :: owner :: rest ->
+      part_matches "Mutex" owner && List.exists (part_matches "Sync") rest
+  | _ -> false
+
+let is_sync_op op p =
+  match List.rev (path_parts p) with
+  | name :: owner :: rest ->
+      String.equal name op && part_matches "Mutex" owner
+      && List.exists (part_matches "Sync") rest
+  | _ -> false
+
+let string_lit e =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_string (s, _, _)) -> Some s
+  | _ -> None
+
+let int_lit e =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_int n) -> Some n
+  | _ -> None
+
+(* [~rank:30] reaches the typedtree wrapped in the [Some] the compiler
+   inserts for a supplied optional argument. *)
+let rank_lit e =
+  match e.exp_desc with
+  | Texp_construct (_, { Types.cstr_name = "Some"; _ }, [ arg ]) -> int_lit arg
+  | _ -> int_lit e
+
+(* If [e] is [Sync.Mutex.create ?rank "name"] with literal arguments,
+   its (class, rank). *)
+let create_class e =
+  match e.exp_desc with
+  | Texp_apply (fn, args) -> (
+      match ident_path fn with
+      | Some p when is_sync_create p ->
+          let name =
+            List.find_map
+              (fun (lbl, a) ->
+                match (lbl, a) with
+                | Asttypes.Nolabel, Some ae -> string_lit ae
+                | _ -> None)
+              args
+          in
+          let rank =
+            List.find_map
+              (fun (lbl, a) ->
+                match (lbl, a) with
+                | (Asttypes.Labelled "rank" | Asttypes.Optional "rank"), Some ae
+                  ->
+                    rank_lit ae
+                | _ -> None)
+              args
+          in
+          Option.map (fun n -> (n, rank)) name
+      | _ -> None)
+  | _ -> None
+
+(* Resolve a lock expression ([t.m], [db_mutex]) to its class via the
+   binder table of the current source file. *)
+let lock_class pre ~base arg =
+  let key n = Hashtbl.find_opt pre.binds (base, n) in
+  match arg.exp_desc with
+  | Texp_ident (p, _, _) -> key (Path.last p)
+  | Texp_field (_, _, lbl) -> key lbl.Types.lbl_name
+  | _ -> None
+
+(* Calls that park the thread (or the disk) while made: taking any of
+   these with a Sync lock held starves every peer of that lock.
+   [Sync.Condition.wait] is exempt — it releases the mutex. *)
+let blocking_call p =
+  match List.rev (path_parts p) with
+  | name :: owner :: _ ->
+      let unixish =
+        part_matches "Unix" owner || part_matches "UnixLabels" owner
+      in
+      let is n = String.equal name n in
+      if
+        unixish
+        && (is "read" || is "write" || is "single_write"
+           || is "write_substring" || is "select" || is "sleep" || is "sleepf"
+           || is "connect" || is "accept" || is "close" || is "fsync"
+           || is "fdatasync")
+        || (part_matches "Thread" owner && (is "delay" || is "join"))
+        || (part_matches "Wal" owner && (is "sync" || is "sync_file"))
+      then Some (Path.name p)
+      else None
+  | _ -> None
+
+let prepass units =
+  let pre = empty_pre () in
+  (* Phase a: lock classes and their binders. *)
+  let harvest_create ~base name e =
+    match create_class e with
+    | Some (cls, rank) ->
+        if not (Hashtbl.mem pre.ranks cls) then Hashtbl.add pre.ranks cls rank;
+        if name <> "" && not (Hashtbl.mem pre.binds (base, name)) then
+          Hashtbl.add pre.binds (base, name) cls
+    | None -> ()
+  in
+  List.iter
+    (fun (source, str) ->
+      let base = Filename.basename source in
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          expr =
+            (fun sub e ->
+              (match e.exp_desc with
+              | Texp_record { fields; _ } ->
+                  Array.iter
+                    (fun (lbl, def) ->
+                      match def with
+                      | Overridden (_, fe) ->
+                          harvest_create ~base lbl.Types.lbl_name fe
+                      | Kept _ -> ())
+                    fields
+              | _ -> ());
+              Tast_iterator.default_iterator.expr sub e);
+          value_binding =
+            (fun sub vb ->
+              (match pat_bound_idents vb.vb_pat with
+              | [ id ] -> harvest_create ~base (Ident.name id) vb.vb_expr
+              | _ -> ());
+              Tast_iterator.default_iterator.value_binding sub vb);
+        }
+      in
+      it.structure it str)
+    units;
+  (* Phase b: one-level summaries of every bound function. *)
+  List.iter
+    (fun (source, str) ->
+      let base = Filename.basename source in
+      let m = unit_module source in
+      let summarize name body =
+        let s =
+          match Hashtbl.find_opt pre.summaries (m, name) with
+          | Some s -> s
+          | None ->
+              let s = { s_acquires = []; s_blocks = [] } in
+              Hashtbl.add pre.summaries (m, name) s;
+              s
+        in
+        let note_acquire cls =
+          if not (List.mem_assoc cls s.s_acquires) then
+            s.s_acquires <-
+              (cls, Option.join (Hashtbl.find_opt pre.ranks cls))
+              :: s.s_acquires
+        in
+        let it =
+          {
+            Tast_iterator.default_iterator with
+            expr =
+              (fun sub e ->
+                (match e.exp_desc with
+                | Texp_apply (fn, (_, Some arg) :: _) -> (
+                    match ident_path fn with
+                    | Some p
+                      when is_sync_op "lock" p || is_sync_op "try_lock" p
+                           || is_sync_op "with_lock" p -> (
+                        match lock_class pre ~base arg with
+                        | Some cls -> note_acquire cls
+                        | None -> ())
+                    | _ -> ())
+                | Texp_ident (p, _, _) -> (
+                    match blocking_call p with
+                    | Some d ->
+                        if not (List.mem d s.s_blocks) then
+                          s.s_blocks <- d :: s.s_blocks
+                    | None -> ())
+                | _ -> ());
+                Tast_iterator.default_iterator.expr sub e);
+          }
+        in
+        it.expr it body
+      in
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          value_binding =
+            (fun sub vb ->
+              (match (pat_bound_idents vb.vb_pat, vb.vb_expr.exp_desc) with
+              | [ id ], Texp_function _ -> summarize (Ident.name id) vb.vb_expr
+              | _ -> ());
+              Tast_iterator.default_iterator.value_binding sub vb);
+        }
+      in
+      it.structure it str)
+    units;
+  pre
+
 type ctx = {
   source : string;
   base : string;  (* Filename.basename source *)
+  unit_mod : string;  (* module name of this unit, for summary lookups *)
+  pre : pre;
   scope_all : bool;
   mutable active_allows : string list;  (* stack-scoped [@lint.allow] ids *)
   mutable sort_depth : int;  (* > 0 inside a sorting application *)
   mutable bindings : (string * bool) list;  (* (name, mentions unpin) *)
+  mutable held : (string * int option) list;  (* lexically held Sync locks *)
   mutable findings : Finding.t list;
   mutable suppressed : Finding.t list;
 }
 
-let check_structure ~scope_all ~source (str : structure) =
+let check_structure ?pre ~scope_all ~source (str : structure) =
   let ctx =
     {
       source;
       base = Filename.basename source;
+      unit_mod = unit_module source;
+      pre = (match pre with Some p -> p | None -> empty_pre ());
       scope_all;
       active_allows = [];
       sort_depth = 0;
       bindings = [];
+      held = [];
       findings = [];
       suppressed = [];
     }
@@ -232,8 +498,8 @@ let check_structure ~scope_all ~source (str : structure) =
         hint;
       }
     in
-    if List.mem rule ctx.active_allows || List.mem rule extra_allows then
-      ctx.suppressed <- f :: ctx.suppressed
+    if List.exists (allow_covers ~rule) (extra_allows @ ctx.active_allows)
+    then ctx.suppressed <- f :: ctx.suppressed
     else ctx.findings <- f :: ctx.findings
   in
   let check_ident e p =
@@ -273,6 +539,33 @@ let check_structure ~scope_all ~source (str : structure) =
             "use Hyper_util.Mtime_stub.now_ns (or Vclock) for durations \
              and deadlines; only lib/util may read the wall clock"
     | [] -> ());
+    (* V11: the Sync wrapper is the only mutex/condition source.  Raw
+       primitives dodge the lockdep detector and the lint rules alike;
+       [lib/util] (the wrapper's home) is the one place allowed. *)
+    (match rev with
+    | "create" :: owner :: rest
+      when (part_matches "Mutex" owner || part_matches "Condition" owner)
+           && not (List.exists (part_matches "Sync") rest)
+           && not (source_under "lib/util" ctx.source) ->
+        flag v11 e.exp_loc
+          (Printf.sprintf
+             "raw `%s` bypasses Hyper_util.Sync (no lockdep, no metrics, \
+              no rank)"
+             (Path.name p))
+          "create the lock with Hyper_util.Sync.Mutex.create ?rank \
+           \"area.module.role\" (Condition via Sync.Condition.create)"
+    | _ -> ());
+    (* V10: blocking calls lexically inside a critical section. *)
+    (match blocking_call p with
+    | Some display when ctx.held <> [] ->
+        flag v10 e.exp_loc
+          (Printf.sprintf "blocking call `%s` while holding %s" display
+             (String.concat ", "
+                (List.map (fun (c, _) -> Printf.sprintf "%S" c) ctx.held)))
+          "move the call outside the critical section (snapshot under the \
+           lock, act after unlock), or waive with \
+           [@lint.allow \"no-blocking-under-mutex: <why it is safe>\"]"
+    | _ -> ());
     (* V3: pin balance. *)
     (match rev with
     | "pin" :: owner
@@ -458,6 +751,95 @@ let check_structure ~scope_all ~source (str : structure) =
           args
     | _ -> ()
   in
+  (* V9: the declared rank order — strictly increasing along the
+     acquisition chain (same-class nesting skipped, like the runtime
+     detector). *)
+  let check_acquire ~via loc cls rank =
+    match rank with
+    | None -> ()
+    | Some r ->
+        List.iter
+          (fun (hc, hr) ->
+            match hr with
+            | Some hr when hr >= r && not (String.equal hc cls) ->
+                flag v9 loc
+                  (Printf.sprintf
+                     "%s acquires %S (rank %d) while %S (rank %d) is held; \
+                      ranks must strictly increase"
+                     via cls r hc hr)
+                  "acquire locks in ascending declared rank (see DESIGN.md \
+                   §17), or re-rank the hierarchy deliberately"
+            | _ -> ())
+          ctx.held
+  in
+  let summary_of p =
+    match List.rev (path_parts p) with
+    | [ fn ] -> Hashtbl.find_opt ctx.pre.summaries (ctx.unit_mod, fn)
+    | fn :: owner :: _ -> Hashtbl.find_opt ctx.pre.summaries (norm_mod owner, fn)
+    | [] -> None
+  in
+  (* Lock bookkeeping for one application node.  Returns the classes to
+     treat as held while traversing the node's sub-expressions (the
+     [with_lock]/summarized-callee bracket); [lock]/[unlock] mutate
+     [ctx.held] persistently instead. *)
+  let conc_apply e =
+    match e.exp_desc with
+    | Texp_apply (fn, ((_, Some arg0) :: _ as _args)) -> (
+        match ident_path fn with
+        | Some p when is_sync_op "lock" p || is_sync_op "try_lock" p -> (
+            match lock_class ctx.pre ~base:ctx.base arg0 with
+            | Some cls ->
+                let rank = Option.join (Hashtbl.find_opt ctx.pre.ranks cls) in
+                check_acquire ~via:"Sync.Mutex.lock" e.exp_loc cls rank;
+                ctx.held <- (cls, rank) :: ctx.held;
+                []
+            | None -> [])
+        | Some p when is_sync_op "unlock" p -> (
+            match lock_class ctx.pre ~base:ctx.base arg0 with
+            | Some cls ->
+                let rec drop = function
+                  | [] -> []
+                  | (c, _) :: rest when String.equal c cls -> rest
+                  | h :: rest -> h :: drop rest
+                in
+                ctx.held <- drop ctx.held;
+                []
+            | None -> [])
+        | Some p when is_sync_op "with_lock" p -> (
+            match lock_class ctx.pre ~base:ctx.base arg0 with
+            | Some cls ->
+                let rank = Option.join (Hashtbl.find_opt ctx.pre.ranks cls) in
+                check_acquire ~via:"Sync.Mutex.with_lock" e.exp_loc cls rank;
+                [ (cls, rank) ]
+            | None -> [])
+        | Some p -> (
+            (* One-level inter-procedural step: the callee's summary. *)
+            match summary_of p with
+            | Some s ->
+                List.iter
+                  (fun (cls, rank) ->
+                    check_acquire
+                      ~via:(Printf.sprintf "`%s`" (Path.name p))
+                      e.exp_loc cls rank)
+                  s.s_acquires;
+                if ctx.held <> [] && s.s_blocks <> [] then
+                  flag v10 e.exp_loc
+                    (Printf.sprintf
+                       "`%s` blocks (%s) and is called while holding %s"
+                       (Path.name p)
+                       (String.concat ", " s.s_blocks)
+                       (String.concat ", "
+                          (List.map
+                             (fun (c, _) -> Printf.sprintf "%S" c)
+                             ctx.held)))
+                    "restructure so the blocking callee runs outside the \
+                     critical section, or waive with [@lint.allow \
+                     \"no-blocking-under-mutex: <why it is safe>\"]";
+                s.s_acquires
+            | None -> [])
+        | None -> [])
+    | _ -> []
+  in
   let default = Tast_iterator.default_iterator in
   let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
    fun sub p ->
@@ -470,12 +852,51 @@ let check_structure ~scope_all ~source (str : structure) =
     let saved = ctx.active_allows in
     ctx.active_allows <- allow_strings e.exp_attributes @ ctx.active_allows;
     check_expr e;
+    let bracket = conc_apply e in
+    let held0 = ctx.held in
+    ctx.held <- bracket @ ctx.held;
     (match e.exp_desc with
     | Texp_apply (fn, args) when is_sort_context fn args ->
         ctx.sort_depth <- ctx.sort_depth + 1;
         default.expr sub e;
         ctx.sort_depth <- ctx.sort_depth - 1
+    | Texp_ifthenelse (c, t, eo) ->
+        (* Each branch starts from the pre-branch held set, and nothing
+           a branch locks or unlocks leaks past the conditional. *)
+        sub.Tast_iterator.expr sub c;
+        let h = ctx.held in
+        sub.Tast_iterator.expr sub t;
+        ctx.held <- h;
+        (match eo with
+        | Some el ->
+            sub.Tast_iterator.expr sub el;
+            ctx.held <- h
+        | None -> ())
+    | Texp_match (scrut, cases, _) ->
+        sub.Tast_iterator.expr sub scrut;
+        let h = ctx.held in
+        List.iter
+          (fun c ->
+            sub.Tast_iterator.case sub c;
+            ctx.held <- h)
+          cases
+    | Texp_try (body, cases) ->
+        sub.Tast_iterator.expr sub body;
+        let h = ctx.held in
+        List.iter
+          (fun c ->
+            sub.Tast_iterator.case sub c;
+            ctx.held <- h)
+          cases
+    | Texp_function _ ->
+        (* A lambda inherits the lexically held set (the with_lock /
+           Fun.protect idiom), but its own lock traffic must not leak
+           into siblings evaluated elsewhere. *)
+        let h = ctx.held in
+        default.expr sub e;
+        ctx.held <- h
     | _ -> default.expr sub e);
+    (match bracket with [] -> () | _ -> ctx.held <- held0);
     ctx.active_allows <- saved
   in
   let value_binding sub vb =
@@ -500,6 +921,8 @@ let check_structure ~scope_all ~source (str : structure) =
         (match item.str_desc with
         | Tstr_attribute a -> ctx.active_allows <- allow_strings [ a ] @ ctx.active_allows
         | _ -> ());
+        (* Lock tracking is per top-level definition. *)
+        ctx.held <- [];
         sub.Tast_iterator.structure_item sub item)
       s.str_items;
     ctx.active_allows <- saved

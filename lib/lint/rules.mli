@@ -28,10 +28,26 @@
       [lib/storage]: the zero-copy read path (see DESIGN.md §15) exists
       so record consumers decode in place; copying the page reintroduces
       the allocation it removed.
+    - [lock-order] — a [Hyper_util.Sync.Mutex] acquisition (direct, via
+      [with_lock], or through a one-level callee summary) while a lock
+      of higher or equal declared rank is lexically held.  Ranks come
+      from the [~rank] literal at each [Sync.Mutex.create] site
+      (harvested by {!prepass}); unranked locks are exempt.
+    - [no-blocking-under-mutex] — a blocking call ([Unix] socket/file
+      I/O, [Unix.sleepf], [Thread.delay]/[join], [Wal.sync]) lexically
+      inside a Sync critical section, directly or via a summarized
+      callee.  Waiving this rule requires a reason:
+      [\[@lint.allow "no-blocking-under-mutex: <why it is safe>"\]] —
+      a bare rule id does not suppress it.
+    - [sync-wrapper-only] — raw [Mutex.create]/[Condition.create]
+      outside [lib/util]; all synchronisation must go through
+      [Hyper_util.Sync] so lockdep and the metrics hook see it.
 
     Suppression: a [\[@lint.allow "rule-id"\]] attribute on the
     expression, on the enclosing [let] binding, or floating
-    ([\[@@@lint.allow "rule-id"\]]) for the rest of the file. *)
+    ([\[@@@lint.allow "rule-id"\]]) for the rest of the file.  Any rule
+    also accepts the reasoned payload ["rule-id: reason"];
+    [no-blocking-under-mutex] accepts {e only} that form. *)
 
 type result = {
   findings : Finding.t list;  (** violations, in traversal order *)
@@ -40,7 +56,16 @@ type result = {
 }
 
 val all : (string * string) list
-(** [(rule_id, one-line description)] for every rule, in V1..V5 order. *)
+(** [(rule_id, one-line description)] for every rule, in V1..V11 order. *)
+
+type pre
+(** Whole-project facts the concurrency rules need: the declared
+    lock-rank table and one-level function summaries. *)
+
+val prepass : (string * Typedtree.structure) list -> pre
+(** [prepass units] over every [(source, structure)] about to be
+    checked.  Without it (or outside its units) the concurrency rules
+    simply see no lock classes and stay silent. *)
 
 val check_structure :
-  scope_all:bool -> source:string -> Typedtree.structure -> result
+  ?pre:pre -> scope_all:bool -> source:string -> Typedtree.structure -> result

@@ -1,5 +1,6 @@
 open Hyper_core
 module Obs = Hyper_obs.Obs
+module Sync = Hyper_util.Sync
 
 exception Connection_lost of string
 exception Server_fault of Wire.fault_code * string
@@ -213,7 +214,7 @@ module Pool = struct
 
   type t = {
     conns : conn array;
-    lock : Mutex.t;
+    lock : Sync.Mutex.t;
     mutable next : int;
   }
 
@@ -228,13 +229,13 @@ module Pool = struct
           connect ?client_name ?backoff_base_s ?backoff_max_s ?max_attempts
             address)
     in
-    { conns; lock = Mutex.create (); next = 0 }
+    { conns; lock = Sync.Mutex.create ~rank:40 "net.client.pool"; next = 0 }
 
   let with_conn p f =
-    Mutex.lock p.lock;
+    Sync.Mutex.lock p.lock;
     let c = p.conns.(p.next mod Array.length p.conns) in
     p.next <- p.next + 1;
-    Mutex.unlock p.lock;
+    Sync.Mutex.unlock p.lock;
     f c
 
   let close p = Array.iter close p.conns

@@ -1,5 +1,6 @@
 open Hyper_core
 module Obs = Hyper_obs.Obs
+module Sync = Hyper_util.Sync
 
 let m_sessions = Obs.Counter.make "hyper_net_sessions_total"
 let m_requests = Obs.Counter.make "hyper_net_requests_total"
@@ -30,8 +31,8 @@ type t = {
   instance : Backend.instance;
   address : Netaddr.t;
   listen_fd : Unix.file_descr;
-  engine : Mutex.t;  (* the lease; see server.mli *)
-  lock : Mutex.t;  (* guards sessions/flags below *)
+  engine : Sync.Mutex.t;  (* the lease; see server.mli *)
+  lock : Sync.Mutex.t;  (* guards sessions/flags below *)
   mutable sessions : session list;
   mutable draining : bool;
   mutable drain_grace : float;
@@ -44,9 +45,7 @@ type t = {
 let addr t = t.address
 let crashed t = t.crash
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sync.Mutex.with_lock t.lock f
 
 let session_count t = locked t (fun () -> List.length t.sessions)
 
@@ -71,7 +70,7 @@ let[@lint.allow "vfs-boundary"] send_all fd payload =
 let release_lease t sess =
   if sess.holds_lease then begin
     sess.holds_lease <- false;
-    Mutex.unlock t.engine
+    Sync.Mutex.unlock t.engine
   end
 
 let rollback t sess =
@@ -85,7 +84,7 @@ let rollback t sess =
 
 let exec_batch t sess rid ops =
   if not sess.holds_lease then begin
-    Mutex.lock t.engine;
+    Sync.Mutex.lock t.engine;
     sess.holds_lease <- true
   end;
   let t0 = Hyper_util.Mtime_stub.now_ns () in
@@ -293,8 +292,8 @@ let start ?(name = "hypermodel") ?(reraise = fun _ -> false)
       instance;
       address;
       listen_fd;
-      engine = Mutex.create ();
-      lock = Mutex.create ();
+      engine = Sync.Mutex.create ~rank:10 "net.server.engine";
+      lock = Sync.Mutex.create ~rank:40 "net.server.sessions";
       sessions = [];
       draining = false;
       drain_grace = 5.0;
@@ -329,5 +328,9 @@ let drain ?(grace_s = 5.0) t =
 let kill t =
   locked t (fun () -> t.killed <- true);
   close_quiet t.listen_fd;
-  locked t (fun () -> List.iter (fun s -> close_quiet s.fd) t.sessions);
+  (* Snapshot under the lock, close outside it: [Unix.close] can block
+     on a socket with unflushed data, and the session threads never
+     need the list to notice [killed]. *)
+  let sessions = locked t (fun () -> t.sessions) in
+  List.iter (fun s -> close_quiet s.fd) sessions;
   join_all t

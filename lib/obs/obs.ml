@@ -84,6 +84,7 @@ module Gauge = struct
     | M_gauge g -> g
     | _ -> assert false
 
+  let labeled ?help name kvs = make ?help (name ^ format_labels kvs)
   let set t v = if !on then t.g <- v
   let add t v = if !on then t.g <- t.g +. v
   let value t = t.g
@@ -99,6 +100,8 @@ module Histogram = struct
     match register ~help name fresh with
     | M_histogram h -> h
     | _ -> assert false
+
+  let labeled ?help name kvs = make ?help (name ^ format_labels kvs)
 
   let bucket_of x =
     let rec go i bound =
@@ -285,15 +288,76 @@ let to_prometheus () =
           Buffer.add_string buf (Printf.sprintf "%s %.17g\n" e.name g.g)
       | M_histogram h ->
           header e.name e.help "histogram";
+          (* The _bucket/_sum/_count suffixes attach to the metric name
+             proper, before any label set encoded in the registered
+             name: name{k="v"} renders as name_bucket{k="v",le="..."}. *)
+          let base = base_name e.name in
+          let labels =
+            let n = String.length e.name and b = String.length base in
+            if n > b then String.sub e.name (b + 1) (n - b - 2) ^ "," else ""
+          in
           List.iter
             (fun (b, cum) ->
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" e.name
+                (Printf.sprintf "%s_bucket{%sle=\"%s\"} %d\n" base labels
                    (le_string b) cum))
             (histogram_cumulative h);
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %.17g\n" e.name h.h_sum);
+            (Printf.sprintf "%s_sum%s %.17g\n" base
+               (if labels = "" then ""
+                else "{" ^ String.sub labels 0 (String.length labels - 1) ^ "}")
+               h.h_sum);
           Buffer.add_string buf
-            (Printf.sprintf "%s_count %d\n" e.name h.h_count))
+            (Printf.sprintf "%s_count%s %d\n" base
+               (if labels = "" then ""
+                else "{" ^ String.sub labels 0 (String.length labels - 1) ^ "}")
+               h.h_count))
     (entries_sorted ());
   Buffer.contents buf
+
+(* {2 Lock instrumentation}
+
+   Hyper_util.Sync fires an event per (lockdep-enabled) acquisition and
+   release; exporting them as per-lock-class metrics lives here because
+   util cannot depend on obs.  The hook runs on whatever thread touched
+   the lock, and the registry Hashtbl is not safe against concurrent
+   resize, so lookups are serialised through a guard.  The guard itself
+   must be a raw stdlib mutex: an instrumented Sync lock here would
+   re-enter this very hook. *)
+
+let lock_metrics_guard =
+  (Mutex.create () [@lint.allow "sync-wrapper-only"])
+
+let () =
+  Hyper_util.Sync.set_instrument_hook (fun ev ->
+      if !on then begin
+        Mutex.lock lock_metrics_guard;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock lock_metrics_guard)
+          (fun () ->
+            match ev with
+            | Hyper_util.Sync.Ev_acquired { lock; wait_ns; contended } ->
+              if contended then begin
+                Counter.incr
+                  (Counter.labeled "hyper_lock_contended_total"
+                     ~help:"acquisitions that found the lock taken"
+                     [ ("lock", lock) ]);
+                Histogram.observe
+                  (Histogram.labeled "hyper_lock_wait_ns"
+                     ~help:"time spent blocked acquiring a contended lock"
+                     [ ("lock", lock) ])
+                  wait_ns
+              end
+            | Hyper_util.Sync.Ev_released { lock; held_ns } ->
+              Histogram.observe
+                (Histogram.labeled "hyper_lock_held_ns"
+                   ~help:"duration of each hold segment of a lock"
+                   [ ("lock", lock) ])
+                held_ns
+            | Hyper_util.Sync.Ev_waiting { lock; delta } ->
+              Gauge.add
+                (Gauge.labeled "hyper_lock_waiters"
+                   ~help:"threads currently blocked on the lock"
+                   [ ("lock", lock) ])
+                (float_of_int delta))
+      end)

@@ -55,6 +55,7 @@ module Gauge : sig
   type t
 
   val make : ?help:string -> string -> t
+  val labeled : ?help:string -> string -> (string * string) list -> t
   val set : t -> float -> unit
   val add : t -> float -> unit
   val value : t -> float
@@ -69,6 +70,7 @@ module Histogram : sig
   type t
 
   val make : ?help:string -> string -> t
+  val labeled : ?help:string -> string -> (string * string) list -> t
   val observe : t -> float -> unit
   (** Record one observation.  Negative values clamp to 0 (defence in
       depth: the monotonic clock already prevents negative timing

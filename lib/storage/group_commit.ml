@@ -1,5 +1,6 @@
 module Obs = Hyper_obs.Obs
 module Vclock = Hyper_util.Vclock
+module Sync = Hyper_util.Sync
 
 let h_group_size =
   Obs.Histogram.make "hyper_wal_group_size"
@@ -16,8 +17,8 @@ let default_config = { max_batch = 8; max_hold_ns = 2e6 }
 type t = {
   wal : Wal.t;
   cfg : config;
-  m : Mutex.t;
-  cv : Condition.t;
+  m : Sync.Mutex.t;
+  cv : Sync.Condition.t;
   mutable next_seq : int; (* ticket the next register hands out *)
   mutable durable_seq : int; (* highest ticket covered by an fsync *)
   mutable leader_active : bool;
@@ -32,16 +33,17 @@ type ticket = int
 let create cfg wal =
   if cfg.max_batch < 1 then invalid_arg "Group_commit: max_batch < 1";
   if cfg.max_hold_ns < 0.0 then invalid_arg "Group_commit: max_hold_ns < 0";
-  { wal; cfg; m = Mutex.create (); cv = Condition.create (); next_seq = 1;
+  { wal; cfg; m = Sync.Mutex.create ~rank:30 "storage.group_commit";
+    cv = Sync.Condition.create (); next_seq = 1;
     durable_seq = 0; leader_active = false; window_start = 0.0;
     poisoned = None; groups = 0; members = 0 }
 
 let register t =
-  Mutex.lock t.m;
+  Sync.Mutex.lock t.m;
   let s = t.next_seq in
   t.next_seq <- s + 1;
   if s = t.durable_seq + 1 then t.window_start <- Vclock.now_ns ();
-  Mutex.unlock t.m;
+  Sync.Mutex.unlock t.m;
   s
 
 let stats t = (t.groups, t.members)
@@ -49,23 +51,32 @@ let stats t = (t.groups, t.members)
 let check_poison t =
   match t.poisoned with
   | Some e ->
-    Mutex.unlock t.m;
+    Sync.Mutex.unlock t.m;
     raise e
   | None -> ()
 
 let rec await t (s : ticket) =
-  Mutex.lock t.m;
+  Sync.Mutex.lock t.m;
   check_poison t;
-  if t.durable_seq >= s then Mutex.unlock t.m
+  if t.durable_seq >= s then Sync.Mutex.unlock t.m
   else if t.leader_active then begin
     (* A leader is already driving a barrier; park until it broadcasts.
        Its snapshot may predate us, in which case we re-enter and the
        next round's leader (possibly us) covers our ticket. *)
-    Condition.wait t.cv t.m;
-    Mutex.unlock t.m;
+    Sync.Condition.wait t.cv t.m;
+    Sync.Mutex.unlock t.m;
     await t s
   end
-  else lead t s
+  else
+    (* The summary-level hit below is a false positive: [lead] is the
+       group-commit leader protocol and *requires* [t.m] held at entry;
+       it releases the lock itself before the blocking [Wal.sync_file]
+       (see the comment in [lead]).  The one-level summary cannot see
+       that interior unlock. *)
+    (lead t s
+    [@lint.allow
+      "no-blocking-under-mutex: lead takes ownership of t.m and unlocks \
+       it before the fsync; the barrier never sleeps under the lock"])
 
 and lead t (_s : ticket) =
   (* Called with [t.m] held and [_s] not yet durable; the snapshot below
@@ -80,16 +91,16 @@ and lead t (_s : ticket) =
       t.next_seq - 1 - t.durable_seq < t.cfg.max_batch
       && Vclock.now_ns () < deadline
     then begin
-      Mutex.unlock t.m;
+      Sync.Mutex.unlock t.m;
       Thread.yield ();
-      Mutex.lock t.m;
+      Sync.Mutex.lock t.m;
       hold ()
     end
   in
   if t.cfg.max_hold_ns > 0.0 then hold ();
   let upto = t.next_seq - 1 in
   let started = t.window_start in
-  Mutex.unlock t.m;
+  Sync.Mutex.unlock t.m;
   (* The fsync runs outside the lock: every member <= [upto] flushed its
      bytes before registering, so the file already carries them; a
      committer registering during the fsync simply misses this barrier
@@ -97,20 +108,20 @@ and lead t (_s : ticket) =
      caller's own ticket is covered. *)
   match Wal.sync_file t.wal with
   | () ->
-    Mutex.lock t.m;
+    Sync.Mutex.lock t.m;
     let size = upto - t.durable_seq in
     t.durable_seq <- upto;
     t.groups <- t.groups + 1;
     t.members <- t.members + size;
     t.leader_active <- false;
-    Condition.broadcast t.cv;
-    Mutex.unlock t.m;
+    Sync.Condition.broadcast t.cv;
+    Sync.Mutex.unlock t.m;
     Obs.Histogram.observe h_group_size (float_of_int size);
     Obs.Histogram.observe h_group_wait_ns (Vclock.now_ns () -. started)
   | exception e ->
-    Mutex.lock t.m;
+    Sync.Mutex.lock t.m;
     t.poisoned <- Some e;
     t.leader_active <- false;
-    Condition.broadcast t.cv;
-    Mutex.unlock t.m;
+    Sync.Condition.broadcast t.cv;
+    Sync.Mutex.unlock t.m;
     raise e

@@ -1,4 +1,5 @@
 module Obs = Hyper_obs.Obs
+module Sync = Hyper_util.Sync
 
 let m_occ_commits =
   Obs.Counter.make "hyper_txn_occ_commits_total"
@@ -9,7 +10,7 @@ let m_occ_aborts =
     ~help:"OCC transactions that failed validation or were aborted"
 
 type t = {
-  mutex : Mutex.t;
+  mutex : Sync.Mutex.t;
   versions : (int, int) Hashtbl.t; (* resource -> commit counter value *)
   mutable committed : int;
   mutable aborted : int;
@@ -23,8 +24,8 @@ type txn = {
 }
 
 let create () =
-  { mutex = Mutex.create (); versions = Hashtbl.create 256; committed = 0;
-    aborted = 0 }
+  { mutex = Sync.Mutex.create ~rank:20 "txn.occ"; versions = Hashtbl.create 256;
+    committed = 0; aborted = 0 }
 
 let begin_txn t =
   { owner = t; reads = Hashtbl.create 16; writes = Hashtbl.create 16;
@@ -36,9 +37,9 @@ let note_read txn r =
   if txn.finished then invalid_arg "Occ: transaction already finished";
   if not (Hashtbl.mem txn.reads r) then begin
     let t = txn.owner in
-    Mutex.lock t.mutex;
+    Sync.Mutex.lock t.mutex;
     let v = version_of t r in
-    Mutex.unlock t.mutex;
+    Sync.Mutex.unlock t.mutex;
     Hashtbl.add txn.reads r v
   end
 
@@ -50,7 +51,7 @@ let commit txn =
   if txn.finished then invalid_arg "Occ: transaction already finished";
   txn.finished <- true;
   let t = txn.owner in
-  Mutex.lock t.mutex;
+  Sync.Mutex.lock t.mutex;
   let valid =
     Hashtbl.fold
       (fun r v ok -> ok && version_of t r = v)
@@ -67,17 +68,17 @@ let commit txn =
     t.aborted <- t.aborted + 1;
     Obs.Counter.incr m_occ_aborts
   end;
-  Mutex.unlock t.mutex;
+  Sync.Mutex.unlock t.mutex;
   valid
 
 let abort txn =
   if not txn.finished then begin
     txn.finished <- true;
     let t = txn.owner in
-    Mutex.lock t.mutex;
+    Sync.Mutex.lock t.mutex;
     t.aborted <- t.aborted + 1;
     Obs.Counter.incr m_occ_aborts;
-    Mutex.unlock t.mutex
+    Sync.Mutex.unlock t.mutex
   end
 
 let committed_count t = t.committed

@@ -1,5 +1,7 @@
+module Sync = Hyper_util.Sync
+
 type 'a shared = {
-  mutex : Mutex.t;
+  mutex : Sync.Mutex.t;
   store : (int, 'a * int) Hashtbl.t; (* value, version *)
   mutable version : int;
 }
@@ -13,11 +15,10 @@ type 'a t = {
 type 'a publish_result = Published of int | Conflicts of int list
 
 let create_shared () =
-  { mutex = Mutex.create (); store = Hashtbl.create 256; version = 0 }
+  { mutex = Sync.Mutex.create ~rank:20 "txn.workspace";
+    store = Hashtbl.create 256; version = 0 }
 
-let with_lock s f =
-  Mutex.lock s.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+let with_lock s f = Sync.Mutex.with_lock s.mutex f
 
 let shared_get s key =
   with_lock s (fun () -> Option.map fst (Hashtbl.find_opt s.store key))

@@ -1,0 +1,402 @@
+(* The rest of the tree's only mutex/condition source (lint rule
+   [sync-wrapper-only]).  Plain mode is one branch over the stdlib
+   primitive; lockdep mode layers a held-set + lock-order-graph
+   detector on every acquisition.  This file is the single place in
+   the repository allowed to touch [Stdlib.Mutex]/[Condition]
+   directly. *)
+
+module Raw_mutex = Mutex
+module Raw_condition = Condition
+
+(* Single-branch fast path, same pattern as Hyper_obs. *)
+let on = ref false
+
+type event =
+  | Ev_acquired of { lock : string; wait_ns : float; contended : bool }
+  | Ev_released of { lock : string; held_ns : float }
+  | Ev_waiting of { lock : string; delta : int }
+
+let hook : (event -> unit) ref = ref (fun _ -> ())
+let set_instrument_hook f = hook := f
+let emit ev = !hook ev
+
+type mutex = {
+  m : Raw_mutex.t;
+  mx_name : string;
+  mx_rank : int option;
+  id : int;  (* instance identity, for re-entrance detection *)
+}
+
+let next_id =
+  let c = ref 0
+  and m = Raw_mutex.create () in
+  fun () ->
+    Raw_mutex.lock m;
+    incr c;
+    let v = !c in
+    Raw_mutex.unlock m;
+    v
+
+(* {2 Detector state}
+
+   All state below is guarded by [state_m].  The guard is never held
+   across a blocking acquisition of a user lock — bookkeeping happens
+   strictly before or after the real [Raw_mutex.lock]. *)
+
+let state_m = Raw_mutex.create ()
+
+let locked_state f =
+  Raw_mutex.lock state_m;
+  Fun.protect ~finally:(fun () -> Raw_mutex.unlock state_m) f
+
+type held = { hm : mutex; since : int64; stack : string }
+
+(* thread id -> held list, innermost first *)
+let held_by : (int, held list) Hashtbl.t = Hashtbl.create 64
+
+(* class -> (successor class -> stack at first insertion) *)
+let graph : (string, (string, string) Hashtbl.t) Hashtbl.t = Hashtbl.create 64
+
+(* (outer class, inner class) pairs already reported as rank
+   violations, so a hot path misordering reports once, not per call. *)
+let rank_reported : (string * string, unit) Hashtbl.t = Hashtbl.create 16
+
+module Lockdep = struct
+  type kind = Would_deadlock | Rank_violation | Reentrant_lock
+
+  type report = {
+    kind : kind;
+    lock : string;
+    held : string list;
+    cycle : string list;
+    message : string;
+    stack_now : string;
+    stack_prior : string;
+  }
+
+  exception Deadlock of report
+
+  let reports_rev : report list ref = ref []
+
+  let kind_to_string = function
+    | Would_deadlock -> "would-deadlock"
+    | Rank_violation -> "rank-violation"
+    | Reentrant_lock -> "re-entrant lock"
+
+  let report_to_string r =
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "lockdep %s: %s\n" (kind_to_string r.kind) r.message);
+    if r.cycle <> [] then
+      Buffer.add_string b
+        (Printf.sprintf "  cycle: %s\n" (String.concat " -> " r.cycle));
+    if r.held <> [] then
+      Buffer.add_string b
+        (Printf.sprintf "  held (innermost first): %s\n"
+           (String.concat ", " r.held));
+    if r.stack_now <> "" then
+      Buffer.add_string b ("  acquisition closing the cycle:\n" ^ r.stack_now);
+    if r.stack_prior <> "" then
+      Buffer.add_string b ("  earlier acquisition creating the reverse edge:\n"
+                           ^ r.stack_prior);
+    Buffer.contents b
+
+  let clear_graph () =
+    Hashtbl.reset graph;
+    Hashtbl.reset rank_reported
+
+  let enable () =
+    locked_state (fun () ->
+        Hashtbl.reset held_by;
+        clear_graph ();
+        reports_rev := []);
+    on := true
+
+  let disable () = on := false
+  let enabled () = !on
+
+  let reports () = List.rev !reports_rev
+
+  let clear () =
+    locked_state (fun () ->
+        clear_graph ();
+        reports_rev := [])
+
+  let edges () =
+    locked_state (fun () ->
+        List.sort compare
+          (Hashtbl.fold
+             (fun src succs acc ->
+               Hashtbl.fold (fun dst _ acc -> (src, dst) :: acc) succs acc)
+             graph []))
+
+  let check_exn () =
+    match reports () with [] -> () | r :: _ -> raise (Deadlock r)
+end
+
+open Lockdep
+
+let capture_stack () =
+  Printexc.raw_backtrace_to_string (Printexc.get_callstack 24)
+
+let held_of tid = Option.value ~default:[] (Hashtbl.find_opt held_by tid)
+
+let held_names held = List.map (fun h -> h.hm.mx_name) held
+
+(* Path from [src] to [dst] through the order graph, if any. *)
+let find_path src dst =
+  let visited = Hashtbl.create 16 in
+  let rec go n =
+    if String.equal n dst then Some [ n ]
+    else if Hashtbl.mem visited n then None
+    else begin
+      Hashtbl.add visited n ();
+      match Hashtbl.find_opt graph n with
+      | None -> None
+      | Some succs ->
+        Hashtbl.fold
+          (fun m _ acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+              match go m with Some p -> Some (n :: p) | None -> None))
+          succs None
+    end
+  in
+  go src
+
+let add_report r = reports_rev := r :: !reports_rev
+
+(* Pre-acquisition bookkeeping: re-entrance, rank order, graph edges.
+   Runs under [state_m]; raises (after releasing it, via Fun.protect in
+   [locked_state]) only for re-entrance. *)
+let pre_acquire t stack =
+  let blocker =
+    locked_state (fun () ->
+        let tid = Thread.id (Thread.self ()) in
+        let held = held_of tid in
+        if List.exists (fun h -> h.hm.id = t.id) held then begin
+          let r =
+            {
+              kind = Reentrant_lock;
+              lock = t.mx_name;
+              held = held_names held;
+              cycle = [];
+              message =
+                Printf.sprintf
+                  "thread %d re-acquires %S which it already holds" tid
+                  t.mx_name;
+              stack_now = stack;
+              stack_prior = "";
+            }
+          in
+          add_report r;
+          Some r
+        end
+        else begin
+          (* Rank order: strictly increasing along the acquisition
+             chain.  Same-class instances are skipped (see sync.mli). *)
+          (match t.mx_rank with
+          | None -> ()
+          | Some r ->
+            List.iter
+              (fun h ->
+                match h.hm.mx_rank with
+                | Some hr
+                  when hr >= r && not (String.equal h.hm.mx_name t.mx_name)
+                       && not
+                            (Hashtbl.mem rank_reported (h.hm.mx_name, t.mx_name))
+                  ->
+                  Hashtbl.add rank_reported (h.hm.mx_name, t.mx_name) ();
+                  add_report
+                    {
+                      kind = Rank_violation;
+                      lock = t.mx_name;
+                      held = held_names held;
+                      cycle = [];
+                      message =
+                        Printf.sprintf
+                          "acquiring %S (rank %d) while holding %S (rank %d): \
+                           ranks must strictly increase along the acquisition \
+                           chain"
+                          t.mx_name r h.hm.mx_name hr;
+                      stack_now = stack;
+                      stack_prior = h.stack;
+                    }
+                | _ -> ())
+              held);
+          (* Order graph: held -> t, cycle check on each new edge. *)
+          List.iter
+            (fun h ->
+              let src = h.hm.mx_name and dst = t.mx_name in
+              if not (String.equal src dst) then begin
+                let succs =
+                  match Hashtbl.find_opt graph src with
+                  | Some s -> s
+                  | None ->
+                    let s = Hashtbl.create 4 in
+                    Hashtbl.add graph src s;
+                    s
+                in
+                if not (Hashtbl.mem succs dst) then begin
+                  (* Inserting src->dst closes a cycle iff dst already
+                     reaches src. *)
+                  (match find_path dst src with
+                  | Some path ->
+                    let prior =
+                      match Hashtbl.find_opt graph dst with
+                      | Some s -> (
+                        match path with
+                        | _ :: next :: _ ->
+                          Option.value ~default:""
+                            (Hashtbl.find_opt s next)
+                        | _ -> "")
+                      | None -> ""
+                    in
+                    add_report
+                      {
+                        kind = Would_deadlock;
+                        lock = dst;
+                        held = held_names held;
+                        (* [path] runs dst..src; appending dst closes
+                           the loop starting at the lock being taken. *)
+                        cycle = path @ [ dst ];
+                        message =
+                          Printf.sprintf
+                            "acquiring %S while holding %S inverts an \
+                             already-observed order: another thread \
+                             interleaving here deadlocks"
+                            dst src;
+                        stack_now = stack;
+                        stack_prior = prior;
+                      }
+                  | None -> ());
+                  Hashtbl.add succs dst stack
+                end
+              end)
+            held;
+          None
+        end)
+  in
+  match blocker with None -> () | Some r -> raise (Deadlock r)
+
+let post_acquire t stack =
+  locked_state (fun () ->
+      let tid = Thread.id (Thread.self ()) in
+      Hashtbl.replace held_by tid
+        ({ hm = t; since = Mtime_stub.now_ns (); stack } :: held_of tid))
+
+(* Remove [t] from the calling thread's held set; no-op when absent
+   (locked before the detector was enabled). *)
+let note_release t =
+  locked_state (fun () ->
+      let tid = Thread.id (Thread.self ()) in
+      let held = held_of tid in
+      match List.partition (fun h -> h.hm.id = t.id) held with
+      | [], _ -> ()
+      | h :: _, rest ->
+        Hashtbl.replace held_by tid rest;
+        emit
+          (Ev_released
+             {
+               lock = t.mx_name;
+               held_ns =
+                 Int64.to_float (Int64.sub (Mtime_stub.now_ns ()) h.since);
+             }))
+
+let slow_lock t =
+  let stack = capture_stack () in
+  pre_acquire t stack;
+  let t0 = Mtime_stub.now_ns () in
+  let contended = not (Raw_mutex.try_lock t.m) in
+  if contended then begin
+    emit (Ev_waiting { lock = t.mx_name; delta = 1 });
+    Raw_mutex.lock t.m;
+    emit (Ev_waiting { lock = t.mx_name; delta = -1 })
+  end;
+  emit
+    (Ev_acquired
+       {
+         lock = t.mx_name;
+         wait_ns = Int64.to_float (Int64.sub (Mtime_stub.now_ns ()) t0);
+         contended;
+       });
+  post_acquire t stack
+
+module Mutex = struct
+  type t = mutex
+
+  let create ?rank name =
+    { m = Raw_mutex.create (); mx_name = name; mx_rank = rank; id = next_id () }
+
+  let name t = t.mx_name
+  let rank t = t.mx_rank
+  let lock t = if !on then slow_lock t else Raw_mutex.lock t.m
+
+  let try_lock t =
+    if not !on then Raw_mutex.try_lock t.m
+    else begin
+      let stack = capture_stack () in
+      (* Re-entrant try_lock keeps the stdlib contract (returns false,
+         no hang possible) — the report is still recorded. *)
+      match pre_acquire t stack with
+      | exception Lockdep.Deadlock _ -> false
+      | () ->
+      if Raw_mutex.try_lock t.m then begin
+        emit (Ev_acquired { lock = t.mx_name; wait_ns = 0.0; contended = false });
+        post_acquire t stack;
+        true
+      end
+      else false
+    end
+
+  let unlock t =
+    if !on then note_release t;
+    Raw_mutex.unlock t.m
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+end
+
+module Condition = struct
+  type t = Raw_condition.t
+
+  let create () = Raw_condition.create ()
+
+  let wait c (m : Mutex.t) =
+    if not !on then Raw_condition.wait c m.m
+    else begin
+      (* The wait releases the mutex: take it out of the held set so
+         the signaller's acquisition is not recorded as nesting under
+         the waiter's, and re-add it when the wait returns (fresh hold
+         timestamp — the held-time histogram measures hold segments). *)
+      note_release m;
+      Raw_condition.wait c m.m;
+      post_acquire m (capture_stack ())
+    end
+
+  let signal = Raw_condition.signal
+  let broadcast = Raw_condition.broadcast
+end
+
+(* {2 Environment install}
+
+   Linking this unit into any binary makes HYPER_LOCKDEP=1 turn the
+   detector on at startup and fail the process at exit if any report
+   accumulated — the full test suite and the fuzz legs run under it in
+   CI without per-binary wiring. *)
+
+let () =
+  match Sys.getenv_opt "HYPER_LOCKDEP" with
+  | Some ("1" | "true" | "yes") ->
+    Lockdep.enable ();
+    at_exit (fun () ->
+        match Lockdep.reports () with
+        | [] -> ()
+        | rs ->
+          prerr_endline
+            (Printf.sprintf "HYPER_LOCKDEP: %d report(s):" (List.length rs));
+          List.iter (fun r -> prerr_string (report_to_string r)) rs;
+          exit 70)
+  | _ -> ()

@@ -40,3 +40,20 @@ let good_epoch = function Frame.Ping { epoch; lsn } -> epoch + lsn
 
 (* Page contents are read in place through the pin, not copied out. *)
 let first_byte (page : bytes) = Bytes.get page 0
+
+(* Locks come from the Sync wrapper with a declared rank. *)
+module Sync = Hyper_util.Sync
+
+let outer = Sync.Mutex.create ~rank:10 "fixture_clean.outer"
+let inner = Sync.Mutex.create ~rank:40 "fixture_clean.inner"
+
+(* Nested acquisition in ascending declared rank. *)
+let ordered () =
+  Sync.Mutex.with_lock outer (fun () ->
+      Sync.Mutex.with_lock inner (fun () -> ()))
+
+(* Snapshot under the lock, block outside it. *)
+let polite () =
+  let snapshot = Sync.Mutex.with_lock outer (fun () -> 42) in
+  Thread.delay 0.001;
+  snapshot

@@ -37,3 +37,23 @@ let bad_epoch = function Frame.Ping { epoch = _; lsn } -> lsn
   [@@lint.allow "epoch-check"]
 
 let copy_page (page : bytes) = (Bytes.copy page [@lint.allow "no-page-copy"])
+
+let raw_lock () = (Mutex.create () [@lint.allow "sync-wrapper-only"])
+
+module Sync = Hyper_util.Sync
+
+let outer = Sync.Mutex.create ~rank:10 "fixture_suppressed.outer"
+let inner = Sync.Mutex.create ~rank:40 "fixture_suppressed.inner"
+
+let backwards () =
+  Sync.Mutex.with_lock inner (fun () ->
+      (Sync.Mutex.with_lock outer (fun () -> ())
+      [@lint.allow "lock-order"]))
+
+(* no-blocking-under-mutex only accepts the reasoned payload form. *)
+let sleepy () =
+  Sync.Mutex.with_lock outer (fun () ->
+      (Thread.delay 0.01
+      [@lint.allow
+        "no-blocking-under-mutex: fixture — demonstrates the mandatory \
+         reasoned payload"]))

@@ -39,3 +39,21 @@ let bad_epoch = function
 
 (* no-page-copy: copying a pinned page buffer outside lib/storage. *)
 let copy_page (page : bytes) = Bytes.copy page
+
+(* sync-wrapper-only: a raw stdlib primitive dodges the Sync wrapper
+   (no lockdep, no metrics, no declared rank). *)
+let raw_lock () = Mutex.create ()
+
+(* Ranked Sync locks for the two concurrency plants below. *)
+module Sync = Hyper_util.Sync
+
+let outer = Sync.Mutex.create ~rank:10 "fixture.outer"
+let inner = Sync.Mutex.create ~rank:40 "fixture.inner"
+
+(* lock-order: the low-rank lock taken while a high-rank one is held. *)
+let backwards () =
+  Sync.Mutex.with_lock inner (fun () ->
+      Sync.Mutex.with_lock outer (fun () -> ()))
+
+(* no-blocking-under-mutex: sleeping inside the critical section. *)
+let sleepy () = Sync.Mutex.with_lock outer (fun () -> Thread.delay 0.01)

@@ -44,6 +44,9 @@ let expected_violations =
     ("monotonic-time", 29);
     ("epoch-check", 38);
     ("no-page-copy", 41);
+    ("sync-wrapper-only", 45);
+    ("lock-order", 56);
+    ("no-blocking-under-mutex", 59);
   ]
 
 let test_violations () =

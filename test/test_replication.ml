@@ -29,6 +29,13 @@ module Frame = Hyper_repl.Frame
 module Replica = Hyper_repl.Repl.Replica
 module Cluster = Hyper_repl.Repl.Cluster
 
+(* The whole battery runs under the lockdep deadlock detector: any
+   lock-order inversion across the replication threads is a failure
+   even if every assertion passes (checked after the run). *)
+module Lockdep = Hyper_util.Sync.Lockdep
+
+let () = Lockdep.enable ()
+
 let check = Alcotest.check
 let gen_seed = 42L
 let level = 3
@@ -432,3 +439,12 @@ let () =
           Alcotest.test_case "snapshot copy" `Quick test_catchup_snapshot;
         ] );
     ]
+
+(* Alcotest.run returns only when every test passed; a lockdep report
+   accumulated along the way still fails the binary. *)
+let () =
+  match Lockdep.reports () with
+  | [] -> ()
+  | rs ->
+    List.iter (fun r -> prerr_endline (Lockdep.report_to_string r)) rs;
+    exit 70

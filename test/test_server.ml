@@ -10,6 +10,13 @@ module Gen = Generator.Make (M)
 
 let check = Alcotest.check
 
+(* The whole battery runs under the lockdep deadlock detector: any
+   lock-order inversion the server threads perform during the run is a
+   failure even if every assertion passes (checked after the run). *)
+module Lockdep = Hyper_util.Sync.Lockdep
+
+let () = Lockdep.enable ()
+
 let sock_path name =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "hyper_srv_%d_%s.sock" (Unix.getpid ()) name)
@@ -285,3 +292,12 @@ let () =
             test_mid_txn_loss_is_not_retried;
         ] );
     ]
+
+(* Alcotest.run returns only when every test passed; a lockdep report
+   accumulated along the way still fails the binary. *)
+let () =
+  match Lockdep.reports () with
+  | [] -> ()
+  | rs ->
+    List.iter (fun r -> prerr_endline (Lockdep.report_to_string r)) rs;
+    exit 70

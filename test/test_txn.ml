@@ -7,6 +7,13 @@ open Hyper_txn
 
 let check = Alcotest.check
 
+(* The whole battery runs under the lockdep deadlock detector: any
+   lock-order inversion performed during the run is a failure even if
+   every assertion passes (checked after the run). *)
+module Lockdep = Hyper_util.Sync.Lockdep
+
+let () = Lockdep.enable ()
+
 (* --- Lock manager --- *)
 
 let test_shared_compatible () =
@@ -488,3 +495,12 @@ let () =
             test_multiuser_diskdb;
         ] );
     ]
+
+(* Alcotest.run returns only when every test passed; a lockdep report
+   accumulated along the way still fails the binary. *)
+let () =
+  match Lockdep.reports () with
+  | [] -> ()
+  | rs ->
+    List.iter (fun r -> prerr_endline (Lockdep.report_to_string r)) rs;
+    exit 70
