@@ -343,15 +343,36 @@ let run_net ~backend ~level ~path ~seed ~pool_pages ~remote ~cluster ~reps
               Printf.printf "draining...\n%!");
             Net.Server.drain ~grace_s:5.0 srv) }
 
+let cc_of_string s =
+  match String.lowercase_ascii s with
+  | "occ" -> Multiuser.Optimistic
+  | "2pl" -> Multiuser.Two_phase_locking
+  | "mvcc" -> Multiuser.Mvcc
+  | s -> failwith (Printf.sprintf "unknown mode %S (use occ, 2pl or mvcc)" s)
+
+let print_multiuser (r : Multiuser.result) =
+  Printf.printf
+    "%s  users=%d  attempted=%d  committed=%d  aborted=%d  retried-ok=%d\n\
+     wall=%.1f ms  throughput=%.0f txn/s\n"
+    (Multiuser.mode_to_string r.Multiuser.mode)
+    r.Multiuser.users r.Multiuser.txns_attempted r.Multiuser.committed
+    r.Multiuser.aborted r.Multiuser.retried_ok r.Multiuser.wall_ms
+    r.Multiuser.throughput_tps;
+  if r.Multiuser.readers > 0 then
+    Printf.printf "readers=%d  sweeps=%d  reader-aborts=%d\n"
+      r.Multiuser.readers r.Multiuser.reader_sweeps r.Multiuser.reader_aborts
+
 let cmd_run =
   let run backend level path seed pool_pages remote cluster reps ops fanout
-      trace metrics replicas durability json serve connect =
+      trace metrics replicas durability json serve connect cc =
     let module Obs = Hyper_obs.Obs in
     if metrics <> None then Obs.enable ();
     if replicas > 0 && backend <> Disk then
       failwith "--replicas requires -b diskdb";
     if (serve <> None || connect <> None) && replicas > 0 then
       failwith "--serve/--connect and --replicas are exclusive";
+    if cc <> None && (serve <> None || connect <> None || replicas > 0) then
+      failwith "--cc runs locally (not with --serve/--connect/--replicas)";
     if serve <> None || connect <> None then
       run_net ~backend ~level ~path ~seed ~pool_pages ~remote ~cluster ~reps
         ~ops ~fanout ~serve ~connect ~json
@@ -373,6 +394,18 @@ let cmd_run =
                holds exactly one tree per timed batch. *)
             if trace <> None then Obs.Span.set_tracing true;
             let ms = List.map (P.run_op ~config b layout) ids in
+            (* The small multiuser leg under the chosen concurrency
+               control runs before the trace/metrics dumps so its
+               counters (hyper_mvcc_*, lock waits) land in them. *)
+            let mu_result =
+              match cc with
+              | None -> None
+              | Some mode_s ->
+                let module M = Multiuser.Make (B) in
+                Some
+                  (M.run ~readers:2 b layout ~mode:(cc_of_string mode_s)
+                     ~users:4 ~txns_per_user:10 ~hot_fraction:0.5 ~seed)
+            in
             (match trace with
             | None -> ()
             | Some file ->
@@ -411,7 +444,10 @@ let cmd_run =
                       "HyperModel operations (%s, level %d, %d reps, ms/node)"
                       B.name level reps)
                  ~levels:[ level ] [ (level, ms) ]);
-            Printf.printf "io: %s\n" (B.io_description b)) }
+            Printf.printf "io: %s\n" (B.io_description b);
+            match mu_result with
+            | None -> ()
+            | Some r -> print_multiuser r) }
     end
   in
   let ops_arg =
@@ -457,6 +493,12 @@ let cmd_run =
                  $(docv).  Combined with --serve, starts an in-process \
                  server and runs the client against it over a real socket.")
   in
+  let cc_arg =
+    Arg.(value & opt (some string) None & info [ "cc" ] ~docv:"MODE"
+           ~doc:"After the timed ops, run a small multiuser leg under this \
+                 concurrency control (occ, 2pl or mvcc) with two concurrent \
+                 readers on the same database.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Generate a database and run benchmark operations (paper §6).")
@@ -464,7 +506,7 @@ let cmd_run =
       const run $ backend_arg $ level_arg $ path_arg $ seed_arg $ pool_arg
       $ remote_arg $ cluster_arg $ reps_arg $ ops_arg $ fanout_arg
       $ trace_arg $ metrics_arg $ replicas_arg $ durability_arg $ json_arg
-      $ serve_arg $ connect_arg)
+      $ serve_arg $ connect_arg $ cc_arg)
 
 (* --- query --- *)
 
@@ -498,28 +540,18 @@ let cmd_query =
 (* --- multiuser --- *)
 
 let cmd_multiuser =
-  let run level seed users txns hot mode_s =
-    let mode =
-      match mode_s with
-      | "occ" -> Multiuser.Optimistic
-      | "2pl" -> Multiuser.Two_phase_locking
-      | s -> failwith (Printf.sprintf "unknown mode %S (use occ or 2pl)" s)
-    in
+  let run level seed users txns hot mode_s readers =
+    let mode = cc_of_string mode_s in
     let module B = Hyper_memdb.Memdb in
     let b = B.create () in
     let module G = Generator.Make (B) in
     let layout, _ = G.generate b ~doc:1 ~leaf_level:level ~seed in
     let module M = Multiuser.Make (B) in
     let r =
-      M.run b layout ~mode ~users ~txns_per_user:txns ~hot_fraction:hot ~seed
+      M.run ~readers b layout ~mode ~users ~txns_per_user:txns
+        ~hot_fraction:hot ~seed
     in
-    Printf.printf
-      "%s  users=%d  attempted=%d  committed=%d  aborted=%d  retried-ok=%d\n\
-       wall=%.1f ms  throughput=%.0f txn/s\n"
-      (Multiuser.mode_to_string r.Multiuser.mode)
-      r.Multiuser.users r.Multiuser.txns_attempted r.Multiuser.committed
-      r.Multiuser.aborted r.Multiuser.retried_ok r.Multiuser.wall_ms
-      r.Multiuser.throughput_tps
+    print_multiuser r
   in
   let users_arg =
     Arg.(value & opt int 4 & info [ "users" ] ~docv:"N" ~doc:"User threads.")
@@ -533,15 +565,20 @@ let cmd_multiuser =
            ~doc:"Fraction of transactions on the shared hot subtree.")
   in
   let mode_arg =
-    Arg.(value & opt string "occ" & info [ "mode" ] ~docv:"MODE"
-           ~doc:"Concurrency control: occ or 2pl.")
+    Arg.(value & opt string "occ" & info [ "mode"; "cc" ] ~docv:"MODE"
+           ~doc:"Concurrency control: occ, 2pl or mvcc.")
+  in
+  let readers_arg =
+    Arg.(value & opt int 0 & info [ "readers" ] ~docv:"N"
+           ~doc:"Concurrent whole-structure reader threads (MVCC readers \
+                 hold no locks; 2PL readers take shared locks).")
   in
   Cmd.v
     (Cmd.info "multiuser"
        ~doc:"Multi-user update experiment (paper §7) on the memory backend.")
     Term.(
       const run $ level_arg $ seed_arg $ users_arg $ txns_arg $ hot_arg
-      $ mode_arg)
+      $ mode_arg $ readers_arg)
 
 (* --- bench --- *)
 
@@ -627,8 +664,28 @@ let bench_multiuser ~path ~level ~seed ~users ~txns ~baseline =
       in
       (r, fsyncs, groups))
 
+(* The T7 concurrency-control matrix: the same memdb update workload
+   under 2PL, OCC and MVCC, each with and without concurrent
+   whole-structure readers.  The interesting cell is writers-under-
+   readers: 2PL writers stall on the sweep's shared locks, MVCC writers
+   never see the (lock-free, snapshot-pinned) readers at all. *)
+let bench_t7_matrix ~level ~seed ~users ~txns =
+  let module B = Hyper_memdb.Memdb in
+  let module M = Multiuser.Make (B) in
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun readers ->
+          let b = B.create () in
+          let module G = Generator.Make (B) in
+          let layout, _ = G.generate b ~doc:1 ~leaf_level:level ~seed in
+          M.run ~readers b layout ~mode ~users ~txns_per_user:txns
+            ~hot_fraction:0.5 ~seed)
+        [ 0; 2 ])
+    [ Multiuser.Two_phase_locking; Multiuser.Optimistic; Multiuser.Mvcc ]
+
 let bench_json ~mode ~level ~seed ~reps ~users ~txns ~op_results
-    ~(mu : Multiuser.result) ~fsyncs ~groups =
+    ~(mu : Multiuser.result) ~fsyncs ~groups ~matrix =
   let module J = Hyper_util.Sjson in
   let ops_json =
     J.List
@@ -677,7 +734,26 @@ let bench_json ~mode ~level ~seed ~reps ~users ~txns ~op_results
                   else float_of_int fsyncs /. float_of_int mu.Multiuser.committed)
              );
              ("throughput_tps", J.Num mu.Multiuser.throughput_tps) ]
-          @ group_fields) ) ]
+          @ group_fields) );
+      ( "t7_matrix",
+        J.List
+          (List.map
+             (fun (r : Multiuser.result) ->
+               J.Obj
+                 [ ( "cc",
+                     J.Str
+                       (Printf.sprintf "%s/r%d"
+                          (Multiuser.mode_to_string r.Multiuser.mode)
+                          r.Multiuser.readers) );
+                   ("committed", J.Num (float_of_int r.Multiuser.committed));
+                   ("aborted", J.Num (float_of_int r.Multiuser.aborted));
+                   ("readers", J.Num (float_of_int r.Multiuser.readers));
+                   ( "reader_sweeps",
+                     J.Num (float_of_int r.Multiuser.reader_sweeps) );
+                   ( "reader_aborts",
+                     J.Num (float_of_int r.Multiuser.reader_aborts) );
+                   ("throughput_tps", J.Num r.Multiuser.throughput_tps) ])
+             matrix) ) ]
 
 let cmd_bench =
   let run level seed reps ops users txns baseline json =
@@ -695,10 +771,11 @@ let cmd_bench =
             let mu, fsyncs, groups =
               bench_multiuser ~path ~level ~seed ~users ~txns ~baseline
             in
+            let matrix = bench_t7_matrix ~level ~seed ~users:4 ~txns:25 in
             let mode = if baseline then "baseline" else "current" in
             let doc =
               bench_json ~mode ~level ~seed ~reps ~users ~txns ~op_results ~mu
-                ~fsyncs ~groups
+                ~fsyncs ~groups ~matrix
             in
             let s = Hyper_util.Sjson.to_string doc in
             (match json with
@@ -766,7 +843,8 @@ let diff_skip_fields =
   [ "op"; "clients"; "requests"; "wall_s"; "schema"; "level"; "reps";
     "seed"; "users"; "txns_per_user"; "fanout"; "write_fraction";
     "think_ms"; "committed"; "aborted"; "groups"; "group_members";
-    "mean_group_size"; "wal_fsyncs" ]
+    "mean_group_size"; "wal_fsyncs"; "readers"; "reader_sweeps";
+    "reader_aborts" ]
 
 let diff_higher_is_better name =
   let prefixed p =
@@ -859,6 +937,7 @@ let cmd_diff =
     in
     section ~name:"operations" ~key:"op";
     section ~name:"points" ~key:"clients";
+    section ~name:"t7_matrix" ~key:"cc";
     (match J.member "multiuser" a with
     | Some mu_a ->
       compare_objects ~label:"multiuser" mu_a (J.member "multiuser" b)

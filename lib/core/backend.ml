@@ -170,6 +170,19 @@ module type S = sig
   (** Persist a list of node references (closure results "should itself
       be storable in the database", §6). *)
 
+  (** {2 Snapshots} *)
+
+  val snapshot : t -> t option
+  (** A consistent, fully detached read-only view of the current
+      committed state, or [None] when the backend cannot produce one
+      cheaply (the disk and relational engines version pages, not
+      objects; the socket backend has no local state).  Must be called
+      outside a transaction.  The view is a first-class backend value:
+      reads on it are unaffected by later writes to the original, and
+      writing to it never affects the original.  The MVCC server uses
+      this to serve read-only snapshot sessions that bypass the engine
+      lease. *)
+
   (** {2 Introspection} *)
 
   val io_description : t -> string
@@ -186,3 +199,7 @@ type instance = Instance : (module S with type t = 'a) * 'a -> instance
 let instance_name (Instance ((module B), _)) = B.name
 
 let instance_description (Instance ((module B), _)) = B.description
+
+let instance_snapshot (Instance ((module B), b)) =
+  Option.map (fun s -> Instance ((module B : S with type t = B.t), s))
+    (B.snapshot b)

@@ -4,11 +4,12 @@ let m_retries =
   Hyper_obs.Obs.Counter.make "hyper_txn_retries_total"
     ~help:"aborted multiuser transactions that succeeded on retry"
 
-type mode = Two_phase_locking | Optimistic
+type mode = Two_phase_locking | Optimistic | Mvcc
 
 let mode_to_string = function
   | Two_phase_locking -> "2PL"
   | Optimistic -> "OCC"
+  | Mvcc -> "MVCC"
 
 type result = {
   mode : mode;
@@ -17,6 +18,9 @@ type result = {
   committed : int;
   aborted : int;
   retried_ok : int;
+  readers : int;
+  reader_sweeps : int;
+  reader_aborts : int;
   wall_ms : float;
   throughput_tps : float;
 }
@@ -33,9 +37,11 @@ module Make (B : Backend.S) = struct
     visit start;
     List.rev !acc
 
-  let run ?commit b layout ~mode ~users ~txns_per_user ~hot_fraction ~seed =
+  let run ?commit ?(readers = 0) b layout ~mode ~users ~txns_per_user
+      ~hot_fraction ~seed =
     if users < 1 then invalid_arg "Multiuser.run: users < 1";
     if txns_per_user < 1 then invalid_arg "Multiuser.run: txns_per_user < 1";
+    if readers < 0 then invalid_arg "Multiuser.run: readers < 0";
     if hot_fraction < 0.0 || hot_fraction > 1.0 then
       invalid_arg "Multiuser.run: hot_fraction outside [0, 1]";
     let db_mutex = Sync.Mutex.create ~rank:10 "core.multiuser.db" in
@@ -54,10 +60,32 @@ module Make (B : Backend.S) = struct
     in
     let occ = Hyper_txn.Occ.create () in
     let locks = Hyper_txn.Lock_manager.create ~timeout_ms:50.0 () in
+    (* The MVCC layer: committed [hundred] images keyed by oid.  Under
+       [Mvcc], writers validate and install here (first-committer-wins)
+       and readers pin snapshots here — never touching the lock manager
+       or, for reads, the database mutex. *)
+    let vs = Hyper_txn.Version_store.create () in
+    let all_oids =
+      let acc = ref [] in
+      Layout.iter_oids layout (fun oid -> acc := oid :: !acc);
+      List.rev !acc
+    in
+    (match mode with
+    | Mvcc ->
+      (* Seed the version store with the committed state so snapshot
+         reads resolve every oid without falling back to the backend. *)
+      List.iter
+        (fun oid ->
+          ignore (Hyper_txn.Version_store.put vs ~key:oid (B.hundred b oid)
+                   : int))
+        all_oids
+    | Two_phase_locking | Optimistic -> ());
     let committed = ref 0
     and aborted = ref 0
     and retried_ok = ref 0
-    and attempted = ref 0 in
+    and attempted = ref 0
+    and sweeps = ref 0
+    and reader_aborted = ref 0 in
     let counter_mutex = Sync.Mutex.create ~rank:40 "core.multiuser.counters" in
     let bump r n =
       Sync.Mutex.lock counter_mutex;
@@ -125,6 +153,42 @@ module Make (B : Backend.S) = struct
         Hyper_txn.Lock_manager.release_all locks ~txn:user;
         false
     in
+    let attempt_mvcc start =
+      let txn = Hyper_txn.Version_store.begin_rw vs in
+      let oids = with_db (fun () -> subtree b start) in
+      let writes =
+        List.map
+          (fun oid ->
+            let h =
+              match Hyper_txn.Version_store.txn_get txn ~key:oid with
+              | Some h -> h
+              | None -> 0 (* every oid is preloaded; unreachable *)
+            in
+            let v = 99 - h in
+            Hyper_txn.Version_store.txn_put txn ~key:oid v;
+            (oid, v))
+          oids
+      in
+      Thread.yield ();
+      (* Validate-and-install AND the backend apply happen inside the
+         database mutex, so the backend's apply order is exactly the
+         version store's commit order (lock ranks 10 then 20 — legal).
+         The durability wait still runs outside it. *)
+      let wait =
+        with_db (fun () ->
+            match Hyper_txn.Version_store.commit txn with
+            | Hyper_txn.Version_store.Conflict _ -> None
+            | Hyper_txn.Version_store.Committed _ ->
+              B.begin_txn b;
+              List.iter (fun (oid, v) -> B.set_hundred b oid v) writes;
+              Some (commit_fn ()))
+      in
+      match wait with
+      | None -> false
+      | Some wait ->
+        wait ();
+        true
+    in
     let worker user =
       Thread.create
         (fun () ->
@@ -137,6 +201,7 @@ module Make (B : Backend.S) = struct
               match mode with
               | Optimistic -> attempt_occ start
               | Two_phase_locking -> attempt_2pl ~user start
+              | Mvcc -> attempt_mvcc start
             in
             if run_once () then bump committed 1
             else begin
@@ -153,16 +218,104 @@ module Make (B : Backend.S) = struct
           done)
         ()
     in
+    (* Reader threads sweep the whole structure concurrently with the
+       writers, using the read path the mode dictates:
+       - [Mvcc]: a pinned snapshot over the version store — no lock
+         manager, no database mutex; writers never wait for it;
+       - [Two_phase_locking]: shared locks on every node (negative txn
+         ids keep them distinct from writers), a timeout aborts the
+         sweep — and meanwhile writers time out against the sweep;
+       - [Optimistic]: reads noted in an OCC transaction validated at
+         the end; a concurrent writer invalidates the sweep. *)
+    let stop = ref false in
+    (* Simulated per-node processing: the sweep is a {e long-running}
+       read transaction.  The sleep releases the runtime lock so the
+       writers actually run mid-sweep, while whatever read protection
+       the mode uses stays in force for milliseconds at a time — which
+       is what makes the configurations diverge: a 2PL sweep holds its
+       shared locks across the sleeps, an MVCC sweep holds nothing.
+       The same think time applies to every mode — only the protection
+       differs. *)
+    let think i = if i land 31 = 0 then Thread.delay 0.0002 in
+    let reader_sweep_mvcc () =
+      let snap = Hyper_txn.Version_store.begin_snapshot vs in
+      let sum = ref 0 in
+      List.iteri
+        (fun i oid ->
+          think i;
+          match Hyper_txn.Version_store.snapshot_get snap ~key:oid with
+          | Some h -> sum := !sum + h
+          | None -> ())
+        all_oids;
+      Hyper_txn.Version_store.release snap;
+      Sys.opaque_identity !sum >= 0
+    in
+    let reader_sweep_2pl ~rid =
+      match
+        List.iter
+          (fun oid ->
+            Hyper_txn.Lock_manager.acquire locks ~txn:rid ~resource:oid
+              Hyper_txn.Lock_manager.Shared)
+          all_oids
+      with
+      | () ->
+        List.iteri
+          (fun i oid ->
+            think i;
+            ignore (with_db (fun () -> B.hundred b oid) : int))
+          all_oids;
+        Hyper_txn.Lock_manager.release_all locks ~txn:rid;
+        true
+      | exception Hyper_txn.Lock_manager.Timeout _ ->
+        Hyper_txn.Lock_manager.release_all locks ~txn:rid;
+        false
+    in
+    let reader_sweep_occ () =
+      let txn = Hyper_txn.Occ.begin_txn occ in
+      List.iteri
+        (fun i oid ->
+          think i;
+          Hyper_txn.Occ.note_read txn oid;
+          ignore (with_db (fun () -> B.hundred b oid) : int))
+        all_oids;
+      Hyper_txn.Occ.commit txn
+    in
+    let reader i =
+      Thread.create
+        (fun () ->
+          let rid = -i in
+          while not !stop do
+            let ok =
+              match mode with
+              | Mvcc -> reader_sweep_mvcc ()
+              | Two_phase_locking -> reader_sweep_2pl ~rid
+              | Optimistic -> reader_sweep_occ ()
+            in
+            if ok then bump sweeps 1 else bump reader_aborted 1;
+            Thread.yield ()
+          done)
+        ()
+    in
+    let reader_threads = List.init readers (fun i -> reader (i + 1)) in
+    (* Let the readers establish themselves (pin a snapshot, or acquire
+       their shared locks) before the writer clock starts: the point of
+       the reader configurations is writers running {e against} an
+       in-progress sweep, not racing one that has not begun. *)
+    if readers > 0 then Thread.delay 0.01;
     (* Monotonic wall clock: an NTP step mid-run must not skew the
-       reported throughput. *)
+       reported throughput.  Readers run outside the timed window's
+       control — the clock covers the writers only. *)
     let t0 = Mtime_stub.now_ns () in
     let threads = List.init users (fun i -> worker (i + 1)) in
     List.iter Thread.join threads;
     let wall_ms =
       Int64.to_float (Int64.sub (Mtime_stub.now_ns ()) t0) /. 1e6
     in
+    stop := true;
+    List.iter Thread.join reader_threads;
     { mode; users; txns_attempted = !attempted; committed = !committed;
-      aborted = !aborted; retried_ok = !retried_ok; wall_ms;
+      aborted = !aborted; retried_ok = !retried_ok; readers;
+      reader_sweeps = !sweeps; reader_aborts = !reader_aborted; wall_ms;
       throughput_tps =
         (if wall_ms <= 0.0 then 0.0
          else float_of_int !committed /. (wall_ms /. 1000.0)) }

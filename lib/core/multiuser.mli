@@ -8,19 +8,23 @@
     single hot subtree, the rest use a per-user private subtree (the
     cooperative, conflict-free case R9 asks for).
 
-    Two concurrency-control modes mirror the era's designs:
+    Three concurrency-control modes mirror the era's designs:
     - [Optimistic]: read/write sets are validated at commit
       ({!Hyper_txn.Occ}); losers abort and are counted — the behaviour
       the paper observed ("it is a problem to define update operations
       that do not conflict");
     - [Two_phase_locking]: exclusive locks on every node, timeout counts
-      as an abort.
+      as an abort;
+    - [Mvcc]: snapshot-isolation over {!Hyper_txn.Version_store} —
+      writers validate first-committer-wins against their read
+      timestamp, readers pin a snapshot and never take a lock, so
+      read-only sweeps cannot block writers (and vice versa).
 
     Backend calls are serialised by an internal mutex (the backends are
     single-writer); what is measured is the concurrency-control
     behaviour, not parallel I/O. *)
 
-type mode = Two_phase_locking | Optimistic
+type mode = Two_phase_locking | Optimistic | Mvcc
 
 val mode_to_string : mode -> string
 
@@ -31,6 +35,9 @@ type result = {
   committed : int;
   aborted : int;
   retried_ok : int; (** aborted transactions that succeeded on retry *)
+  readers : int; (** concurrent whole-structure reader threads *)
+  reader_sweeps : int; (** completed read sweeps across all readers *)
+  reader_aborts : int; (** sweeps aborted (lock timeout / validation) *)
   wall_ms : float;
   throughput_tps : float; (** committed transactions per wall second *)
 }
@@ -38,6 +45,7 @@ type result = {
 module Make (B : Backend.S) : sig
   val run :
     ?commit:(unit -> unit -> unit) ->
+    ?readers:int ->
     B.t ->
     Layout.t ->
     mode:mode ->
@@ -56,6 +64,12 @@ module Make (B : Backend.S) : sig
       concurrent committers coalesce into one barrier.  Default:
       [B.commit] with a no-op wait.
 
-      @raise Invalid_argument when [users < 1], [txns_per_user < 1] or
-      [hot_fraction] outside [0, 1]. *)
+      [readers] (default 0) starts that many threads sweeping every node
+      of the structure for the whole run, using the mode's read path:
+      shared locks under [Two_phase_locking], validated reads under
+      [Optimistic], a pinned lock-free snapshot under [Mvcc].  The wall
+      clock and throughput cover the writers only.
+
+      @raise Invalid_argument when [users < 1], [txns_per_user < 1],
+      [readers < 0] or [hot_fraction] outside [0, 1]. *)
 end

@@ -714,6 +714,10 @@ let io_counters t =
     wal_bytes = Engine.wal_bytes t.engine; object_hits = t.cache_hits;
     object_misses = t.cache_misses }
 
+(* State lives in pages behind the buffer pool and WAL; cloning would
+   mean copying the whole file, not a cheap in-memory fork. *)
+let snapshot _ = None
+
 let io_description t =
   let c = io_counters t in
   Printf.sprintf

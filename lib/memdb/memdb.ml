@@ -446,6 +446,40 @@ let stored_result t i =
   if i < 0 || i >= t.result_count then invalid_arg "Memdb.stored_result";
   List.nth t.results (t.result_count - 1 - i)
 
+(* --- snapshots --- *)
+
+let copy_node n =
+  (* Lists and strings are immutable and safe to share; the record, the
+     dyn table and the bitmap are mutable and must not alias. *)
+  { n with form = Option.map Bitmap.copy n.form; dyn = Hashtbl.copy n.dyn }
+
+let copy_doc_state d =
+  let hundred_index = Hashtbl.create (Hashtbl.length d.hundred_index) in
+  Hashtbl.iter (fun v r -> Hashtbl.add hundred_index v (ref !r)) d.hundred_index;
+  { uid_to_oid = Hashtbl.copy d.uid_to_oid;
+    member_order = d.member_order;
+    member_count = d.member_count;
+    hundred_index;
+    (* The map is immutable and its payloads are immutable oid lists. *)
+    million_index = d.million_index }
+
+let snapshot t =
+  (* Deep copy of every mutable cell: the whole database is a handful
+     of enumerable heap structures, which is exactly the cheap-clone
+     property the MVCC server leans on for read-only snapshot
+     sessions.  Undefined inside a transaction (the undo log aliases
+     live nodes), so refuse rather than alias. *)
+  if t.in_txn then None
+  else begin
+    let nodes = Hashtbl.create (Hashtbl.length t.nodes) in
+    Hashtbl.iter (fun oid n -> Hashtbl.add nodes oid (copy_node n)) t.nodes;
+    let docs = Hashtbl.create (Hashtbl.length t.docs) in
+    Hashtbl.iter (fun doc d -> Hashtbl.add docs doc (copy_doc_state d)) t.docs;
+    Some
+      { nodes; docs; results = t.results; result_count = t.result_count;
+        in_txn = false; undo = []; op_count = 0 }
+  end
+
 (* --- introspection --- *)
 
 let io_description t =

@@ -191,6 +191,16 @@ let call t ops =
       await t (submit t ops)
     end
 
+let snapshot t ~active =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  send_all t (Wire.encode_request (Wire.Snapshot { rid; active }));
+  match read_response t with
+  | Wire.Results { rid = got; _ } when got = rid -> ()
+  | Wire.Results _ | Wire.Pong _ -> lost t "out-of-order snapshot reply"
+  | Wire.Fault { code; message; _ } -> raise (Server_fault (code, message))
+  | Wire.Welcome _ -> lost t "unexpected Welcome mid-stream"
+
 let ping t =
   let rid = t.next_rid in
   t.next_rid <- rid + 1;

@@ -59,6 +59,17 @@ val in_txn : t -> bool
     (tracked client-side from [Begin]/[Commit]/[Abort] in the op
     stream). *)
 
+val snapshot : t -> active:bool -> unit
+(** Toggle snapshot mode on the session.  With [active:true] the server
+    pins a consistent read-only view of the committed state; subsequent
+    batches on this connection read the view without taking the engine
+    lease (they proceed while a writer session holds it), and any
+    mutation or transaction-control op in them returns
+    [Raised "Snapshot_read_only"].  With [active:false] the view is
+    dropped and the session reads live state again.
+    @raise Server_fault with [F_bad_op] when the served backend cannot
+    produce a detached view or the session is inside a transaction. *)
+
 val ping : t -> unit
 val close : t -> unit
 (** Sends [Bye] (best-effort) and closes the socket.  Idempotent. *)

@@ -214,6 +214,9 @@ let store_result_list t l = unit_ t (Trace.Store_results l)
 
 (* {2 Introspection} *)
 
+(* The state lives on the server; there is nothing local to clone. *)
+let snapshot _ = None
+
 let io_description t =
   Printf.sprintf "wire: %d requests, %d remote ops" t.requests t.remote_ops
 
@@ -268,6 +271,7 @@ let instance t =
         let iter_doc = iter_doc
         let node_count = node_count
         let store_result_list = store_result_list
+        let snapshot = snapshot
         let io_description = io_description
         let reset_io = reset_io
       end : Backend.S with type t = t),

@@ -19,6 +19,8 @@ type session = {
   dec : Wire.request Wire.Decoder.t;
   mutable in_txn : bool;
   mutable holds_lease : bool;
+  mutable snap : Backend.instance option;
+      (* snapshot mode: batches read this detached view, lease-free *)
   mutable closing : bool;
   mutable thread : Thread.t option;
 }
@@ -82,29 +84,89 @@ let rollback t sess =
   end;
   release_lease t sess
 
-let exec_batch t sess rid ops =
-  if not sess.holds_lease then begin
-    Sync.Mutex.lock t.engine;
-    sess.holds_lease <- true
-  end;
+(* Snapshot mode: the batch reads the session's detached view and never
+   touches the engine lease — a pipelined snapshot read proceeds while
+   another session's writer transaction holds it.  Anything that could
+   change state (or pretends to: transaction control) is refused. *)
+let exec_snapshot_batch t snap rid ops =
   let t0 = Hyper_util.Mtime_stub.now_ns () in
   let outcomes =
     List.map
       (fun op ->
-        let o = Trace.apply ~reraise:t.reraise ~layout:t.layout t.instance op in
-        (match (op, o) with
-        | Trace.Begin, Trace.Done _ -> sess.in_txn <- true
-        | (Trace.Commit | Trace.Abort), _ -> sess.in_txn <- false
-        | _ -> ());
-        o)
+        match op with
+        | Trace.Begin | Trace.Commit | Trace.Abort ->
+          Trace.Raised "Snapshot_read_only"
+        | op when Trace.is_mutation op -> Trace.Raised "Snapshot_read_only"
+        | op -> Trace.apply ~reraise:t.reraise ~layout:t.layout snap op)
       ops
   in
   Obs.Counter.incr m_requests;
   Obs.Counter.add m_ops (List.length ops);
   Obs.Histogram.observe m_batch_ns
     (Int64.to_float (Int64.sub (Hyper_util.Mtime_stub.now_ns ()) t0));
-  if not sess.in_txn then release_lease t sess;
   Wire.Results { rid; outcomes }
+
+let exec_batch t sess rid ops =
+  match sess.snap with
+  | Some snap -> exec_snapshot_batch t snap rid ops
+  | None ->
+    if not sess.holds_lease then begin
+      Sync.Mutex.lock t.engine;
+      sess.holds_lease <- true
+    end;
+    let t0 = Hyper_util.Mtime_stub.now_ns () in
+    let outcomes =
+      List.map
+        (fun op ->
+          let o =
+            Trace.apply ~reraise:t.reraise ~layout:t.layout t.instance op
+          in
+          (match (op, o) with
+          | Trace.Begin, Trace.Done _ -> sess.in_txn <- true
+          | (Trace.Commit | Trace.Abort), _ -> sess.in_txn <- false
+          | _ -> ());
+          o)
+        ops
+    in
+    Obs.Counter.incr m_requests;
+    Obs.Counter.add m_ops (List.length ops);
+    Obs.Histogram.observe m_batch_ns
+      (Int64.to_float (Int64.sub (Hyper_util.Mtime_stub.now_ns ()) t0));
+    if not sess.in_txn then release_lease t sess;
+    Wire.Results { rid; outcomes }
+
+let take_snapshot t sess rid =
+  if sess.in_txn then begin
+    Obs.Counter.incr m_faults;
+    Wire.Fault
+      {
+        rid;
+        code = Wire.F_bad_op;
+        message = "snapshot: session is inside a transaction";
+      }
+  end
+  else begin
+    (* Hold the lease only for the clone itself, so the view cannot
+       interleave with another session's in-flight batch; it is
+       released before any snapshot read runs. *)
+    Sync.Mutex.lock t.engine;
+    let snap = Backend.instance_snapshot t.instance in
+    Sync.Mutex.unlock t.engine;
+    match snap with
+    | None ->
+      Obs.Counter.incr m_faults;
+      Wire.Fault
+        {
+          rid;
+          code = Wire.F_bad_op;
+          message =
+            Printf.sprintf "snapshot: backend %s cannot produce a detached view"
+              (Backend.instance_name t.instance);
+        }
+    | Some view ->
+      sess.snap <- Some view;
+      Wire.Results { rid; outcomes = [ Trace.Done Trace.V_unit ] }
+  end
 
 let handle_request t sess = function
   | Wire.Hello { client = _; protocol } ->
@@ -130,6 +192,12 @@ let handle_request t sess = function
              protocol = Wire.protocol_version;
            })
   | Wire.Ping { rid } -> Some (Wire.Pong { rid })
+  | Wire.Snapshot { rid; active } ->
+    if active then Some (take_snapshot t sess rid)
+    else begin
+      sess.snap <- None;
+      Some (Wire.Results { rid; outcomes = [ Trace.Done Trace.V_unit ] })
+    end
   | Wire.Bye ->
     sess.closing <- true;
     None
@@ -259,6 +327,7 @@ let accept_loop t =
                dec = Wire.Decoder.create_request ~max_frame:t.max_frame ();
                in_txn = false;
                holds_lease = false;
+               snap = None;
                closing = false;
                thread = None;
              }

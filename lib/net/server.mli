@@ -13,6 +13,18 @@
     transaction closes, so per-session transactions are serialisable by
     construction and never interleave.
 
+    {2 Snapshot sessions (MVCC reads)}
+
+    A [Snapshot] request pins a detached read-only view of the committed
+    state ({!Hyper_core.Backend.S.snapshot} — the lease is held only for
+    the clone itself).  While the view is active, the session's batches
+    execute against it {e without taking the lease}: pipelined snapshot
+    reads proceed while another session's open transaction holds it —
+    readers never block writers.  Mutations and [Begin]/[Commit]/[Abort]
+    in a snapshot batch return [Raised "Snapshot_read_only"]; backends
+    that cannot clone (disk, relational, remote) answer the [Snapshot]
+    request itself with an [F_bad_op] fault.
+
     {2 Session lifecycle}
 
     A client disconnect (EOF, reset) while a transaction is open rolls

@@ -14,6 +14,7 @@ type request =
   | Hello of { client : string; protocol : int }
   | Ops of { rid : int; ops : Trace.op list }
   | Ping of { rid : int }
+  | Snapshot of { rid : int; active : bool }
   | Bye
 
 type fault_code = F_bad_frame | F_bad_op | F_draining | F_internal
@@ -221,6 +222,7 @@ let k_hello = 1
 and k_ops = 2
 and k_ping = 3
 and k_bye = 4
+and k_snapshot = 5
 and k_welcome = 129
 and k_results = 130
 and k_fault = 131
@@ -242,6 +244,10 @@ let encode_request r =
     | Ping { rid } ->
       add_int buf rid;
       k_ping
+    | Snapshot { rid; active } ->
+      add_int buf rid;
+      add_bool buf active;
+      k_snapshot
     | Bye -> k_bye
   in
   frame ~kind (Buffer.to_bytes buf)
@@ -301,6 +307,11 @@ let parse_request ~kind body =
     Ops { rid; ops }
   end
   else if kind = k_ping then Ping { rid = read_int body pos }
+  else if kind = k_snapshot then begin
+    let rid = read_int body pos in
+    let active = read_bool body pos in
+    Snapshot { rid; active }
+  end
   else if kind = k_bye then Bye
   else fail "kind %d is not a request" kind
 
@@ -409,8 +420,8 @@ module Decoder = struct
           in
           let known =
             List.mem kind
-              [ k_hello; k_ops; k_ping; k_bye; k_welcome; k_results; k_fault;
-                k_pong ]
+              [ k_hello; k_ops; k_ping; k_bye; k_snapshot; k_welcome;
+                k_results; k_fault; k_pong ]
           in
           if (not known) || wrong_side then poison t (Unknown_kind kind)
           else begin

@@ -45,6 +45,16 @@ type request =
           Clients assign [rid]s monotonically; the server replies in
           request order. *)
   | Ping of { rid : int }
+  | Snapshot of { rid : int; active : bool }
+      (** Toggle snapshot mode on the session.  [active = true] pins a
+          consistent read-only view of the committed state; subsequent
+          [Ops] batches read the view without taking the engine lease,
+          so they proceed while another session holds it.  Mutations and
+          transaction control inside a snapshot raise
+          [Snapshot_read_only].  [active = false] drops the view.  The
+          server replies [Results] with one [Done V_unit], or [Fault]
+          with [F_bad_op] when the backend cannot snapshot or the
+          session is inside a transaction. *)
   | Bye  (** Orderly goodbye; the server closes after its in-flight
              replies. *)
 

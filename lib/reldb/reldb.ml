@@ -680,6 +680,9 @@ let io_counters t =
     pool_evictions = bs.Buffer_pool.evictions;
     wal_bytes = Engine.wal_bytes t.engine }
 
+(* Rows live in paged heaps and B+trees; no cheap in-memory fork. *)
+let snapshot _ = None
+
 let io_description t =
   let c = io_counters t in
   Printf.sprintf "pager r/w %d/%d; pool hit/miss/evict %d/%d/%d" c.pager_reads

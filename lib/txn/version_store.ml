@@ -1,65 +1,313 @@
+module Obs = Hyper_obs.Obs
+module Sync = Hyper_util.Sync
+
+let m_snapshots =
+  Obs.Counter.make "hyper_mvcc_snapshots_total"
+    ~help:"snapshot read views and read-write transactions opened"
+
+let m_commits =
+  Obs.Counter.make "hyper_mvcc_commits_total"
+    ~help:"MVCC commits that passed first-committer-wins validation"
+
+let m_conflicts =
+  Obs.Counter.make "hyper_mvcc_conflicts_total"
+    ~help:"MVCC commits aborted by first-committer-wins validation"
+
+let m_gc_pruned =
+  Obs.Counter.make "hyper_mvcc_gc_pruned_total"
+    ~help:"versions dropped below the oldest-active-snapshot watermark"
+
+let h_chain_len =
+  Obs.Histogram.make "hyper_mvcc_chain_length"
+    ~help:"version-chain length at install time"
+
 type 'a t = {
+  mutex : Sync.Mutex.t;
   mutable clock : int;
   chains : (int, (int * 'a) list) Hashtbl.t; (* newest first *)
   variant_chains : (int * string, (int * 'a) list) Hashtbl.t;
+  active : (int, int) Hashtbl.t; (* pin id -> read_ts *)
+  mutable next_pin : int;
+  retain : int;
+  gc_every : int;
+  mutable installs_since_gc : int;
 }
 
-let create () =
-  { clock = 0; chains = Hashtbl.create 256; variant_chains = Hashtbl.create 16 }
+let create ?(retain = 8) ?(gc_every = 256) () =
+  if retain < 1 then invalid_arg "Version_store.create: retain < 1";
+  if gc_every < 0 then invalid_arg "Version_store.create: gc_every < 0";
+  { mutex = Sync.Mutex.create ~rank:20 "txn.version_store";
+    clock = 0; chains = Hashtbl.create 256;
+    variant_chains = Hashtbl.create 16; active = Hashtbl.create 16;
+    next_pin = 1; retain; gc_every; installs_since_gc = 0 }
 
-let now t = t.clock
+let with_lock t f = Sync.Mutex.with_lock t.mutex f
+
+let now t = with_lock t (fun () -> t.clock)
 
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
+(* --- GC (called with the mutex held) --- *)
+
+let watermark_locked t =
+  Hashtbl.fold (fun _ ts acc -> min ts acc) t.active t.clock
+
+(* Keep every version newer than the watermark, the newest one
+   at-or-below it (the image a watermark-aged snapshot reads), and at
+   least [retain] newest versions overall so the R5 history operations
+   keep working after churn. *)
+let prune_chain ~retain ~wm chain =
+  let rec split kept n = function
+    | [] -> (List.rev kept, [])
+    | (ts, _) :: _ as tail when ts <= wm ->
+      (* [tail]'s head is the watermark image; keep it plus enough of
+         the tail to satisfy the retain floor. *)
+      let keep_tail = max 1 (retain - n) in
+      let rec take k = function
+        | [] -> []
+        | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+      in
+      (List.rev kept, take keep_tail tail)
+    | v :: rest -> split (v :: kept) (n + 1) rest
+  in
+  let newer, tail = split [] 0 chain in
+  newer @ tail
+
+let gc_locked t =
+  let wm = watermark_locked t in
+  let pruned = ref 0 in
+  let prune_tbl tbl =
+    (* Sorted replacement order: GC effects are reproducible run to
+       run, not hash-bucket order. *)
+    let replacements =
+      List.sort
+        (fun (a, _) (b, _) -> Stdlib.compare a b)
+        (Hashtbl.fold
+           (fun key chain acc ->
+             let kept = prune_chain ~retain:t.retain ~wm chain in
+             let dropped = List.length chain - List.length kept in
+             if dropped > 0 then begin
+               pruned := !pruned + dropped;
+               (key, kept) :: acc
+             end
+             else acc)
+           tbl [])
+    in
+    List.iter (fun (key, kept) -> Hashtbl.replace tbl key kept) replacements
+  in
+  prune_tbl t.chains;
+  prune_tbl t.variant_chains;
+  t.installs_since_gc <- 0;
+  if !pruned > 0 then Obs.Counter.add m_gc_pruned !pruned;
+  !pruned
+
+let note_install t chain_len =
+  if Obs.enabled () then
+    Obs.Histogram.observe h_chain_len (float_of_int chain_len);
+  t.installs_since_gc <- t.installs_since_gc + 1;
+  if t.gc_every > 0 && t.installs_since_gc >= t.gc_every then
+    ignore (gc_locked t : int)
+
+let gc t = with_lock t (fun () -> gc_locked t)
+
+let watermark t = with_lock t (fun () -> watermark_locked t)
+
+(* --- R5 chain operations --- *)
+
 let put t ~key v =
-  let ts = tick t in
-  let chain = Option.value ~default:[] (Hashtbl.find_opt t.chains key) in
-  Hashtbl.replace t.chains key ((ts, v) :: chain);
-  ts
+  with_lock t (fun () ->
+      let ts = tick t in
+      let chain = Option.value ~default:[] (Hashtbl.find_opt t.chains key) in
+      Hashtbl.replace t.chains key ((ts, v) :: chain);
+      note_install t (List.length chain + 1);
+      ts)
+
+let chain_of t ~key =
+  with_lock t (fun () ->
+      Option.value ~default:[] (Hashtbl.find_opt t.chains key))
 
 let latest t ~key =
-  match Hashtbl.find_opt t.chains key with
-  | Some ((_, v) :: _) -> Some v
-  | Some [] | None -> None
+  match chain_of t ~key with (_, v) :: _ -> Some v | [] -> None
 
 let previous t ~key =
-  match Hashtbl.find_opt t.chains key with
-  | Some (_ :: (_, v) :: _) -> Some v
-  | Some _ | None -> None
+  match chain_of t ~key with _ :: (_, v) :: _ -> Some v | _ -> None
 
-let as_of t ~key ~time =
-  match Hashtbl.find_opt t.chains key with
-  | None -> None
-  | Some chain ->
-    let rec find = function
-      | [] -> None
-      | (ts, v) :: rest -> if ts <= time then Some v else find rest
-    in
-    find chain
+let find_as_of chain time =
+  let rec find = function
+    | [] -> None
+    | (ts, v) :: rest -> if ts <= time then Some v else find rest
+  in
+  find chain
 
-let version_count t ~key =
-  match Hashtbl.find_opt t.chains key with
-  | None -> 0
-  | Some chain -> List.length chain
+let as_of t ~key ~time = find_as_of (chain_of t ~key) time
 
-let history t ~key = Option.value ~default:[] (Hashtbl.find_opt t.chains key)
+let version_count t ~key = List.length (chain_of t ~key)
+
+let history t ~key = chain_of t ~key
+
+let keys t =
+  with_lock t (fun () ->
+      List.sort Int.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.chains []))
+
+(* --- variants --- *)
 
 let put_variant t ~key ~variant v =
-  let ts = tick t in
-  let k = (key, variant) in
-  let chain = Option.value ~default:[] (Hashtbl.find_opt t.variant_chains k) in
-  Hashtbl.replace t.variant_chains k ((ts, v) :: chain);
-  ts
+  with_lock t (fun () ->
+      let ts = tick t in
+      let k = (key, variant) in
+      let chain =
+        Option.value ~default:[] (Hashtbl.find_opt t.variant_chains k)
+      in
+      Hashtbl.replace t.variant_chains k ((ts, v) :: chain);
+      note_install t (List.length chain + 1);
+      ts)
 
 let latest_variant t ~key ~variant =
-  match Hashtbl.find_opt t.variant_chains (key, variant) with
-  | Some ((_, v) :: _) -> Some v
-  | Some [] | None -> None
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.variant_chains (key, variant) with
+      | Some ((_, v) :: _) -> Some v
+      | Some [] | None -> None)
 
 let variants t ~key =
-  Hashtbl.fold
-    (fun (k, name) _ acc -> if k = key then name :: acc else acc)
-    t.variant_chains []
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun (k, name) _ acc -> if Int.equal k key then name :: acc else acc)
+        t.variant_chains [])
   |> List.sort_uniq String.compare
+
+(* --- pins (snapshots and read-write transactions) --- *)
+
+let pin_locked t =
+  let id = t.next_pin in
+  t.next_pin <- id + 1;
+  Hashtbl.replace t.active id t.clock;
+  Obs.Counter.incr m_snapshots;
+  (id, t.clock)
+
+let unpin t id = with_lock t (fun () -> Hashtbl.remove t.active id)
+
+let active_snapshots t = with_lock t (fun () -> Hashtbl.length t.active)
+
+type 'a snapshot = {
+  s_store : 'a t;
+  s_id : int;
+  s_ts : int;
+  mutable s_released : bool;
+}
+
+let begin_snapshot t =
+  let id, ts = with_lock t (fun () -> pin_locked t) in
+  { s_store = t; s_id = id; s_ts = ts; s_released = false }
+
+let snapshot_ts s = s.s_ts
+
+let snapshot_get s ~key =
+  if s.s_released then invalid_arg "Version_store: snapshot released";
+  (* One brief lock to fetch the chain head; the traversal below walks
+     an immutable list and cannot observe or block a concurrent
+     commit. *)
+  find_as_of (chain_of s.s_store ~key) s.s_ts
+
+let release s =
+  if not s.s_released then begin
+    s.s_released <- true;
+    unpin s.s_store s.s_id
+  end
+
+(* --- first-committer-wins commit --- *)
+
+type commit_result = Committed of int | Conflict of int list
+
+let newest_ts chain = match chain with (ts, _) :: _ -> ts | [] -> 0
+
+let commit_writes_locked t ~read_ts writes =
+  let conflicts =
+    List.filter_map
+      (fun (key, _) ->
+        let chain =
+          Option.value ~default:[] (Hashtbl.find_opt t.chains key)
+        in
+        if newest_ts chain > read_ts then Some key else None)
+      writes
+  in
+  if conflicts <> [] then begin
+    Obs.Counter.incr m_conflicts;
+    Conflict (List.sort_uniq Int.compare conflicts)
+  end
+  else begin
+    let ts = if writes = [] then t.clock else tick t in
+    List.iter
+      (fun (key, v) ->
+        let chain =
+          Option.value ~default:[] (Hashtbl.find_opt t.chains key)
+        in
+        Hashtbl.replace t.chains key ((ts, v) :: chain);
+        note_install t (List.length chain + 1))
+      writes;
+    Obs.Counter.incr m_commits;
+    Committed ts
+  end
+
+let commit_keys t ~read_ts writes =
+  with_lock t (fun () -> commit_writes_locked t ~read_ts writes)
+
+type 'a txn = {
+  t_store : 'a t;
+  t_id : int;
+  t_ts : int;
+  t_writes : (int, 'a) Hashtbl.t;
+  mutable t_finished : bool;
+}
+
+let begin_rw t =
+  let id, ts = with_lock t (fun () -> pin_locked t) in
+  { t_store = t; t_id = id; t_ts = ts; t_writes = Hashtbl.create 16;
+    t_finished = false }
+
+let txn_ts txn = txn.t_ts
+
+let check_open txn =
+  if txn.t_finished then invalid_arg "Version_store: transaction finished"
+
+let txn_get txn ~key =
+  check_open txn;
+  match Hashtbl.find_opt txn.t_writes key with
+  | Some v -> Some v
+  | None -> find_as_of (chain_of txn.t_store ~key) txn.t_ts
+
+let txn_put txn ~key v =
+  check_open txn;
+  Hashtbl.replace txn.t_writes key v
+
+let txn_write_set txn =
+  List.sort Int.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) txn.t_writes [])
+
+let commit txn =
+  check_open txn;
+  let writes =
+    List.map
+      (fun key -> (key, Hashtbl.find txn.t_writes key))
+      (txn_write_set txn)
+  in
+  txn.t_finished <- true;
+  with_lock txn.t_store (fun () ->
+      Hashtbl.remove txn.t_store.active txn.t_id;
+      commit_writes_locked txn.t_store ~read_ts:txn.t_ts writes)
+
+let abort_rw txn =
+  if not txn.t_finished then begin
+    txn.t_finished <- true;
+    Hashtbl.reset txn.t_writes;
+    unpin txn.t_store txn.t_id
+  end
+
+let total_versions t =
+  with_lock t (fun () ->
+      let count tbl =
+        Hashtbl.fold (fun _ chain acc -> acc + List.length chain) tbl 0
+      in
+      count t.chains + count t.variant_chains)

@@ -1,20 +1,48 @@
-(** Multi-version object store (R5: versions and variants).
+(** Multi-version object store: R5 versions/variants plus real
+    snapshot-isolation MVCC.
 
-    Keeps a timestamped version chain per key on a process-wide logical
-    clock, supporting the paper's extension operations: retrieve the
-    previous version of a node, or reconstruct a node structure as it was
-    at a given time-point.  Named variants model parallel development
-    branches of the same object. *)
+    One store keeps a timestamped, newest-first version chain per key on
+    a global commit clock.  Two client styles share the chains:
+
+    - The paper's extension operations (R5): {!put} appends a committed
+      version directly, {!previous} retrieves the version before the
+      latest, {!as_of} reconstructs a value as it was at a time-point,
+      and named {!put_variant} branches model parallel development.
+    - MVCC transactions: {!begin_snapshot} captures a consistent read
+      timestamp; snapshot reads resolve against the immutable chains
+      without taking any lock-manager locks (readers never block
+      writers, writers never block readers).  {!begin_rw} starts a
+      read-write transaction whose writes are buffered privately and
+      installed atomically at {!commit} under first-committer-wins
+      conflict detection — the snapshot-isolation rule: the commit
+      aborts iff some written key has a committed version newer than
+      the transaction's read timestamp.
+
+    Garbage collection prunes chain tails below the oldest-active
+    read-timestamp watermark, so chains stay bounded under sustained
+    updates while live snapshots keep every version they can see.
+    Pruning runs automatically every [gc_every] installs and keeps at
+    least [retain] newest versions per chain so the R5 history
+    operations ({!previous}, recent {!as_of}) remain useful.
+
+    Thread-safe: every structural mutation happens under one internal
+    {!Hyper_util.Sync.Mutex} (rank 20); reads fetch the chain head
+    under it and traverse the immutable chain outside it. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?retain:int -> ?gc_every:int -> unit -> 'a t
+(** [retain] (default 8) is the minimum number of newest versions GC
+    keeps per chain regardless of the watermark; [gc_every] (default
+    256, [0] = never automatically) is how many version installs happen
+    between automatic GC passes. *)
 
 val now : 'a t -> int
-(** Current logical time (advances on every [put]). *)
+(** Current logical commit time (advances on every install). *)
 
 val put : 'a t -> key:int -> 'a -> int
-(** Append a new version; returns its timestamp. *)
+(** Append a new committed version directly (the R5 auto-commit path);
+    returns its timestamp. *)
 
 val latest : 'a t -> key:int -> 'a option
 
@@ -22,12 +50,17 @@ val previous : 'a t -> key:int -> 'a option
 (** The version immediately before the latest one. *)
 
 val as_of : 'a t -> key:int -> time:int -> 'a option
-(** The newest version with timestamp <= [time]. *)
+(** The newest version with timestamp <= [time] — the boundary is
+    inclusive, so a snapshot taken at [now t] sees exactly the puts
+    that returned a timestamp <= that value. *)
 
 val version_count : 'a t -> key:int -> int
 
 val history : 'a t -> key:int -> (int * 'a) list
 (** All versions, newest first, as (timestamp, value). *)
+
+val keys : 'a t -> int list
+(** Keys with at least one version, sorted. *)
 
 (** {2 Variants} *)
 
@@ -38,3 +71,85 @@ val latest_variant : 'a t -> key:int -> variant:string -> 'a option
 
 val variants : 'a t -> key:int -> string list
 (** Names of branches that exist for [key] (sorted). *)
+
+(** {2 Snapshot reads} *)
+
+type 'a snapshot
+(** A consistent read-only view pinned at one commit timestamp.  Until
+    {!release}, GC keeps every version the snapshot can see. *)
+
+val begin_snapshot : 'a t -> 'a snapshot
+
+val snapshot_ts : 'a snapshot -> int
+
+val snapshot_get : 'a snapshot -> key:int -> 'a option
+(** The value of [key] as of the snapshot's read timestamp: the newest
+    version with ts <= {!snapshot_ts}.  Lock-free over the immutable
+    chain; never blocks on or is blocked by writers.
+    @raise Invalid_argument after {!release}. *)
+
+val release : 'a snapshot -> unit
+(** Unpin the snapshot from the GC watermark.  Idempotent. *)
+
+val active_snapshots : 'a t -> int
+(** Live (unreleased) snapshots and read-write transactions. *)
+
+(** {2 Read-write transactions (snapshot isolation)} *)
+
+type 'a txn
+
+type commit_result =
+  | Committed of int  (** the commit timestamp all writes carry *)
+  | Conflict of int list
+      (** first-committer-wins: keys with a committed version newer
+          than the transaction's read timestamp (sorted) *)
+
+val begin_rw : 'a t -> 'a txn
+(** Start a transaction reading at the current commit time. *)
+
+val txn_ts : 'a txn -> int
+(** The transaction's read timestamp. *)
+
+val txn_get : 'a txn -> key:int -> 'a option
+(** The transaction's own buffered write when present, otherwise the
+    committed value as of the read timestamp.
+    @raise Invalid_argument after {!commit}/{!abort_rw}. *)
+
+val txn_put : 'a txn -> key:int -> 'a -> unit
+(** Buffer a write; invisible to every other snapshot or transaction
+    until {!commit}.
+    @raise Invalid_argument after {!commit}/{!abort_rw}. *)
+
+val txn_write_set : 'a txn -> int list
+(** Keys written so far, sorted. *)
+
+val commit : 'a txn -> commit_result
+(** Validate first-committer-wins and, on success, install every
+    buffered write atomically at one fresh commit timestamp.  Either
+    way the transaction is finished and unpinned from GC.
+    @raise Invalid_argument when already finished. *)
+
+val abort_rw : 'a txn -> unit
+(** Drop the buffered writes and unpin.  Idempotent. *)
+
+val commit_keys : 'a t -> read_ts:int -> (int * 'a) list -> commit_result
+(** The bare commit primitive behind {!commit}: first-committer-wins
+    validation of the writes against [read_ts], atomic install at one
+    fresh timestamp.  Used by {!Workspace} to publish an overlay
+    checked out at [read_ts]. *)
+
+(** {2 Garbage collection} *)
+
+val watermark : 'a t -> int
+(** The oldest read timestamp any live snapshot or transaction can
+    demand: [min] over active pins, or {!now} when none are live. *)
+
+val gc : 'a t -> int
+(** Prune chain tails invisible below the watermark (keeping the
+    newest version at-or-below it, and at least [retain] versions per
+    chain).  Returns the number of versions dropped.  Also runs
+    automatically every [gc_every] installs. *)
+
+val total_versions : 'a t -> int
+(** Versions across all chains (variants included) — the quantity GC
+    bounds. *)

@@ -1,48 +1,28 @@
-module Sync = Hyper_util.Sync
+(* Private/shared workspaces (R9), refitted onto the MVCC version
+   store: the shared state is a {!Version_store}, a publish is a
+   first-committer-wins commit of the overlay against the checkout
+   timestamp, and read-only cooperation uses pinned snapshot views
+   that never conflict and never take a lock-manager lock. *)
 
-type 'a shared = {
-  mutex : Sync.Mutex.t;
-  store : (int, 'a * int) Hashtbl.t; (* value, version *)
-  mutable version : int;
-}
+type 'a shared = { vs : 'a Version_store.t }
 
 type 'a t = {
   parent : 'a shared;
   overlay : (int, 'a) Hashtbl.t;
-  baseline : (int, int) Hashtbl.t; (* key -> shared version at checkout *)
+  mutable base_ts : int; (* commit time the workspace is synced to *)
 }
 
 type 'a publish_result = Published of int | Conflicts of int list
 
-let create_shared () =
-  { mutex = Sync.Mutex.create ~rank:20 "txn.workspace";
-    store = Hashtbl.create 256; version = 0 }
+let create_shared () = { vs = Version_store.create () }
 
-let with_lock s f = Sync.Mutex.with_lock s.mutex f
+let shared_get s key = Version_store.latest s.vs ~key
 
-let shared_get s key =
-  with_lock s (fun () -> Option.map fst (Hashtbl.find_opt s.store key))
-
-let shared_keys s =
-  with_lock s (fun () ->
-      List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.store []))
-
-let shared_version_of s key =
-  match Hashtbl.find_opt s.store key with Some (_, v) -> v | None -> 0
-
-let snapshot_baseline t =
-  Hashtbl.reset t.baseline;
-  with_lock t.parent (fun () ->
-      Hashtbl.iter
-        (fun k (_, v) -> Hashtbl.replace t.baseline k v)
-        t.parent.store)
+let shared_keys s = Version_store.keys s.vs
 
 let checkout parent =
-  let t =
-    { parent; overlay = Hashtbl.create 64; baseline = Hashtbl.create 64 }
-  in
-  snapshot_baseline t;
-  t
+  { parent; overlay = Hashtbl.create 64;
+    base_ts = Version_store.now parent.vs }
 
 let get t key =
   match Hashtbl.find_opt t.overlay key with
@@ -54,38 +34,30 @@ let put t key v = Hashtbl.replace t.overlay key v
 let dirty_keys t =
   List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.overlay [])
 
-let baseline_of t key =
-  Option.value ~default:0 (Hashtbl.find_opt t.baseline key)
-
 let publish t =
-  with_lock t.parent (fun () ->
-      (* Publish in sorted key order so the version stamps a publish
-         assigns are reproducible run to run, not hash-bucket order. *)
-      let keys =
-        List.sort Int.compare
-          (Hashtbl.fold (fun k _ acc -> k :: acc) t.overlay [])
-      in
-      let conflicts =
-        List.filter
-          (fun k -> shared_version_of t.parent k <> baseline_of t k)
-          keys
-      in
-      if conflicts <> [] then Conflicts conflicts
-      else begin
-        let n = Hashtbl.length t.overlay in
-        List.iter
-          (fun k ->
-            let v = Hashtbl.find t.overlay k in
-            t.parent.version <- t.parent.version + 1;
-            Hashtbl.replace t.parent.store k (v, t.parent.version))
-          keys;
-        Hashtbl.reset t.overlay;
-        (* Re-baseline inline; we already hold the lock. *)
-        Hashtbl.reset t.baseline;
-        Hashtbl.iter
-          (fun k (_, v) -> Hashtbl.replace t.baseline k v)
-          t.parent.store;
-        Published n
-      end)
+  (* Publish in sorted key order so the install order (and therefore
+     repro output) is reproducible run to run, not hash-bucket order. *)
+  let writes =
+    List.map (fun k -> (k, Hashtbl.find t.overlay k)) (dirty_keys t)
+  in
+  match Version_store.commit_keys t.parent.vs ~read_ts:t.base_ts writes with
+  | Version_store.Conflict keys -> Conflicts keys
+  | Version_store.Committed ts ->
+    Hashtbl.reset t.overlay;
+    (* Re-baseline on our own commit: further writes rebase on it. *)
+    t.base_ts <- ts;
+    Published (List.length writes)
 
-let refresh t = snapshot_baseline t
+let refresh t = t.base_ts <- Version_store.now t.parent.vs
+
+(* --- read-only snapshot views --- *)
+
+type 'a view = 'a Version_store.snapshot
+
+let snapshot parent = Version_store.begin_snapshot parent.vs
+
+let view_ts = Version_store.snapshot_ts
+
+let view_get view key = Version_store.snapshot_get view ~key
+
+let view_release = Version_store.release

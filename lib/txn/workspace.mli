@@ -6,9 +6,14 @@
     published state; each user [checkout]s a private workspace whose
     writes overlay the shared state until [publish].
 
-    Publish performs first-writer-wins conflict detection at object
-    granularity: a write conflicts when the shared object changed after
-    the workspace was checked out (or last synchronised). *)
+    The shared store is a {!Version_store}: publish is a
+    first-committer-wins MVCC commit of the overlay against the
+    checkout timestamp, so conflict detection at object granularity (a
+    write conflicts when the shared object changed after the workspace
+    was checked out or last synchronised) falls out of the
+    snapshot-isolation rule.  Read-only cooperation uses {!snapshot}
+    views pinned at a commit timestamp — they never conflict, never
+    block a publisher, and never touch {!Lock_manager}. *)
 
 type 'a shared
 
@@ -42,3 +47,24 @@ val publish : 'a t -> 'a publish_result
 val refresh : 'a t -> unit
 (** Re-synchronise with the shared store, dropping conflict markers but
     keeping private writes (they win over refreshed state on [get]). *)
+
+(** {2 Read-only snapshot views}
+
+    A pinned, consistent view of the shared state — the MVCC read path.
+    Unlike {!checkout}, a view never sees later publishes, cannot
+    conflict and holds no locks; release it when done so version GC can
+    advance past its timestamp. *)
+
+type 'a view
+
+val snapshot : 'a shared -> 'a view
+(** Pin a view at the current publish timestamp. *)
+
+val view_ts : 'a view -> int
+
+val view_get : 'a view -> int -> 'a option
+(** The shared value as of the view's timestamp.
+    @raise Invalid_argument after {!view_release}. *)
+
+val view_release : 'a view -> unit
+(** Unpin from the GC watermark.  Idempotent. *)

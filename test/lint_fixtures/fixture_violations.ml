@@ -57,3 +57,13 @@ let backwards () =
 
 (* no-blocking-under-mutex: sleeping inside the critical section. *)
 let sleepy () = Sync.Mutex.with_lock outer (fun () -> Thread.delay 0.01)
+
+(* no-poly-compare-on-oid, version-chain shape: the structural [=]
+   compares only the oid half of an (oid, variant) chain key — the
+   bug Version_store.variants shipped with.  The sort keeps the fold
+   deterministic, so only v4 fires. *)
+let chain_variants (chains : (Oid.t * string, int) Hashtbl.t) (key : Oid.t) =
+  List.sort_uniq Stdlib.compare
+    (Hashtbl.fold
+       (fun (oid, variant) _ acc -> if oid = key then variant :: acc else acc)
+       chains [])

@@ -47,6 +47,7 @@ let expected_violations =
     ("sync-wrapper-only", 45);
     ("lock-order", 56);
     ("no-blocking-under-mutex", 59);
+    ("no-poly-compare-on-oid", 68);
   ]
 
 let test_violations () =

@@ -267,6 +267,91 @@ let test_mid_txn_loss_is_not_retried () =
       | exception Client.Connection_lost _ -> ()
       | _ -> Alcotest.fail "mid-txn loss must not silently retry")
 
+(* --- snapshot sessions --- *)
+
+let mk_create uid =
+  Trace.Create
+    {
+      oid = 900000 + uid;
+      doc = 1;
+      uid = 900000 + uid;
+      ten = 1;
+      hundred = 1;
+      million = 1;
+      near = None;
+      payload = Trace.P_internal;
+    }
+
+let lookup c uid =
+  match Client.call c [ Trace.Lookup_unique { doc = 1; uid = 900000 + uid } ] with
+  | [ Trace.Done (Trace.V_int_opt r) ] -> r
+  | _ -> Alcotest.fail "lookup failed"
+
+let test_snapshot_session_detached () =
+  with_server "snap" (fun _srv addr _layout ->
+      let w = connect addr and r = connect addr in
+      Client.snapshot r ~active:true;
+      (* A writer commits after the view was cloned; the snapshot
+         session keeps the pre-image, a live session sees the write. *)
+      (match Client.call w [ Trace.Begin; mk_create 1; Trace.Commit ] with
+      | [ Trace.Done _; Trace.Done _; Trace.Done _ ] -> ()
+      | _ -> Alcotest.fail "writer commit failed");
+      check Alcotest.bool "snapshot keeps the pre-image" true
+        (lookup r 1 = None);
+      check Alcotest.bool "live session sees the commit" true
+        (lookup w 1 <> None);
+      (* Deactivating returns the session to live reads. *)
+      Client.snapshot r ~active:false;
+      check Alcotest.bool "deactivated session reads live state" true
+        (lookup r 1 <> None);
+      Client.close w;
+      Client.close r)
+
+let test_snapshot_reads_bypass_lease () =
+  with_server "snaplease" (fun _srv addr _layout ->
+      let w = connect addr and r = connect addr in
+      Client.snapshot r ~active:true;
+      (* The writer parks inside a transaction, holding the engine
+         lease across batches.  The snapshot session must still get
+         replies — its reads never touch the lease. *)
+      (match Client.call w [ Trace.Begin; mk_create 2 ] with
+      | [ Trace.Done _; Trace.Done _ ] -> ()
+      | _ -> Alcotest.fail "begin failed");
+      check Alcotest.bool "snapshot read answered mid-txn" true
+        (lookup r 2 = None);
+      (match Client.call w [ Trace.Commit ] with
+      | [ Trace.Done _ ] -> ()
+      | _ -> Alcotest.fail "commit failed");
+      Client.close w;
+      Client.close r)
+
+let test_snapshot_session_read_only () =
+  with_server "snapro" (fun _srv addr _layout ->
+      let r = connect addr in
+      Client.snapshot r ~active:true;
+      (match Client.call r [ mk_create 3 ] with
+      | [ Trace.Raised "Snapshot_read_only" ] -> ()
+      | _ -> Alcotest.fail "mutation must be rejected on a snapshot");
+      (match Client.call r [ Trace.Begin ] with
+      | [ Trace.Raised "Snapshot_read_only" ] -> ()
+      | _ -> Alcotest.fail "txn control must be rejected on a snapshot");
+      Client.close r)
+
+let test_snapshot_inside_txn_rejected () =
+  with_server "snaptxn" (fun _srv addr _layout ->
+      let c = connect addr in
+      (match Client.call c [ Trace.Begin ] with
+      | [ Trace.Done _ ] -> ()
+      | _ -> Alcotest.fail "begin failed");
+      (match Client.snapshot c ~active:true with
+      | exception Client.Server_fault (Wire.F_bad_op, _) -> ()
+      | () -> Alcotest.fail "snapshot inside a transaction must fault");
+      (* The session survives the fault and can finish its txn. *)
+      (match Client.call c [ Trace.Commit ] with
+      | [ Trace.Done _ ] -> ()
+      | _ -> Alcotest.fail "commit after fault failed");
+      Client.close c)
+
 let () =
   Alcotest.run "test_server"
     [
@@ -290,6 +375,17 @@ let () =
             test_reconnect_after_restart;
           Alcotest.test_case "mid-txn loss not retried" `Quick
             test_mid_txn_loss_is_not_retried;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "detached view" `Quick
+            test_snapshot_session_detached;
+          Alcotest.test_case "reads bypass the lease" `Quick
+            test_snapshot_reads_bypass_lease;
+          Alcotest.test_case "read-only enforced" `Quick
+            test_snapshot_session_read_only;
+          Alcotest.test_case "rejected inside txn" `Quick
+            test_snapshot_inside_txn_rejected;
         ] );
     ]
 

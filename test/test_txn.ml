@@ -402,7 +402,11 @@ module Multiuser_invariants (B : Hyper_core.Backend.S) = struct
         check Alcotest.bool
           (Hyper_core.Multiuser.mode_to_string mode ^ " makes progress")
           true (r.committed > 0))
-      [ Hyper_core.Multiuser.Two_phase_locking; Hyper_core.Multiuser.Optimistic ];
+      [
+        Hyper_core.Multiuser.Two_phase_locking;
+        Hyper_core.Multiuser.Optimistic;
+        Hyper_core.Multiuser.Mvcc;
+      ];
     normalize_hundred b layout;
     let fails = Hyper_core.Verify.failures (V.run b layout) in
     match fails with

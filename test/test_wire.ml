@@ -62,6 +62,8 @@ let sample_requests =
     Wire.Ops { rid = 1; ops = sample_ops };
     Wire.Ops { rid = 2; ops = [] };
     Wire.Ping { rid = 3 };
+    Wire.Snapshot { rid = 4; active = true };
+    Wire.Snapshot { rid = 5; active = false };
     Wire.Bye;
   ]
 
